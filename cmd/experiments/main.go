@@ -1,0 +1,75 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (plus the extension experiments in DESIGN.md).
+//
+// Usage:
+//
+//	experiments [-run fig5,fig6] [-trials 10000] [-seed 1] [-list]
+//
+// With no -run it executes every registered experiment at the given scale.
+// Output is the plain-text tables EXPERIMENTS.md embeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials   = fs.Int("trials", 10000, "Monte-Carlo trials per configuration (paper: 10000)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		highFrac = fs.Float64("high", 0.2, "fraction of replicas counted as high-demand")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []experiment.Experiment
+	if *runList == "" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experiment.Names(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := experiment.Params{Trials: *trials, Seed: *seed, HighFrac: *highFrac}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(out, "running %s (%s)...\n", e.ID, e.Title)
+		res := e.Run(params)
+		if err := res.Render(out); err != nil {
+			return fmt.Errorf("rendering %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "uniform", "diameter", "islands", "ablation", "worstcase", "live", "staleness", "truncation", "partition"} {
+		if !strings.Contains(b.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "fig3", "-trials", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig3", "worst case", "optimal case", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "fig3, fig4", "-trials", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "B-C'") {
+		t.Error("fig4 output missing from combined run")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-run", "nonsense"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown-experiment error", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("bad flag should return an error")
+	}
+}

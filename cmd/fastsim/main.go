@@ -1,0 +1,160 @@
+// Command fastsim runs one configurable Monte-Carlo study of the
+// fast-consistency algorithm against its baselines.
+//
+// Usage:
+//
+//	fastsim -nodes 50 -topology ba -demand uniform -trials 1000 [-variant all]
+//
+// Topologies: ba (Barabási–Albert / BRITE-like), line, ring, grid, torus,
+// star, tree, waxman, gnp. Demand fields: uniform, zipf, valley, flat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fastsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildTopology(kind string, n, m int, r *rand.Rand) (*topology.Graph, error) {
+	switch kind {
+	case "ba":
+		return topology.BarabasiAlbert(n, m, r), nil
+	case "line":
+		return topology.Line(n), nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return topology.Grid(side, side), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return topology.Torus(side, side), nil
+	case "star":
+		return topology.Star(n), nil
+	case "tree":
+		return topology.RandomTree(n, r), nil
+	case "waxman":
+		return topology.Waxman(n, 0.4, 0.2, r), nil
+	case "gnp":
+		return topology.ErdosRenyi(n, 4/float64(n), r), nil
+	case "transit-stub":
+		transit := n / 7
+		if transit < 2 {
+			transit = 2
+		}
+		return topology.TransitStub(topology.TransitStubConfig{
+			TransitDomains:      2,
+			TransitSize:         (transit + 1) / 2,
+			StubsPerTransitNode: 2,
+			StubSize:            3,
+			ExtraTransitEdges:   2,
+		}, r), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func buildField(kind string, g *topology.Graph, r *rand.Rand) (demand.Field, error) {
+	n := g.N()
+	switch kind {
+	case "uniform":
+		return demand.Uniform(n, 1, 101, r), nil
+	case "zipf":
+		return demand.Zipf(n, 1, 100, r), nil
+	case "valley":
+		return demand.NewValleyField(g, 1, []demand.Valley{
+			{Center: topology.Point{X: 0.5, Y: 0.5}, Peak: 100, Sigma: 0.2},
+		}), nil
+	case "flat":
+		f := make(demand.Static, n)
+		for i := range f {
+			f[i] = 10
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("unknown demand field %q", kind)
+	}
+}
+
+func parseVariants(s string) ([]core.Variant, error) {
+	if s == "all" {
+		return []core.Variant{core.FastConsistency, core.WeakConsistency,
+			core.DemandOrderedOnly, core.FastPushOnly}, nil
+	}
+	byName := map[string]core.Variant{
+		"fast":    core.FastConsistency,
+		"weak":    core.WeakConsistency,
+		"ordered": core.DemandOrderedOnly,
+		"push":    core.FastPushOnly,
+	}
+	var out []core.Variant
+	for _, name := range strings.Split(s, ",") {
+		v, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown variant %q (fast, weak, ordered, push, all)", name)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fastsim", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 50, "number of replicas")
+		topoKind = fs.String("topology", "ba", "topology: ba|line|ring|grid|torus|star|tree|waxman|gnp")
+		m        = fs.Int("m", 2, "edges per new node (ba only)")
+		field    = fs.String("demand", "uniform", "demand field: uniform|zipf|valley|flat")
+		variants = fs.String("variant", "all", "variants: fast,weak,ordered,push or all")
+		trials   = fs.Int("trials", 1000, "Monte-Carlo trials")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	g, err := buildTopology(*topoKind, *nodes, *m, r)
+	if err != nil {
+		return err
+	}
+	f, err := buildField(*field, g, r)
+	if err != nil {
+		return err
+	}
+	vs, err := parseVariants(*variants)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "topology: %v  diameter=%d  avg-path=%.2f\n", g, g.Diameter(), g.AvgPathLength())
+	fmt.Fprintf(out, "demand: %s  trials: %d  seed: %d\n\n", *field, *trials, *seed)
+
+	tab := metrics.NewTable("variant", "mean sessions (all)", "mean (high demand)", "p95", "max", "trials ok")
+	for _, v := range vs {
+		sys, err := core.NewSystem(g, f, v)
+		if err != nil {
+			return err
+		}
+		rep := sys.Simulate(*trials, *seed)
+		tab.AddRow(v.String(), rep.MeanSessionsAll, rep.MeanSessionsHighDemand,
+			rep.P95SessionsAll, rep.Aggregate.TimeAll.Max(), rep.Trials)
+	}
+	return tab.Render(out)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRunAllVariantsSmall(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nodes", "20", "-trials", "30"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fast-consistency", "weak-consistency", "demand-ordered-only", "fast-push-only", "diameter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSelectedVariant(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nodes", "15", "-trials", "20", "-variant", "weak", "-topology", "ring"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "fast-consistency") {
+		t.Error("unselected variant present in output")
+	}
+	if !strings.Contains(b.String(), "weak-consistency") {
+		t.Error("selected variant missing from output")
+	}
+}
+
+func TestBuildTopologyAllKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"ba", "line", "ring", "grid", "torus", "star", "tree", "waxman", "gnp"} {
+		g, err := buildTopology(kind, 16, 2, r)
+		if err != nil {
+			t.Errorf("buildTopology(%q): %v", kind, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("buildTopology(%q) produced empty graph", kind)
+		}
+	}
+	if _, err := buildTopology("bogus", 10, 2, r); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestBuildFieldAllKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, err := buildTopology("grid", 16, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"uniform", "zipf", "valley", "flat"} {
+		f, err := buildField(kind, g, r)
+		if err != nil {
+			t.Errorf("buildField(%q): %v", kind, err)
+			continue
+		}
+		if f.At(0, 0) < 0 {
+			t.Errorf("buildField(%q) negative demand", kind)
+		}
+	}
+	if _, err := buildField("bogus", g, r); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	vs, err := parseVariants("fast, weak")
+	if err != nil || len(vs) != 2 {
+		t.Errorf("parseVariants = (%v, %v)", vs, err)
+	}
+	if _, err := parseVariants("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	all, err := parseVariants("all")
+	if err != nil || len(all) != 4 {
+		t.Errorf("parseVariants(all) = (%v, %v)", all, err)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLivedemoSmallCluster(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-nodes", "8", "-session", "15ms", "-timeout", "20s"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cluster: 8 replicas", "write", "arrival order", "converged replicas: 8/8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLivedemoWeakVariant(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nodes", "6", "-weak", "-session", "15ms", "-timeout", "20s"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "weak-consistency") {
+		t.Error("weak variant not reflected in output")
+	}
+}
+
+func TestLivedemoBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-not-a-flag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

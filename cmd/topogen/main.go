@@ -1,0 +1,135 @@
+// Command topogen generates and inspects the topologies the simulations run
+// on, verifying the Internet power laws the paper's §5 requires of them.
+//
+// Usage:
+//
+//	topogen -topology ba -nodes 100 [-m 2] [-seed 1] [-edges] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		kind      = fs.String("topology", "ba", "topology: ba|line|ring|grid|torus|star|tree|waxman|gnp|transit-stub")
+		nodes     = fs.Int("nodes", 100, "number of nodes")
+		m         = fs.Int("m", 2, "edges per new node (ba)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		showEdges = fs.Bool("edges", false, "print the edge list")
+		showHist  = fs.Bool("hist", false, "print the degree histogram")
+		dotOut    = fs.String("dot", "", "write the graph in Graphviz DOT format to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	var g *topology.Graph
+	switch *kind {
+	case "ba":
+		g = topology.BarabasiAlbert(*nodes, *m, r)
+	case "line":
+		g = topology.Line(*nodes)
+	case "ring":
+		g = topology.Ring(*nodes)
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(*nodes))))
+		g = topology.Grid(side, side)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(*nodes))))
+		g = topology.Torus(side, side)
+	case "star":
+		g = topology.Star(*nodes)
+	case "tree":
+		g = topology.RandomTree(*nodes, r)
+	case "waxman":
+		g = topology.Waxman(*nodes, 0.4, 0.2, r)
+	case "gnp":
+		g = topology.ErdosRenyi(*nodes, 4/float64(*nodes), r)
+	case "transit-stub":
+		// Scale the two-level hierarchy to roughly the requested size:
+		// n ≈ transit + transit·stubs·stubSize with 3-node stub domains.
+		transit := *nodes / 7
+		if transit < 2 {
+			transit = 2
+		}
+		g = topology.TransitStub(topology.TransitStubConfig{
+			TransitDomains:      2,
+			TransitSize:         (transit + 1) / 2,
+			StubsPerTransitNode: 2,
+			StubSize:            3,
+			ExtraTransitEdges:   2,
+		}, r)
+	default:
+		return fmt.Errorf("unknown topology %q", *kind)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("generated graph invalid: %w", err)
+	}
+
+	tab := metrics.NewTable("property", "value")
+	tab.AddRow("name", g.Name())
+	tab.AddRow("nodes", g.N())
+	tab.AddRow("edges", g.M())
+	tab.AddRow("connected", fmt.Sprintf("%t", g.IsConnected()))
+	tab.AddRow("diameter", g.Diameter())
+	tab.AddRow("avg path length", g.AvgPathLength())
+	tab.AddRow("clustering coeff", g.ClusteringCoefficient())
+	tab.AddRow("rank-degree power law", topology.RankDegreeFit(g).String())
+	tab.AddRow("degree-frequency power law", topology.DegreeFrequencyFit(g).String())
+	tab.AddRow("hop-pairs power law", topology.HopPairsFit(g).String())
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+
+	if *showHist {
+		fmt.Fprintln(out, "\ndegree histogram:")
+		hist := metrics.NewTable("degree", "nodes")
+		for d, count := range g.DegreeHistogram() {
+			if count > 0 {
+				hist.AddRow(d, count)
+			}
+		}
+		if err := hist.Render(out); err != nil {
+			return err
+		}
+	}
+	if *showEdges {
+		fmt.Fprintln(out, "\nedges:")
+		for _, e := range g.Edges() {
+			fmt.Fprintf(out, "%v %v\n", e[0], e[1])
+		}
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *dotOut, err)
+		}
+		if err := g.WriteDOT(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing DOT: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nDOT written to %s\n", *dotOut)
+	}
+	return nil
+}

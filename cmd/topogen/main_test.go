@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTopogenBA(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-topology", "ba", "-nodes", "60"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ba(n=60,m=2)", "connected", "true", "rank-degree power law", "hop-pairs power law"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopogenEdgesAndHist(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-topology", "ring", "-nodes", "6", "-edges", "-hist"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "degree histogram") {
+		t.Error("missing histogram section")
+	}
+	if !strings.Contains(out, "n0 n1") {
+		t.Error("missing edge list")
+	}
+}
+
+func TestTopogenAllKinds(t *testing.T) {
+	for _, kind := range []string{"line", "grid", "torus", "star", "tree", "waxman", "gnp"} {
+		var b strings.Builder
+		if err := run([]string{"-topology", kind, "-nodes", "16"}, &b); err != nil {
+			t.Errorf("run(%q): %v", kind, err)
+		}
+	}
+}
+
+func TestTopogenUnknownKind(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-topology", "bogus"}, &b); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestTopogenTransitStubAndDOT(t *testing.T) {
+	dot := t.TempDir() + "/g.dot"
+	var b strings.Builder
+	if err := run([]string{"-topology", "transit-stub", "-nodes", "40", "-dot", dot}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "transit-stub(") {
+		t.Error("missing transit-stub name in output")
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph ") || !strings.Contains(string(data), " -- ") {
+		t.Errorf("DOT file malformed:\n%s", data[:min(200, len(data))])
+	}
+}

@@ -1,0 +1,38 @@
+// Package repro reproduces "A Demand based Algorithm for Rapid Updating of
+// Replicas" (Acosta-Elías & Navarro-Moldes, ICDCSW 2002) as a complete Go
+// library: the fast-consistency anti-entropy protocol, the weak-consistency
+// baseline it improves on, the BRITE-like topology and demand substrates its
+// evaluation needs, a Monte-Carlo simulator reproducing every figure and
+// table, and a live goroutine runtime running the same replica state
+// machine over real message passing.
+//
+// Layout:
+//
+//	internal/core        high-level API: build a System, Simulate it, or
+//	                     run it as a live Cluster
+//	internal/node        the replica protocol state machine (paper §2.1)
+//	internal/policy      partner selection: random / demand-static /
+//	                     demand-dynamic / ablation baselines
+//	internal/vclock      timestamps and summary vectors
+//	internal/wlog        write logs with Bayou-style truncation
+//	internal/store       convergent replicated KV store
+//	internal/topology    line/ring/grid/BA/Waxman generators, power laws
+//	internal/demand      demand fields (static, valleys, dynamic) + tables
+//	internal/sim         discrete-event engine (the NS-2 stand-in)
+//	internal/mc          Monte-Carlo session-level simulator (§5)
+//	internal/island      §6 islands, leader election, overlay
+//	internal/runtime     goroutine-per-replica live cluster
+//	internal/transport   in-memory (faults) + TCP transports
+//	internal/experiment  every figure/table as runnable code
+//
+// Entry points:
+//
+//	cmd/experiments      regenerate all paper figures and tables
+//	cmd/fastsim          run a single configurable simulation
+//	cmd/topogen          generate/inspect topologies and power-law fits
+//	cmd/livedemo         drive a live cluster from the terminal
+//	examples/...         quickstart and scenario walk-throughs
+//
+// The benchmarks in bench_test.go regenerate each experiment at reduced
+// scale under `go test -bench`; cmd/experiments runs them at paper scale.
+package repro

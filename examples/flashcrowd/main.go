@@ -1,0 +1,75 @@
+// Flash crowd: a replica's demand explodes mid-run (a page goes viral at
+// one edge of the network). The §4 dynamic algorithm re-ranks neighbours
+// from fresh demand advertisements and redirects update propagation toward
+// the crowd; the §2.1 static ordering keeps serving yesterday's hot spot.
+//
+// This is the paper's Fig. 4 scenario scaled up to a 64-replica grid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+func main() {
+	const n = 64
+	graph := topology.Grid(8, 8)
+	r := rand.New(rand.NewSource(7))
+
+	// Base demand is mild noise; at t=1 session a flash crowd multiplies
+	// replica 63's demand (the corner farthest from the writer) by 100.
+	base := demand.Uniform(n, 1, 5, r)
+	crowd := &demand.FlashCrowd{Base: base, Node: 63, Start: 1, End: 50, Factor: 100}
+
+	fmt.Println("flash crowd at replica n63 starting at t=1 session")
+	fmt.Println("write injected at replica n0 (opposite corner)")
+	fmt.Println()
+
+	arms := []struct {
+		name    string
+		factory policy.Factory
+	}{
+		{"static demand order (§2.1)", policy.NewStaticOrdered},
+		{"dynamic demand order (§4)", policy.NewDynamicOrdered},
+		{"random (weak baseline)", policy.NewRandom},
+	}
+
+	// Fast push is disabled here deliberately: push chains would deliver to
+	// the crowd regardless of selection order, masking exactly the effect
+	// §3 and §4 discuss. This isolates optimisation 1 (partner selection).
+	tab := metrics.NewTable("policy", "mean sessions to reach the crowd", "mean sessions to reach all")
+	for _, arm := range arms {
+		cfg := mc.NewConfig(graph, crowd, arm.factory)
+		cfg.Origin = 0
+
+		crowdTimes := metrics.NewSample(300)
+		allTimes := metrics.NewSample(300)
+		for trial := 0; trial < 300; trial++ {
+			res := mc.RunTrial(cfg, int64(trial))
+			if !res.Completed {
+				log.Fatalf("%s: trial %d did not converge", arm.name, trial)
+			}
+			crowdTimes.Add(res.Times[63])
+			allTimes.Add(res.TimeAll())
+		}
+		tab.AddRow(arm.name, crowdTimes.Mean(), allTimes.Mean())
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("demand-ordered selection reaches the crowd ahead of the random baseline.")
+	fmt.Println("static and dynamic ordering nearly tie here: grid nodes have <= 4")
+	fmt.Println("neighbours, so selection cycles are short and the static snapshot is")
+	fmt.Println("rarely more than a few sessions stale — the within-cycle misdirection of")
+	fmt.Println("§3 needs wider neighbourhoods (see cmd/experiments -run fig4 for the")
+	fmt.Println("paper's own 3-neighbour example, where the schedules do diverge)")
+}

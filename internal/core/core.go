@@ -1,0 +1,179 @@
+// Package core is the high-level entry point to the fast-consistency
+// library: it assembles topology, demand model, selection policy and the
+// replica protocol into a System that can be studied two ways —
+//
+//   - Simulate: Monte-Carlo measurement under the discrete-event engine,
+//     reproducing the paper's session-count methodology; and
+//   - Cluster: a live goroutine-per-replica deployment over in-memory
+//     message passing.
+//
+// The zero configuration runs the paper's full fast-consistency algorithm
+// (demand-ordered dynamic selection plus fast-update push); Variant selects
+// the weak-consistency baseline or each optimisation in isolation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/policy"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// NodeID identifies a replica.
+type NodeID = vclock.NodeID
+
+// Variant selects a consistency algorithm.
+type Variant int
+
+// Algorithm variants.
+const (
+	// FastConsistency is the paper's contribution: demand-ordered dynamic
+	// partner selection plus fast-update push (§2.1 parts 1 and 2).
+	FastConsistency Variant = iota + 1
+	// WeakConsistency is the Golding baseline: uniform random partner
+	// selection, no push.
+	WeakConsistency
+	// DemandOrderedOnly enables only optimisation 1 (ordered selection).
+	DemandOrderedOnly
+	// FastPushOnly enables only optimisation 2 (push on random selection).
+	FastPushOnly
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	switch v {
+	case FastConsistency:
+		return "fast-consistency"
+	case WeakConsistency:
+		return "weak-consistency"
+	case DemandOrderedOnly:
+		return "demand-ordered-only"
+	case FastPushOnly:
+		return "fast-push-only"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// factoryAndPush maps a variant onto its policy factory and push flag.
+func (v Variant) factoryAndPush() (policy.Factory, bool) {
+	switch v {
+	case WeakConsistency:
+		return policy.NewRandom, false
+	case DemandOrderedOnly:
+		return policy.NewDynamicOrdered, false
+	case FastPushOnly:
+		return policy.NewRandom, true
+	default:
+		return policy.NewDynamicOrdered, true
+	}
+}
+
+// System is a configured replicated system.
+type System struct {
+	graph   *topology.Graph
+	field   demand.Field
+	variant Variant
+}
+
+// NewSystem builds a system over the given topology and demand field.
+func NewSystem(g *topology.Graph, f demand.Field, v Variant) (*System, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: nil demand field")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("core: topology %v is not connected", g)
+	}
+	if v == 0 {
+		v = FastConsistency
+	}
+	return &System{graph: g, field: f, variant: v}, nil
+}
+
+// Graph returns the system's topology.
+func (s *System) Graph() *topology.Graph { return s.graph }
+
+// Variant returns the configured algorithm.
+func (s *System) Variant() Variant { return s.variant }
+
+// Report summarises a simulation.
+type Report struct {
+	// Variant that produced the report.
+	Variant Variant
+	// Trials completed (and attempted).
+	Trials, Attempted int
+	// MeanSessionsAll is the mean number of sessions until every replica
+	// held the write — the paper's headline metric.
+	MeanSessionsAll float64
+	// MeanSessionsHighDemand is the same over the top-20%-demand replicas.
+	MeanSessionsHighDemand float64
+	// P95SessionsAll is the 95th percentile over trials.
+	P95SessionsAll float64
+	// Aggregate retains the full samples for CDFs and further analysis.
+	Aggregate mc.Aggregate
+}
+
+// String renders the headline numbers.
+func (r Report) String() string {
+	return fmt.Sprintf("%v: all=%.3f high-demand=%.3f p95=%.3f (trials=%d)",
+		r.Variant, r.MeanSessionsAll, r.MeanSessionsHighDemand, r.P95SessionsAll, r.Trials)
+}
+
+// Simulate runs `trials` Monte-Carlo propagation trials (one random-origin
+// write each) and reports session statistics. Results are deterministic in
+// (system, trials, seed).
+func (s *System) Simulate(trials int, seed int64) Report {
+	factory, push := s.variant.factoryAndPush()
+	cfg := mc.NewConfig(s.graph, s.field, factory)
+	cfg.FastPush = push
+	agg := mc.RunMany(cfg, trials, seed, 0.2)
+	return Report{
+		Variant:                s.variant,
+		Trials:                 agg.Trials - agg.Incomplete,
+		Attempted:              agg.Trials,
+		MeanSessionsAll:        agg.TimeAll.Mean(),
+		MeanSessionsHighDemand: agg.TimeHigh.Mean(),
+		P95SessionsAll:         agg.TimeAll.Percentile(95),
+		Aggregate:              agg,
+	}
+}
+
+// SimulateOnce runs a single seeded trial and returns the raw result.
+func (s *System) SimulateOnce(seed int64) mc.TrialResult {
+	factory, push := s.variant.factoryAndPush()
+	cfg := mc.NewConfig(s.graph, s.field, factory)
+	cfg.FastPush = push
+	return mc.RunTrial(cfg, seed)
+}
+
+// Cluster builds (without starting) a live goroutine cluster running this
+// system's algorithm. Callers Start/Stop it and inject writes via the
+// runtime API.
+func (s *System) Cluster(opts ...runtime.Option) *runtime.Cluster {
+	factory, push := s.variant.factoryAndPush()
+	all := append([]runtime.Option{
+		runtime.WithPolicy(factory),
+		runtime.WithFastPush(push),
+	}, opts...)
+	return runtime.New(s.graph, s.field, all...)
+}
+
+// Compare runs the same workload under every variant and returns the
+// reports keyed by variant, for quick side-by-side studies.
+func Compare(g *topology.Graph, f demand.Field, trials int, seed int64) (map[Variant]Report, error) {
+	out := make(map[Variant]Report, 4)
+	for _, v := range []Variant{FastConsistency, WeakConsistency, DemandOrderedOnly, FastPushOnly} {
+		sys, err := NewSystem(g, f, v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = sys.Simulate(trials, seed)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+func testSystem(t *testing.T, v Variant) *System {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	g := topology.BarabasiAlbert(30, 2, r)
+	f := demand.Uniform(30, 1, 101, r)
+	s, err := NewSystem(g, f, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	g := topology.Line(3)
+	f := demand.Static{1, 2, 3}
+	if _, err := NewSystem(nil, f, FastConsistency); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewSystem(g, nil, FastConsistency); err == nil {
+		t.Error("nil field accepted")
+	}
+	split := topology.New(2, "split")
+	if _, err := NewSystem(split, demand.Static{1, 1}, FastConsistency); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	s, err := NewSystem(g, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variant() != FastConsistency {
+		t.Errorf("zero variant = %v, want FastConsistency default", s.Variant())
+	}
+	if s.Graph() != g {
+		t.Error("Graph() did not return the configured topology")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{
+		FastConsistency:   "fast-consistency",
+		WeakConsistency:   "weak-consistency",
+		DemandOrderedOnly: "demand-ordered-only",
+		FastPushOnly:      "fast-push-only",
+		Variant(0):        "Variant(0)",
+	}
+	for v, name := range want {
+		if got := v.String(); got != name {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), got, name)
+		}
+	}
+}
+
+func TestSimulateReport(t *testing.T) {
+	s := testSystem(t, FastConsistency)
+	rep := s.Simulate(30, 7)
+	if rep.Trials == 0 || rep.Attempted != 30 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MeanSessionsHighDemand > rep.MeanSessionsAll {
+		t.Errorf("high-demand mean %.3f > all mean %.3f", rep.MeanSessionsHighDemand, rep.MeanSessionsAll)
+	}
+	if rep.P95SessionsAll < rep.MeanSessionsAll {
+		t.Errorf("p95 %.3f below mean %.3f", rep.P95SessionsAll, rep.MeanSessionsAll)
+	}
+	if !strings.Contains(rep.String(), "fast-consistency") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s := testSystem(t, WeakConsistency)
+	a := s.Simulate(10, 3)
+	b := s.Simulate(10, 3)
+	if a.MeanSessionsAll != b.MeanSessionsAll {
+		t.Error("Simulate not deterministic for equal seeds")
+	}
+}
+
+func TestSimulateOnce(t *testing.T) {
+	s := testSystem(t, FastConsistency)
+	res := s.SimulateOnce(11)
+	if !res.Completed {
+		t.Error("single trial did not complete")
+	}
+	if res.TimeAll() <= 0 {
+		t.Error("TimeAll should be positive for a 30-node system")
+	}
+}
+
+func TestCompareOrdersVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo comparison in -short mode")
+	}
+	r := rand.New(rand.NewSource(9))
+	g := topology.BarabasiAlbert(40, 2, r)
+	f := demand.Uniform(40, 1, 101, r)
+	reports, err := Compare(g, f, 60, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reports))
+	}
+	fast := reports[FastConsistency]
+	weak := reports[WeakConsistency]
+	t.Logf("fast=%v | weak=%v", fast, weak)
+	if fast.MeanSessionsAll >= weak.MeanSessionsAll {
+		t.Errorf("fast (%.3f) not better than weak (%.3f)", fast.MeanSessionsAll, weak.MeanSessionsAll)
+	}
+	if fast.MeanSessionsHighDemand >= weak.MeanSessionsHighDemand {
+		t.Error("fast should reach high-demand replicas sooner than weak")
+	}
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	s := testSystem(t, FastConsistency)
+	cluster := s.Cluster()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ts, err := cluster.Write(0, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		t.Fatal("core-built cluster did not converge")
+	}
+	if !cluster.Covers(5, ts) {
+		t.Error("replica n5 missing the write")
+	}
+}

@@ -1,0 +1,285 @@
+// Package demand models client demand — the number of service requests per
+// unit time each replica receives — which is the quantity the paper's fast
+// consistency algorithm prioritises on.
+//
+// A Field maps (replica, simulated time) to a demand rate. Static fields
+// capture the paper's §2 model ("demand conditions do not change with
+// time"); dynamic fields capture §3 ("what happens if these conditions do
+// change"). The package also implements the per-replica neighbour demand
+// Table of §4, refreshed by periodic advertisements "in a way similar to IP
+// routing algorithms".
+package demand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Field reports the demand of a node at simulated time t. Implementations
+// must be deterministic: At(n, t) depends only on (n, t) and construction
+// parameters, never on call order. Fields must be safe for concurrent
+// readers.
+type Field interface {
+	At(node NodeID, t float64) float64
+}
+
+// Static is a time-invariant demand field backed by a slice indexed by node.
+type Static []float64
+
+// At implements Field. Nodes outside the slice have zero demand.
+func (s Static) At(node NodeID, _ float64) float64 {
+	if int(node) < 0 || int(node) >= len(s) {
+		return 0
+	}
+	return s[node]
+}
+
+// Uniform returns a static field with every node's demand drawn uniformly
+// from [lo, hi). This matches the paper's §5 setup: "assigning to each
+// replica, also in a random way, their respective demands".
+func Uniform(n int, lo, hi float64, r *rand.Rand) Static {
+	if hi < lo {
+		panic(fmt.Sprintf("demand: invalid range [%g, %g)", lo, hi))
+	}
+	f := make(Static, n)
+	for i := range f {
+		f[i] = lo + (hi-lo)*r.Float64()
+	}
+	return f
+}
+
+// Zipf returns a static field whose demands follow a Zipf-like distribution
+// with exponent s over ranks 1..n, scaled so the maximum demand is max. Node
+// ranks are assigned by a random permutation. Heavy-tailed demand is the
+// realistic Internet case the paper's introduction motivates.
+func Zipf(n int, s, max float64, r *rand.Rand) Static {
+	if s <= 0 || max <= 0 {
+		panic(fmt.Sprintf("demand: Zipf needs s > 0 and max > 0, got %g, %g", s, max))
+	}
+	f := make(Static, n)
+	perm := r.Perm(n)
+	for i, node := range perm {
+		rank := float64(i + 1)
+		f[node] = max / math.Pow(rank, s)
+	}
+	return f
+}
+
+// Fig2Demands returns the five-replica demand table of the paper's §2
+// example: replicas A..E with request rates 4, 6, 3, 8, 7.
+func Fig2Demands() Static { return Static{4, 6, 3, 8, 7} }
+
+// Valley is one Gaussian demand basin for ValleyField: replicas near Center
+// experience up to Peak extra requests per unit time, decaying with spatial
+// distance at scale Sigma. Valleys realise the paper's Fig. 1 "hills and
+// valleys" picture (valleys = areas of greater demand).
+type Valley struct {
+	Center topology.Point
+	Peak   float64
+	Sigma  float64
+}
+
+// ValleyField derives demand from node coordinates: a base level plus the
+// sum of Gaussian valleys. Nodes must carry positions (all provided
+// generators set them).
+type ValleyField struct {
+	graph   *topology.Graph
+	base    float64
+	valleys []Valley
+}
+
+// NewValleyField builds a spatial demand surface over g.
+func NewValleyField(g *topology.Graph, base float64, valleys []Valley) *ValleyField {
+	return &ValleyField{graph: g, base: base, valleys: append([]Valley(nil), valleys...)}
+}
+
+// At implements Field.
+func (v *ValleyField) At(node NodeID, _ float64) float64 {
+	p, ok := v.graph.Pos(node)
+	if !ok {
+		return v.base
+	}
+	d := v.base
+	for _, val := range v.valleys {
+		dist := p.Dist(val.Center)
+		d += val.Peak * math.Exp(-dist*dist/(2*val.Sigma*val.Sigma))
+	}
+	return d
+}
+
+// StepChange is a dynamic field that switches between static snapshots at
+// given times: demand is Snapshots[i] for t in [Times[i], Times[i+1]). It
+// reproduces the paper's Fig. 4 scenario where demands change between
+// session rounds.
+type StepChange struct {
+	times     []float64
+	snapshots []Static
+}
+
+// NewStepChange builds a step-function field. times must be strictly
+// increasing and start at 0, with one snapshot per time.
+func NewStepChange(times []float64, snapshots []Static) *StepChange {
+	if len(times) == 0 || len(times) != len(snapshots) {
+		panic("demand: StepChange needs equal, non-empty times and snapshots")
+	}
+	if times[0] != 0 {
+		panic("demand: StepChange times must start at 0")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			panic("demand: StepChange times must be strictly increasing")
+		}
+	}
+	return &StepChange{
+		times:     append([]float64(nil), times...),
+		snapshots: append([]Static(nil), snapshots...),
+	}
+}
+
+// At implements Field.
+func (sc *StepChange) At(node NodeID, t float64) float64 {
+	idx := sort.SearchFloat64s(sc.times, t)
+	if idx == len(sc.times) || sc.times[idx] > t {
+		idx--
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return sc.snapshots[idx].At(node, t)
+}
+
+// Fig4Field returns the paper's §3–4 dynamic scenario: four replicas
+// A(0), B(1), C(2), D(3). At t<2, demands are A=2, B=6, C=0, D=13; from t>=2
+// replica A falls to 0 and replica C rises to 9 (A' and C' in Fig. 4).
+func Fig4Field() *StepChange {
+	return NewStepChange(
+		[]float64{0, 2},
+		[]Static{
+			{2, 6, 0, 13},
+			{0, 6, 9, 13},
+		},
+	)
+}
+
+// FlashCrowd is a dynamic field where a target node's demand is multiplied
+// during a time window — the "flash crowd" pattern of Internet services.
+type FlashCrowd struct {
+	Base       Field
+	Node       NodeID
+	Start, End float64
+	Factor     float64
+}
+
+// At implements Field.
+func (f *FlashCrowd) At(node NodeID, t float64) float64 {
+	d := f.Base.At(node, t)
+	if node == f.Node && t >= f.Start && t < f.End {
+		return d * f.Factor
+	}
+	return d
+}
+
+// RandomWalkField gives each node a demand trajectory that performs an
+// independent bounded random walk, precomputed at construction so lookups
+// are deterministic. Demand at time t is the value at step floor(t/dt),
+// clamped to the last precomputed step.
+type RandomWalkField struct {
+	dt    float64
+	steps [][]float64 // steps[k][node]
+}
+
+// NewRandomWalk precomputes a random-walk demand trajectory for n nodes over
+// `steps` steps of length dt. Each step moves each node's demand by a
+// uniform increment in [-vol, vol], reflected into [lo, hi].
+func NewRandomWalk(n int, lo, hi, vol, dt float64, steps int, r *rand.Rand) *RandomWalkField {
+	if steps < 1 || dt <= 0 || hi <= lo {
+		panic("demand: NewRandomWalk needs steps >= 1, dt > 0, hi > lo")
+	}
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = lo + (hi-lo)*r.Float64()
+	}
+	all := make([][]float64, steps)
+	for k := 0; k < steps; k++ {
+		snap := append([]float64(nil), cur...)
+		all[k] = snap
+		for i := range cur {
+			cur[i] += (2*r.Float64() - 1) * vol
+			// Reflect into [lo, hi].
+			if cur[i] < lo {
+				cur[i] = 2*lo - cur[i]
+			}
+			if cur[i] > hi {
+				cur[i] = 2*hi - cur[i]
+			}
+			if cur[i] < lo {
+				cur[i] = lo // degenerate volatility larger than range
+			}
+		}
+	}
+	return &RandomWalkField{dt: dt, steps: all}
+}
+
+// At implements Field.
+func (w *RandomWalkField) At(node NodeID, t float64) float64 {
+	if int(node) < 0 || int(node) >= len(w.steps[0]) {
+		return 0
+	}
+	k := int(t / w.dt)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(w.steps) {
+		k = len(w.steps) - 1
+	}
+	return w.steps[k][node]
+}
+
+// Snapshot evaluates field at time t for all n nodes.
+func Snapshot(f Field, n int, t float64) Static {
+	s := make(Static, n)
+	for i := range s {
+		s[i] = f.At(NodeID(i), t)
+	}
+	return s
+}
+
+// TopFraction returns the ceil(frac*n) nodes with highest demand at time t,
+// ties broken by lower node id. This defines the "replicas with most demand"
+// subset measured by the paper's Figs. 5–6 (we use the top 20 % by default
+// in experiments).
+func TopFraction(f Field, n int, t, frac float64) []NodeID {
+	if frac <= 0 || n == 0 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		di, dj := f.At(nodes[i], t), f.At(nodes[j], t)
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes[:k]
+}
+
+// Rank returns all n nodes ordered by descending demand at time t, ties
+// broken by lower node id.
+func Rank(f Field, n int, t float64) []NodeID {
+	return TopFraction(f, n, t, 1)
+}

@@ -1,0 +1,289 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestStaticField(t *testing.T) {
+	f := Static{1, 2, 3}
+	if got := f.At(1, 0); got != 2 {
+		t.Errorf("At(1) = %g, want 2", got)
+	}
+	if got := f.At(9, 0); got != 0 {
+		t.Errorf("At(out of range) = %g, want 0", got)
+	}
+	if got := f.At(-1, 0); got != 0 {
+		t.Errorf("At(negative) = %g, want 0", got)
+	}
+	// Time-invariance.
+	if f.At(1, 0) != f.At(1, 1e9) {
+		t.Error("Static field should not vary with time")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := Uniform(100, 1, 101, r)
+	for i, d := range f {
+		if d < 1 || d >= 101 {
+			t.Fatalf("demand[%d] = %g outside [1, 101)", i, d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform with hi < lo should panic")
+		}
+	}()
+	Uniform(10, 5, 1, r)
+}
+
+func TestZipf(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := Zipf(50, 1, 100, r)
+	// Max demand is 100, min is 100/50.
+	var max, min float64 = 0, math.Inf(1)
+	for _, d := range f {
+		if d > max {
+			max = d
+		}
+		if d < min {
+			min = d
+		}
+	}
+	if max != 100 {
+		t.Errorf("max demand = %g, want 100", max)
+	}
+	if math.Abs(min-2) > 1e-9 {
+		t.Errorf("min demand = %g, want 2", min)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf with s = 0 should panic")
+		}
+	}()
+	Zipf(10, 0, 100, r)
+}
+
+func TestFig2Demands(t *testing.T) {
+	f := Fig2Demands()
+	// A=4 B=6 C=3 D=8 E=7 per the paper's table in §2.
+	want := []float64{4, 6, 3, 8, 7}
+	for i, w := range want {
+		if f.At(NodeID(i), 0) != w {
+			t.Errorf("replica %c demand = %g, want %g", 'A'+i, f.At(NodeID(i), 0), w)
+		}
+	}
+}
+
+func TestValleyField(t *testing.T) {
+	g := topology.Grid(3, 3) // positions span the unit square
+	f := NewValleyField(g, 1, []Valley{{Center: topology.Point{X: 0, Y: 0}, Peak: 10, Sigma: 0.3}})
+	// Node 0 sits at (0,0): demand = base + peak.
+	if got := f.At(0, 0); math.Abs(got-11) > 1e-9 {
+		t.Errorf("At(valley center) = %g, want 11", got)
+	}
+	// Node 8 sits at (1,1): far from the valley, demand near base.
+	if got := f.At(8, 0); got > 2 {
+		t.Errorf("At(far corner) = %g, want near base 1", got)
+	}
+	// Demand decreases monotonically with distance from the valley.
+	if !(f.At(0, 0) > f.At(4, 0) && f.At(4, 0) > f.At(8, 0)) {
+		t.Error("valley demand should decay with distance")
+	}
+	// A node without a position gets base demand.
+	bare := topology.New(2, "bare")
+	fb := NewValleyField(bare, 3, nil)
+	if got := fb.At(0, 0); got != 3 {
+		t.Errorf("At(no position) = %g, want base 3", got)
+	}
+}
+
+func TestStepChange(t *testing.T) {
+	sc := NewStepChange(
+		[]float64{0, 2, 5},
+		[]Static{{1}, {2}, {3}},
+	)
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{-1, 1}, {0, 1}, {1.9, 1}, {2, 2}, {4.9, 2}, {5, 3}, {100, 3},
+	}
+	for _, tt := range tests {
+		if got := sc.At(0, tt.t); got != tt.want {
+			t.Errorf("At(t=%g) = %g, want %g", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestStepChangeValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []float64
+		snaps []Static
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []float64{0}, []Static{{1}, {2}}},
+		{"not starting at zero", []float64{1, 2}, []Static{{1}, {2}}},
+		{"not increasing", []float64{0, 0}, []Static{{1}, {2}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewStepChange(c.times, c.snaps)
+		})
+	}
+}
+
+func TestFig4Field(t *testing.T) {
+	f := Fig4Field()
+	// t=1: A=2, B=6, C=0, D=13 (D has greatest demand).
+	if got := f.At(3, 1); got != 13 {
+		t.Errorf("D at t=1 = %g, want 13", got)
+	}
+	if got := f.At(0, 1); got != 2 {
+		t.Errorf("A at t=1 = %g, want 2", got)
+	}
+	// t=2: A'=0, C'=9.
+	if got := f.At(0, 2); got != 0 {
+		t.Errorf("A' at t=2 = %g, want 0", got)
+	}
+	if got := f.At(2, 2); got != 9 {
+		t.Errorf("C' at t=2 = %g, want 9", got)
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	f := &FlashCrowd{Base: Static{1, 1}, Node: 1, Start: 5, End: 10, Factor: 50}
+	if got := f.At(1, 4); got != 1 {
+		t.Errorf("before window = %g, want 1", got)
+	}
+	if got := f.At(1, 5); got != 50 {
+		t.Errorf("in window = %g, want 50", got)
+	}
+	if got := f.At(1, 10); got != 1 {
+		t.Errorf("at end = %g, want 1 (end exclusive)", got)
+	}
+	if got := f.At(0, 7); got != 1 {
+		t.Errorf("other node = %g, want 1", got)
+	}
+}
+
+func TestRandomWalkField(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	w := NewRandomWalk(10, 0, 100, 5, 1, 50, r)
+	// Bounds hold at every step for every node.
+	for k := 0; k < 50; k++ {
+		for n := NodeID(0); n < 10; n++ {
+			d := w.At(n, float64(k))
+			if d < 0 || d > 100 {
+				t.Fatalf("walk demand out of bounds: node %v t=%d d=%g", n, k, d)
+			}
+		}
+	}
+	// Clamping beyond the horizon and below zero.
+	if w.At(0, 1e6) != w.At(0, 49) {
+		t.Error("walk should clamp to last step")
+	}
+	if w.At(0, -5) != w.At(0, 0) {
+		t.Error("walk should clamp negative times to step 0")
+	}
+	if w.At(99, 0) != 0 {
+		t.Error("unknown node should have zero demand")
+	}
+	// Determinism: same lookup twice.
+	if w.At(3, 7) != w.At(3, 7) {
+		t.Error("walk lookups must be deterministic")
+	}
+}
+
+func TestRandomWalkFieldActuallyMoves(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	w := NewRandomWalk(4, 0, 100, 10, 1, 30, r)
+	moved := false
+	for n := NodeID(0); n < 4; n++ {
+		if w.At(n, 0) != w.At(n, 29) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("random walk never moved any node's demand")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	f := Static{5, 6, 7}
+	s := Snapshot(f, 3, 0)
+	if len(s) != 3 || s[0] != 5 || s[2] != 7 {
+		t.Errorf("Snapshot = %v", s)
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	f := Static{10, 40, 20, 30}
+	top := TopFraction(f, 4, 0, 0.5)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Errorf("TopFraction(0.5) = %v, want [n1 n3]", top)
+	}
+	if got := TopFraction(f, 4, 0, 0); got != nil {
+		t.Errorf("TopFraction(0) = %v, want nil", got)
+	}
+	all := TopFraction(f, 4, 0, 2) // clamped to 1
+	if len(all) != 4 {
+		t.Errorf("TopFraction(2) len = %d, want 4", len(all))
+	}
+	// Ties break by node id.
+	tied := Static{5, 5, 5}
+	got := TopFraction(tied, 3, 0, 0.34)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("tied TopFraction = %v, want [n0 n1]", got)
+	}
+}
+
+func TestRank(t *testing.T) {
+	f := Static{1, 3, 2}
+	ranked := Rank(f, 3, 0)
+	want := []NodeID{1, 2, 0}
+	for i := range want {
+		if ranked[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", ranked, want)
+		}
+	}
+}
+
+// Property: TopFraction(k) nodes all have demand >= every excluded node.
+func TestTopFractionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(50)
+		field := Uniform(n, 0, 100, r)
+		frac := 0.1 + 0.8*r.Float64()
+		top := TopFraction(field, n, 0, frac)
+		inTop := make(map[NodeID]bool, len(top))
+		minTop := math.Inf(1)
+		for _, u := range top {
+			inTop[u] = true
+			if d := field.At(u, 0); d < minTop {
+				minTop = d
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !inTop[NodeID(i)] && field.At(NodeID(i), 0) > minTop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("TopFraction property violated: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Diurnal modulates a base field with a sinusoidal day/night cycle, each
+// node with its own phase — the geographic demand pattern of a worldwide
+// replica set where "demand" follows local working hours. The paper's §1
+// lists geographical distribution first among the factors that make some
+// replicas more demanded than others.
+//
+// demand(n, t) = base(n, t) · (1 − Depth·(1 − sin(2π(t/Period + phase_n)))/2)
+//
+// so each node oscillates between full base demand (local noon) and
+// (1 − Depth)·base (local night).
+type Diurnal struct {
+	base   Field
+	period float64
+	depth  float64
+	phase  []float64
+}
+
+// NewDiurnal wraps base with a cycle of the given period (in session time
+// units) and depth in [0, 1]; phase[n] in [0, 1) shifts node n's peak.
+func NewDiurnal(base Field, period, depth float64, phase []float64) *Diurnal {
+	if period <= 0 {
+		panic(fmt.Sprintf("demand: non-positive diurnal period %g", period))
+	}
+	if depth < 0 || depth > 1 {
+		panic(fmt.Sprintf("demand: diurnal depth %g outside [0,1]", depth))
+	}
+	return &Diurnal{
+		base:   base,
+		period: period,
+		depth:  depth,
+		phase:  append([]float64(nil), phase...),
+	}
+}
+
+// At implements Field.
+func (d *Diurnal) At(node NodeID, t float64) float64 {
+	var ph float64
+	if int(node) >= 0 && int(node) < len(d.phase) {
+		ph = d.phase[node]
+	}
+	s := math.Sin(2 * math.Pi * (t/d.period + ph))
+	factor := 1 - d.depth*(1-s)/2
+	return d.base.At(node, t) * factor
+}
+
+// PhaseByLongitude derives per-node phases from the X coordinate of each
+// node's position (graphs generated here place nodes in the unit square),
+// mimicking time zones: nodes at x=0 and x=1 peak half a cycle apart when
+// spread = 0.5.
+func PhaseByLongitude(g *topology.Graph, spread float64) []float64 {
+	phases := make([]float64, g.N())
+	for i := range phases {
+		if p, ok := g.Pos(NodeID(i)); ok {
+			phases[i] = p.X * spread
+		}
+	}
+	return phases
+}

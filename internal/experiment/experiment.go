@@ -1,0 +1,119 @@
+// Package experiment maps every table and figure in the paper's evaluation
+// (and the extension experiments DESIGN.md commits to) onto runnable,
+// seeded, deterministic code. Each experiment produces rendered tables plus
+// notes comparing measured values against the numbers the paper reports.
+//
+// The cmd/experiments binary runs them from the command line; bench_test.go
+// at the repository root runs reduced-scale versions under `go test -bench`.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Params tunes experiment scale. Zero values select paper-scale defaults.
+type Params struct {
+	// Trials is the Monte-Carlo repetition count (paper: 10,000).
+	Trials int
+	// Seed bases all randomness; a given (Seed, Trials) is bit-reproducible.
+	Seed int64
+	// HighFrac defines the "replicas with most demand" subset (default 0.2).
+	HighFrac float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Trials <= 0 {
+		p.Trials = 10000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.HighFrac <= 0 || p.HighFrac > 1 {
+		p.HighFrac = 0.2
+	}
+	return p
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	// Blocks carries preformatted output (ASCII plots) rendered verbatim
+	// between the tables and the notes.
+	Blocks []string
+	// Notes carries paper-vs-measured commentary, one line each.
+	Notes []string
+}
+
+// Render writes the result in the format EXPERIMENTS.md embeds.
+func (r Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, tab := range r.Tables {
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, block := range r.Blocks {
+		if _, err := fmt.Fprintln(w, block); err != nil {
+			return err
+		}
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment is one registered paper artefact.
+type Experiment struct {
+	// ID is the short name used by -run (e.g. "fig5").
+	ID string
+	// Title describes the paper artefact.
+	Title string
+	// Run executes the experiment.
+	Run func(Params) Result
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered ids, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for _, e := range registry {
+		names = append(names, e.ID)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// small returns reduced-scale params so the suite stays fast; the full
+// paper-scale run happens via cmd/experiments.
+func small() Params { return Params{Trials: 60, Seed: 3, HighFrac: 0.2} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig6", "uniform", "diameter", "islands", "ablation", "worstcase", "live", "staleness", "truncation", "partition"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID of unknown id should report false")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Trials != 10000 || p.Seed != 1 || p.HighFrac != 0.2 {
+		t.Errorf("defaults = %+v", p)
+	}
+	p = Params{Trials: 5, Seed: 9, HighFrac: 0.5}.withDefaults()
+	if p.Trials != 5 || p.Seed != 9 || p.HighFrac != 0.5 {
+		t.Errorf("explicit params overridden: %+v", p)
+	}
+	if got := (Params{HighFrac: 2}).withDefaults().HighFrac; got != 0.2 {
+		t.Errorf("HighFrac > 1 should default to 0.2, got %g", got)
+	}
+}
+
+func TestFig3CurvesMatchPaper(t *testing.T) {
+	worst, optimal, fast := Fig3Curves()
+	// Paper: worst case serves 9 after session 1 (B:6 + C:3).
+	if worst[1] != 9 {
+		t.Errorf("worst[1] = %g, want 9", worst[1])
+	}
+	// Paper: best case serves 14 after session 1 (B:6 + D:8).
+	if optimal[1] != 14 {
+		t.Errorf("optimal[1] = %g, want 14", optimal[1])
+	}
+	// All curves end at total demand 4+6+3+8+7 = 28.
+	for name, c := range map[string][]float64{"worst": worst, "optimal": optimal, "fast": fast} {
+		if c[4] != 28 {
+			t.Errorf("%s[4] = %g, want 28", name, c[4])
+		}
+	}
+	// Fast is "even better than the optimal case": D is consistent at t=0.
+	if fast[0] != 14 || optimal[0] != 6 {
+		t.Errorf("fast[0]=%g optimal[0]=%g, want 14 and 6", fast[0], optimal[0])
+	}
+	// Monotone non-decreasing curves.
+	for name, c := range map[string][]float64{"worst": worst, "optimal": optimal, "fast": fast} {
+		for i := 1; i < len(c); i++ {
+			if c[i] < c[i-1] {
+				t.Errorf("%s curve decreases at %d: %v", name, i, c)
+			}
+		}
+	}
+}
+
+func TestFig3Run(t *testing.T) {
+	res := runFig3(small())
+	if len(res.Tables) != 1 || len(res.Notes) == 0 {
+		t.Fatalf("unexpected result shape: %d tables, %d notes", len(res.Tables), len(res.Notes))
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "worst case", "fast consistency", "28"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("rendered fig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig4SchedulesMatchPaper(t *testing.T) {
+	static, dynamic := Fig4Schedules()
+	// Paper §4 table: dynamic sessions are B-D, B-C', B-A'.
+	wantDyn := []string{"B-D", "B-C'", "B-A'"}
+	for i, w := range wantDyn {
+		if dynamic[i] != w {
+			t.Errorf("dynamic[%d] = %q, want %q", i, dynamic[i], w)
+		}
+	}
+	// Paper §3: the static algorithm follows the stale order D, A, C —
+	// visiting the now-cold A' at time 2 and only reaching the now-hot C'
+	// at time 3 (primes mark post-change demand, as in Fig. 4).
+	wantStatic := []string{"B-D", "B-A'", "B-C'"}
+	for i, w := range wantStatic {
+		if static[i] != w {
+			t.Errorf("static[%d] = %q, want %q", i, static[i], w)
+		}
+	}
+}
+
+func TestFig4Run(t *testing.T) {
+	res := runFig4(small())
+	if len(res.Tables) != 2 {
+		t.Fatalf("fig4 tables = %d, want 2", len(res.Tables))
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "B-C'") {
+		t.Error("fig4 output missing the B-C' session")
+	}
+}
+
+func TestCDFMeansShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	weakAll, fastAll, fastHigh := CDFMeans(small(), 50)
+	t.Logf("fig5 @60 trials: weak=%.3f fast=%.3f high=%.3f", weakAll, fastAll, fastHigh)
+	if !(fastHigh < fastAll && fastAll < weakAll) {
+		t.Errorf("ordering violated: high=%.3f all=%.3f weak=%.3f", fastHigh, fastAll, weakAll)
+	}
+	if fastHigh > 2 {
+		t.Errorf("high-demand mean %.3f, paper reports ~1", fastHigh)
+	}
+	if weakAll < 4 || weakAll > 10 {
+		t.Errorf("weak mean %.3f far from paper's 6.15", weakAll)
+	}
+}
+
+func TestFig5RunRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	p := Params{Trials: 30, Seed: 5, HighFrac: 0.2}
+	res := runCDFExperiment(p, 50)
+	if res.ID != "fig5" {
+		t.Errorf("ID = %q, want fig5", res.ID)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"weak consistency", "fast consistency", "consistency high demand", "6.1499"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	weak, ordered, push, fast := AblationMeans(Params{Trials: 80, Seed: 13, HighFrac: 0.2})
+	t.Logf("ablation: weak=%.3f ordered=%.3f push=%.3f fast=%.3f", weak, ordered, push, fast)
+	// Full fast must beat plain weak clearly.
+	if fast >= weak {
+		t.Errorf("fast (%.3f) not better than weak (%.3f)", fast, weak)
+	}
+	// Each single optimisation should not be worse than weak by more than
+	// noise.
+	if ordered > weak*1.25 {
+		t.Errorf("ordered-only (%.3f) much worse than weak (%.3f)", ordered, weak)
+	}
+	if push > weak*1.25 {
+		t.Errorf("push-only (%.3f) much worse than weak (%.3f)", push, weak)
+	}
+}
+
+func TestIslandOverlayHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	plain, overlay := IslandGap(Params{Trials: 40, Seed: 17, HighFrac: 0.2})
+	t.Logf("islands: far valley plain=%.3f overlay=%.3f", plain, overlay)
+	if overlay >= plain {
+		t.Errorf("island overlay did not speed up the far valley: %.3f vs %.3f", overlay, plain)
+	}
+}
+
+func TestWorstCaseRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	res := runWorstCase(Params{Trials: 40, Seed: 19, HighFrac: 0.2})
+	if len(res.Tables) != 1 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "weak (random)") {
+		t.Error("worst-case output missing the weak arm")
+	}
+}
+
+func TestLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping live cluster experiment in -short mode")
+	}
+	res := runLive(Params{Trials: 1, Seed: 23, HighFrac: 0.2})
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "demand quintile") {
+		t.Errorf("live output missing quintile table:\n%s", out)
+	}
+	if !strings.Contains(out, "32/32 replicas converged") {
+		t.Logf("live cluster output (convergence may be partial on slow machines):\n%s", out)
+	}
+}
+
+func TestUniformRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	res := runUniform(Params{Trials: 15, Seed: 29, HighFrac: 0.2})
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"line-25", "ring-50", "grid-10x10", "diameter"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("uniform output missing %q", want)
+		}
+	}
+}
+
+func TestStalenessRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping steady-state experiment in -short mode")
+	}
+	res := runStaleness(Params{Trials: 50, Seed: 37, HighFrac: 0.2})
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"weak (random)", "fast consistency", "fresh-read fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("staleness output missing %q", want)
+		}
+	}
+}
+
+func TestDiameterRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Monte-Carlo experiment in -short mode")
+	}
+	res := runDiameter(Params{Trials: 15, Seed: 31, HighFrac: 0.2})
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"400", "node-doubling growth"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("diameter output missing %q", want)
+		}
+	}
+}

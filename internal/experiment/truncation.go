@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// E12 (extension) — write-log truncation policies. The paper's related-work
+// section walks through Bayou's truncation trade-off: "Truncating the
+// write-log very aggressively can give rise to very long anti-entropy
+// sessions among some servers due to the need to transfer complete
+// databases." This experiment sweeps how many entries per origin each
+// replica retains and measures the consequences under a continuous
+// workload: storage saved, snapshot (full-state) transfers forced, and the
+// staleness clients see.
+
+func runTruncation(p Params) Result {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	graph := topology.BarabasiAlbert(40, 2, r)
+	field := demand.Uniform(40, 1, 101, r)
+
+	duration := 150.0
+	if p.Trials < 1000 {
+		duration = 50
+	}
+
+	keeps := []int{0, 64, 8, 2, 1} // 0 = never truncate
+	tab := metrics.NewTable("retained entries/origin", "snapshots sent",
+		"entries truncated", "mean lag (writes)", "fresh-read fraction")
+	var baseline, aggressive mc.SteadyResult
+	for i, keep := range keeps {
+		cfg := mc.SteadyConfig{
+			Config:           mc.NewConfig(graph, field, policy.NewDynamicOrdered),
+			WriteRate:        2,
+			ReadScale:        0.02,
+			Duration:         duration,
+			Warmup:           5,
+			TruncateKeep:     keep,
+			TruncateInterval: 1,
+		}
+		cfg.FastPush = true
+		res := mc.RunSteady(cfg, p.Seed+11)
+		label := fmt.Sprintf("%d", keep)
+		if keep == 0 {
+			label = "unbounded"
+		}
+		tab.AddRow(label, int(res.Snapshots), int(res.Truncated), res.MeanLag, res.FreshFrac)
+		if i == 0 {
+			baseline = res
+		}
+		if keep == 1 {
+			aggressive = res
+		}
+	}
+
+	notes := []string{
+		fmt.Sprintf("keeping only 1 entry/origin forces %d full-state snapshot transfers where the unbounded log needs %d",
+			aggressive.Snapshots, baseline.Snapshots),
+		fmt.Sprintf("client-visible staleness stays close (lag %.2f vs %.2f): snapshots recover correctness, at session-size cost",
+			aggressive.MeanLag, baseline.MeanLag),
+		"paper §7 (Bayou discussion): aggressive truncation trades storage for 'very long anti-entropy sessions ... complete databases' — measured here as snapshot counts",
+	}
+	return Result{ID: "truncation", Title: "E12 — write-log truncation policies", Tables: []*metrics.Table{tab}, Notes: notes}
+}
+
+func init() {
+	register(Experiment{ID: "truncation", Title: "E12 — log truncation trade-off", Run: runTruncation})
+}

@@ -1,0 +1,228 @@
+// Package island implements the paper's §6 programme ("Complex demand
+// distribution"), which the authors describe as ongoing work: faster updates
+// in high-demand regions can leave "clusters of highly consistent replicas
+// (islands), surrounded by regions with less consistent content". The
+// package provides:
+//
+//   - detection of demand islands — connected components of the subgraph
+//     induced by replicas whose demand clears a threshold;
+//   - a deterministic leader election per island (highest demand wins,
+//     ties to the lowest id);
+//   - construction of an island interconnection overlay — extra edges
+//     linking island leaders — so that "updates will reach very fast to any
+//     region with high demand, avoiding that regions of low or null demand
+//     would slow down the propagation".
+//
+// Experiment E7 measures the overlay's effect on a two-valley demand field.
+package island
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Island is one maximal connected high-demand region.
+type Island struct {
+	// Members, ascending by id.
+	Members []NodeID
+	// Leader is the elected representative (see Elect).
+	Leader NodeID
+}
+
+// String renders the island compactly.
+func (i Island) String() string {
+	return fmt.Sprintf("island{leader=%v members=%d}", i.Leader, len(i.Members))
+}
+
+// Threshold strategies for what counts as "high demand".
+type Threshold struct {
+	// Absolute, when > 0, admits nodes with demand >= Absolute.
+	Absolute float64
+	// Percentile, when Absolute == 0, admits nodes at or above this
+	// demand percentile (e.g. 80 admits the top 20 %).
+	Percentile float64
+}
+
+// cut returns the demand cutoff for the field at time t over n nodes.
+func (th Threshold) cut(f demand.Field, n int, t float64) float64 {
+	if th.Absolute > 0 {
+		return th.Absolute
+	}
+	p := th.Percentile
+	if p <= 0 || p >= 100 {
+		p = 80
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = f.At(NodeID(i), t)
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return vals[idx]
+}
+
+// Detect finds the islands of g under field f at time t. Nodes whose demand
+// is >= the threshold cutoff form the induced subgraph; each connected
+// component becomes one Island with its leader elected.
+func Detect(g *topology.Graph, f demand.Field, t float64, th Threshold) []Island {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	cut := th.cut(f, n, t)
+	inIsland := make([]bool, n)
+	for i := 0; i < n; i++ {
+		inIsland[i] = f.At(NodeID(i), t) >= cut
+	}
+	seen := make([]bool, n)
+	var islands []Island
+	for start := 0; start < n; start++ {
+		if !inIsland[start] || seen[start] {
+			continue
+		}
+		var members []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range g.Neighbors(u) {
+				if inIsland[v] && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		islands = append(islands, Island{
+			Members: members,
+			Leader:  Elect(members, f, t),
+		})
+	}
+	return islands
+}
+
+// Elect returns the island leader: the member with the highest demand at
+// time t, ties broken by the lowest id. Deterministic, so every replica that
+// knows the membership agrees without extra rounds — the property a
+// practical election needs here.
+func Elect(members []NodeID, f demand.Field, t float64) NodeID {
+	if len(members) == 0 {
+		panic("island: electing a leader of an empty island")
+	}
+	best := members[0]
+	bestD := f.At(best, t)
+	for _, m := range members[1:] {
+		d := f.At(m, t)
+		if d > bestD || (d == bestD && m < best) {
+			best, bestD = m, d
+		}
+	}
+	return best
+}
+
+// Overlay builds the island interconnection network: a new graph with the
+// same nodes as g, all of g's edges, plus edges linking island leaders in a
+// ring (|islands| >= 3) or a single edge (2 islands). Existing edges are
+// never duplicated. With fewer than two islands the overlay equals g.
+func Overlay(g *topology.Graph, islands []Island) *topology.Graph {
+	out := topology.New(g.N(), g.Name()+"+overlay")
+	for i := 0; i < g.N(); i++ {
+		if p, ok := g.Pos(NodeID(i)); ok {
+			out.SetPos(NodeID(i), p)
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := out.AddEdge(e[0], e[1]); err != nil {
+			panic(err) // g was valid; re-adding its edges cannot fail
+		}
+	}
+	if len(islands) < 2 {
+		return out
+	}
+	leaders := make([]NodeID, len(islands))
+	for i, isl := range islands {
+		leaders[i] = isl.Leader
+	}
+	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+	link := func(a, b NodeID) {
+		if a != b && !out.HasEdge(a, b) {
+			if err := out.AddEdge(a, b); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if len(leaders) == 2 {
+		link(leaders[0], leaders[1])
+		return out
+	}
+	for i := range leaders {
+		link(leaders[i], leaders[(i+1)%len(leaders)])
+	}
+	return out
+}
+
+// StalenessClusters characterises the empirical islands after a propagation
+// run: given each node's convergence time and a cutoff, it returns the
+// connected components of "fresh" nodes (time <= cutoff), largest first.
+// This is the measurement §6 says islands "can be characterized" by.
+func StalenessClusters(g *topology.Graph, times []float64, cutoff float64) [][]NodeID {
+	n := g.N()
+	if len(times) != n {
+		panic(fmt.Sprintf("island: %d times for %d nodes", len(times), n))
+	}
+	fresh := make([]bool, n)
+	for i, tm := range times {
+		fresh[i] = tm <= cutoff
+	}
+	seen := make([]bool, n)
+	var clusters [][]NodeID
+	for start := 0; start < n; start++ {
+		if !fresh[start] || seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.Neighbors(u) {
+				if fresh[v] && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		clusters = append(clusters, comp)
+	}
+	sort.SliceStable(clusters, func(i, j int) bool { return len(clusters[i]) > len(clusters[j]) })
+	return clusters
+}
+
+// TwoValleyField builds the E7 workload: a base demand with two Gaussian
+// valleys centred at opposite corners of the unit square, producing two
+// high-demand regions separated by low demand. Nodes need positions.
+func TwoValleyField(g *topology.Graph, base, peak, sigma float64) *demand.ValleyField {
+	return demand.NewValleyField(g, base, []demand.Valley{
+		{Center: topology.Point{X: 0.1, Y: 0.1}, Peak: peak, Sigma: sigma},
+		{Center: topology.Point{X: 0.9, Y: 0.9}, Peak: peak, Sigma: sigma},
+	})
+}

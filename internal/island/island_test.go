@@ -1,0 +1,227 @@
+package island
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+// lineWithDemand: 8 nodes, two high-demand regions {0,1} and {6,7}
+// separated by a low-demand middle.
+func twoIslandSetup() (*topology.Graph, demand.Static) {
+	g := topology.Line(8)
+	field := demand.Static{9, 8, 1, 1, 1, 1, 8, 9}
+	return g, field
+}
+
+func TestDetectTwoIslands(t *testing.T) {
+	g, field := twoIslandSetup()
+	islands := Detect(g, field, 0, Threshold{Absolute: 5})
+	if len(islands) != 2 {
+		t.Fatalf("detected %d islands, want 2", len(islands))
+	}
+	if len(islands[0].Members) != 2 || islands[0].Members[0] != 0 || islands[0].Members[1] != 1 {
+		t.Errorf("island 0 members = %v, want [0 1]", islands[0].Members)
+	}
+	if len(islands[1].Members) != 2 || islands[1].Members[0] != 6 || islands[1].Members[1] != 7 {
+		t.Errorf("island 1 members = %v, want [6 7]", islands[1].Members)
+	}
+	// Leaders: highest demand (9) in each region.
+	if islands[0].Leader != 0 {
+		t.Errorf("island 0 leader = %v, want n0", islands[0].Leader)
+	}
+	if islands[1].Leader != 7 {
+		t.Errorf("island 1 leader = %v, want n7", islands[1].Leader)
+	}
+}
+
+func TestDetectPercentileThreshold(t *testing.T) {
+	g, field := twoIslandSetup()
+	// Sorted demands are [1 1 1 1 8 8 9 9]; the 60th percentile cutoff is 8,
+	// which admits the 9s and 8s — the same two islands.
+	islands := Detect(g, field, 0, Threshold{Percentile: 60})
+	if len(islands) != 2 {
+		t.Fatalf("detected %d islands, want 2", len(islands))
+	}
+	// Degenerate percentiles fall back to 80.
+	islands = Detect(g, field, 0, Threshold{Percentile: 0})
+	if len(islands) == 0 {
+		t.Error("default percentile detected nothing")
+	}
+}
+
+func TestDetectSingleIslandWhenConnected(t *testing.T) {
+	g := topology.Line(4)
+	field := demand.Static{9, 9, 9, 9}
+	islands := Detect(g, field, 0, Threshold{Absolute: 5})
+	if len(islands) != 1 {
+		t.Fatalf("detected %d islands, want 1", len(islands))
+	}
+	if len(islands[0].Members) != 4 {
+		t.Errorf("island members = %v, want all 4", islands[0].Members)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	if got := Detect(topology.New(0, "empty"), demand.Static{}, 0, Threshold{Absolute: 1}); got != nil {
+		t.Errorf("Detect on empty graph = %v, want nil", got)
+	}
+}
+
+func TestElect(t *testing.T) {
+	field := demand.Static{5, 9, 9, 2}
+	// Highest demand wins; tie between n1 and n2 goes to the lower id.
+	if got := Elect([]NodeID{0, 1, 2, 3}, field, 0); got != 1 {
+		t.Errorf("Elect = %v, want n1", got)
+	}
+	if got := Elect([]NodeID{3}, field, 0); got != 3 {
+		t.Errorf("single-member Elect = %v, want n3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Elect of empty members should panic")
+		}
+	}()
+	Elect(nil, field, 0)
+}
+
+func TestOverlayTwoIslands(t *testing.T) {
+	g, field := twoIslandSetup()
+	islands := Detect(g, field, 0, Threshold{Absolute: 5})
+	aug := Overlay(g, islands)
+	if aug.N() != g.N() {
+		t.Fatalf("overlay changed node count")
+	}
+	// One extra edge directly linking the two leaders (0 and 7).
+	if aug.M() != g.M()+1 {
+		t.Errorf("overlay edges = %d, want %d", aug.M(), g.M()+1)
+	}
+	if !aug.HasEdge(0, 7) {
+		t.Error("overlay missing leader-leader edge 0-7")
+	}
+	// Distance between the valleys collapses from 7 hops to 1.
+	if d := aug.BFS(0)[7]; d != 1 {
+		t.Errorf("leader distance = %d, want 1", d)
+	}
+	if err := aug.Validate(); err != nil {
+		t.Errorf("overlay invalid: %v", err)
+	}
+}
+
+func TestOverlayRingOfLeaders(t *testing.T) {
+	// Three islands on a long line: leaders must form a ring (3 extra
+	// edges).
+	g := topology.Line(11)
+	field := demand.Static{9, 1, 1, 1, 9, 1, 1, 1, 9, 1, 1}
+	islands := Detect(g, field, 0, Threshold{Absolute: 5})
+	if len(islands) != 3 {
+		t.Fatalf("detected %d islands, want 3", len(islands))
+	}
+	aug := Overlay(g, islands)
+	if aug.M() != g.M()+3 {
+		t.Errorf("overlay edges = %d, want %d (+3 ring)", aug.M(), g.M()+3)
+	}
+	for _, pair := range [][2]NodeID{{0, 4}, {4, 8}, {0, 8}} {
+		if !aug.HasEdge(pair[0], pair[1]) {
+			t.Errorf("overlay missing leader edge %v-%v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestOverlayFewIslandsIsIdentity(t *testing.T) {
+	g := topology.Line(4)
+	aug := Overlay(g, nil)
+	if aug.M() != g.M() {
+		t.Errorf("no-island overlay added edges")
+	}
+	one := []Island{{Members: []NodeID{0, 1}, Leader: 0}}
+	if aug := Overlay(g, one); aug.M() != g.M() {
+		t.Errorf("single-island overlay added edges")
+	}
+}
+
+func TestOverlayDoesNotDuplicateExistingEdge(t *testing.T) {
+	g := topology.Line(3)
+	// Islands {0} and {1} — leaders 0 and 1 are already adjacent.
+	islands := []Island{
+		{Members: []NodeID{0}, Leader: 0},
+		{Members: []NodeID{1}, Leader: 1},
+	}
+	aug := Overlay(g, islands)
+	if aug.M() != g.M() {
+		t.Errorf("overlay duplicated an existing edge: %d vs %d", aug.M(), g.M())
+	}
+}
+
+func TestOverlayPreservesPositions(t *testing.T) {
+	g := topology.Grid(2, 2)
+	aug := Overlay(g, nil)
+	for i := 0; i < 4; i++ {
+		pg, okG := g.Pos(NodeID(i))
+		pa, okA := aug.Pos(NodeID(i))
+		if okG != okA || pg != pa {
+			t.Errorf("position of n%d not preserved", i)
+		}
+	}
+}
+
+func TestStalenessClusters(t *testing.T) {
+	g := topology.Line(6)
+	times := []float64{0.5, 0.5, 9, 9, 0.5, 0.5}
+	clusters := StalenessClusters(g, times, 1)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(clusters))
+	}
+	// Both clusters have 2 members; sorted by size then discovery order.
+	if len(clusters[0]) != 2 || len(clusters[1]) != 2 {
+		t.Errorf("cluster sizes = %d, %d", len(clusters[0]), len(clusters[1]))
+	}
+	if clusters[0][0] != 0 || clusters[1][0] != 4 {
+		t.Errorf("clusters = %v", clusters)
+	}
+	// Everything fresh: one cluster spanning the graph.
+	all := StalenessClusters(g, []float64{0, 0, 0, 0, 0, 0}, 1)
+	if len(all) != 1 || len(all[0]) != 6 {
+		t.Errorf("all-fresh clusters = %v", all)
+	}
+	// Nothing fresh: no clusters.
+	if got := StalenessClusters(g, []float64{9, 9, 9, 9, 9, 9}, 1); got != nil {
+		t.Errorf("none-fresh clusters = %v", got)
+	}
+}
+
+func TestStalenessClustersLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	StalenessClusters(topology.Line(3), []float64{1}, 1)
+}
+
+func TestTwoValleyField(t *testing.T) {
+	g := topology.Grid(10, 10)
+	f := TwoValleyField(g, 1, 50, 0.15)
+	// Corners near (0.1, 0.1) and (0.9, 0.9) are hot; the centre is cool.
+	hot1 := f.At(0, 0)    // grid (0,0) at position (0,0)
+	hot2 := f.At(99, 0)   // grid (9,9) at position (1,1)
+	centre := f.At(44, 0) // middle-ish
+	if hot1 < 10 || hot2 < 10 {
+		t.Errorf("valley corners not hot: %g, %g", hot1, hot2)
+	}
+	if centre > hot1/2 || centre > hot2/2 {
+		t.Errorf("centre demand %g not clearly below valleys (%g, %g)", centre, hot1, hot2)
+	}
+	if math.IsNaN(hot1) || math.IsNaN(hot2) {
+		t.Error("NaN demand")
+	}
+}
+
+func TestIslandString(t *testing.T) {
+	isl := Island{Members: []NodeID{1, 2}, Leader: 2}
+	if got := isl.String(); got != "island{leader=n2 members=2}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,352 @@
+// Package mc is the Monte-Carlo session-level simulator that reproduces the
+// paper's §5 methodology: "The simulation begins by assuming a change on a
+// randomly chosen replica, with the aim of measuring the number of sessions
+// the algorithm uses to propagate this change, both in the replica with most
+// demand and in those with less demand."
+//
+// Each trial builds one replica per graph node, schedules anti-entropy
+// sessions per node at exponential intervals (mean = 1 "session time"),
+// injects a single client write at a random origin at t = 0, and records,
+// for every node, the simulated time at which it first covers that write.
+// Fast-update chains travel at link-propagation delay (ε ≪ 1 session), so
+// the paper's observation that high-demand replicas converge "on an average
+// of 1 session" falls out of the mechanism rather than being baked in.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/demand"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Config describes one simulated system.
+type Config struct {
+	// Graph is the replica interconnection topology. Required, connected.
+	Graph *topology.Graph
+	// Field gives each replica's demand over time. Required.
+	Field demand.Field
+	// Policy builds each node's partner selector. Required.
+	Policy policy.Factory
+	// FastPush enables the §2.1 part-two fast-update chains.
+	FastPush bool
+	// FanOut is the fast-offer fan-out (default 1, the paper's algorithm).
+	FanOut int
+	// GradientOnly restricts fast offers to strictly higher-demand
+	// neighbours (ablation; default false = paper behaviour).
+	GradientOnly bool
+	// LinkDelay is the message propagation delay in session units
+	// (default 0.01). The paper: "the time it takes for the message to
+	// arrive ... is in fact the propagation delay associated to the link".
+	LinkDelay float64
+	// SessionMean is the mean inter-session interval per node (default 1;
+	// this defines the "session" time unit of the figures).
+	SessionMean float64
+	// RefreshInterval controls demand-table freshness: 0 (default) models
+	// the paper's assumption that "every node is periodically informed of
+	// the demand of their neighbours" with negligible staleness (tables are
+	// refreshed from ground truth before every use); a positive value
+	// refreshes each node's table only at that period, exposing the
+	// staleness the dynamic algorithm of §4 must tolerate.
+	RefreshInterval float64
+	// Horizon aborts a trial at this simulated time (default 200).
+	Horizon float64
+	// Origin, when >= 0, fixes the writing replica; -1 (default via
+	// NewConfig) picks a random origin per trial, as in the paper.
+	Origin int
+	// LinkFilter, when non-nil, gates message delivery: a message from
+	// `from` to `to` sent at time t is silently dropped unless the filter
+	// returns true. It models partitions and lossy links — the paper's
+	// introduction motivates replication partly by the need "to tolerate
+	// failure in the links, and also to withstand segmentation".
+	LinkFilter func(from, to NodeID, t float64) bool
+}
+
+// NewConfig returns a Config with the defaults described above.
+func NewConfig(g *topology.Graph, f demand.Field, p policy.Factory) Config {
+	return Config{
+		Graph:       g,
+		Field:       f,
+		Policy:      p,
+		LinkDelay:   0.01,
+		SessionMean: 1,
+		Horizon:     200,
+		Origin:      -1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.Graph == nil || c.Field == nil || c.Policy == nil {
+		panic("mc: Config requires Graph, Field and Policy")
+	}
+	if c.LinkDelay <= 0 {
+		c.LinkDelay = 0.01
+	}
+	if c.SessionMean <= 0 {
+		c.SessionMean = 1
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 200
+	}
+}
+
+// TrialResult reports one trial.
+type TrialResult struct {
+	// Origin is the replica that accepted the write.
+	Origin NodeID
+	// Times[i] is the simulated time (session units) at which replica i
+	// first covered the write; +Inf if the trial aborted first.
+	Times []float64
+	// Completed reports whether every replica converged before Horizon.
+	Completed bool
+	// Sessions counts anti-entropy sessions initiated system-wide until
+	// completion (or abort).
+	Sessions uint64
+	// Messages counts protocol envelopes delivered.
+	Messages uint64
+	// FastGained counts entries first learned via fast update across nodes.
+	FastGained uint64
+}
+
+// TimeAll returns the time at which the last replica converged (the paper's
+// "sessions to reach all replicas").
+func (t TrialResult) TimeAll() float64 {
+	worst := 0.0
+	for _, v := range t.Times {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// TimeOver returns the worst convergence time over the given subset.
+func (t TrialResult) TimeOver(subset []NodeID) float64 {
+	worst := 0.0
+	for _, id := range subset {
+		if v := t.Times[id]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// MeanTime returns the mean per-replica convergence time.
+func (t TrialResult) MeanTime() float64 {
+	if len(t.Times) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range t.Times {
+		sum += v
+	}
+	return sum / float64(len(t.Times))
+}
+
+// RunTrial executes one trial with the given seed.
+func RunTrial(cfg Config, seed int64) TrialResult {
+	cfg.applyDefaults()
+	r := rand.New(rand.NewSource(seed))
+	eng := sim.New()
+	n := cfg.Graph.N()
+
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		nbrs := cfg.Graph.NeighborsCopy(id)
+		nodes[i] = node.New(node.Config{
+			ID:           id,
+			Neighbors:    nbrs,
+			Selector:     cfg.Policy(id, nbrs),
+			FastPush:     cfg.FastPush,
+			FanOut:       cfg.FanOut,
+			GradientOnly: cfg.GradientOnly,
+			Demand: func(now float64) float64 {
+				return cfg.Field.At(id, now)
+			},
+		})
+	}
+
+	res := TrialResult{Times: make([]float64, n)}
+	for i := range res.Times {
+		res.Times[i] = math.Inf(1)
+	}
+	remaining := n
+	done := func() bool { return remaining == 0 }
+	record := func(id NodeID, ref vclock.Timestamp) {
+		if math.IsInf(res.Times[id], 1) && nodes[id].Covers(ref) {
+			res.Times[id] = eng.Now()
+			remaining--
+		}
+	}
+
+	refresh := func(id NodeID) {
+		if cfg.RefreshInterval == 0 {
+			nodes[id].Table().RefreshAll(cfg.Field, eng.Now())
+		}
+	}
+	// Initial table fill so demand-ordered policies have data from t=0.
+	for i := 0; i < n; i++ {
+		nodes[i].Table().RefreshAll(cfg.Field, 0)
+	}
+	if cfg.RefreshInterval > 0 {
+		var scheduleRefresh func(id NodeID)
+		scheduleRefresh = func(id NodeID) {
+			eng.After(cfg.RefreshInterval, func() {
+				nodes[id].Table().RefreshAll(cfg.Field, eng.Now())
+				if eng.Now() < cfg.Horizon && !done() {
+					scheduleRefresh(id)
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			scheduleRefresh(NodeID(i))
+		}
+	}
+
+	// The write whose propagation we measure.
+	origin := NodeID(r.Intn(n))
+	if cfg.Origin >= 0 {
+		origin = NodeID(cfg.Origin)
+	}
+
+	var deliver func(env protocol.Envelope)
+	send := func(envs []protocol.Envelope) {
+		for _, env := range envs {
+			if cfg.LinkFilter != nil && !cfg.LinkFilter(env.From, env.To, eng.Now()) {
+				continue // dropped by partition/loss model
+			}
+			env := env
+			eng.After(cfg.LinkDelay, func() { deliver(env) })
+		}
+	}
+	var ref vclock.Timestamp
+	deliver = func(env protocol.Envelope) {
+		dst := nodes[env.To]
+		refresh(env.To)
+		out := dst.HandleMessage(eng.Now(), env)
+		res.Messages++
+		record(env.To, ref)
+		send(out)
+	}
+
+	var scheduleSession func(id NodeID)
+	scheduleSession = func(id NodeID) {
+		eng.After(sim.ExpInterval(r, cfg.SessionMean), func() {
+			if done() || eng.Now() > cfg.Horizon {
+				return
+			}
+			refresh(id)
+			out := nodes[id].StartSession(eng.Now(), r)
+			if len(out) > 0 {
+				res.Sessions++
+			}
+			send(out)
+			scheduleSession(id)
+		})
+	}
+	for i := 0; i < n; i++ {
+		scheduleSession(NodeID(i))
+	}
+
+	// Inject the write at t=0 (before any session fires).
+	refresh(origin)
+	entry, out := nodes[origin].ClientWrite(0, "change", []byte("payload"))
+	ref = entry.TS
+	res.Origin = origin
+	record(origin, ref)
+	send(out)
+
+	eng.Run()
+
+	res.Completed = done()
+	for _, nd := range nodes {
+		res.FastGained += nd.Stats().FastEntriesGained
+	}
+	return res
+}
+
+// Aggregate pools trial results into the samples the figures plot.
+type Aggregate struct {
+	// TimeAll: per-trial time until every replica converged (the paper's
+	// "reach all replicas" series).
+	TimeAll *metrics.Sample
+	// TimeHigh: per-trial time until the high-demand subset (top HighFrac
+	// of demand at t=0) converged — the paper's "replicas with most demand".
+	TimeHigh *metrics.Sample
+	// NodeTimes pools each replica's individual convergence time across all
+	// trials (useful for per-replica CDFs).
+	NodeTimes *metrics.Sample
+	// Sessions pools system-wide session counts per trial.
+	Sessions *metrics.Sample
+	// Incomplete counts trials that hit the horizon before convergence.
+	Incomplete int
+	// Trials is the number of trials run.
+	Trials int
+}
+
+// RunMany runs `trials` independent trials (seeds baseSeed, baseSeed+1, …)
+// in parallel and aggregates. highFrac defines the high-demand subset (the
+// experiments use 0.2).
+func RunMany(cfg Config, trials int, baseSeed int64, highFrac float64) Aggregate {
+	cfg.applyDefaults()
+	if trials <= 0 {
+		panic(fmt.Sprintf("mc: non-positive trial count %d", trials))
+	}
+	n := cfg.Graph.N()
+	high := demand.TopFraction(cfg.Field, n, 0, highFrac)
+
+	results := make([]TrialResult, trials)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				results[idx] = RunTrial(cfg, baseSeed+int64(idx))
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	agg := Aggregate{
+		TimeAll:   metrics.NewSample(trials),
+		TimeHigh:  metrics.NewSample(trials),
+		NodeTimes: metrics.NewSample(trials * n),
+		Sessions:  metrics.NewSample(trials),
+		Trials:    trials,
+	}
+	for _, res := range results {
+		if !res.Completed {
+			agg.Incomplete++
+			continue
+		}
+		agg.TimeAll.Add(res.TimeAll())
+		agg.TimeHigh.Add(res.TimeOver(high))
+		agg.NodeTimes.AddAll(res.Times)
+		agg.Sessions.Add(float64(res.Sessions))
+	}
+	return agg
+}

@@ -1,0 +1,307 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// SteadyConfig describes a continuous-workload simulation: writes keep
+// arriving while clients keep reading, and we measure how stale the content
+// each client sees is. This extends the paper's single-write methodology to
+// the steady state its §6 reasons about ("in the longer term those replicas
+// with lower or reduced demand will tend to have less updated (i.e. stale)
+// content").
+type SteadyConfig struct {
+	// Config embeds the propagation setup (graph, field, policy, push...).
+	Config
+	// WriteRate is the system-wide Poisson rate of client writes per
+	// session unit; each write lands on a uniformly random replica.
+	WriteRate float64
+	// ReadScale converts a replica's demand into its client read rate:
+	// reads/session = demand * ReadScale. Demand is the paper's "requests
+	// per unit of time", so ReadScale is just a units knob (default 0.05 to
+	// keep event counts tractable).
+	ReadScale float64
+	// Duration is the simulated time to run (after Warmup).
+	Duration float64
+	// Warmup lets the system reach steady state before measurement starts.
+	Warmup float64
+	// TruncateKeep, when > 0, makes every replica aggressively truncate its
+	// write log every TruncateInterval, keeping only the most recent
+	// TruncateKeep entries per origin. Lagging partners then require
+	// full-state snapshot transfers — the storage/session-size trade-off of
+	// Bayou's log truncation (paper §7).
+	TruncateKeep int
+	// TruncateInterval is the truncation period in session units
+	// (default 1 when TruncateKeep > 0).
+	TruncateInterval float64
+}
+
+// SteadyResult reports steady-state staleness.
+type SteadyResult struct {
+	// Reads counts measured client reads.
+	Reads uint64
+	// MeanLag is the read-weighted mean number of globally issued writes a
+	// replica had not yet received at the moment of a read — 0 means every
+	// read saw fully consistent content.
+	MeanLag float64
+	// FreshFrac is the fraction of reads that saw every write issued at
+	// least Grace sessions earlier (Grace fixed at 1).
+	FreshFrac float64
+	// PerNodeLag is each replica's mean lag (unweighted by reads).
+	PerNodeLag []float64
+	// HighLag / LowLag are read-weighted mean lags over the top-20% and
+	// bottom-20% demand replicas.
+	HighLag, LowLag float64
+	// Writes counts writes issued during measurement.
+	Writes uint64
+	// Snapshots counts full-state transfers sent (nonzero only when
+	// truncation outpaces some partner).
+	Snapshots uint64
+	// Truncated counts log entries discarded by truncation.
+	Truncated uint64
+}
+
+// RunSteady executes a continuous-workload simulation.
+func RunSteady(cfg SteadyConfig, seed int64) SteadyResult {
+	cfg.applyDefaults()
+	if cfg.WriteRate <= 0 {
+		cfg.WriteRate = 1
+	}
+	if cfg.ReadScale <= 0 {
+		cfg.ReadScale = 0.05
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 50
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	end := cfg.Warmup + cfg.Duration
+
+	r := rand.New(rand.NewSource(seed))
+	eng := sim.New()
+	n := cfg.Graph.N()
+
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		nbrs := cfg.Graph.NeighborsCopy(id)
+		nodes[i] = node.New(node.Config{
+			ID:           id,
+			Neighbors:    nbrs,
+			Selector:     cfg.Policy(id, nbrs),
+			FastPush:     cfg.FastPush,
+			FanOut:       cfg.FanOut,
+			GradientOnly: cfg.GradientOnly,
+			Demand:       func(now float64) float64 { return cfg.Field.At(id, now) },
+		})
+		nodes[i].Table().RefreshAll(cfg.Field, 0)
+	}
+
+	var deliver func(env protocol.Envelope)
+	send := func(envs []protocol.Envelope) {
+		for _, env := range envs {
+			env := env
+			eng.After(cfg.LinkDelay, func() { deliver(env) })
+		}
+	}
+	refresh := func(id NodeID) {
+		if cfg.RefreshInterval == 0 {
+			nodes[id].Table().RefreshAll(cfg.Field, eng.Now())
+		}
+	}
+	deliver = func(env protocol.Envelope) {
+		refresh(env.To)
+		send(nodes[env.To].HandleMessage(eng.Now(), env))
+	}
+
+	// Sessions.
+	var scheduleSession func(id NodeID)
+	scheduleSession = func(id NodeID) {
+		eng.After(sim.ExpInterval(r, cfg.SessionMean), func() {
+			if eng.Now() > end {
+				return
+			}
+			refresh(id)
+			send(nodes[id].StartSession(eng.Now(), r))
+			scheduleSession(id)
+		})
+	}
+	for i := 0; i < n; i++ {
+		scheduleSession(NodeID(i))
+	}
+
+	// Periodic aggressive truncation (optional).
+	res := SteadyResult{PerNodeLag: make([]float64, n)}
+	if cfg.TruncateKeep > 0 {
+		interval := cfg.TruncateInterval
+		if interval <= 0 {
+			interval = 1
+		}
+		var scheduleTruncate func(id NodeID)
+		scheduleTruncate = func(id NodeID) {
+			eng.After(interval, func() {
+				if eng.Now() > end {
+					return
+				}
+				res.Truncated += uint64(nodes[id].Log().TruncateKeepLast(cfg.TruncateKeep))
+				scheduleTruncate(id)
+			})
+		}
+		for i := 0; i < n; i++ {
+			scheduleTruncate(NodeID(i))
+		}
+	}
+
+	// Writes: Poisson(WriteRate), random origin. writeTimes tracks when
+	// each global write was issued (for the Grace freshness check).
+	var totalWrites uint64
+	var writeTimes []float64
+	var scheduleWrite func()
+	scheduleWrite = func() {
+		eng.After(sim.ExpInterval(r, 1/cfg.WriteRate), func() {
+			if eng.Now() > end {
+				return
+			}
+			origin := NodeID(r.Intn(n))
+			refresh(origin)
+			_, out := nodes[origin].ClientWrite(eng.Now(), "k", []byte{byte(totalWrites)})
+			totalWrites++
+			writeTimes = append(writeTimes, eng.Now())
+			if eng.Now() >= cfg.Warmup {
+				res.Writes++
+			}
+			send(out)
+			scheduleWrite()
+		})
+	}
+	scheduleWrite()
+
+	// Reads: per node, Poisson(demand*ReadScale). A read's lag is the
+	// number of issued writes the node has not received. The Grace check
+	// ignores writes issued within the last 1 session (they cannot
+	// reasonably have arrived anywhere yet).
+	const grace = 1.0
+	perNodeReads := make([]uint64, n)
+	perNodeLagSum := make([]float64, n)
+	var lagSum float64
+	var freshReads uint64
+	var scheduleRead func(id NodeID)
+	scheduleRead = func(id NodeID) {
+		d := cfg.Field.At(id, eng.Now())
+		rate := d * cfg.ReadScale
+		if rate <= 0 {
+			// Zero-demand replicas never read; re-check later in case the
+			// field is dynamic.
+			eng.After(1, func() {
+				if eng.Now() <= end {
+					scheduleRead(id)
+				}
+			})
+			return
+		}
+		eng.After(sim.ExpInterval(r, 1/rate), func() {
+			if eng.Now() > end {
+				return
+			}
+			if eng.Now() >= cfg.Warmup {
+				covered := nodes[id].Summary().Total()
+				lag := float64(totalWrites) - float64(covered)
+				if lag < 0 {
+					lag = 0
+				}
+				res.Reads++
+				perNodeReads[id]++
+				perNodeLagSum[id] += lag
+				lagSum += lag
+				// Fresh if every write older than grace is covered.
+				graceCut := eng.Now() - grace
+				matured := uint64(0)
+				for i := len(writeTimes) - 1; i >= 0; i-- {
+					if writeTimes[i] <= graceCut {
+						matured = uint64(i + 1)
+						break
+					}
+				}
+				if covered >= matured {
+					freshReads++
+				}
+			}
+			scheduleRead(id)
+		})
+	}
+	for i := 0; i < n; i++ {
+		scheduleRead(NodeID(i))
+	}
+
+	eng.RunUntil(end)
+
+	if res.Reads > 0 {
+		res.MeanLag = lagSum / float64(res.Reads)
+		res.FreshFrac = float64(freshReads) / float64(res.Reads)
+	} else {
+		res.MeanLag = math.NaN()
+		res.FreshFrac = math.NaN()
+	}
+	for i := 0; i < n; i++ {
+		if perNodeReads[i] > 0 {
+			res.PerNodeLag[i] = perNodeLagSum[i] / float64(perNodeReads[i])
+		}
+	}
+
+	// Read-weighted lag over the demand extremes.
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = i
+	}
+	// Sort indexes by demand descending (insertion sort; n is small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			di := cfg.Field.At(NodeID(rank[j]), 0)
+			dj := cfg.Field.At(NodeID(rank[j-1]), 0)
+			if di > dj {
+				rank[j], rank[j-1] = rank[j-1], rank[j]
+			} else {
+				break
+			}
+		}
+	}
+	k := n / 5
+	if k < 1 {
+		k = 1
+	}
+	group := func(ids []int) float64 {
+		var lag, reads float64
+		for _, i := range ids {
+			lag += perNodeLagSum[i]
+			reads += float64(perNodeReads[i])
+		}
+		if reads == 0 {
+			return math.NaN()
+		}
+		return lag / reads
+	}
+	res.HighLag = group(rank[:k])
+	res.LowLag = group(rank[n-k:])
+	for _, nd := range nodes {
+		res.Snapshots += nd.Stats().SnapshotsSent
+	}
+	return res
+}
+
+// SteadySamplesToTable is a small helper for experiment output: renders a
+// labelled staleness comparison.
+func SteadySamplesToTable(labels []string, results []SteadyResult) *metrics.Table {
+	tab := metrics.NewTable("configuration", "reads", "mean lag (writes)",
+		"fresh-read fraction", "lag @ hottest 20%", "lag @ coldest 20%")
+	for i, res := range results {
+		tab.AddRow(labels[i], int(res.Reads), res.MeanLag, res.FreshFrac, res.HighLag, res.LowLag)
+	}
+	return tab
+}

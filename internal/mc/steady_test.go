@@ -1,0 +1,101 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+func steadyConfig(fast bool) SteadyConfig {
+	base := baConfig(30, 7, fast)
+	return SteadyConfig{
+		Config:    base,
+		WriteRate: 1,
+		ReadScale: 0.05,
+		Duration:  30,
+		Warmup:    5,
+	}
+}
+
+func TestRunSteadyProducesReads(t *testing.T) {
+	res := RunSteady(steadyConfig(true), 1)
+	if res.Reads == 0 {
+		t.Fatal("no reads measured")
+	}
+	if res.Writes == 0 {
+		t.Fatal("no writes issued")
+	}
+	if math.IsNaN(res.MeanLag) || res.MeanLag < 0 {
+		t.Errorf("MeanLag = %g", res.MeanLag)
+	}
+	if res.FreshFrac < 0 || res.FreshFrac > 1 {
+		t.Errorf("FreshFrac = %g", res.FreshFrac)
+	}
+	if len(res.PerNodeLag) != 30 {
+		t.Errorf("PerNodeLag size = %d", len(res.PerNodeLag))
+	}
+}
+
+func TestRunSteadyDeterministic(t *testing.T) {
+	a := RunSteady(steadyConfig(true), 5)
+	b := RunSteady(steadyConfig(true), 5)
+	if a.Reads != b.Reads || a.MeanLag != b.MeanLag || a.FreshFrac != b.FreshFrac {
+		t.Error("RunSteady not deterministic for equal seeds")
+	}
+}
+
+func TestSteadyFastBeatsWeakOnReadWeightedLag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping steady-state comparison in -short mode")
+	}
+	fast := RunSteady(steadyConfig(true), 3)
+	weak := RunSteady(steadyConfig(false), 3)
+	t.Logf("fast: lag=%.3f fresh=%.3f high=%.3f low=%.3f",
+		fast.MeanLag, fast.FreshFrac, fast.HighLag, fast.LowLag)
+	t.Logf("weak: lag=%.3f fresh=%.3f high=%.3f low=%.3f",
+		weak.MeanLag, weak.FreshFrac, weak.HighLag, weak.LowLag)
+	// Read-weighted lag must improve: that is the whole point of demand
+	// prioritisation (reads concentrate where lag is made small).
+	if fast.MeanLag >= weak.MeanLag {
+		t.Errorf("fast mean lag %.3f not below weak %.3f", fast.MeanLag, weak.MeanLag)
+	}
+	// The §6 asymmetry: under fast consistency, hot replicas lag less than
+	// cold ones.
+	if !(fast.HighLag < fast.LowLag) {
+		t.Errorf("expected high-demand lag (%.3f) < low-demand lag (%.3f) under fast",
+			fast.HighLag, fast.LowLag)
+	}
+}
+
+func TestRunSteadyZeroDemandNodes(t *testing.T) {
+	// Nodes with zero demand never read; the simulation must still run and
+	// other nodes must still measure.
+	g := topology.Line(4)
+	field := demand.Static{0, 5, 0, 5}
+	cfg := SteadyConfig{
+		Config:    NewConfig(g, field, policy.NewDynamicOrdered),
+		WriteRate: 1,
+		ReadScale: 0.1,
+		Duration:  20,
+	}
+	cfg.FastPush = true
+	res := RunSteady(cfg, 2)
+	if res.Reads == 0 {
+		t.Error("no reads from the nonzero-demand nodes")
+	}
+	if res.PerNodeLag[0] != 0 {
+		t.Errorf("zero-demand node lag = %g, want 0 (never read)", res.PerNodeLag[0])
+	}
+}
+
+func BenchmarkRunSteady30(b *testing.B) {
+	cfg := steadyConfig(true)
+	cfg.Duration = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunSteady(cfg, int64(i))
+	}
+}

@@ -1,0 +1,277 @@
+// Package metrics provides the statistics the paper's evaluation reports:
+// sample summaries (means such as "3.9261 sessions"), empirical CDFs (the
+// curves of Figs. 5 and 6), and fixed-width table/CSV rendering for the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Sample accumulates float64 observations. The zero value is ready to use.
+// Sample is not safe for concurrent use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns a sample pre-sized for n observations.
+func NewSample(n int) *Sample { return &Sample{values: make([]float64, 0, n)} }
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll records many observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean (NaN when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the sample standard deviation with Bessel's correction (NaN
+// for fewer than two observations).
+func (s *Sample) Std() float64 {
+	if len(s.values) < 2 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(s.values)-1))
+}
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Sample) Min() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Sample) Max() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between order statistics (NaN when empty).
+func (s *Sample) Percentile(p float64) float64 {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Values returns a sorted copy of the observations.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return append([]float64(nil), s.values...)
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// String summarises the sample.
+func (s *Sample) String() string {
+	if s.N() == 0 {
+		return "sample{empty}"
+	}
+	return fmt.Sprintf("sample{n=%d mean=%.4f std=%.4f min=%.2f p50=%.2f p95=%.2f max=%.2f}",
+		s.N(), s.Mean(), s.Std(), s.Min(), s.Median(), s.Percentile(95), s.Max())
+}
+
+// CDF is an empirical cumulative distribution function over recorded
+// observations.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from a sample's observations.
+func NewCDF(s *Sample) *CDF { return &CDF{sorted: s.Values()} }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Series evaluates the CDF at evenly spaced points from 0 to max step
+// `step`, returning parallel xs and ps slices — the plotted form of the
+// paper's Figs. 5–6 (x axis "Sessions", y axis "Cumulative Probability").
+func (c *CDF) Series(max, step float64) (xs, ps []float64) {
+	if step <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive CDF step %g", step))
+	}
+	for x := 0.0; x <= max+1e-9; x += step {
+		xs = append(xs, x)
+		ps = append(ps, c.At(x))
+	}
+	return xs, ps
+}
+
+// Histogram counts observations in fixed-width bins covering [lo, hi).
+type Histogram struct {
+	lo, width float64
+	counts    []uint64
+	under     uint64
+	over      uint64
+}
+
+// NewHistogram builds a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: bad histogram bounds [%g,%g) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{lo: lo, width: (hi - lo) / float64(bins), counts: make([]uint64, bins)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := int(math.Floor((v - h.lo) / h.width))
+	switch {
+	case idx < 0:
+		h.under++
+	case idx >= len(h.counts):
+		h.over++
+	default:
+		h.counts[idx]++
+	}
+}
+
+// Counts returns the per-bin counts (shared slice; do not mutate).
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
+// Outliers returns counts below and above the histogram range.
+func (h *Histogram) Outliers() (under, over uint64) { return h.under, h.over }
+
+// Total returns all observations including outliers.
+func (h *Histogram) Total() uint64 {
+	t := h.under + h.over
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// BinLabel returns a "[lo, hi)" label for bin i.
+func (h *Histogram) BinLabel(i int) string {
+	return fmt.Sprintf("[%.2f, %.2f)", h.lo+float64(i)*h.width, h.lo+float64(i+1)*h.width)
+}
+
+// Table renders aligned rows for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table using elastic tabs.
+func (t *Table) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.header) > 0 {
+		if _, err := fmt.Fprintln(tw, strings.Join(t.header, "\t")); err != nil {
+			return err
+		}
+		underline := make([]string, len(t.header))
+		for i, h := range t.header {
+			underline[i] = strings.Repeat("-", len(h))
+		}
+		if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the table as CSV (no quoting; cells must not contain
+// commas, which experiment output never does).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if len(t.header) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

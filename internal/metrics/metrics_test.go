@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(4)
+	s.AddAll([]float64{4, 1, 3, 2})
+	if s.N() != 4 {
+		t.Errorf("N = %d, want 4", s.N())
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if got := s.Max(); got != 4 {
+		t.Errorf("Max = %g, want 4", got)
+	}
+	if got := s.Median(); got != 2.5 {
+		t.Errorf("Median = %g, want 2.5", got)
+	}
+	// Std of {1,2,3,4} = sqrt(5/3).
+	if got, want := s.Std(), math.Sqrt(5.0/3.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", got, want)
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Min": s.Min(), "Max": s.Max(), "P50": s.Percentile(50),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %g, want NaN", name, v)
+		}
+	}
+	if s.String() != "sample{empty}" {
+		t.Errorf("String = %q", s.String())
+	}
+	s.Add(7)
+	if !math.IsNaN(s.Std()) {
+		t.Error("Std of single observation should be NaN")
+	}
+	if s.Mean() != 7 || s.Median() != 7 {
+		t.Error("single-observation stats wrong")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := NewSample(5)
+	s.AddAll([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {-5, 10}, {110, 50},
+		{12.5, 15}, // halfway between first two order stats
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSampleAddAfterSort(t *testing.T) {
+	s := NewSample(0)
+	s.Add(5)
+	_ = s.Min() // forces sort
+	s.Add(1)
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min after post-sort Add = %g, want 1", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := NewSample(4)
+	s.AddAll([]float64{1, 2, 2, 4})
+	c := NewCDF(s)
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3.99, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+	if !math.IsNaN(NewCDF(NewSample(0)).At(1)) {
+		t.Error("empty CDF should be NaN")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := NewSample(2)
+	s.AddAll([]float64{1, 3})
+	c := NewCDF(s)
+	xs, ps := c.Series(4, 1)
+	if len(xs) != 5 {
+		t.Fatalf("series length = %d, want 5", len(xs))
+	}
+	wantPs := []float64{0, 0.5, 0.5, 1, 1}
+	for i := range wantPs {
+		if ps[i] != wantPs[i] {
+			t.Errorf("ps[%d] = %g, want %g", i, ps[i], wantPs[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Series with step 0 should panic")
+		}
+	}()
+	c.Series(4, 0)
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSample(50)
+		for i := 0; i < 50; i++ {
+			s.Add(r.Float64() * 10)
+		}
+		c := NewCDF(s)
+		prev := -1.0
+		for x := 0.0; x < 11; x += 0.25 {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return c.At(11) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("CDF monotonicity violated: %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Observe(v)
+	}
+	counts := h.Counts()
+	if counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d, want 2", counts[0])
+	}
+	if counts[1] != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", counts[1])
+	}
+	if counts[4] != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", counts[4])
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = (%d, %d), want (1, 2)", under, over)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if got := h.BinLabel(0); got != "[0.00, 2.00)" {
+		t.Errorf("BinLabel(0) = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with bad bounds should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("algo", "mean")
+	tab.AddRow("weak", 6.1499)
+	tab.AddRow("fast", 3.9261)
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"algo", "mean", "----", "weak", "6.1499", "fast", "3.9261"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.5000\nx,y\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := NewSample(3)
+	s.AddAll([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.0000") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func BenchmarkSamplePercentile(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := NewSample(10000)
+	for i := 0; i < 10000; i++ {
+		s.Add(r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Percentile(95)
+	}
+}

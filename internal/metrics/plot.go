@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more (x, y) series as an ASCII chart — enough to eyeball
+// the CDF figures in a terminal without any plotting dependency.
+type Plot struct {
+	title      string
+	xLabel     string
+	yLabel     string
+	width      int
+	height     int
+	xMax, yMax float64
+	series     []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// NewPlot creates a plot with the given canvas size (columns × rows of the
+// data area, excluding axes).
+func NewPlot(title, xLabel, yLabel string, width, height int) *Plot {
+	if width < 10 || height < 4 {
+		panic(fmt.Sprintf("metrics: plot canvas too small (%dx%d)", width, height))
+	}
+	return &Plot{title: title, xLabel: xLabel, yLabel: yLabel, width: width, height: height}
+}
+
+// AddSeries registers a series drawn with the given marker character.
+// Parallel xs/ys are required; non-finite points are skipped at render.
+func (p *Plot) AddSeries(name string, marker byte, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("metrics: series %q has %d xs but %d ys", name, len(xs), len(ys)))
+	}
+	for i := range xs {
+		if isFinite(xs[i]) && xs[i] > p.xMax {
+			p.xMax = xs[i]
+		}
+		if isFinite(ys[i]) && ys[i] > p.yMax {
+			p.yMax = ys[i]
+		}
+	}
+	p.series = append(p.series, plotSeries{
+		name:   name,
+		marker: marker,
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+	})
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Render writes the chart.
+func (p *Plot) Render(w io.Writer) error {
+	xMax, yMax := p.xMax, p.yMax
+	if xMax <= 0 {
+		xMax = 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			if !isFinite(s.xs[i]) || !isFinite(s.ys[i]) {
+				continue
+			}
+			col := int(math.Round(s.xs[i] / xMax * float64(p.width-1)))
+			row := p.height - 1 - int(math.Round(s.ys[i]/yMax*float64(p.height-1)))
+			if col < 0 || col >= p.width || row < 0 || row >= p.height {
+				continue
+			}
+			grid[row][col] = s.marker
+		}
+	}
+
+	if p.title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", p.title); err != nil {
+			return err
+		}
+	}
+	for r, rowBytes := range grid {
+		yVal := yMax * float64(p.height-1-r) / float64(p.height-1)
+		if _, err := fmt.Fprintf(w, "%7.2f |%s|\n", yVal, rowBytes); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s+\n", strings.Repeat("-", p.width)); err != nil {
+		return err
+	}
+	// X-axis extremes.
+	left := "0"
+	right := fmt.Sprintf("%.1f %s", xMax, p.xLabel)
+	pad := p.width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "         %s%s%s\n", left, strings.Repeat(" ", pad), right); err != nil {
+		return err
+	}
+	// Legend.
+	for _, s := range p.series {
+		if _, err := fmt.Fprintf(w, "  %c  %s\n", s.marker, s.name); err != nil {
+			return err
+		}
+	}
+	if p.yLabel != "" {
+		if _, err := fmt.Fprintf(w, "  (y: %s)\n", p.yLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}

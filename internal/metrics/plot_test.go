@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRenders(t *testing.T) {
+	p := NewPlot("CDF of sessions", "sessions", "cumulative probability", 40, 10)
+	p.AddSeries("fast", '*', []float64{0, 1, 2, 3}, []float64{0, 0.5, 0.9, 1})
+	p.AddSeries("weak", 'o', []float64{0, 2, 4, 6}, []float64{0, 0.2, 0.6, 1})
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CDF of sessions", "*", "o", "fast", "weak", "sessions", "cumulative probability", "6.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q:\n%s", want, out)
+		}
+	}
+	// Every data row is framed by pipes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && !strings.HasSuffix(strings.TrimSpace(line), "|") {
+			t.Errorf("unframed data row: %q", line)
+		}
+	}
+}
+
+func TestPlotMarkerPlacement(t *testing.T) {
+	p := NewPlot("", "x", "y", 11, 5)
+	// A single point at the max of both axes lands in the top-right corner.
+	p.AddSeries("s", '#', []float64{10}, []float64{1})
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	top := lines[0]
+	if !strings.HasSuffix(top, "#|") {
+		t.Errorf("max point not in top-right corner: %q", top)
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	p := NewPlot("", "x", "y", 12, 4)
+	nan := 0.0
+	nan = nan / nan
+	p.AddSeries("s", '#', []float64{nan, 1}, []float64{0.5, nan})
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "#") {
+			t.Errorf("non-finite point plotted: %q", line)
+		}
+	}
+}
+
+func TestPlotEmptySeriesSafe(t *testing.T) {
+	p := NewPlot("empty", "x", "y", 12, 4)
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("tiny canvas accepted")
+			}
+		}()
+		NewPlot("", "", "", 2, 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched series accepted")
+			}
+		}()
+		p := NewPlot("", "", "", 20, 5)
+		p.AddSeries("bad", '#', []float64{1}, []float64{1, 2})
+	}()
+}

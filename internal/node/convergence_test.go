@@ -1,0 +1,184 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/demand"
+	"repro/internal/policy"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// TestRandomScheduleConvergenceProperty drives a random cluster through a
+// random interleaving of client writes, anti-entropy sessions and message
+// deliveries (with random reordering), then closes with enough deterministic
+// session sweeps for anti-entropy to finish. Invariants checked:
+//
+//  1. no panics anywhere in the protocol;
+//  2. every replica ends with an identical summary vector;
+//  3. every replica's store digest is identical (CRDT-style convergence);
+//  4. per-replica summary totals never decrease (monotonicity).
+func TestRandomScheduleConvergenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(5)
+
+		// Random connected graph: a random tree plus a few extra edges.
+		adj := make(map[NodeID][]NodeID, n)
+		addEdge := func(a, b NodeID) {
+			for _, x := range adj[a] {
+				if x == b {
+					return
+				}
+			}
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		for i := 1; i < n; i++ {
+			addEdge(NodeID(i), NodeID(r.Intn(i)))
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if a != b {
+				addEdge(a, b)
+			}
+		}
+
+		field := make(demand.Static, n)
+		for i := range field {
+			field[i] = float64(1 + r.Intn(100))
+		}
+		factories := []policy.Factory{
+			policy.NewRandom, policy.NewDynamicOrdered, policy.NewStaticOrdered,
+		}
+		nodes := make(map[NodeID]*Node, n)
+		for id, nbrs := range adj {
+			id := id
+			nodes[id] = New(Config{
+				ID:        id,
+				Neighbors: nbrs,
+				Selector:  factories[r.Intn(len(factories))](id, nbrs),
+				FastPush:  r.Intn(2) == 0,
+				FanOut:    1 + r.Intn(2),
+				Demand:    func(now float64) float64 { return field.At(id, now) },
+			})
+			nodes[id].Table().RefreshAll(field, 0)
+		}
+
+		var queue []protocol.Envelope
+		prevTotals := make(map[NodeID]uint64, n)
+		deliverOne := func(now float64) bool {
+			if len(queue) == 0 {
+				return false
+			}
+			// Random delivery order models network reordering.
+			idx := r.Intn(len(queue))
+			env := queue[idx]
+			queue = append(queue[:idx], queue[idx+1:]...)
+			out := nodes[env.To].HandleMessage(now, env)
+			queue = append(queue, out...)
+			total := nodes[env.To].Summary().Total()
+			if total < prevTotals[env.To] {
+				return false // monotonicity violated
+			}
+			prevTotals[env.To] = total
+			return true
+		}
+
+		// Phase 1: random chaos.
+		now := 0.0
+		for step := 0; step < 300; step++ {
+			now += 0.01
+			switch r.Intn(3) {
+			case 0:
+				id := NodeID(r.Intn(n))
+				_, out := nodes[id].ClientWrite(now, fmt.Sprintf("k%d", r.Intn(5)), []byte{byte(step)})
+				queue = append(queue, out...)
+			case 1:
+				id := NodeID(r.Intn(n))
+				queue = append(queue, nodes[id].StartSession(now, r)...)
+			case 2:
+				deliverOne(now)
+			}
+		}
+		// Drain in-flight messages.
+		for len(queue) > 0 {
+			now += 0.01
+			deliverOne(now)
+		}
+		// Phase 2: deterministic anti-entropy sweeps until quiescent
+		// convergence. Each sweep: every node sessions with every
+		// neighbour once, then the queue drains fully.
+		for sweep := 0; sweep < 2*n; sweep++ {
+			for id := NodeID(0); int(id) < n; id++ {
+				for range adj[id] {
+					now += 0.01
+					queue = append(queue, nodes[id].StartSession(now, r)...)
+				}
+			}
+			for len(queue) > 0 {
+				now += 0.01
+				if !deliverOne(now) && len(queue) > 0 {
+					return false
+				}
+			}
+		}
+
+		// Convergence: all summaries equal, all digests equal.
+		ref := nodes[0].Summary()
+		refDigest := nodes[0].Store().Digest()
+		for id := NodeID(1); int(id) < n; id++ {
+			if nodes[id].Summary().Compare(ref) != vclock.Equal {
+				return false
+			}
+			if nodes[id].Store().Digest() != refDigest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("random-schedule convergence property failed: %v", err)
+	}
+}
+
+// TestDuplicateDeliveryIsIdempotent replays every message twice; duplicate
+// suppression in the log must make the outcome identical.
+func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
+	field := demand.Static{3, 7}
+	mk := func() (*Node, *Node) {
+		a := New(Config{ID: 0, Neighbors: []NodeID{1},
+			Selector: policy.NewRandom(0, []NodeID{1}),
+			Demand:   func(now float64) float64 { return field.At(0, now) }})
+		b := New(Config{ID: 1, Neighbors: []NodeID{0},
+			Selector: policy.NewRandom(1, []NodeID{0}),
+			Demand:   func(now float64) float64 { return field.At(1, now) }})
+		return a, b
+	}
+	run := func(duplicate bool) uint64 {
+		a, b := mk()
+		for i := 0; i < 4; i++ {
+			a.ClientWrite(0, "k", []byte{byte(i)})
+		}
+		nodes := map[NodeID]*Node{0: a, 1: b}
+		queue := a.StartSession(1, rand.New(rand.NewSource(1)))
+		for len(queue) > 0 {
+			env := queue[0]
+			queue = queue[1:]
+			out := nodes[env.To].HandleMessage(1, env)
+			if duplicate {
+				// Replay the same envelope; outputs of the replay are
+				// discarded (they would be duplicates of duplicates).
+				nodes[env.To].HandleMessage(1, env)
+			}
+			queue = append(queue, out...)
+		}
+		return b.Summary().Total()
+	}
+	if run(false) != run(true) {
+		t.Error("duplicate delivery changed the outcome")
+	}
+}

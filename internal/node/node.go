@@ -1,0 +1,476 @@
+// Package node implements the replica state machine of the fast-consistency
+// protocol — the paper's §2.1 algorithm, both parts:
+//
+//	Part 1 (weak consistency with demand-ordered selection): at each session
+//	time the replica picks a partner via its policy.Selector and runs the
+//	summary-vector anti-entropy exchange of steps 1–12.
+//
+//	Part 2 (fast update): whenever the replica acquires writes it did not
+//	have — from a local client or from any protocol exchange — it
+//	immediately offers them (ids only) to its highest-demand neighbour(s),
+//	steps 13–18, producing the valley-flooding chains of §2.
+//
+// The node is transport-agnostic ("sans I/O"): every input is an explicit
+// method call carrying the current time, and every output is a slice of
+// protocol.Envelope for the caller to deliver. The Monte-Carlo simulator
+// (internal/mc) drives nodes under a discrete-event clock; the live runtime
+// (internal/runtime) drives the same code with goroutines and real
+// transports. Node methods are not safe for concurrent use; each driver
+// serialises access.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/demand"
+	"repro/internal/policy"
+	"repro/internal/protocol"
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Config parametrises a replica.
+type Config struct {
+	// ID is this replica's identity.
+	ID NodeID
+	// Neighbors are the replicas this node may hold sessions with.
+	Neighbors []NodeID
+	// Selector picks anti-entropy partners. Required.
+	Selector policy.Selector
+	// FastPush enables the §2.1 part-two fast-update chains.
+	FastPush bool
+	// FanOut is how many distinct highest-demand neighbours each fast
+	// offer targets. The paper pushes to one; values > 1 are an extension
+	// evaluated in the ablation experiments. Defaults to 1.
+	FanOut int
+	// GradientOnly, when set, suppresses fast offers to neighbours whose
+	// recorded demand does not exceed this node's own demand — a strict
+	// "downhill only" variant used in ablations. The paper's algorithm is
+	// unconditional (GradientOnly = false).
+	GradientOnly bool
+	// Demand reports this node's own demand at a given time (requests per
+	// unit time from local clients). Required.
+	Demand func(now float64) float64
+	// MaxBatch bounds entries per UpdateBatch; 0 means unlimited. Large
+	// sessions split across batches, with Final set on the last.
+	MaxBatch int
+}
+
+// Stats counts protocol activity for one replica.
+type Stats struct {
+	SessionsInitiated  uint64
+	SessionsReceived   uint64
+	EntriesSent        uint64
+	EntriesReceived    uint64
+	FastOffersSent     uint64
+	FastOffersReceived uint64
+	FastOffersAccepted uint64 // offers we answered YES to
+	FastOffersDeclined uint64 // offers we answered NO to
+	FastEntriesSent    uint64
+	FastEntriesGained  uint64 // entries first learned through fast update
+	GapDrops           uint64 // fast-payload entries dropped for gaps
+	AdvertsSent        uint64
+	MessagesHandled    uint64
+	SnapshotsSent      uint64 // full-state transfers sent (truncation recovery)
+	SnapshotsReceived  uint64
+}
+
+// Node is one replica.
+type Node struct {
+	cfg      Config
+	log      *wlog.Log
+	st       *store.Store
+	table    *demand.Table
+	selector policy.Selector
+	lamport  uint64
+
+	nextSession uint64
+	// initiated tracks sessions this node started: sessionID -> partner.
+	initiated map[uint64]NodeID
+	// accepted tracks sessions this node is responding to.
+	accepted map[uint64]NodeID
+
+	stats Stats
+}
+
+// New builds a replica from cfg.
+func New(cfg Config) *Node {
+	if cfg.Selector == nil {
+		panic("node: Config.Selector is required")
+	}
+	if cfg.Demand == nil {
+		panic("node: Config.Demand is required")
+	}
+	if cfg.FanOut <= 0 {
+		cfg.FanOut = 1
+	}
+	return &Node{
+		cfg:       cfg,
+		log:       wlog.New(),
+		st:        store.New(),
+		table:     demand.NewTable(cfg.Neighbors),
+		selector:  cfg.Selector,
+		initiated: make(map[uint64]NodeID),
+		accepted:  make(map[uint64]NodeID),
+	}
+}
+
+// ID returns the replica's identity.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// Summary returns a copy of the replica's summary vector.
+func (n *Node) Summary() *vclock.Summary { return n.log.Summary() }
+
+// Covers reports whether the replica has received the write named by ts.
+func (n *Node) Covers(ts vclock.Timestamp) bool { return n.log.Covers(ts) }
+
+// Store exposes the replica's content store (for client reads).
+func (n *Node) Store() *store.Store { return n.st }
+
+// Log exposes the replica's write log (read-only use).
+func (n *Node) Log() *wlog.Log { return n.log }
+
+// Table exposes the neighbour demand table.
+func (n *Node) Table() *demand.Table { return n.table }
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// OwnDemand returns the node's demand at time now.
+func (n *Node) OwnDemand(now float64) float64 { return n.cfg.Demand(now) }
+
+// noteDemand folds a piggybacked demand advertisement into the table.
+func (n *Node) noteDemand(from NodeID, d, now float64) {
+	n.table.Update(from, d, now)
+}
+
+// ClientWrite accepts a local client write (the paper's "write operation in
+// a server", §2), appends it to the log, applies it to the store, and — with
+// FastPush — immediately offers it to the highest-demand neighbour(s).
+func (n *Node) ClientWrite(now float64, key string, value []byte) (wlog.Entry, []protocol.Envelope) {
+	n.lamport++
+	e := n.log.Append(n.cfg.ID, key, value, n.lamport)
+	n.st.Apply(e)
+	out := n.fastOffers(now, []wlog.Entry{e}, 0, n.cfg.ID)
+	return e, out
+}
+
+// StartSession begins an anti-entropy session with the partner chosen by the
+// policy (steps 1–2). It returns the outbound request, or nil when no
+// partner is eligible.
+func (n *Node) StartSession(now float64, r *rand.Rand) []protocol.Envelope {
+	partner, ok := n.selector.Next(now, n.table, r)
+	if !ok {
+		return nil
+	}
+	n.nextSession++
+	id := uint64(n.cfg.ID)<<32 | n.nextSession
+	n.initiated[id] = partner
+	n.stats.SessionsInitiated++
+	return []protocol.Envelope{{
+		From: n.cfg.ID,
+		To:   partner,
+		Msg:  protocol.SessionRequest{SessionID: id, Demand: n.OwnDemand(now)},
+	}}
+}
+
+// AdvertiseDemand emits the periodic §4 demand advertisement to every
+// neighbour.
+func (n *Node) AdvertiseDemand(now float64) []protocol.Envelope {
+	out := make([]protocol.Envelope, 0, len(n.cfg.Neighbors))
+	d := n.OwnDemand(now)
+	for _, nb := range n.cfg.Neighbors {
+		out = append(out, protocol.Envelope{
+			From: n.cfg.ID,
+			To:   nb,
+			Msg:  protocol.DemandAdvert{Demand: d},
+		})
+	}
+	n.stats.AdvertsSent += uint64(len(out))
+	return out
+}
+
+// HandleMessage processes one inbound envelope and returns the outbound
+// envelopes it generates.
+func (n *Node) HandleMessage(now float64, env protocol.Envelope) []protocol.Envelope {
+	if env.To != n.cfg.ID {
+		panic(fmt.Sprintf("node %v: misrouted envelope %v", n.cfg.ID, env))
+	}
+	n.stats.MessagesHandled++
+	switch m := env.Msg.(type) {
+	case protocol.SessionRequest:
+		return n.onSessionRequest(now, env.From, m)
+	case protocol.SummaryMsg:
+		return n.onSummary(now, env.From, m)
+	case protocol.UpdateBatch:
+		return n.onUpdateBatch(now, env.From, m)
+	case protocol.FastOffer:
+		return n.onFastOffer(now, env.From, m)
+	case protocol.FastReply:
+		return n.onFastReply(now, env.From, m)
+	case protocol.FastPayload:
+		return n.onFastPayload(now, env.From, m)
+	case protocol.DemandAdvert:
+		n.noteDemand(env.From, m.Demand, now)
+		return nil
+	case protocol.Snapshot:
+		return n.onSnapshot(now, env.From, m)
+	default:
+		panic(fmt.Sprintf("node %v: unknown message %T", n.cfg.ID, env.Msg))
+	}
+}
+
+// onSessionRequest is step 3–4: the responder sends its summary vector.
+func (n *Node) onSessionRequest(now float64, from NodeID, m protocol.SessionRequest) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	n.accepted[m.SessionID] = from
+	n.stats.SessionsReceived++
+	return []protocol.Envelope{{
+		From: n.cfg.ID,
+		To:   from,
+		Msg: protocol.SummaryMsg{
+			SessionID: m.SessionID,
+			Summary:   n.log.Summary(),
+			Demand:    n.OwnDemand(now),
+		},
+	}}
+}
+
+// onSummary handles a partner's summary vector.
+//
+// Initiator path (steps 5–8): on the responder's summary, send back our own
+// summary plus every entry the responder is missing.
+//
+// Responder path (steps 9–11): on the initiator's summary, send every entry
+// the initiator is missing; this completes the responder's half.
+func (n *Node) onSummary(now float64, from NodeID, m protocol.SummaryMsg) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	var out []protocol.Envelope
+	if partner, ok := n.initiated[m.SessionID]; ok && partner == from {
+		out = append(out, protocol.Envelope{
+			From: n.cfg.ID,
+			To:   from,
+			Msg: protocol.SummaryMsg{
+				SessionID: m.SessionID,
+				Summary:   n.log.Summary(),
+				Demand:    n.OwnDemand(now),
+			},
+		})
+	}
+	out = append(out, n.batchesFor(now, from, m.SessionID, m.Summary)...)
+	return out
+}
+
+// batchesFor builds the UpdateBatch messages carrying what partner lacks,
+// or a full-state Snapshot when log truncation has discarded entries the
+// partner still needs (the Bayou recovery path).
+func (n *Node) batchesFor(now float64, partner NodeID, sessionID uint64, theirs *vclock.Summary) []protocol.Envelope {
+	missing, err := n.log.MissingGiven(theirs)
+	if err != nil {
+		n.stats.SnapshotsSent++
+		return []protocol.Envelope{{
+			From: n.cfg.ID,
+			To:   partner,
+			Msg: protocol.Snapshot{
+				SessionID: sessionID,
+				Summary:   n.log.Summary(),
+				Items:     n.st.Snapshot(),
+				Demand:    n.OwnDemand(now),
+			},
+		}}
+	}
+	n.stats.EntriesSent += uint64(len(missing))
+	d := n.OwnDemand(now)
+	batch := n.cfg.MaxBatch
+	if batch <= 0 || batch > len(missing) {
+		if len(missing) == 0 {
+			return []protocol.Envelope{{
+				From: n.cfg.ID,
+				To:   partner,
+				Msg:  protocol.UpdateBatch{SessionID: sessionID, Final: true, Demand: d},
+			}}
+		}
+		batch = len(missing)
+	}
+	var out []protocol.Envelope
+	for off := 0; off < len(missing); off += batch {
+		end := off + batch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		out = append(out, protocol.Envelope{
+			From: n.cfg.ID,
+			To:   partner,
+			Msg: protocol.UpdateBatch{
+				SessionID: sessionID,
+				Entries:   missing[off:end],
+				Final:     end == len(missing),
+				Demand:    d,
+			},
+		})
+	}
+	return out
+}
+
+// onUpdateBatch is step 12: apply the entries the partner sent; on the final
+// batch, close the session. Newly gained entries trigger fast offers.
+func (n *Node) onUpdateBatch(now float64, from NodeID, m protocol.UpdateBatch) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	gained := n.absorb(m.Entries)
+	n.stats.EntriesReceived += uint64(len(m.Entries))
+	if m.Final {
+		delete(n.initiated, m.SessionID)
+		delete(n.accepted, m.SessionID)
+	}
+	return n.fastOffers(now, gained, 0, from)
+}
+
+// absorb applies entries to the log and store, returning those that were
+// actually new. Entries are applied in (origin, seq) order so batches never
+// self-gap.
+func (n *Node) absorb(entries []wlog.Entry) []wlog.Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	sorted := append([]wlog.Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS.Compare(sorted[j].TS) < 0 })
+	var gained []wlog.Entry
+	for _, e := range sorted {
+		added, err := n.log.Add(e)
+		if err != nil {
+			n.stats.GapDrops++
+			continue
+		}
+		if !added {
+			continue
+		}
+		if e.Clock > n.lamport {
+			n.lamport = e.Clock
+		}
+		n.st.Apply(e)
+		gained = append(gained, e)
+	}
+	return gained
+}
+
+// fastOffers implements step 13: offer newly gained writes (ids only) to the
+// FanOut highest-demand neighbours, excluding the replica they came from.
+func (n *Node) fastOffers(now float64, gained []wlog.Entry, hops uint32, source NodeID) []protocol.Envelope {
+	if !n.cfg.FastPush || len(gained) == 0 {
+		return nil
+	}
+	ids := make([]vclock.Timestamp, len(gained))
+	for i, e := range gained {
+		ids[i] = e.TS
+	}
+	skip := map[NodeID]bool{source: true, n.cfg.ID: true}
+	own := n.OwnDemand(now)
+	var out []protocol.Envelope
+	for i := 0; i < n.cfg.FanOut; i++ {
+		best, ok := n.table.BestExcluding(skip)
+		if !ok {
+			break
+		}
+		skip[best.Node] = true
+		if n.cfg.GradientOnly && best.Demand <= own {
+			continue
+		}
+		out = append(out, protocol.Envelope{
+			From: n.cfg.ID,
+			To:   best.Node,
+			Msg:  protocol.FastOffer{IDs: ids, Demand: own, Hops: hops},
+		})
+		n.stats.FastOffersSent++
+	}
+	return out
+}
+
+// onFastOffer is steps 14–15: answer YES with the subset of offered ids we
+// still need, or NO when we have them all.
+func (n *Node) onFastOffer(now float64, from NodeID, m protocol.FastOffer) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	n.stats.FastOffersReceived++
+	var wanted []vclock.Timestamp
+	for _, ts := range m.IDs {
+		if !n.log.Covers(ts) {
+			wanted = append(wanted, ts)
+		}
+	}
+	reply := protocol.FastReply{
+		Accept: len(wanted) > 0,
+		Wanted: wanted,
+		Demand: n.OwnDemand(now),
+		Hops:   m.Hops,
+	}
+	if reply.Accept {
+		n.stats.FastOffersAccepted++
+	} else {
+		n.stats.FastOffersDeclined++
+	}
+	return []protocol.Envelope{{From: n.cfg.ID, To: from, Msg: reply}}
+}
+
+// onFastReply is steps 16–18: on YES, send the wanted entries; on NO, send
+// nothing.
+func (n *Node) onFastReply(now float64, from NodeID, m protocol.FastReply) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	if !m.Accept || len(m.Wanted) == 0 {
+		return nil
+	}
+	entries := make([]wlog.Entry, 0, len(m.Wanted))
+	for _, ts := range m.Wanted {
+		if e, ok := n.log.Get(ts); ok {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	n.stats.FastEntriesSent += uint64(len(entries))
+	return []protocol.Envelope{{
+		From: n.cfg.ID,
+		To:   from,
+		Msg:  protocol.FastPayload{Entries: entries, Demand: n.OwnDemand(now), Hops: m.Hops},
+	}}
+}
+
+// onFastPayload applies fast-update entries and continues the chain (§2:
+// "if the neighbour selected has another neighbour with even greater demand
+// the process will be repeated") with an incremented hop count.
+func (n *Node) onFastPayload(now float64, from NodeID, m protocol.FastPayload) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	gained := n.absorb(m.Entries)
+	n.stats.FastEntriesGained += uint64(len(gained))
+	return n.fastOffers(now, gained, m.Hops+1, from)
+}
+
+// onSnapshot adopts a full-state transfer: the summary is folded into the
+// write log (marking the skipped ranges as truncated locally too) and the
+// store image merges via normal LWW. Snapshot adoption closes the session
+// and does not start fast-update chains — the receiver was so far behind
+// that entry-level ids are no longer meaningful; its next sessions
+// propagate onward.
+func (n *Node) onSnapshot(now float64, from NodeID, m protocol.Snapshot) []protocol.Envelope {
+	n.noteDemand(from, m.Demand, now)
+	n.stats.SnapshotsReceived++
+	n.log.Adopt(m.Summary)
+	n.st.ApplySnapshot(m.Items)
+	for _, item := range m.Items {
+		if item.Clock > n.lamport {
+			n.lamport = item.Clock
+		}
+	}
+	delete(n.initiated, m.SessionID)
+	delete(n.accepted, m.SessionID)
+	return nil
+}
+
+// OpenSessions returns how many sessions the node is currently tracking (as
+// initiator or responder); it should return to 0 when the network quiesces.
+func (n *Node) OpenSessions() int { return len(n.initiated) + len(n.accepted) }

@@ -1,0 +1,221 @@
+// Package policy implements anti-entropy partner-selection policies: the
+// paper's baseline (uniform random, Golding) and its contribution
+// (demand-ordered selection, static §2.1 and dynamic §4), plus two extra
+// policies (round-robin, least-recently-contacted) used as ablation
+// baselines.
+//
+// A Selector is per-node state: demand-ordered policies keep a cursor over
+// the current "cycle" of neighbours so that successive sessions visit every
+// neighbour once, in demand order, before starting over (the B-D, B-E, B-A,
+// B-C sequence of the paper's best-case example).
+package policy
+
+import (
+	"math/rand"
+
+	"repro/internal/demand"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Selector chooses the partner for a node's next anti-entropy session.
+// Selectors are not safe for concurrent use; each node owns one.
+type Selector interface {
+	// Next returns the chosen partner given the node's current neighbour
+	// demand table at time now. ok is false when no neighbour is eligible.
+	Next(now float64, table *demand.Table, r *rand.Rand) (partner NodeID, ok bool)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// Factory builds a selector for a node; selectors carry per-node state.
+type Factory func(self NodeID, neighbors []NodeID) Selector
+
+// Random selects a uniformly random reachable neighbour — the weak
+// consistency baseline: Golding "demonstrated that the neighbouring server's
+// random choice has the best performance ... in a peer-to-peer network"
+// (paper §1) when demand is ignored.
+type Random struct {
+	neighbors []NodeID
+}
+
+// NewRandom returns a Random selector over the given neighbours.
+func NewRandom(_ NodeID, neighbors []NodeID) Selector {
+	return &Random{neighbors: append([]NodeID(nil), neighbors...)}
+}
+
+// Next implements Selector.
+func (p *Random) Next(_ float64, table *demand.Table, r *rand.Rand) (NodeID, bool) {
+	eligible := p.neighbors[:0:0]
+	for _, n := range p.neighbors {
+		if e, ok := table.Get(n); !ok || e.Reachable {
+			eligible = append(eligible, n)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, false
+	}
+	return eligible[r.Intn(len(eligible))], true
+}
+
+// Name implements Selector.
+func (p *Random) Name() string { return "random" }
+
+// StaticOrdered implements the paper's §2.1 part-one selection with a
+// *static* view: at the start of each cycle it snapshots the neighbour order
+// by demand and then follows that order even if demands change mid-cycle.
+// This is the algorithm §3 shows failing under dynamic demand.
+type StaticOrdered struct {
+	queue []NodeID
+}
+
+// NewStaticOrdered returns a StaticOrdered selector.
+func NewStaticOrdered(_ NodeID, _ []NodeID) Selector { return &StaticOrdered{} }
+
+// Next implements Selector.
+func (p *StaticOrdered) Next(_ float64, table *demand.Table, _ *rand.Rand) (NodeID, bool) {
+	if len(p.queue) == 0 {
+		ranked := table.ByDemand()
+		p.queue = make([]NodeID, 0, len(ranked))
+		for _, e := range ranked {
+			p.queue = append(p.queue, e.Node)
+		}
+	}
+	if len(p.queue) == 0 {
+		return 0, false
+	}
+	partner := p.queue[0]
+	p.queue = p.queue[1:]
+	return partner, true
+}
+
+// Name implements Selector.
+func (p *StaticOrdered) Name() string { return "demand-static" }
+
+// DynamicOrdered implements the paper's §4 dynamic algorithm: within each
+// cycle every neighbour is visited once, but each pick takes the
+// highest-*current*-demand neighbour not yet visited this cycle, using the
+// freshly refreshed table. In the Fig. 4 scenario this yields B-D, B-C',
+// B-A' where the static policy would yield B-D, B-A, B-C.
+type DynamicOrdered struct {
+	visited map[NodeID]bool
+}
+
+// NewDynamicOrdered returns a DynamicOrdered selector.
+func NewDynamicOrdered(_ NodeID, _ []NodeID) Selector {
+	return &DynamicOrdered{visited: make(map[NodeID]bool)}
+}
+
+// Next implements Selector.
+func (p *DynamicOrdered) Next(_ float64, table *demand.Table, _ *rand.Rand) (NodeID, bool) {
+	best, ok := table.BestExcluding(p.visited)
+	if !ok {
+		// Cycle complete (or nothing reachable): start a new cycle.
+		if len(p.visited) == 0 {
+			return 0, false
+		}
+		clear(p.visited)
+		best, ok = table.BestExcluding(p.visited)
+		if !ok {
+			return 0, false
+		}
+	}
+	p.visited[best.Node] = true
+	return best.Node, true
+}
+
+// Name implements Selector.
+func (p *DynamicOrdered) Name() string { return "demand-dynamic" }
+
+// RoundRobin cycles through neighbours in ascending id order, ignoring
+// demand — an ablation baseline isolating "deterministic cycling" from
+// "demand ordering".
+type RoundRobin struct {
+	neighbors []NodeID
+	next      int
+}
+
+// NewRoundRobin returns a RoundRobin selector.
+func NewRoundRobin(_ NodeID, neighbors []NodeID) Selector {
+	sorted := append([]NodeID(nil), neighbors...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return &RoundRobin{neighbors: sorted}
+}
+
+// Next implements Selector.
+func (p *RoundRobin) Next(_ float64, _ *demand.Table, _ *rand.Rand) (NodeID, bool) {
+	if len(p.neighbors) == 0 {
+		return 0, false
+	}
+	partner := p.neighbors[p.next%len(p.neighbors)]
+	p.next++
+	return partner, true
+}
+
+// Name implements Selector.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// LeastRecent selects the reachable neighbour contacted longest ago,
+// breaking ties by lower id — an anti-starvation baseline.
+type LeastRecent struct {
+	lastContact map[NodeID]float64
+	neighbors   []NodeID
+}
+
+// NewLeastRecent returns a LeastRecent selector.
+func NewLeastRecent(_ NodeID, neighbors []NodeID) Selector {
+	return &LeastRecent{
+		lastContact: make(map[NodeID]float64, len(neighbors)),
+		neighbors:   append([]NodeID(nil), neighbors...),
+	}
+}
+
+// Next implements Selector.
+func (p *LeastRecent) Next(now float64, table *demand.Table, _ *rand.Rand) (NodeID, bool) {
+	var best NodeID
+	bestTime := 0.0
+	found := false
+	for _, n := range p.neighbors {
+		if e, ok := table.Get(n); ok && !e.Reachable {
+			continue
+		}
+		t := p.lastContact[n]
+		if !found || t < bestTime || (t == bestTime && n < best) {
+			best, bestTime, found = n, t, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	p.lastContact[best] = now + 1 // strictly later than any real time seen
+	return best, true
+}
+
+// Name implements Selector.
+func (p *LeastRecent) Name() string { return "least-recent" }
+
+// Registry maps policy names to factories, for CLI flag parsing.
+func Registry() map[string]Factory {
+	return map[string]Factory{
+		"random":         NewRandom,
+		"demand-static":  NewStaticOrdered,
+		"demand-dynamic": NewDynamicOrdered,
+		"round-robin":    NewRoundRobin,
+		"least-recent":   NewLeastRecent,
+	}
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Selector = (*Random)(nil)
+	_ Selector = (*StaticOrdered)(nil)
+	_ Selector = (*DynamicOrdered)(nil)
+	_ Selector = (*RoundRobin)(nil)
+	_ Selector = (*LeastRecent)(nil)
+)

@@ -1,0 +1,242 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+)
+
+func tableWith(demands map[NodeID]float64) *demand.Table {
+	var ids []NodeID
+	for n := range demands {
+		ids = append(ids, n)
+	}
+	t := demand.NewTable(ids)
+	for n, d := range demands {
+		t.Update(n, d, 0)
+	}
+	return t
+}
+
+func TestRandomCoversAllNeighbors(t *testing.T) {
+	sel := NewRandom(0, []NodeID{1, 2, 3})
+	table := tableWith(map[NodeID]float64{1: 5, 2: 5, 3: 5})
+	r := rand.New(rand.NewSource(1))
+	seen := map[NodeID]int{}
+	for i := 0; i < 3000; i++ {
+		partner, ok := sel.Next(0, table, r)
+		if !ok {
+			t.Fatal("Next returned not ok")
+		}
+		seen[partner]++
+	}
+	for _, n := range []NodeID{1, 2, 3} {
+		if seen[n] < 800 {
+			t.Errorf("neighbour %v chosen %d/3000 times, want ~1000", n, seen[n])
+		}
+	}
+}
+
+func TestRandomSkipsUnreachable(t *testing.T) {
+	sel := NewRandom(0, []NodeID{1, 2})
+	table := tableWith(map[NodeID]float64{1: 5, 2: 5})
+	table.MarkUnreachable(1, 0)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		partner, ok := sel.Next(0, table, r)
+		if !ok || partner != 2 {
+			t.Fatalf("Next = (%v, %t), want n2", partner, ok)
+		}
+	}
+	table.MarkUnreachable(2, 0)
+	if _, ok := sel.Next(0, table, r); ok {
+		t.Error("Next with all unreachable should report not ok")
+	}
+}
+
+func TestRandomNoNeighbors(t *testing.T) {
+	sel := NewRandom(0, nil)
+	if _, ok := sel.Next(0, demand.NewTable(nil), rand.New(rand.NewSource(1))); ok {
+		t.Error("Next with no neighbours should report not ok")
+	}
+}
+
+func TestStaticOrderedFollowsSnapshotOrder(t *testing.T) {
+	// Paper §2 best case: B's neighbours D(8), E(7), A(4), C(3) must be
+	// visited in exactly that order.
+	sel := NewStaticOrdered(1, nil)
+	table := tableWith(map[NodeID]float64{0: 4, 2: 3, 3: 8, 4: 7}) // A C D E
+	r := rand.New(rand.NewSource(1))
+	want := []NodeID{3, 4, 0, 2}
+	for i, w := range want {
+		got, ok := sel.Next(0, table, r)
+		if !ok || got != w {
+			t.Fatalf("pick %d = (%v, %t), want %v", i, got, ok, w)
+		}
+	}
+	// Next cycle restarts from the (re-snapshotted) top.
+	got, _ := sel.Next(0, table, r)
+	if got != 3 {
+		t.Errorf("cycle restart pick = %v, want n3", got)
+	}
+}
+
+func TestStaticOrderedIgnoresMidCycleChanges(t *testing.T) {
+	// §3: the static algorithm "would not contribute to carrying consistency
+	// to the zones with greatest demand" when demand changes mid-cycle.
+	sel := NewStaticOrdered(1, nil)
+	table := tableWith(map[NodeID]float64{0: 2, 2: 0, 3: 13}) // A=2 C=0 D=13
+	r := rand.New(rand.NewSource(1))
+	first, _ := sel.Next(1, table, r)
+	if first != 3 {
+		t.Fatalf("first pick = %v, want D(n3)", first)
+	}
+	// Demand flips: A falls to 0, C rises to 9 — but the static queue
+	// still visits A next.
+	table.Update(0, 0, 2)
+	table.Update(2, 9, 2)
+	second, _ := sel.Next(2, table, r)
+	if second != 0 {
+		t.Errorf("static second pick = %v, want stale A(n0)", second)
+	}
+}
+
+func TestDynamicOrderedFollowsCurrentDemand(t *testing.T) {
+	// §4's table: sessions must be B-D, B-C', B-A'.
+	sel := NewDynamicOrdered(1, nil)
+	table := tableWith(map[NodeID]float64{0: 2, 2: 0, 3: 13})
+	r := rand.New(rand.NewSource(1))
+	first, _ := sel.Next(1, table, r)
+	if first != 3 {
+		t.Fatalf("t=1 pick = %v, want D(n3)", first)
+	}
+	table.Update(0, 0, 2) // A'
+	table.Update(2, 9, 2) // C'
+	second, _ := sel.Next(2, table, r)
+	if second != 2 {
+		t.Errorf("t=2 pick = %v, want C'(n2)", second)
+	}
+	third, _ := sel.Next(3, table, r)
+	if third != 0 {
+		t.Errorf("t=3 pick = %v, want A'(n0)", third)
+	}
+	// New cycle begins: highest demand again.
+	fourth, _ := sel.Next(4, table, r)
+	if fourth != 3 {
+		t.Errorf("cycle restart = %v, want D(n3)", fourth)
+	}
+}
+
+func TestDynamicOrderedEmptyTable(t *testing.T) {
+	sel := NewDynamicOrdered(1, nil)
+	if _, ok := sel.Next(0, demand.NewTable(nil), nil); ok {
+		t.Error("Next on empty table should report not ok")
+	}
+}
+
+func TestDynamicOrderedAllUnreachable(t *testing.T) {
+	sel := NewDynamicOrdered(1, nil)
+	table := tableWith(map[NodeID]float64{2: 5})
+	// Visit n2 so visited is non-empty, then make everything unreachable.
+	if got, ok := sel.Next(0, table, nil); !ok || got != 2 {
+		t.Fatalf("first pick = (%v, %t)", got, ok)
+	}
+	table.MarkUnreachable(2, 1)
+	if _, ok := sel.Next(1, table, nil); ok {
+		t.Error("Next with all unreachable should report not ok")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	sel := NewRoundRobin(0, []NodeID{3, 1, 2})
+	table := demand.NewTable(nil)
+	want := []NodeID{1, 2, 3, 1, 2, 3}
+	for i, w := range want {
+		got, ok := sel.Next(0, table, nil)
+		if !ok || got != w {
+			t.Fatalf("pick %d = (%v, %t), want %v", i, got, ok, w)
+		}
+	}
+	empty := NewRoundRobin(0, nil)
+	if _, ok := empty.Next(0, table, nil); ok {
+		t.Error("round robin with no neighbours should report not ok")
+	}
+}
+
+func TestLeastRecentRotates(t *testing.T) {
+	sel := NewLeastRecent(0, []NodeID{1, 2, 3})
+	table := tableWith(map[NodeID]float64{1: 1, 2: 2, 3: 3})
+	seen := map[NodeID]int{}
+	for i := 0; i < 9; i++ {
+		got, ok := sel.Next(float64(i), table, nil)
+		if !ok {
+			t.Fatal("Next not ok")
+		}
+		seen[got]++
+	}
+	for _, n := range []NodeID{1, 2, 3} {
+		if seen[n] != 3 {
+			t.Errorf("neighbour %v chosen %d times in 9 picks, want 3", n, seen[n])
+		}
+	}
+}
+
+func TestLeastRecentSkipsUnreachable(t *testing.T) {
+	sel := NewLeastRecent(0, []NodeID{1, 2})
+	table := tableWith(map[NodeID]float64{1: 1, 2: 2})
+	table.MarkUnreachable(1, 0)
+	got, ok := sel.Next(1, table, nil)
+	if !ok || got != 2 {
+		t.Errorf("Next = (%v, %t), want n2", got, ok)
+	}
+	table.MarkUnreachable(2, 2)
+	if _, ok := sel.Next(3, table, nil); ok {
+		t.Error("Next with all unreachable should report not ok")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{"random", "demand-static", "demand-dynamic", "round-robin", "least-recent"} {
+		factory, ok := reg[name]
+		if !ok {
+			t.Errorf("registry missing %q", name)
+			continue
+		}
+		sel := factory(0, []NodeID{1})
+		if sel.Name() != name {
+			t.Errorf("factory %q built selector named %q", name, sel.Name())
+		}
+	}
+}
+
+// Property: demand-ordered selectors visit every reachable neighbour exactly
+// once per cycle (no starvation, no repeats).
+func TestOrderedCycleProperty(t *testing.T) {
+	for _, mk := range []Factory{NewStaticOrdered, NewDynamicOrdered} {
+		sel := mk(0, nil)
+		demands := map[NodeID]float64{}
+		r := rand.New(rand.NewSource(5))
+		for n := NodeID(1); n <= 10; n++ {
+			demands[n] = float64(r.Intn(100))
+		}
+		table := tableWith(demands)
+		for cycle := 0; cycle < 3; cycle++ {
+			seen := map[NodeID]bool{}
+			for i := 0; i < 10; i++ {
+				got, ok := sel.Next(float64(cycle*10+i), table, r)
+				if !ok {
+					t.Fatalf("%s: Next not ok", sel.Name())
+				}
+				if seen[got] {
+					t.Fatalf("%s: neighbour %v visited twice in one cycle", sel.Name(), got)
+				}
+				seen[got] = true
+			}
+			if len(seen) != 10 {
+				t.Fatalf("%s: cycle visited %d/10 neighbours", sel.Name(), len(seen))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+func TestKillAndRestartRecoversState(t *testing.T) {
+	g := topology.Ring(5)
+	field := demand.Uniform(5, 1, 20, randSource(51))
+	c := startCluster(t, g, field,
+		WithSeed(53), WithSessionInterval(15*time.Millisecond),
+		WithAdvertInterval(5*time.Millisecond))
+
+	// Seed some content and converge.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Write(0, "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("initial convergence failed")
+	}
+
+	// Crash replica 2.
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Alive(2) {
+		t.Fatal("killed replica reports alive")
+	}
+	if _, err := c.Write(2, "k", nil); err == nil {
+		t.Error("write to dead replica should error")
+	}
+	if err := c.Kill(2); err == nil {
+		t.Error("double kill should error")
+	}
+
+	// The remaining replicas keep making progress without it.
+	ts, err := c.Write(0, "during-outage", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel2()
+	if !c.WaitConverged(ctx2) {
+		t.Fatal("live replicas did not converge during the outage")
+	}
+
+	// Restart empty; anti-entropy must refill it, including the write made
+	// during the outage.
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(2); err == nil {
+		t.Error("restart of a live replica should error")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !c.Covers(2, ts) {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Digest(2) != c.Digest(0) {
+		t.Error("restarted replica's store differs")
+	}
+}
+
+func TestRestartAfterTruncationUsesSnapshot(t *testing.T) {
+	g := topology.Ring(4)
+	field := demand.Uniform(4, 1, 20, randSource(57))
+	c := startCluster(t, g, field,
+		WithSeed(59), WithSessionInterval(10*time.Millisecond),
+		WithAdvertInterval(5*time.Millisecond))
+
+	for i := 0; i < 8; i++ {
+		if _, err := c.Write(0, "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("initial convergence failed")
+	}
+
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors truncate aggressively: entry replay to an empty node is now
+	// impossible; recovery must use a snapshot.
+	if got := c.TruncateLogs(1); got == 0 {
+		t.Fatal("truncation discarded nothing")
+	}
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for c.Digest(1) != c.Digest(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never recovered via snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Stats(1).SnapshotsReceived; got == 0 {
+		t.Error("recovery did not use the snapshot path")
+	}
+}
+
+func TestKillValidation(t *testing.T) {
+	g := topology.Line(2)
+	c := New(g, demand.Static{1, 1})
+	if err := c.Kill(0); err == nil {
+		t.Error("Kill before Start should error")
+	}
+	if err := c.Kill(99); err == nil {
+		t.Error("Kill of unknown replica should error")
+	}
+	if err := c.Restart(0); err == nil {
+		t.Error("Restart before Start should error")
+	}
+	if c.Alive(99) {
+		t.Error("unknown replica reports alive")
+	}
+}

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// demandMeter estimates a replica's demand — client requests per second —
+// from the actual request stream, with exponential decay so the estimate
+// tracks shifting load. This realises the paper's §2 definition ("the
+// demand of a server is measured as the number of service requests by
+// their clients per time unit") without an oracle: the live cluster can
+// advertise *measured* demand.
+//
+// The estimator keeps acc = Σ exp(-(now-tᵢ)/τ) over request times tᵢ;
+// the rate estimate is acc/τ, whose expectation equals the true Poisson
+// rate in steady state.
+type demandMeter struct {
+	mu   sync.Mutex
+	tau  float64 // decay constant, seconds
+	acc  float64
+	last time.Time
+}
+
+// newDemandMeter creates a meter with the given averaging window; the
+// window behaves like a half-life of roughly 0.69·tau.
+func newDemandMeter(tau time.Duration) *demandMeter {
+	if tau <= 0 {
+		tau = time.Second
+	}
+	return &demandMeter{tau: tau.Seconds()}
+}
+
+// Record notes one client request at time now.
+func (m *demandMeter) Record(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decayTo(now)
+	m.acc++
+}
+
+// Rate returns the current requests-per-second estimate.
+func (m *demandMeter) Rate(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decayTo(now)
+	return m.acc / m.tau
+}
+
+func (m *demandMeter) decayTo(now time.Time) {
+	if m.last.IsZero() {
+		m.last = now
+		return
+	}
+	dt := now.Sub(m.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	m.acc *= math.Exp(-dt / m.tau)
+	m.last = now
+}

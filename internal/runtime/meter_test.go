@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+func TestDemandMeterSteadyRate(t *testing.T) {
+	m := newDemandMeter(time.Second)
+	start := time.Now()
+	// 100 requests/second for 5 simulated seconds.
+	for i := 0; i < 500; i++ {
+		m.Record(start.Add(time.Duration(i) * 10 * time.Millisecond))
+	}
+	got := m.Rate(start.Add(5 * time.Second))
+	if math.Abs(got-100) > 15 {
+		t.Errorf("steady-state rate = %.1f, want ~100", got)
+	}
+}
+
+func TestDemandMeterDecays(t *testing.T) {
+	m := newDemandMeter(time.Second)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		m.Record(start.Add(time.Duration(i) * 10 * time.Millisecond))
+	}
+	busy := m.Rate(start.Add(time.Second))
+	idle := m.Rate(start.Add(6 * time.Second)) // 5 tau later
+	if idle > busy/50 {
+		t.Errorf("rate did not decay: busy=%.1f idle=%.1f", busy, idle)
+	}
+}
+
+func TestDemandMeterZeroAtStart(t *testing.T) {
+	m := newDemandMeter(time.Second)
+	if got := m.Rate(time.Now()); got != 0 {
+		t.Errorf("fresh meter rate = %g, want 0", got)
+	}
+	// Defaulted tau on non-positive input.
+	m2 := newDemandMeter(0)
+	m2.Record(time.Now())
+	if m2.Rate(time.Now()) <= 0 {
+		t.Error("defaulted meter should still measure")
+	}
+}
+
+func TestDemandMeterNonMonotonicClockSafe(t *testing.T) {
+	m := newDemandMeter(time.Second)
+	now := time.Now()
+	m.Record(now)
+	m.Record(now.Add(-time.Second)) // clock went backwards
+	if got := m.Rate(now); got < 0 {
+		t.Errorf("negative rate %g after clock skew", got)
+	}
+}
+
+func TestMeasuredDemandDrivesTables(t *testing.T) {
+	// Node 1 receives heavy client traffic; its neighbours' demand tables
+	// must learn that through measured-demand advertisements, with no
+	// oracle field involved (the field is flat).
+	g := topology.Line(3)
+	flat := demand.Static{1, 1, 1}
+	c := startCluster(t, g, flat,
+		WithSeed(41),
+		WithMeasuredDemand(500*time.Millisecond),
+		WithAdvertInterval(5*time.Millisecond),
+		WithSessionInterval(50*time.Millisecond))
+
+	// Hammer reads at replica 1.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, _, err := c.Read(1, "any"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Replica 0's table should now rate replica 1 well above zero.
+	got := c.replicas[0].node.Table().Demand(1)
+	if got < 10 {
+		t.Errorf("advertised measured demand = %.1f req/s, want > 10", got)
+	}
+}
+
+func TestMeasuredDemandRoutesUpdates(t *testing.T) {
+	// Star topology: centre 0, leaves 1..4. Leaf 3 gets all the client
+	// traffic; a write at leaf 1 should fast-push through the centre to
+	// leaf 3 before the other (idle) leaves on average.
+	adjStar := topology.Star(5)
+	flat := demand.Static{1, 1, 1, 1, 1}
+	c := startCluster(t, adjStar, flat,
+		WithSeed(43),
+		WithMeasuredDemand(time.Second),
+		WithAdvertInterval(5*time.Millisecond),
+		WithSessionInterval(60*time.Millisecond))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Read(3, "any")
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(60 * time.Millisecond) // let adverts propagate the hot spot
+
+	ts, err := c.Write(1, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Watch(ts)
+	select {
+	case <-w.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("watch never completed")
+	}
+	close(stop)
+	<-done
+
+	t3, _ := w.TimeOf(3)
+	t2, ok2 := w.TimeOf(2)
+	t4, ok4 := w.TimeOf(4)
+	if !ok2 || !ok4 {
+		t.Fatal("watch missing leaves")
+	}
+	if t3 > t2 && t3 > t4 {
+		t.Errorf("hot leaf arrived last: hot=%v idle=%v,%v", t3, t2, t4)
+	}
+}

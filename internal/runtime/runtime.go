@@ -1,0 +1,622 @@
+// Package runtime runs a live fast-consistency cluster: one goroutine per
+// replica, real message passing, wall-clock session timers. It drives the
+// same node state machine as the Monte-Carlo simulator, which is the
+// repository's evidence that the algorithm is implementable as a service,
+// not only as a simulation — the deployment the paper's introduction
+// motivates ("clients will be able to contact the nearest replica").
+//
+// Replicas exchange envelopes over a transport.Memory network by default
+// (microsecond "links"), or over TCP endpoints supplied by the caller.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/node"
+	"repro/internal/policy"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Option configures a Cluster.
+type Option func(*options)
+
+type options struct {
+	sessionMean    time.Duration
+	advertInterval time.Duration
+	policy         policy.Factory
+	fastPush       bool
+	fanOut         int
+	seed           int64
+	tracer         *trace.Ring
+	netCfg         transport.MemoryConfig
+	measuredTau    time.Duration // > 0 enables measured demand
+}
+
+func defaultOptions() options {
+	return options{
+		sessionMean:    50 * time.Millisecond,
+		advertInterval: 20 * time.Millisecond,
+		policy:         policy.NewDynamicOrdered,
+		fastPush:       true,
+		fanOut:         1,
+		seed:           1,
+	}
+}
+
+// WithSessionInterval sets the mean anti-entropy interval per replica
+// (intervals are exponentially distributed around it).
+func WithSessionInterval(d time.Duration) Option {
+	return func(o *options) { o.sessionMean = d }
+}
+
+// WithAdvertInterval sets the demand-advertisement period (§4's routing-like
+// refresh).
+func WithAdvertInterval(d time.Duration) Option {
+	return func(o *options) { o.advertInterval = d }
+}
+
+// WithPolicy selects the partner-selection policy (default demand-dynamic).
+func WithPolicy(f policy.Factory) Option {
+	return func(o *options) { o.policy = f }
+}
+
+// WithFastPush toggles the fast-update chains (default on).
+func WithFastPush(enabled bool) Option {
+	return func(o *options) { o.fastPush = enabled }
+}
+
+// WithFanOut sets the fast-offer fan-out (default 1).
+func WithFanOut(n int) Option {
+	return func(o *options) { o.fanOut = n }
+}
+
+// WithSeed seeds all per-replica RNGs deterministically.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithTrace attaches a trace ring.
+func WithTrace(r *trace.Ring) Option {
+	return func(o *options) { o.tracer = r }
+}
+
+// WithNetwork tunes the in-memory network (latency, loss).
+func WithNetwork(cfg transport.MemoryConfig) Option {
+	return func(o *options) { o.netCfg = cfg }
+}
+
+// WithMeasuredDemand makes replicas advertise demand measured from their
+// actual client request stream (exponentially decayed requests/second with
+// averaging window tau) instead of evaluating the configured demand field.
+// The field is then used only by workload generators, matching the paper's
+// §2 definition of demand as observed request rate.
+func WithMeasuredDemand(tau time.Duration) Option {
+	return func(o *options) { o.measuredTau = tau }
+}
+
+// Cluster is a running set of replicas.
+type Cluster struct {
+	opts  options
+	graph *topology.Graph
+	field demand.Field
+	net   *transport.Memory
+
+	replicas []*replica
+
+	mu      sync.Mutex
+	watches []*Watch
+	started bool
+	stopped bool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	start   time.Time
+}
+
+// New assembles a cluster over the graph with the given demand field. Call
+// Start to launch it.
+func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Cluster{
+		opts:  o,
+		graph: g,
+		field: field,
+		net:   transport.NewMemory(o.netCfg),
+	}
+	for i := 0; i < g.N(); i++ {
+		id := NodeID(i)
+		nbrs := g.NeighborsCopy(id)
+		r := &replica{
+			cluster: c,
+			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
+			ep:      c.net.Attach(id),
+		}
+		r.node = node.New(node.Config{
+			ID:        id,
+			Neighbors: nbrs,
+			Selector:  o.policy(id, nbrs),
+			FastPush:  o.fastPush,
+			FanOut:    o.fanOut,
+			Demand:    demandSource(&o, r, field, id),
+		})
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+// demandSource returns the node's own-demand function: the configured field
+// by default, or the replica's request meter under WithMeasuredDemand.
+func demandSource(o *options, r *replica, field demand.Field, id NodeID) func(float64) float64 {
+	if o.measuredTau <= 0 {
+		return func(now float64) float64 { return field.At(id, now) }
+	}
+	r.meter = newDemandMeter(o.measuredTau)
+	return func(float64) float64 { return r.meter.Rate(time.Now()) }
+}
+
+// N returns the number of replicas.
+func (c *Cluster) N() int { return len(c.replicas) }
+
+// Start launches every replica goroutine. The cluster stops when ctx is
+// cancelled or Stop is called.
+func (c *Cluster) Start(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("runtime: cluster already started")
+	}
+	c.started = true
+	c.start = time.Now()
+	c.ctx, c.cancel = context.WithCancel(ctx)
+	for _, r := range c.replicas {
+		r.spawn(c.ctx, &c.wg)
+	}
+	return nil
+}
+
+// Kill crashes replica id: its goroutine exits and its endpoint closes, so
+// peers' sends fail and their demand tables mark it unreachable (§4's
+// availability signal). The replica's state is discarded; use Restart to
+// bring it back empty.
+func (c *Cluster) Kill(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return fmt.Errorf("runtime: no replica %v", id)
+	}
+	c.mu.Lock()
+	started, stopped := c.started, c.stopped
+	c.mu.Unlock()
+	if !started || stopped {
+		return errors.New("runtime: cluster not running")
+	}
+	r := c.replicas[id]
+	r.mu.Lock()
+	if r.dead {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: replica %v already dead", id)
+	}
+	cancel, done := r.cancel, r.done
+	r.mu.Unlock()
+	cancel()
+	<-done
+	r.ep.Close()
+	r.mu.Lock()
+	r.dead = true
+	r.mu.Unlock()
+	return nil
+}
+
+// Restart brings a killed replica back with *empty* state: a fresh node
+// rejoins under the same identity and recovers everything through normal
+// anti-entropy (or a full-state snapshot if peers have truncated their
+// logs past its empty summary). Only memory-backed clusters support
+// restart.
+func (c *Cluster) Restart(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return fmt.Errorf("runtime: no replica %v", id)
+	}
+	if c.net == nil {
+		return errors.New("runtime: restart unsupported on TCP clusters")
+	}
+	c.mu.Lock()
+	started, stopped := c.started, c.stopped
+	ctx := c.ctx
+	c.mu.Unlock()
+	if !started || stopped {
+		return errors.New("runtime: cluster not running")
+	}
+	r := c.replicas[id]
+	r.mu.Lock()
+	if !r.dead {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: replica %v is alive", id)
+	}
+	nbrs := c.graph.NeighborsCopy(id)
+	r.node = node.New(node.Config{
+		ID:        id,
+		Neighbors: nbrs,
+		Selector:  c.opts.policy(id, nbrs),
+		FastPush:  c.opts.fastPush,
+		FanOut:    c.opts.fanOut,
+		Demand:    demandSource(&c.opts, r, c.field, id),
+	})
+	r.ep = c.net.Attach(id)
+	r.dead = false
+	r.mu.Unlock()
+	r.spawn(ctx, &c.wg)
+	return nil
+}
+
+// Alive reports whether replica id is currently running.
+func (c *Cluster) Alive(id NodeID) bool {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return false
+	}
+	r := c.replicas[id]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.dead && r.done != nil
+}
+
+// TruncateLogs aggressively truncates every live replica's write log to the
+// most recent keep entries per origin, returning the total discarded. It
+// exists so operators (and tests) can exercise the snapshot-recovery path.
+func (c *Cluster) TruncateLogs(keep int) int {
+	total := 0
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if !r.dead {
+			total += r.node.Log().TruncateKeepLast(keep)
+		}
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// Stop shuts the cluster down and waits for every replica goroutine to
+// exit. Safe to call more than once.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if !c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	cancel := c.cancel
+	c.mu.Unlock()
+	cancel()
+	c.wg.Wait()
+	if c.net != nil {
+		c.net.Close()
+		return
+	}
+	// TCP-backed clusters own their endpoints directly.
+	for _, r := range c.replicas {
+		_ = r.ep.Close()
+	}
+}
+
+// now returns seconds since cluster start — the time base fed to demand
+// fields and node logic.
+func (c *Cluster) now() float64 { return time.Since(c.start).Seconds() }
+
+// Write injects a client write at the given replica and returns the entry.
+func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, error) {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return vclock.Timestamp{}, fmt.Errorf("runtime: no replica %v", id)
+	}
+	r := c.replicas[id]
+	if r.meter != nil {
+		r.meter.Record(time.Now())
+	}
+	r.mu.Lock()
+	if r.dead {
+		r.mu.Unlock()
+		return vclock.Timestamp{}, fmt.Errorf("runtime: replica %v is down", id)
+	}
+	e, out := r.node.ClientWrite(c.now(), key, value)
+	r.mu.Unlock()
+	c.checkWatches(id)
+	r.sendAll(out)
+	return e.TS, nil
+}
+
+// Read serves a client read at a replica.
+func (c *Cluster) Read(id NodeID, key string) ([]byte, bool, error) {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return nil, false, fmt.Errorf("runtime: no replica %v", id)
+	}
+	r := c.replicas[id]
+	if r.meter != nil {
+		r.meter.Record(time.Now())
+	}
+	v, ok := r.node.Store().Get(key)
+	return v, ok, nil
+}
+
+// Covers reports whether replica id has the write ts.
+func (c *Cluster) Covers(id NodeID, ts vclock.Timestamp) bool {
+	r := c.replicas[id]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Covers(ts)
+}
+
+// Stats returns a replica's protocol counters.
+func (c *Cluster) Stats(id NodeID) node.Stats {
+	r := c.replicas[id]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Stats()
+}
+
+// Digest returns a replica's store digest.
+func (c *Cluster) Digest(id NodeID) uint64 {
+	return c.replicas[id].node.Store().Digest()
+}
+
+// Converged reports whether all *live* replicas hold equal summaries.
+// Killed replicas are excluded: they are not part of the replica set until
+// restarted.
+func (c *Cluster) Converged() bool {
+	var ref *vclock.Summary
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if r.dead {
+			r.mu.Unlock()
+			continue
+		}
+		s := r.node.Summary()
+		r.mu.Unlock()
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if s.Compare(ref) != vclock.Equal {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitConverged polls until all replicas converge or ctx expires.
+func (c *Cluster) WaitConverged(ctx context.Context) bool {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if c.Converged() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return c.Converged()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Watch observes the propagation of one write across the cluster.
+type Watch struct {
+	ts    vclock.Timestamp
+	start time.Time
+
+	mu        sync.Mutex
+	times     map[NodeID]time.Duration
+	remaining int
+	done      chan struct{}
+}
+
+// Watch starts observing the write ts. Replicas already covering it are
+// recorded at elapsed 0.
+func (c *Cluster) Watch(ts vclock.Timestamp) *Watch {
+	w := &Watch{
+		ts:        ts,
+		start:     time.Now(),
+		times:     make(map[NodeID]time.Duration, len(c.replicas)),
+		remaining: len(c.replicas),
+		done:      make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.watches = append(c.watches, w)
+	c.mu.Unlock()
+	for _, r := range c.replicas {
+		c.checkWatches(r.node.ID())
+	}
+	return w
+}
+
+// Done is closed when every replica covers the watched write.
+func (w *Watch) Done() <-chan struct{} { return w.done }
+
+// TimeOf returns when replica id first covered the write (elapsed since
+// Watch creation).
+func (w *Watch) TimeOf(id NodeID) (time.Duration, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d, ok := w.times[id]
+	return d, ok
+}
+
+// Times returns a copy of all recorded coverage times.
+func (w *Watch) Times() map[NodeID]time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[NodeID]time.Duration, len(w.times))
+	for id, d := range w.times {
+		out[id] = d
+	}
+	return out
+}
+
+func (w *Watch) record(id NodeID) (complete bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.times[id]; ok {
+		return false
+	}
+	w.times[id] = time.Since(w.start)
+	w.remaining--
+	if w.remaining == 0 {
+		close(w.done)
+		return true
+	}
+	return false
+}
+
+// checkWatches records coverage of all active watches for replica id.
+func (c *Cluster) checkWatches(id NodeID) {
+	c.mu.Lock()
+	watches := append([]*Watch(nil), c.watches...)
+	c.mu.Unlock()
+	if len(watches) == 0 {
+		return
+	}
+	r := c.replicas[id]
+	for _, w := range watches {
+		r.mu.Lock()
+		covered := r.node.Covers(w.ts)
+		r.mu.Unlock()
+		if !covered {
+			continue
+		}
+		if w.record(id) {
+			// Watch complete: drop it from the active list.
+			c.mu.Lock()
+			for i, cw := range c.watches {
+				if cw == w {
+					c.watches = append(c.watches[:i], c.watches[i+1:]...)
+					break
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// replica is one live node: goroutine, endpoint, RNG, and the shared state
+// machine guarded by mu (the run loop and external API both touch it).
+type replica struct {
+	cluster *Cluster
+	node    *node.Node
+	ep      transport.Endpoint
+	rng     *rand.Rand
+	meter   *demandMeter // nil unless WithMeasuredDemand
+	mu      sync.Mutex
+
+	// Lifecycle, guarded by mu: cancel/done belong to the current
+	// incarnation's goroutine; dead marks a killed replica.
+	cancel context.CancelFunc
+	done   chan struct{}
+	dead   bool
+}
+
+// spawn launches (or relaunches) the replica goroutine.
+func (r *replica) spawn(parent context.Context, wg *sync.WaitGroup) {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{})
+	r.mu.Lock()
+	r.cancel = cancel
+	r.done = done
+	r.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		r.run(ctx)
+	}()
+}
+
+func (r *replica) run(ctx context.Context) {
+	c := r.cluster
+	sessionTimer := time.NewTimer(r.expInterval())
+	defer sessionTimer.Stop()
+	advertTicker := time.NewTicker(c.opts.advertInterval)
+	defer advertTicker.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.handle(env)
+		case <-sessionTimer.C:
+			r.session()
+			sessionTimer.Reset(r.expInterval())
+		case <-advertTicker.C:
+			r.advertise()
+		}
+	}
+}
+
+func (r *replica) expInterval() time.Duration {
+	mean := float64(r.cluster.opts.sessionMean)
+	r.mu.Lock()
+	v := r.rng.ExpFloat64()
+	r.mu.Unlock()
+	d := time.Duration(v * mean)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (r *replica) handle(env protocol.Envelope) {
+	c := r.cluster
+	r.mu.Lock()
+	out := r.node.HandleMessage(c.now(), env)
+	r.mu.Unlock()
+	c.opts.tracer.Debugf(r.node.ID(), "handled %v (+%d out)", env, len(out))
+	c.checkWatches(r.node.ID())
+	r.sendAll(out)
+}
+
+func (r *replica) session() {
+	c := r.cluster
+	r.mu.Lock()
+	out := r.node.StartSession(c.now(), r.rng)
+	r.mu.Unlock()
+	if len(out) > 0 {
+		c.opts.tracer.Debugf(r.node.ID(), "session with %v", out[0].To)
+	}
+	r.sendAll(out)
+}
+
+func (r *replica) advertise() {
+	c := r.cluster
+	r.mu.Lock()
+	out := r.node.AdvertiseDemand(c.now())
+	r.mu.Unlock()
+	r.sendAll(out)
+}
+
+// sendAll transmits envelopes, marking unreachable peers in the demand
+// table (the availability signal §4 calls "an added advantage").
+func (r *replica) sendAll(envs []protocol.Envelope) {
+	c := r.cluster
+	for _, env := range envs {
+		if err := r.ep.Send(env); err != nil {
+			r.mu.Lock()
+			r.node.Table().MarkUnreachable(env.To, c.now())
+			r.mu.Unlock()
+			c.opts.tracer.Warnf(r.node.ID(), "send to %v failed: %v", env.To, err)
+		}
+	}
+}

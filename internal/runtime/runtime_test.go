@@ -1,0 +1,221 @@
+package runtime
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func startCluster(t *testing.T, g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
+	t.Helper()
+	c := New(g, field, opts...)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterConvergesSingleWrite(t *testing.T) {
+	g := topology.Ring(8)
+	field := demand.Uniform(8, 1, 10, randSource(1))
+	c := startCluster(t, g, field, WithSeed(2))
+
+	ts, err := c.Write(0, "greeting", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("cluster did not converge")
+	}
+	for id := NodeID(0); id < 8; id++ {
+		if !c.Covers(id, ts) {
+			t.Errorf("replica %v missing the write", id)
+		}
+		v, ok, err := c.Read(id, "greeting")
+		if err != nil || !ok || string(v) != "hello" {
+			t.Errorf("Read(%v) = (%q, %t, %v)", id, v, ok, err)
+		}
+	}
+	// All stores identical.
+	d0 := c.Digest(0)
+	for id := NodeID(1); id < 8; id++ {
+		if c.Digest(id) != d0 {
+			t.Errorf("replica %v digest differs", id)
+		}
+	}
+}
+
+func TestClusterConcurrentWriters(t *testing.T) {
+	g := topology.BarabasiAlbert(12, 2, randSource(3))
+	field := demand.Uniform(12, 1, 50, randSource(4))
+	c := startCluster(t, g, field, WithSeed(5))
+
+	for i := 0; i < 12; i++ {
+		if _, err := c.Write(NodeID(i), "key", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("cluster did not converge after concurrent writes")
+	}
+	// LWW must agree everywhere.
+	d0 := c.Digest(0)
+	for id := NodeID(1); id < 12; id++ {
+		if c.Digest(id) != d0 {
+			t.Fatalf("replica %v store diverged", id)
+		}
+	}
+}
+
+func TestWatchRecordsPropagationOrder(t *testing.T) {
+	// Line with demand increasing toward node 4: fast push must deliver to
+	// the high-demand end fast; the watch records every replica.
+	g := topology.Line(5)
+	field := demand.Static{1, 2, 3, 4, 5}
+	c := startCluster(t, g, field, WithSeed(7),
+		WithSessionInterval(40*time.Millisecond),
+		WithAdvertInterval(5*time.Millisecond))
+
+	// Give adverts a moment to populate tables.
+	time.Sleep(30 * time.Millisecond)
+
+	ts, err := c.Write(0, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Watch(ts)
+	select {
+	case <-w.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch never completed")
+	}
+	times := w.Times()
+	if len(times) != 5 {
+		t.Fatalf("recorded %d replicas, want 5", len(times))
+	}
+	if d, _ := w.TimeOf(0); d > 5*time.Millisecond {
+		t.Errorf("origin time = %v, want ~0 (recorded at watch creation)", d)
+	}
+	// The fast chain should beat a full session interval to the valley.
+	if d := times[4]; d > 40*time.Millisecond {
+		t.Logf("valley node took %v (> one session interval) — chain may have missed; times=%v", d, times)
+	}
+}
+
+func TestWatchExistingCoverage(t *testing.T) {
+	g := topology.Line(2)
+	c := startCluster(t, g, demand.Static{1, 1}, WithSeed(9))
+	ts, err := c.Write(1, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Watch(ts)
+	// The writer itself must be recorded immediately.
+	if _, ok := w.TimeOf(1); !ok {
+		t.Error("watch missed pre-covered replica")
+	}
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	g := topology.Line(3)
+	c := New(g, demand.Static{1, 1, 1})
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // second stop must not panic or hang
+	if err := c.Start(context.Background()); err == nil {
+		t.Error("restarting a started cluster should error")
+	}
+}
+
+func TestClusterWriteBounds(t *testing.T) {
+	g := topology.Line(2)
+	c := startCluster(t, g, demand.Static{1, 1})
+	if _, err := c.Write(99, "k", nil); err == nil {
+		t.Error("Write to unknown replica should error")
+	}
+	if _, _, err := c.Read(99, "k"); err == nil {
+		t.Error("Read from unknown replica should error")
+	}
+}
+
+func TestClusterWithWeakPolicy(t *testing.T) {
+	g := topology.Ring(6)
+	field := demand.Uniform(6, 1, 10, randSource(11))
+	c := startCluster(t, g, field,
+		WithPolicy(policy.NewRandom), WithFastPush(false), WithSeed(13))
+	ts, err := c.Write(2, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("weak-policy cluster did not converge")
+	}
+	for id := NodeID(0); id < 6; id++ {
+		if !c.Covers(id, ts) {
+			t.Errorf("replica %v missing write under weak policy", id)
+		}
+	}
+	// No fast activity under weak config.
+	for id := NodeID(0); id < 6; id++ {
+		if st := c.Stats(id); st.FastOffersSent != 0 {
+			t.Errorf("replica %v sent fast offers with FastPush off", id)
+		}
+	}
+}
+
+func TestClusterSurvivesMessageLoss(t *testing.T) {
+	g := topology.Ring(6)
+	field := demand.Uniform(6, 1, 10, randSource(17))
+	c := startCluster(t, g, field, WithSeed(19),
+		WithNetwork(transport.MemoryConfig{LossRate: 0.3, Seed: 23}),
+		WithSessionInterval(15*time.Millisecond))
+	ts, err := c.Write(0, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("cluster did not converge under 30% loss")
+	}
+	for id := NodeID(0); id < 6; id++ {
+		if !c.Covers(id, ts) {
+			t.Errorf("replica %v missing write despite anti-entropy", id)
+		}
+	}
+}
+
+func TestClusterTraceAttached(t *testing.T) {
+	ring := trace.NewRing(1024, trace.LevelDebug)
+	g := topology.Line(3)
+	c := startCluster(t, g, demand.Static{1, 2, 3}, WithTrace(ring), WithSeed(29),
+		WithSessionInterval(10*time.Millisecond))
+	if _, err := c.Write(0, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c.WaitConverged(ctx)
+	if ring.Count() == 0 {
+		t.Error("trace ring recorded nothing")
+	}
+}
+
+// randSource is a tiny helper so tests read naturally.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

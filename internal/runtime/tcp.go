@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/demand"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// NewTCP assembles a cluster whose replicas talk over real TCP sockets on
+// the loopback (or any) interface: one listener per replica, peers wired
+// according to the graph's edges. It exercises the full wire codec and
+// framing path end to end.
+//
+// The caller still drives the cluster through the normal Start/Stop/Write
+// API. Addresses are chosen by the kernel (port 0) on addrHost, e.g.
+// "127.0.0.1".
+func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Option) (*Cluster, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Cluster{
+		opts:  o,
+		graph: g,
+		field: field,
+		// net stays nil for TCP clusters; Stop closes endpoints directly.
+	}
+	endpoints := make([]*transport.TCP, g.N())
+	for i := 0; i < g.N(); i++ {
+		ep, err := transport.ListenTCP(NodeID(i), addrHost+":0")
+		if err != nil {
+			for _, prev := range endpoints[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("runtime: replica %d: %w", i, err)
+		}
+		endpoints[i] = ep
+	}
+	// Wire peers along graph edges (both directions).
+	for i := 0; i < g.N(); i++ {
+		for _, nb := range g.Neighbors(NodeID(i)) {
+			endpoints[i].AddPeer(nb, endpoints[nb].Addr())
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		id := NodeID(i)
+		nbrs := g.NeighborsCopy(id)
+		r := &replica{
+			cluster: c,
+			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
+			ep:      endpoints[i],
+		}
+		r.node = node.New(node.Config{
+			ID:        id,
+			Neighbors: nbrs,
+			Selector:  o.policy(id, nbrs),
+			FastPush:  o.fastPush,
+			FanOut:    o.fanOut,
+			Demand:    demandSource(&o, r, field, id),
+		})
+		c.replicas = append(c.replicas, r)
+	}
+	return c, nil
+}

@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+func TestTCPClusterConverges(t *testing.T) {
+	g := topology.Ring(5)
+	field := demand.Static{1, 2, 3, 4, 5}
+	c, err := NewTCP(g, field, "127.0.0.1",
+		WithSeed(31),
+		WithSessionInterval(25*time.Millisecond),
+		WithAdvertInterval(10*time.Millisecond))
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	ts, err := c.Write(0, "over-tcp", []byte("real sockets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("TCP cluster did not converge")
+	}
+	for id := NodeID(0); id < 5; id++ {
+		if !c.Covers(id, ts) {
+			t.Errorf("replica %v missing the write over TCP", id)
+		}
+		v, ok, err := c.Read(id, "over-tcp")
+		if err != nil || !ok || string(v) != "real sockets" {
+			t.Errorf("Read(%v) = (%q, %t, %v)", id, v, ok, err)
+		}
+	}
+}
+
+func TestTCPClusterStopClosesEndpoints(t *testing.T) {
+	g := topology.Line(3)
+	c, err := NewTCP(g, demand.Static{1, 1, 1}, "127.0.0.1", WithSeed(37))
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // idempotent for TCP clusters too
+}

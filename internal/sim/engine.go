@@ -1,0 +1,169 @@
+// Package sim is the discrete-event simulation engine the experiments run
+// on — the repository's stand-in for the NS-2 simulator the paper used.
+//
+// The engine executes callbacks in non-decreasing simulated-time order with
+// FIFO tie-breaking, so runs are fully deterministic given deterministic
+// callbacks. Time is a float64 in "session units": protocol components
+// schedule anti-entropy sessions at exponential intervals with mean 1, which
+// makes the engine's clock directly comparable to the session axis of the
+// paper's Figs. 5–6.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EventID identifies a scheduled event for cancellation. The zero value is
+// never a valid id.
+type EventID uint64
+
+type event struct {
+	time float64
+	seq  EventID // insertion order; breaks time ties FIFO
+	fn   func()
+	idx  int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. Engine is not safe for concurrent use: all scheduling
+// happens from the driving goroutine or from within event callbacks.
+type Engine struct {
+	now     float64
+	heap    eventHeap
+	nextSeq EventID
+	byID    map[EventID]*event
+	steps   uint64
+}
+
+// New returns an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns how many events have executed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns how many events are scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn at absolute time t (>= Now) and returns its id.
+func (e *Engine) At(t float64, fn func()) EventID {
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past (t=%g, now=%g)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e.nextSeq++
+	ev := &event{time: t, seq: e.nextSeq, fn: fn}
+	heap.Push(&e.heap, ev)
+	if e.byID == nil {
+		e.byID = make(map[EventID]*event)
+	}
+	e.byID[ev.seq] = ev
+	return ev.seq
+}
+
+// After schedules fn d time units from now (d >= 0).
+func (e *Engine) After(d float64, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already ran, was cancelled, or never existed).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.heap, ev.idx)
+	delete(e.byID, id)
+	return true
+}
+
+// step executes the earliest event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	delete(e.byID, ev.seq)
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() float64 {
+	for e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// deadline (even if no event landed exactly there). Events scheduled beyond
+// the deadline remain pending.
+func (e *Engine) RunUntil(deadline float64) {
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunUntil into the past (deadline=%g, now=%g)", deadline, e.now))
+	}
+	for len(e.heap) > 0 && e.heap[0].time <= deadline {
+		e.step()
+	}
+	e.now = deadline
+}
+
+// RunFor advances the simulation by d time units.
+func (e *Engine) RunFor(d float64) { e.RunUntil(e.now + d) }
+
+// ExpInterval draws an exponential inter-session interval with the given
+// mean using r. It is the session timer of the weak-consistency model:
+// "each server from time to time chooses a neighbour" — memoryless random
+// times with a common rate.
+func ExpInterval(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("sim: non-positive mean interval %g", mean))
+	}
+	return r.ExpFloat64() * mean
+}

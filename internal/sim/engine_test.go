@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("final time = %g, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestTieBrokenFIFO(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(1, func() { order = append(order, "first") })
+	e.At(1, func() { order = append(order, "second") })
+	e.At(1, func() { order = append(order, "third") })
+	e.Run()
+	if order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Errorf("tie order = %v, want FIFO", order)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(0.5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v, want [1 1.5]", times)
+	}
+}
+
+func TestSchedulingPastPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past should panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestSchedulingNaNOrNilPanics(t *testing.T) {
+	e := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(NaN) should panic")
+			}
+		}()
+		e.At(math.NaN(), func() {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At with nil fn should panic")
+			}
+		}()
+		e.At(1, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("After with negative delay should panic")
+			}
+		}()
+		e.After(-1, func() {})
+	}()
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	id := e.At(1, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Error("Cancel of pending event should report true")
+	}
+	if e.Cancel(id) {
+		t.Error("second Cancel should report false")
+	}
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Cancelling an executed event reports false.
+	id2 := e.At(2, func() {})
+	e.Run()
+	if e.Cancel(id2) {
+		t.Error("Cancel of executed event should report false")
+	}
+	if e.Cancel(EventID(9999)) {
+		t.Error("Cancel of unknown id should report false")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var order []int
+	ids := make([]EventID, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		ids[i] = e.At(float64(i+1), func() { order = append(order, i) })
+	}
+	e.Cancel(ids[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var ran []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		e.At(tm, func() { ran = append(ran, tm) })
+	}
+	e.RunUntil(2.5)
+	if len(ran) != 2 {
+		t.Errorf("events run by 2.5 = %v, want [1 2]", ran)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("Now = %g, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunFor(10)
+	if len(ran) != 4 {
+		t.Errorf("events after RunFor = %v, want all 4", ran)
+	}
+	if e.Now() != 12.5 {
+		t.Errorf("Now = %g, want 12.5", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil into the past should panic")
+		}
+	}()
+	e.RunUntil(1)
+}
+
+func TestClockNeverGoesBackward(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		last := -1.0
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.After(r.Float64()*2, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				if r.Intn(2) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < 20; i++ {
+			schedule(0)
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("clock monotonicity violated: %v", err)
+	}
+}
+
+func TestExpInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := ExpInterval(r, 2)
+		if v < 0 {
+			t.Fatalf("negative interval %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("empirical mean = %g, want ~2", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpInterval with non-positive mean should panic")
+		}
+	}()
+	ExpInterval(r, 0)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := New()
+		r := rand.New(rand.NewSource(7))
+		var times []float64
+		var tick func()
+		tick = func() {
+			times = append(times, e.Now())
+			if len(times) < 50 {
+				e.After(ExpInterval(r, 1), tick)
+			}
+		}
+		e.After(ExpInterval(r, 1), tick)
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at step %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 100; j++ {
+			e.At(float64(j%10), func() {})
+		}
+		e.Run()
+	}
+}

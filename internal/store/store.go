@@ -1,0 +1,234 @@
+// Package store implements the replicated key-value content store each
+// replica serves to its clients.
+//
+// The paper's model (§2) is a fully replicated system: every node must
+// eventually hold exactly the same content. Writes arrive as wlog entries;
+// the store applies them with last-writer-wins resolution on the entry's
+// Lamport clock (ties broken by origin id), which is deterministic and
+// order-independent, so any two replicas that have applied the same set of
+// entries hold identical content — the convergence property anti-entropy
+// relies on.
+//
+// The store also tracks read statistics: how many client reads were served
+// and how many of those were served with *stale* content relative to a
+// reference version. This is the paper's headline metric — "number of
+// requests satisfied with consistent content" (Fig. 3).
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+// Versioned is a stored value together with the write that produced it.
+type Versioned struct {
+	Value []byte
+	TS    vclock.Timestamp
+	Clock uint64
+}
+
+// Store is a convergent replicated KV store. The zero value is ready to use.
+// Store is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	kv      map[string]Versioned
+	applied int
+
+	reads      uint64
+	staleReads uint64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Apply folds one write into the store. Apply is idempotent for a given
+// entry and commutative across distinct entries: the final state depends
+// only on the set of entries applied.
+func (s *Store) Apply(e wlog.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kv == nil {
+		s.kv = make(map[string]Versioned)
+	}
+	s.applied++
+	cur, ok := s.kv[e.Key]
+	if ok && !wins(e, cur) {
+		return
+	}
+	v := Versioned{TS: e.TS, Clock: e.Clock}
+	if e.Value != nil {
+		v.Value = append([]byte(nil), e.Value...)
+	}
+	s.kv[e.Key] = v
+}
+
+// wins reports whether entry e supersedes the current versioned value under
+// last-writer-wins: higher Lamport clock wins, ties broken by the total
+// order on timestamps.
+func wins(e wlog.Entry, cur Versioned) bool {
+	if e.Clock != cur.Clock {
+		return e.Clock > cur.Clock
+	}
+	return e.TS.Compare(cur.TS) > 0
+}
+
+// Get returns the current value for key and whether it exists. It counts as
+// a client read.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	v, ok := s.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v.Value...), true
+}
+
+// GetVersion returns the version metadata for key without counting a read.
+func (s *Store) GetVersion(key string) (Versioned, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.kv[key]
+	if !ok {
+		return Versioned{}, false
+	}
+	out := v
+	out.Value = append([]byte(nil), v.Value...)
+	return out, true
+}
+
+// ReadAsOf serves a client read of key and records whether the served
+// version is at least want (the reference write). A read is stale when the
+// key is absent or its version's write is neither want itself nor a
+// later-clocked write. This implements the paper's "requests satisfied with
+// consistent (updated) content" counter.
+func (s *Store) ReadAsOf(key string, want vclock.Timestamp, wantClock uint64) (fresh bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	v, ok := s.kv[key]
+	fresh = ok && (v.TS == want || v.Clock > wantClock ||
+		(v.Clock == wantClock && v.TS.Compare(want) >= 0))
+	if !fresh {
+		s.staleReads++
+	}
+	return fresh
+}
+
+// Keys returns all keys in ascending order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.kv))
+	for k := range s.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.kv)
+}
+
+// Applied returns how many entries have been applied (including no-ops that
+// lost LWW resolution).
+func (s *Store) Applied() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// ReadStats returns the total reads served and how many were stale.
+func (s *Store) ReadStats() (reads, stale uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads, s.staleReads
+}
+
+// Item is one key's versioned state, the unit of full-state snapshots.
+type Item struct {
+	Key   string
+	Value []byte
+	TS    vclock.Timestamp
+	Clock uint64
+}
+
+// Snapshot exports the store's current contents in ascending key order,
+// with copied values.
+func (s *Store) Snapshot() []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.kv))
+	for k := range s.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	items := make([]Item, 0, len(keys))
+	for _, k := range keys {
+		v := s.kv[k]
+		items = append(items, Item{
+			Key:   k,
+			Value: append([]byte(nil), v.Value...),
+			TS:    v.TS,
+			Clock: v.Clock,
+		})
+	}
+	return items
+}
+
+// ApplySnapshot merges a full-state snapshot using the same LWW resolution
+// as Apply, so it is safe regardless of interleaving with entry-wise
+// updates.
+func (s *Store) ApplySnapshot(items []Item) {
+	for _, item := range items {
+		s.Apply(wlog.Entry{TS: item.TS, Key: item.Key, Value: item.Value, Clock: item.Clock})
+	}
+}
+
+// Digest returns a deterministic fingerprint of the store content, usable to
+// check that two replicas converged to identical state. It is an FNV-1a hash
+// over sorted key/value/version triples.
+func (s *Store) Digest() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	keys := make([]string, 0, len(s.kv))
+	for k := range s.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			mix(k[i])
+		}
+		mix(0)
+		v := s.kv[k]
+		for _, b := range v.Value {
+			mix(b)
+		}
+		mix(0)
+		for i := 0; i < 8; i++ {
+			mix(byte(v.Clock >> (8 * i)))
+		}
+		for i := 0; i < 4; i++ {
+			mix(byte(uint32(v.TS.Node) >> (8 * i)))
+		}
+		for i := 0; i < 8; i++ {
+			mix(byte(v.TS.Seq >> (8 * i)))
+		}
+	}
+	return h
+}

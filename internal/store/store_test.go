@@ -1,0 +1,268 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+func entry(node vclock.NodeID, seq uint64, key, val string, clock uint64) wlog.Entry {
+	return wlog.Entry{
+		TS:    vclock.Timestamp{Node: node, Seq: seq},
+		Key:   key,
+		Value: []byte(val),
+		Clock: clock,
+	}
+}
+
+func TestApplyAndGet(t *testing.T) {
+	s := New()
+	s.Apply(entry(1, 1, "k", "v1", 1))
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get = (%q, %t), want (v1, true)", got, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Error("Get of absent key should report false")
+	}
+}
+
+func TestLWWHigherClockWins(t *testing.T) {
+	s := New()
+	s.Apply(entry(1, 1, "k", "old", 1))
+	s.Apply(entry(2, 1, "k", "new", 5))
+	if got, _ := s.Get("k"); string(got) != "new" {
+		t.Errorf("value = %q, want new", got)
+	}
+	// A late-arriving lower-clock write must not regress the value.
+	s.Apply(entry(3, 1, "k", "stale", 3))
+	if got, _ := s.Get("k"); string(got) != "new" {
+		t.Errorf("value after stale apply = %q, want new", got)
+	}
+}
+
+func TestLWWTieBrokenByOrigin(t *testing.T) {
+	s1, s2 := New(), New()
+	a := entry(1, 1, "k", "fromN1", 7)
+	b := entry(2, 1, "k", "fromN2", 7)
+	s1.Apply(a)
+	s1.Apply(b)
+	s2.Apply(b)
+	s2.Apply(a)
+	v1, _ := s1.Get("k")
+	v2, _ := s2.Get("k")
+	if string(v1) != string(v2) {
+		t.Fatalf("tie resolution order-dependent: %q vs %q", v1, v2)
+	}
+	if string(v1) != "fromN2" {
+		t.Errorf("tie winner = %q, want fromN2 (higher origin)", v1)
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	s := New()
+	e := entry(1, 1, "k", "v", 1)
+	s.Apply(e)
+	d1 := s.Digest()
+	s.Apply(e)
+	if s.Digest() != d1 {
+		t.Error("re-applying an entry changed the digest")
+	}
+}
+
+func TestGetCopiesValue(t *testing.T) {
+	s := New()
+	s.Apply(entry(1, 1, "k", "abc", 1))
+	got, _ := s.Get("k")
+	got[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Error("Get aliased internal value")
+	}
+}
+
+func TestGetVersion(t *testing.T) {
+	s := New()
+	s.Apply(entry(4, 2, "k", "v", 9))
+	v, ok := s.GetVersion("k")
+	if !ok || v.Clock != 9 || v.TS != (vclock.Timestamp{Node: 4, Seq: 2}) {
+		t.Errorf("GetVersion = (%+v, %t)", v, ok)
+	}
+	if _, ok := s.GetVersion("absent"); ok {
+		t.Error("GetVersion of absent key should report false")
+	}
+	reads, _ := s.ReadStats()
+	if reads != 0 {
+		t.Errorf("GetVersion counted as read: reads = %d", reads)
+	}
+}
+
+func TestReadAsOf(t *testing.T) {
+	s := New()
+	want := vclock.Timestamp{Node: 1, Seq: 1}
+
+	// Key absent: stale.
+	if s.ReadAsOf("k", want, 5) {
+		t.Error("read of absent key should be stale")
+	}
+	// Older write present: stale.
+	s.Apply(entry(2, 1, "k", "old", 3))
+	if s.ReadAsOf("k", want, 5) {
+		t.Error("read of older-clocked value should be stale")
+	}
+	// The reference write itself: fresh.
+	s.Apply(entry(1, 1, "k", "ref", 5))
+	if !s.ReadAsOf("k", want, 5) {
+		t.Error("read of the reference write should be fresh")
+	}
+	// A later write supersedes the reference: still fresh.
+	s.Apply(entry(3, 1, "k", "newer", 8))
+	if !s.ReadAsOf("k", want, 5) {
+		t.Error("read of a newer value should be fresh")
+	}
+	reads, stale := s.ReadStats()
+	if reads != 4 || stale != 2 {
+		t.Errorf("ReadStats = (%d, %d), want (4, 2)", reads, stale)
+	}
+}
+
+func TestKeysSortedAndLen(t *testing.T) {
+	s := New()
+	s.Apply(entry(1, 1, "b", "1", 1))
+	s.Apply(entry(1, 2, "a", "2", 2))
+	s.Apply(entry(1, 3, "c", "3", 3))
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Errorf("Keys() = %v, want [a b c]", keys)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", s.Len())
+	}
+	if s.Applied() != 3 {
+		t.Errorf("Applied() = %d, want 3", s.Applied())
+	}
+}
+
+func TestDigestDistinguishesContent(t *testing.T) {
+	s1, s2 := New(), New()
+	s1.Apply(entry(1, 1, "k", "v1", 1))
+	s2.Apply(entry(1, 1, "k", "v2", 1))
+	if s1.Digest() == s2.Digest() {
+		t.Error("different values produced equal digests")
+	}
+	s3 := New()
+	s3.Apply(entry(1, 1, "k2", "v1", 1))
+	if s1.Digest() == s3.Digest() {
+		t.Error("different keys produced equal digests")
+	}
+	if New().Digest() != New().Digest() {
+		t.Error("empty stores should have equal digests")
+	}
+}
+
+// Property: applying the same set of entries in any order yields identical
+// digests (order-independence — the convergence guarantee).
+func TestConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		entries := make([]wlog.Entry, 0, 40)
+		seqs := map[vclock.NodeID]uint64{}
+		for i := 0; i < 40; i++ {
+			node := vclock.NodeID(r.Intn(4))
+			seqs[node]++
+			entries = append(entries, entry(node, seqs[node],
+				string(rune('a'+r.Intn(5))), string(rune('0'+r.Intn(10))), uint64(r.Intn(20))))
+		}
+		s1, s2 := New(), New()
+		for _, e := range entries {
+			s1.Apply(e)
+		}
+		perm := r.Perm(len(entries))
+		for _, i := range perm {
+			s2.Apply(entries[i])
+		}
+		return s1.Digest() == s2.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("store not order-independent: %v", err)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	s := New()
+	e := entry(1, 1, "key", "value-bytes", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Clock = uint64(i)
+		s.Apply(e)
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	s := New()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s.Apply(entry(vclock.NodeID(r.Intn(8)), uint64(i+1),
+			string(rune('a'+i%26))+string(rune('a'+(i/26)%26)), "v", uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Digest()
+	}
+}
+
+func TestSnapshotExportsSortedCopies(t *testing.T) {
+	s := New()
+	s.Apply(entry(1, 1, "b", "2", 2))
+	s.Apply(entry(1, 2, "a", "1", 3))
+	items := s.Snapshot()
+	if len(items) != 2 || items[0].Key != "a" || items[1].Key != "b" {
+		t.Fatalf("Snapshot = %+v", items)
+	}
+	// Mutating the snapshot must not affect the store.
+	items[0].Value[0] = 'X'
+	if v, _ := s.Get("a"); string(v) != "1" {
+		t.Error("snapshot aliased store value")
+	}
+	if got := New().Snapshot(); len(got) != 0 {
+		t.Errorf("empty store snapshot = %v", got)
+	}
+}
+
+func TestApplySnapshotMergesLWW(t *testing.T) {
+	src := New()
+	src.Apply(entry(1, 1, "k", "new", 9))
+	src.Apply(entry(1, 2, "other", "x", 1))
+
+	dst := New()
+	dst.Apply(entry(2, 1, "k", "newer-still", 12)) // must survive
+	dst.Apply(entry(2, 2, "local", "y", 2))        // must survive
+
+	dst.ApplySnapshot(src.Snapshot())
+	if v, _ := dst.Get("k"); string(v) != "newer-still" {
+		t.Errorf("LWW violated by snapshot: k = %q", v)
+	}
+	if v, ok := dst.Get("other"); !ok || string(v) != "x" {
+		t.Errorf("snapshot key missing: %q %t", v, ok)
+	}
+	if v, ok := dst.Get("local"); !ok || string(v) != "y" {
+		t.Errorf("local key lost: %q %t", v, ok)
+	}
+}
+
+func TestSnapshotRoundTripConverges(t *testing.T) {
+	src := New()
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		src.Apply(entry(vclock.NodeID(r.Intn(4)), uint64(i+1),
+			string(rune('a'+r.Intn(6))), string(rune('0'+r.Intn(10))), uint64(r.Intn(30))))
+	}
+	dst := New()
+	dst.ApplySnapshot(src.Snapshot())
+	if dst.Digest() != src.Digest() {
+		t.Error("snapshot transfer did not reproduce the source store")
+	}
+}

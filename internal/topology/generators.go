@@ -1,0 +1,242 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Line returns the n-node path graph 0-1-...-(n-1) — the "segment" of the
+// paper's Fig. 2 example.
+func Line(n int) *Graph {
+	g := New(n, fmt.Sprintf("line(n=%d)", n))
+	for i := 0; i+1 < n; i++ {
+		mustEdge(g, NodeID(i), NodeID(i+1))
+	}
+	layoutLine(g)
+	return g
+}
+
+// Ring returns the n-node cycle graph (n >= 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: ring needs n >= 3, got %d", n))
+	}
+	g := New(n, fmt.Sprintf("ring(n=%d)", n))
+	for i := 0; i < n; i++ {
+		mustEdge(g, NodeID(i), NodeID((i+1)%n))
+	}
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		g.SetPos(NodeID(i), Point{X: 0.5 + 0.5*math.Cos(theta), Y: 0.5 + 0.5*math.Sin(theta)})
+	}
+	return g
+}
+
+// Grid returns the rows×cols 4-neighbour mesh.
+func Grid(rows, cols int) *Graph {
+	n := rows * cols
+	g := New(n, fmt.Sprintf("grid(%dx%d)", rows, cols))
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustEdge(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustEdge(g, id(r, c), id(r+1, c))
+			}
+			g.SetPos(id(r, c), Point{
+				X: float64(c) / math.Max(1, float64(cols-1)),
+				Y: float64(r) / math.Max(1, float64(rows-1)),
+			})
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols mesh with wraparound edges.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("topology: torus needs rows,cols >= 3, got %dx%d", rows, cols))
+	}
+	g := New(rows*cols, fmt.Sprintf("torus(%dx%d)", rows, cols))
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			mustEdge(g, id(r, c), id(r, (c+1)%cols))
+			mustEdge(g, id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Star returns the n-node star with node 0 as hub.
+func Star(n int) *Graph {
+	g := New(n, fmt.Sprintf("star(n=%d)", n))
+	for i := 1; i < n; i++ {
+		mustEdge(g, 0, NodeID(i))
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	g := New(n, fmt.Sprintf("complete(n=%d)", n))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustEdge(g, NodeID(i), NodeID(j))
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform random labelled tree on n nodes, built by a
+// random attachment process: node i attaches to a uniformly random earlier
+// node.
+func RandomTree(n int, r *rand.Rand) *Graph {
+	g := New(n, fmt.Sprintf("tree(n=%d)", n))
+	for i := 1; i < n; i++ {
+		mustEdge(g, NodeID(i), NodeID(r.Intn(i)))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// BarabasiAlbert generates a BRITE-style Internet-like topology using the
+// two formation factors of Medina et al. cited by the paper: incremental
+// growth (nodes join one at a time) and preferential connectivity (each new
+// node attaches m edges to existing nodes with probability proportional to
+// their current degree). The result is connected and satisfies the
+// Faloutsos rank/degree power laws for realistic sizes; see RankDegreeFit.
+//
+// The construction starts from an m+1-node clique so every early node has
+// nonzero degree. n must exceed m >= 1.
+func BarabasiAlbert(n, m int, r *rand.Rand) *Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("topology: BarabasiAlbert needs n > m >= 1, got n=%d m=%d", n, m))
+	}
+	g := New(n, fmt.Sprintf("ba(n=%d,m=%d)", n, m))
+	// repeated holds one entry per edge endpoint, so sampling uniformly from
+	// it is sampling proportional to degree.
+	repeated := make([]NodeID, 0, 2*m*n)
+	seed := m + 1
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			mustEdge(g, NodeID(i), NodeID(j))
+			repeated = append(repeated, NodeID(i), NodeID(j))
+		}
+	}
+	for v := seed; v < n; v++ {
+		chosen := make([]NodeID, 0, m)
+		seen := make(map[NodeID]bool, m)
+		for len(chosen) < m {
+			u := repeated[r.Intn(len(repeated))]
+			if !seen[u] {
+				seen[u] = true
+				chosen = append(chosen, u)
+			}
+		}
+		for _, u := range chosen {
+			mustEdge(g, NodeID(v), u)
+			repeated = append(repeated, NodeID(v), u)
+		}
+	}
+	scatter(g, r)
+	g.SortAdjacency()
+	return g
+}
+
+// Waxman generates the classic Waxman random topology BRITE also offers:
+// nodes are scattered in the unit square and each pair {u,v} is linked with
+// probability alpha*exp(-d(u,v)/(beta*L)) where L is the maximum possible
+// distance. If the result is disconnected, components are stitched by
+// linking nearest pairs, preserving geometric locality.
+func Waxman(n int, alpha, beta float64, r *rand.Rand) *Graph {
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		panic(fmt.Sprintf("topology: Waxman needs 0 < alpha <= 1, beta > 0, got %g, %g", alpha, beta))
+	}
+	g := New(n, fmt.Sprintf("waxman(n=%d,a=%.2f,b=%.2f)", n, alpha, beta))
+	scatter(g, r)
+	l := math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pu, _ := g.Pos(NodeID(u))
+			pv, _ := g.Pos(NodeID(v))
+			if r.Float64() < alpha*math.Exp(-pu.Dist(pv)/(beta*l)) {
+				mustEdge(g, NodeID(u), NodeID(v))
+			}
+		}
+	}
+	stitchComponents(g)
+	g.SortAdjacency()
+	return g
+}
+
+// ErdosRenyi generates G(n, p) and stitches components so the result is
+// connected (the paper's simulations require reachability of all replicas).
+func ErdosRenyi(n int, p float64, r *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("topology: ErdosRenyi needs p in [0,1], got %g", p))
+	}
+	g := New(n, fmt.Sprintf("gnp(n=%d,p=%.3f)", n, p))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				mustEdge(g, NodeID(u), NodeID(v))
+			}
+		}
+	}
+	scatter(g, r)
+	stitchComponents(g)
+	g.SortAdjacency()
+	return g
+}
+
+// scatter assigns uniform random unit-square coordinates to all nodes that
+// don't have them.
+func scatter(g *Graph, r *rand.Rand) {
+	for i := 0; i < g.N(); i++ {
+		g.SetPos(NodeID(i), Point{X: r.Float64(), Y: r.Float64()})
+	}
+}
+
+// layoutLine places line-graph nodes evenly along the X axis.
+func layoutLine(g *Graph) {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		g.SetPos(NodeID(i), Point{X: float64(i) / math.Max(1, float64(n-1)), Y: 0.5})
+	}
+}
+
+// stitchComponents connects a disconnected graph by adding, between each
+// pair of adjacent components (in smallest-member order), the geometrically
+// closest cross pair.
+func stitchComponents(g *Graph) {
+	comps := g.Components()
+	for len(comps) > 1 {
+		a, b := comps[0], comps[1]
+		bestU, bestV := a[0], b[0]
+		best := math.Inf(1)
+		for _, u := range a {
+			pu, ok := g.Pos(u)
+			if !ok {
+				break
+			}
+			for _, v := range b {
+				pv, _ := g.Pos(v)
+				if d := pu.Dist(pv); d < best {
+					best, bestU, bestV = d, u, v
+				}
+			}
+		}
+		mustEdge(g, bestU, bestV)
+		comps = g.Components()
+	}
+}
+
+func mustEdge(g *Graph, u, v NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,329 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLine(t *testing.T) {
+	g := Line(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("line(5): n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("line should be connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Error("line degrees wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if g.M() != 6 {
+		t.Errorf("ring(6) edges = %d, want 6", g.M())
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 2 {
+			t.Errorf("ring degree(%v) = %d, want 2", u, g.Degree(u))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Ring(2) should panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n = %d", g.N())
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Errorf("grid(3x4) edges = %d, want 17", g.M())
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Errorf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // interior (row 1, col 1)
+		t.Errorf("interior degree = %d, want 4", g.Degree(5))
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusRegular(t *testing.T) {
+	g := Torus(4, 5)
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 4 {
+			t.Fatalf("torus degree(%v) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(7)
+	if s.Degree(0) != 6 {
+		t.Errorf("star hub degree = %d, want 6", s.Degree(0))
+	}
+	c := Complete(5)
+	if c.M() != 10 {
+		t.Errorf("complete(5) edges = %d, want 10", c.M())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := RandomTree(40, r)
+	if g.M() != 39 {
+		t.Errorf("tree edges = %d, want n-1 = 39", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("tree should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := BarabasiAlbert(100, 2, r)
+	if g.N() != 100 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Seed clique m+1=3 has 3 edges; each of the 97 later nodes adds 2.
+	if want := 3 + 97*2; g.M() != want {
+		t.Errorf("edges = %d, want %d", g.M(), want)
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every non-seed node has degree >= m.
+	for _, u := range g.Nodes() {
+		if g.Degree(u) < 2 {
+			t.Errorf("degree(%v) = %d < m", u, g.Degree(u))
+		}
+	}
+	// Positions were scattered for demand fields.
+	if _, ok := g.Pos(50); !ok {
+		t.Error("BA nodes should carry positions")
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BarabasiAlbert(2, 2) should panic")
+		}
+	}()
+	BarabasiAlbert(2, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	g1 := BarabasiAlbert(50, 2, rand.New(rand.NewSource(9)))
+	g2 := BarabasiAlbert(50, 2, rand.New(rand.NewSource(9)))
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed produced different edges at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestBarabasiAlbertHubFormation(t *testing.T) {
+	// Preferential attachment must concentrate degree: the max degree should
+	// far exceed the mean (a hub), unlike in uniform random graphs.
+	r := rand.New(rand.NewSource(3))
+	g := BarabasiAlbert(200, 2, r)
+	maxDeg, sum := 0, 0
+	for _, u := range g.Nodes() {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(g.N())
+	if float64(maxDeg) < 3*mean {
+		t.Errorf("max degree %d not hub-like vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := Waxman(60, 0.4, 0.2, r)
+	if !g.IsConnected() {
+		t.Error("Waxman graph should be stitched connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Waxman with alpha 0 should panic")
+		}
+	}()
+	Waxman(10, 0, 0.2, r)
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := ErdosRenyi(50, 0.05, r)
+	if !g.IsConnected() {
+		t.Error("ErdosRenyi graph should be stitched connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// p=0 degenerates to a stitched chain of singletons — still connected.
+	g0 := ErdosRenyi(10, 0, r)
+	if !g0.IsConnected() {
+		t.Error("ErdosRenyi(p=0) should still be stitched connected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ErdosRenyi with p > 1 should panic")
+		}
+	}()
+	ErdosRenyi(10, 1.5, r)
+}
+
+// Property: every generated topology is connected, valid, and has no
+// isolated nodes across many seeds — the invariants the simulator assumes.
+func TestGeneratorInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		graphs := []*Graph{
+			BarabasiAlbert(30+r.Intn(40), 1+r.Intn(3), r),
+			Waxman(20+r.Intn(30), 0.3+0.4*r.Float64(), 0.1+0.3*r.Float64(), r),
+			RandomTree(10+r.Intn(40), r),
+			ErdosRenyi(20+r.Intn(30), 0.02+0.1*r.Float64(), r),
+		}
+		for _, g := range graphs {
+			if err := g.Validate(); err != nil {
+				return false
+			}
+			if !g.IsConnected() {
+				return false
+			}
+			for _, u := range g.Nodes() {
+				if g.Degree(u) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("generator invariants violated: %v", err)
+	}
+}
+
+func TestRankDegreeFitBA(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := BarabasiAlbert(400, 2, r)
+	fit := RankDegreeFit(g)
+	if fit.Exponent >= -0.3 {
+		t.Errorf("BA rank exponent = %.3f, want clearly negative", fit.Exponent)
+	}
+	if fit.R2 < 0.7 {
+		t.Errorf("BA rank fit R² = %.3f, want >= 0.7 (power-law-like)", fit.R2)
+	}
+}
+
+func TestRankDegreeFitRingIsFlat(t *testing.T) {
+	fit := RankDegreeFit(Ring(100))
+	// All degrees equal 2: the log-log fit is flat (exponent ~0 up to
+	// floating-point noise).
+	if fit.Exponent > 1e-9 || fit.Exponent < -1e-9 {
+		t.Errorf("ring rank exponent = %g, want ~0", fit.Exponent)
+	}
+}
+
+func TestDegreeFrequencyFitBA(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := BarabasiAlbert(600, 2, r)
+	fit := DegreeFrequencyFit(g)
+	if fit.Exponent >= -1 {
+		t.Errorf("BA degree-frequency exponent = %.3f, want < -1", fit.Exponent)
+	}
+}
+
+func TestHopPairsFit(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := BarabasiAlbert(200, 2, r)
+	fit := HopPairsFit(g)
+	if fit.Points < 2 {
+		t.Fatalf("hop-plot fit has %d points", fit.Points)
+	}
+	if fit.Exponent <= 0 {
+		t.Errorf("hop-plot exponent = %.3f, want positive", fit.Exponent)
+	}
+	// Disconnected graph yields NaN.
+	d := New(4, "d")
+	d.AddEdge(0, 1)
+	if got := HopPairsFit(d); got.Points != 0 && !isNaN(got.Exponent) {
+		t.Errorf("disconnected hop fit = %+v, want NaN", got)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+func TestFitString(t *testing.T) {
+	fit := Fit{Exponent: -0.5, R2: 0.9, Points: 10}
+	if got := fit.String(); got != "y ~ x^-0.500 (R²=0.900, k=10)" {
+		t.Errorf("Fit.String() = %q", got)
+	}
+}
+
+func TestLogLogFitDegenerate(t *testing.T) {
+	// Single point: NaN.
+	fit := logLogFit([]float64{1}, []float64{2})
+	if !isNaN(fit.Exponent) {
+		t.Errorf("single-point fit exponent = %g, want NaN", fit.Exponent)
+	}
+	// All x equal: zero denominator, NaN.
+	fit = logLogFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !isNaN(fit.Exponent) {
+		t.Errorf("degenerate-x fit exponent = %g, want NaN", fit.Exponent)
+	}
+	// Non-positive values are dropped.
+	fit = logLogFit([]float64{0, -1, 1, 2}, []float64{1, 1, 1, 2})
+	if fit.Points != 2 {
+		t.Errorf("fit points = %d, want 2", fit.Points)
+	}
+}
+
+func BenchmarkBarabasiAlbert100(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		_ = BarabasiAlbert(100, 2, r)
+	}
+}
+
+func BenchmarkDiameter100(b *testing.B) {
+	g := BarabasiAlbert(100, 2, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Diameter()
+	}
+}

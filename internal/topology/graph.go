@@ -1,0 +1,373 @@
+// Package topology provides the network substrate the paper simulates on:
+// graph construction, the uniform topologies of §5 (line, ring, grid), and a
+// BRITE-equivalent random generator producing Internet-like power-law graphs
+// via Medina et al.'s two factors — preferential connectivity (F1) and
+// incremental growth (F2). It also provides the graph analyses the paper
+// leans on: BFS distances, diameter (the quantity §5 correlates with
+// sessions-to-consistency), degree distributions, and Faloutsos power-law
+// rank/degree fits.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier used across the repository.
+type NodeID = vclock.NodeID
+
+// Graph is an undirected graph over nodes 0..N-1 with optional per-node
+// coordinates (used by geometric generators and by demand fields that place
+// "valleys" spatially). The zero value is an empty graph; use New or a
+// generator.
+//
+// Graph is immutable after construction by convention: generators build it,
+// simulations only read it. Methods that return adjacency data return copies
+// or read-only views as documented.
+type Graph struct {
+	n    int
+	adj  [][]NodeID
+	pos  []Point // optional; len 0 or n
+	name string
+}
+
+// Point is a 2-D coordinate in the unit square.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int, name string) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("topology: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]NodeID, n), name: name}
+}
+
+// Name returns the generator-assigned name, e.g. "ba(n=50,m=2)".
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error so generator bugs surface immediately.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop at %v", u)
+	}
+	if err := g.check(u); err != nil {
+		return err
+	}
+	if err := g.check(v); err != nil {
+		return err
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("topology: duplicate edge {%v,%v}", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+func (g *Graph) check(u NodeID) error {
+	if int(u) < 0 || int(u) >= g.n {
+		return fmt.Errorf("topology: node %v out of range [0,%d)", u, g.n)
+	}
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if int(u) < 0 || int(u) >= g.n {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns a read-only view of u's neighbours. Callers must not
+// mutate the returned slice; use NeighborsCopy to get an owned slice.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if err := g.check(u); err != nil {
+		panic(err)
+	}
+	return g.adj[u]
+}
+
+// NeighborsCopy returns an owned copy of u's neighbour list.
+func (g *Graph) NeighborsCopy(u NodeID) []NodeID {
+	return append([]NodeID(nil), g.Neighbors(u)...)
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.Neighbors(u)) }
+
+// Nodes returns 0..N-1 as a fresh slice.
+func (g *Graph) Nodes() []NodeID {
+	nodes := make([]NodeID, g.n)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	return nodes
+}
+
+// SetPos assigns coordinates to node u.
+func (g *Graph) SetPos(u NodeID, p Point) {
+	if err := g.check(u); err != nil {
+		panic(err)
+	}
+	if g.pos == nil {
+		g.pos = make([]Point, g.n)
+	}
+	g.pos[u] = p
+}
+
+// Pos returns u's coordinates and whether the graph carries any.
+func (g *Graph) Pos(u NodeID) (Point, bool) {
+	if g.pos == nil || int(u) < 0 || int(u) >= g.n {
+		return Point{}, false
+	}
+	return g.pos[u], true
+}
+
+// SortAdjacency orders every adjacency list ascending; generators call it so
+// graph iteration order is deterministic across runs.
+func (g *Graph) SortAdjacency() {
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+}
+
+// Edges returns all undirected edges with u < v, ordered lexicographically.
+func (g *Graph) Edges() [][2]NodeID {
+	edges := make([][2]NodeID, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				edges = append(edges, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// BFS returns hop distances from src to every node; unreachable nodes get
+// -1.
+func (g *Graph) BFS(src NodeID) []int {
+	if err := g.check(src); err != nil {
+		panic(err)
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components, each sorted ascending, in
+// order of their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for start := 0; start < g.n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter returns the longest shortest path in hops, or -1 if the graph is
+// disconnected or empty. This is the quantity §5 of the paper relates to
+// sessions-to-global-consistency.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.BFS(NodeID(u)) {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the maximum BFS distance from u, or -1 if any node is
+// unreachable.
+func (g *Graph) Eccentricity(u NodeID) int {
+	ecc := 0
+	for _, d := range g.BFS(u) {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// AvgPathLength returns the mean shortest-path length over all ordered pairs
+// of distinct nodes, or NaN if disconnected.
+func (g *Graph) AvgPathLength() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	var sum, pairs float64
+	for u := 0; u < g.n; u++ {
+		for v, d := range g.BFS(NodeID(u)) {
+			if v == u {
+				continue
+			}
+			if d == -1 {
+				return math.NaN()
+			}
+			sum += float64(d)
+			pairs++
+		}
+	}
+	return sum / pairs
+}
+
+// DegreeHistogram returns counts[k] = number of nodes with degree k.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := 0; u < g.n; u++ {
+		counts[len(g.adj[u])]++
+	}
+	return counts
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient.
+// Nodes with degree < 2 contribute 0.
+func (g *Graph) ClusteringCoefficient() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	var total float64
+	for u := 0; u < g.n; u++ {
+		nbrs := g.adj[u]
+		k := len(nbrs)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(k*(k-1))
+	}
+	return total / float64(g.n)
+}
+
+// Validate checks structural invariants (symmetric adjacency, no self-loops,
+// no duplicates) and returns the first violation found.
+func (g *Graph) Validate() error {
+	for u := 0; u < g.n; u++ {
+		seen := make(map[NodeID]bool, len(g.adj[u]))
+		for _, v := range g.adj[u] {
+			if v == NodeID(u) {
+				return fmt.Errorf("topology: self-loop at n%d", u)
+			}
+			if seen[v] {
+				return fmt.Errorf("topology: duplicate edge {n%d,%v}", u, v)
+			}
+			seen[v] = true
+			if !g.HasEdge(v, NodeID(u)) {
+				return fmt.Errorf("topology: asymmetric edge {n%d,%v}", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d}", g.name, g.n, g.M())
+}

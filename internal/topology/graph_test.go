@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddEdgeRejectsBadEdges(t *testing.T) {
+	g := New(3, "t")
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1, "bad")
+}
+
+func TestHasEdgeAndNeighbors(t *testing.T) {
+	g := New(4, "t")
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("HasEdge reports nonexistent edge")
+	}
+	if g.HasEdge(9, 0) {
+		t.Error("HasEdge with out-of-range node should be false")
+	}
+	if got := g.Degree(0); got != 2 {
+		t.Errorf("Degree(0) = %d, want 2", got)
+	}
+	cp := g.NeighborsCopy(0)
+	cp[0] = 3
+	if g.Neighbors(0)[0] == 3 {
+		t.Error("NeighborsCopy aliased adjacency")
+	}
+}
+
+func TestBFSAndDiameterLine(t *testing.T) {
+	g := Line(5)
+	dist := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("BFS(0)[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if got := g.Diameter(); got != 4 {
+		t.Errorf("line(5) diameter = %d, want 4", got)
+	}
+	if got := g.Eccentricity(2); got != 2 {
+		t.Errorf("line(5) ecc(2) = %d, want 2", got)
+	}
+}
+
+func TestDiameterRingAndGrid(t *testing.T) {
+	if got := Ring(8).Diameter(); got != 4 {
+		t.Errorf("ring(8) diameter = %d, want 4", got)
+	}
+	if got := Ring(9).Diameter(); got != 4 {
+		t.Errorf("ring(9) diameter = %d, want 4", got)
+	}
+	if got := Grid(3, 4).Diameter(); got != 5 {
+		t.Errorf("grid(3x4) diameter = %d, want 5", got)
+	}
+	if got := Torus(4, 4).Diameter(); got != 4 {
+		t.Errorf("torus(4x4) diameter = %d, want 4", got)
+	}
+	if got := Star(10).Diameter(); got != 2 {
+		t.Errorf("star(10) diameter = %d, want 2", got)
+	}
+	if got := Complete(6).Diameter(); got != 1 {
+		t.Errorf("complete(6) diameter = %d, want 1", got)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(4, "t")
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if got := g.Diameter(); got != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", got)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if got := g.Eccentricity(0); got != -1 {
+		t.Errorf("disconnected eccentricity = %d, want -1", got)
+	}
+	if !math.IsNaN(g.AvgPathLength()) {
+		t.Error("AvgPathLength of disconnected graph should be NaN")
+	}
+	if New(0, "empty").Diameter() != -1 {
+		t.Error("empty graph diameter should be -1")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5, "t")
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 2 || comps[0][0] != 0 || comps[0][1] != 1 {
+		t.Errorf("comps[0] = %v, want [0 1]", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 2 {
+		t.Errorf("comps[1] = %v, want [2]", comps[1])
+	}
+}
+
+func TestAvgPathLengthComplete(t *testing.T) {
+	if got := Complete(5).AvgPathLength(); got != 1 {
+		t.Errorf("complete(5) APL = %g, want 1", got)
+	}
+	if got := New(1, "t").AvgPathLength(); got != 0 {
+		t.Errorf("single-node APL = %g, want 0", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5) // hub degree 4, leaves degree 1
+	hist := g.DegreeHistogram()
+	if hist[1] != 4 || hist[4] != 1 {
+		t.Errorf("star(5) degree histogram = %v", hist)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	if got := Complete(4).ClusteringCoefficient(); got != 1 {
+		t.Errorf("complete(4) clustering = %g, want 1", got)
+	}
+	if got := Star(5).ClusteringCoefficient(); got != 0 {
+		t.Errorf("star(5) clustering = %g, want 0", got)
+	}
+	if got := New(0, "e").ClusteringCoefficient(); got != 0 {
+		t.Errorf("empty clustering = %g, want 0", got)
+	}
+}
+
+func TestEdgesOrderedAndCounted(t *testing.T) {
+	g := New(4, "t")
+	g.AddEdge(2, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 1)
+	edges := g.Edges()
+	if len(edges) != 3 || g.M() != 3 {
+		t.Fatalf("Edges() = %v, M() = %d", edges, g.M())
+	}
+	want := [][2]NodeID{{0, 1}, {0, 3}, {1, 2}}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edges[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := Line(10)
+	if err := g.Validate(); err != nil {
+		t.Errorf("line(10) Validate: %v", err)
+	}
+	// Corrupt adjacency deliberately to verify detection.
+	g.adj[0] = append(g.adj[0], 5) // 0->5 without 5->0
+	if err := g.Validate(); err == nil {
+		t.Error("Validate missed asymmetric edge")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	g := Line(3)
+	p, ok := g.Pos(1)
+	if !ok || p.X != 0.5 {
+		t.Errorf("Pos(1) = (%v, %t), want X=0.5", p, ok)
+	}
+	if _, ok := New(2, "t").Pos(0); ok {
+		t.Error("graph without positions should report ok=false")
+	}
+	if _, ok := g.Pos(99); ok {
+		t.Error("out-of-range Pos should report ok=false")
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	if got := (Point{0, 0}).Dist(Point{3, 4}); got != 5 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+}
+
+func TestNodesAndString(t *testing.T) {
+	g := Ring(3)
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[2] != 2 {
+		t.Errorf("Nodes() = %v", nodes)
+	}
+	if got := g.String(); got != "ring(n=3){n=3 m=3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := g.Name(); got != "ring(n=3)" {
+		t.Errorf("Name() = %q", got)
+	}
+}

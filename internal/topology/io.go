@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. Node positions (when
+// present) are emitted as pos attributes so neato-style layouts reproduce
+// the demand landscape figures.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", g.name)
+	for i := 0; i < g.n; i++ {
+		if p, ok := g.Pos(NodeID(i)); ok {
+			fmt.Fprintf(bw, "  n%d [pos=\"%.4f,%.4f!\"];\n", i, p.X, p.Y)
+		} else {
+			fmt.Fprintf(bw, "  n%d;\n", i)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", int32(e[0]), int32(e[1]))
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes "n m" on the first line followed by one "u v" pair
+// per edge — the interchange format ReadEdgeList parses.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.n, g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", int32(e[0]), int32(e[1]))
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with '#' are ignored.
+func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	header, ok := nextLine()
+	if !ok {
+		return nil, fmt.Errorf("topology: empty edge list")
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("topology: bad header %q (want \"n m\")", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("topology: bad node count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("topology: bad edge count %q", fields[1])
+	}
+
+	g := New(n, name)
+	for i := 0; i < m; i++ {
+		line, ok := nextLine()
+		if !ok {
+			return nil, fmt.Errorf("topology: edge list truncated at %d/%d edges", i, m)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("topology: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad endpoint %q", fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad endpoint %q", fields[1])
+		}
+		if err := g.AddEdge(NodeID(u), NodeID(v)); err != nil {
+			return nil, fmt.Errorf("topology: line %q: %w", line, err)
+		}
+	}
+	if extra, ok := nextLine(); ok {
+		return nil, fmt.Errorf("topology: trailing content %q after %d edges", extra, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading edge list: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	orig := BarabasiAlbert(40, 2, r)
+	var buf bytes.Buffer
+	if err := orig.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.M() != orig.M() {
+		t.Fatalf("round trip size mismatch: %v vs %v", got, orig)
+	}
+	origEdges, gotEdges := orig.Edges(), got.Edges()
+	for i := range origEdges {
+		if origEdges[i] != gotEdges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, gotEdges[i], origEdges[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n3 2\n0 1\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), "commented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"short header", "5\n"},
+		{"negative nodes", "-1 0\n"},
+		{"truncated", "3 2\n0 1\n"},
+		{"bad edge line", "2 1\n0\n"},
+		{"bad endpoint", "2 1\n0 x\n"},
+		{"out of range", "2 1\n0 5\n"},
+		{"self loop", "2 1\n1 1\n"},
+		{"duplicate", "2 2\n0 1\n0 1\n"},
+		{"trailing", "2 1\n0 1\n0 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(c.in), "bad"); err == nil {
+				t.Errorf("input %q accepted", c.in)
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Line(3)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "line(n=3)"`, "n0 -- n1", "n1 -- n2", "pos="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Graph without positions emits bare nodes.
+	bare := New(2, "bare")
+	bare.AddEdge(0, 1)
+	buf.Reset()
+	if err := bare.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "pos=") {
+		t.Error("bare graph should not emit positions")
+	}
+}
+
+func TestTransitStubStructure(t *testing.T) {
+	cfg := TransitStubConfig{
+		TransitDomains:      3,
+		TransitSize:         4,
+		StubsPerTransitNode: 2,
+		StubSize:            3,
+		ExtraTransitEdges:   2,
+		ExtraStubEdges:      1,
+	}
+	if got, want := cfg.N(), 3*4+3*4*2*3; got != want {
+		t.Fatalf("cfg.N() = %d, want %d", got, want)
+	}
+	r := rand.New(rand.NewSource(5))
+	g := TransitStub(cfg, r)
+	if g.N() != cfg.N() {
+		t.Fatalf("graph has %d nodes, want %d", g.N(), cfg.N())
+	}
+	if !g.IsConnected() {
+		t.Error("transit-stub graph should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Stub nodes (ids >= 12) have low degree; transit core is denser.
+	coreDegree, stubDegree := 0, 0
+	for i := 0; i < 12; i++ {
+		coreDegree += g.Degree(NodeID(i))
+	}
+	for i := 12; i < g.N(); i++ {
+		stubDegree += g.Degree(NodeID(i))
+	}
+	coreMean := float64(coreDegree) / 12
+	stubMean := float64(stubDegree) / float64(g.N()-12)
+	if coreMean <= stubMean {
+		t.Errorf("core mean degree %.2f not above stub mean %.2f", coreMean, stubMean)
+	}
+}
+
+func TestTransitStubMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Single transit domain, no stubs.
+	g := TransitStub(TransitStubConfig{TransitDomains: 1, TransitSize: 5}, r)
+	if g.N() != 5 || !g.IsConnected() {
+		t.Errorf("minimal transit-stub: %v connected=%t", g, g.IsConnected())
+	}
+	// Two domains exercise the ring-degeneration branch.
+	g2 := TransitStub(TransitStubConfig{TransitDomains: 2, TransitSize: 3}, r)
+	if !g2.IsConnected() {
+		t.Error("two-domain transit-stub should be connected")
+	}
+}
+
+func TestTransitStubValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := []TransitStubConfig{
+		{TransitDomains: 0, TransitSize: 1},
+		{TransitDomains: 1, TransitSize: 0},
+		{TransitDomains: 1, TransitSize: 1, StubsPerTransitNode: -1},
+		{TransitDomains: 1, TransitSize: 1, StubsPerTransitNode: 1, StubSize: 0},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			TransitStub(cfg, r)
+		}()
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	cfg := TransitStubConfig{TransitDomains: 2, TransitSize: 3, StubsPerTransitNode: 1, StubSize: 2}
+	a := TransitStub(cfg, rand.New(rand.NewSource(9)))
+	b := TransitStub(cfg, rand.New(rand.NewSource(9)))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed diverged at edge %d", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fit is the result of a least-squares line fit on log-log data:
+// log(y) ≈ Exponent*log(x) + Intercept, with correlation coefficient R2.
+type Fit struct {
+	Exponent  float64
+	Intercept float64
+	R2        float64
+	Points    int
+}
+
+// String renders the fit compactly.
+func (f Fit) String() string {
+	return fmt.Sprintf("y ~ x^%.3f (R²=%.3f, k=%d)", f.Exponent, f.R2, f.Points)
+}
+
+// logLogFit fits log(y) = a*log(x) + b by ordinary least squares over the
+// points with x > 0, y > 0.
+func logLogFit(xs, ys []float64) Fit {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if len(lx) < 2 {
+		return Fit{Exponent: math.NaN(), Intercept: math.NaN(), R2: math.NaN(), Points: len(lx)}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+		syy += ly[i] * ly[i]
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-9 {
+		return Fit{Exponent: math.NaN(), Intercept: math.NaN(), R2: math.NaN(), Points: len(lx)}
+	}
+	a := (n*sxy - sx*sy) / denom
+	b := (sy - a*sx) / n
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range lx {
+		pred := a*lx[i] + b
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Exponent: a, Intercept: b, R2: r2, Points: len(lx)}
+}
+
+// RankDegreeFit fits Faloutsos power law 1 (the "rank exponent"): node
+// degree versus degree rank on log-log axes. Internet-like topologies show a
+// strong negative exponent with high R²; uniform topologies (ring, grid) do
+// not fit.
+func RankDegreeFit(g *Graph) Fit {
+	degrees := make([]float64, g.N())
+	for i := 0; i < g.N(); i++ {
+		degrees[i] = float64(g.Degree(NodeID(i)))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(degrees)))
+	ranks := make([]float64, len(degrees))
+	for i := range ranks {
+		ranks[i] = float64(i + 1)
+	}
+	return logLogFit(ranks, degrees)
+}
+
+// DegreeFrequencyFit fits Faloutsos power law 2 (the "outdegree exponent"):
+// the number of nodes having degree d versus d, on log-log axes.
+func DegreeFrequencyFit(g *Graph) Fit {
+	hist := g.DegreeHistogram()
+	var ds, counts []float64
+	for d, c := range hist {
+		if d > 0 && c > 0 {
+			ds = append(ds, float64(d))
+			counts = append(counts, float64(c))
+		}
+	}
+	return logLogFit(ds, counts)
+}
+
+// HopPairsFit fits Faloutsos power law 3 (the "hop-plot exponent"): the
+// number of node pairs P(h) within h hops versus h, for h up to the graph's
+// effective diameter. Only meaningful for connected graphs.
+func HopPairsFit(g *Graph) Fit {
+	diam := g.Diameter()
+	if diam <= 0 {
+		return Fit{Exponent: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	pairsWithin := make([]float64, diam+1)
+	for u := 0; u < g.N(); u++ {
+		for _, d := range g.BFS(NodeID(u)) {
+			if d >= 1 {
+				pairsWithin[d]++
+			}
+		}
+	}
+	// Cumulative counts.
+	for h := 1; h <= diam; h++ {
+		pairsWithin[h] += pairsWithin[h-1]
+	}
+	// Fit only the growth region (h <= effective diameter where P(h) is
+	// still increasing), per Faloutsos et al.
+	hs := make([]float64, 0, diam)
+	ps := make([]float64, 0, diam)
+	for h := 1; h <= diam; h++ {
+		hs = append(hs, float64(h))
+		ps = append(ps, pairsWithin[h])
+		if h > 1 && pairsWithin[h] == pairsWithin[h-1] {
+			break
+		}
+	}
+	return logLogFit(hs, ps)
+}

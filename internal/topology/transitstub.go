@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TransitStubConfig parametrises the hierarchical Internet model BRITE
+// offers alongside flat Barabási–Albert graphs: a small core of transit
+// domains, each transit node sponsoring stub domains. Real AS topologies
+// are closer to this two-level structure; the experiments use it for
+// sensitivity analysis of the diameter claim.
+type TransitStubConfig struct {
+	// TransitDomains is the number of core domains (>= 1).
+	TransitDomains int
+	// TransitSize is nodes per transit domain (>= 1).
+	TransitSize int
+	// StubsPerTransitNode is how many stub domains hang off each transit
+	// node (>= 0).
+	StubsPerTransitNode int
+	// StubSize is nodes per stub domain (>= 1 when stubs exist).
+	StubSize int
+	// ExtraTransitEdges adds this many random extra edges inside each
+	// transit domain beyond its connecting tree (densifies the core).
+	ExtraTransitEdges int
+	// ExtraStubEdges likewise densifies each stub domain.
+	ExtraStubEdges int
+}
+
+// N returns the total node count of the configured topology.
+func (c TransitStubConfig) N() int {
+	transit := c.TransitDomains * c.TransitSize
+	return transit + transit*c.StubsPerTransitNode*c.StubSize
+}
+
+func (c TransitStubConfig) validate() error {
+	if c.TransitDomains < 1 || c.TransitSize < 1 {
+		return fmt.Errorf("topology: transit-stub needs >= 1 transit domain and node, got %d x %d",
+			c.TransitDomains, c.TransitSize)
+	}
+	if c.StubsPerTransitNode < 0 {
+		return fmt.Errorf("topology: negative StubsPerTransitNode %d", c.StubsPerTransitNode)
+	}
+	if c.StubsPerTransitNode > 0 && c.StubSize < 1 {
+		return fmt.Errorf("topology: stub domains need >= 1 node, got %d", c.StubSize)
+	}
+	return nil
+}
+
+// TransitStub generates a connected two-level transit-stub topology:
+//
+//   - each transit domain is a random connected subgraph (tree + extra
+//     edges) of TransitSize nodes;
+//   - transit domains are linked in a ring of inter-domain edges (a single
+//     domain needs none);
+//   - every transit node sponsors StubsPerTransitNode stub domains, each a
+//     random connected subgraph of StubSize nodes, attached to its transit
+//     node by one edge.
+//
+// Node ids: transit nodes come first (domain-major), then stub nodes.
+func TransitStub(cfg TransitStubConfig, r *rand.Rand) *Graph {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	g := New(cfg.N(), fmt.Sprintf("transit-stub(t=%dx%d,s=%dx%d)",
+		cfg.TransitDomains, cfg.TransitSize, cfg.StubsPerTransitNode, cfg.StubSize))
+
+	// connectedSubgraph wires the nodes ids[0..k) into a random tree plus
+	// `extra` random non-duplicate edges.
+	connectedSubgraph := func(ids []NodeID, extra int) {
+		for i := 1; i < len(ids); i++ {
+			mustEdge(g, ids[i], ids[r.Intn(i)])
+		}
+		for tries, added := 0, 0; added < extra && tries < 20*extra+20 && len(ids) > 2; tries++ {
+			u := ids[r.Intn(len(ids))]
+			v := ids[r.Intn(len(ids))]
+			if u != v && !g.HasEdge(u, v) {
+				mustEdge(g, u, v)
+				added++
+			}
+		}
+	}
+
+	// Transit domains.
+	transitNodes := make([][]NodeID, cfg.TransitDomains)
+	next := 0
+	for d := 0; d < cfg.TransitDomains; d++ {
+		ids := make([]NodeID, cfg.TransitSize)
+		for i := range ids {
+			ids[i] = NodeID(next)
+			next++
+		}
+		connectedSubgraph(ids, cfg.ExtraTransitEdges)
+		transitNodes[d] = ids
+	}
+	// Inter-domain ring (border node chosen at random per link).
+	if cfg.TransitDomains > 1 {
+		for d := 0; d < cfg.TransitDomains; d++ {
+			e := (d + 1) % cfg.TransitDomains
+			if cfg.TransitDomains == 2 && d == 1 {
+				break // avoid a duplicate edge on the 2-domain "ring"
+			}
+			u := transitNodes[d][r.Intn(len(transitNodes[d]))]
+			v := transitNodes[e][r.Intn(len(transitNodes[e]))]
+			if !g.HasEdge(u, v) {
+				mustEdge(g, u, v)
+			}
+		}
+	}
+
+	// Stub domains.
+	for d := 0; d < cfg.TransitDomains; d++ {
+		for _, tn := range transitNodes[d] {
+			for s := 0; s < cfg.StubsPerTransitNode; s++ {
+				ids := make([]NodeID, cfg.StubSize)
+				for i := range ids {
+					ids[i] = NodeID(next)
+					next++
+				}
+				connectedSubgraph(ids, cfg.ExtraStubEdges)
+				mustEdge(g, tn, ids[r.Intn(len(ids))])
+			}
+		}
+	}
+	scatter(g, r)
+	g.SortAdjacency()
+	return g
+}

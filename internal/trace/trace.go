@@ -1,0 +1,145 @@
+// Package trace provides lightweight structured event tracing for protocol
+// debugging: a bounded in-memory ring of events with levels and per-node
+// attribution, cheap enough to leave compiled into the runtime.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Level classifies events.
+type Level int
+
+// Levels in increasing severity.
+const (
+	LevelDebug Level = iota + 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Event is one trace record.
+type Event struct {
+	At    time.Time
+	Level Level
+	Node  vclock.NodeID
+	Msg   string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-5s %v %s", e.At.Format("15:04:05.000"), e.Level, e.Node, e.Msg)
+}
+
+// Ring is a bounded trace buffer. Oldest events are overwritten when full.
+// Ring is safe for concurrent use. A nil *Ring discards all events, so
+// components can hold an optional tracer without nil checks.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+	min    Level
+	count  uint64
+}
+
+// NewRing creates a ring holding up to capacity events at or above min.
+func NewRing(capacity int, min Level) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: non-positive capacity %d", capacity))
+	}
+	return &Ring{events: make([]Event, capacity), min: min}
+}
+
+// Emit records an event if its level passes the filter.
+func (r *Ring) Emit(level Level, node vclock.NodeID, format string, args ...any) {
+	if r == nil || level < r.min {
+		return
+	}
+	ev := Event{At: time.Now(), Level: level, Node: node, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events[r.next] = ev
+	r.next++
+	r.count++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Debugf emits at LevelDebug.
+func (r *Ring) Debugf(node vclock.NodeID, format string, args ...any) {
+	r.Emit(LevelDebug, node, format, args...)
+}
+
+// Infof emits at LevelInfo.
+func (r *Ring) Infof(node vclock.NodeID, format string, args ...any) {
+	r.Emit(LevelInfo, node, format, args...)
+}
+
+// Warnf emits at LevelWarn.
+func (r *Ring) Warnf(node vclock.NodeID, format string, args ...any) {
+	r.Emit(LevelWarn, node, format, args...)
+}
+
+// Errorf emits at LevelError.
+func (r *Ring) Errorf(node vclock.NodeID, format string, args ...any) {
+	r.Emit(LevelError, node, format, args...)
+}
+
+// Count returns the total number of events recorded (including overwritten).
+func (r *Ring) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Snapshot returns retained events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump writes retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, ev := range r.Snapshot() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndSnapshot(t *testing.T) {
+	r := NewRing(10, LevelDebug)
+	r.Infof(1, "hello %d", 42)
+	r.Debugf(2, "debug")
+	events := r.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Msg != "hello 42" || events[0].Node != 1 || events[0].Level != LevelInfo {
+		t.Errorf("event = %+v", events[0])
+	}
+	if r.Count() != 2 {
+		t.Errorf("Count = %d, want 2", r.Count())
+	}
+}
+
+func TestLevelFilter(t *testing.T) {
+	r := NewRing(10, LevelWarn)
+	r.Debugf(1, "dropped")
+	r.Infof(1, "dropped")
+	r.Warnf(1, "kept")
+	r.Errorf(1, "kept")
+	if got := len(r.Snapshot()); got != 2 {
+		t.Errorf("retained %d events, want 2", got)
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := NewRing(3, LevelDebug)
+	for i := 0; i < 5; i++ {
+		r.Infof(0, "event-%d", i)
+	}
+	events := r.Snapshot()
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	want := []string{"event-2", "event-3", "event-4"}
+	for i, w := range want {
+		if events[i].Msg != w {
+			t.Errorf("events[%d] = %q, want %q", i, events[i].Msg, w)
+		}
+	}
+	if r.Count() != 5 {
+		t.Errorf("Count = %d, want 5", r.Count())
+	}
+}
+
+func TestNilRingDiscards(t *testing.T) {
+	var r *Ring
+	r.Infof(1, "into the void") // must not panic
+	if r.Count() != 0 {
+		t.Error("nil ring should count 0")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil ring snapshot should be nil")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(4, LevelDebug)
+	r.Warnf(3, "watch out")
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "n3") || !strings.Contains(out, "watch out") {
+		t.Errorf("dump = %q", out)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{
+		LevelDebug: "DEBUG", LevelInfo: "INFO", LevelWarn: "WARN",
+		LevelError: "ERROR", Level(9): "Level(9)",
+	}
+	for l, name := range want {
+		if got := l.String(); got != name {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, name)
+		}
+	}
+}
+
+func TestNewRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) should panic")
+		}
+	}()
+	NewRing(0, LevelDebug)
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRing(64, LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Infof(1, "msg %d-%d", i, j)
+				r.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("Count = %d, want 800", r.Count())
+	}
+}

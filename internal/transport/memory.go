@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// MemoryConfig tunes the in-memory network.
+type MemoryConfig struct {
+	// Latency delays each delivery (0 = immediate handoff).
+	Latency time.Duration
+	// Jitter adds up to this much uniformly random extra latency.
+	Jitter time.Duration
+	// LossRate drops each message independently with this probability.
+	LossRate float64
+	// Buffer is each endpoint's inbound queue capacity (default 256).
+	Buffer int
+	// Seed drives the loss/jitter RNG (0 = fixed default seed).
+	Seed int64
+}
+
+// Memory is an in-process network hub. Endpoints attach by node id; Send
+// routes through the hub, applying latency, loss, and partitions.
+// Memory is safe for concurrent use.
+type Memory struct {
+	cfg MemoryConfig
+
+	mu        sync.Mutex
+	endpoints map[NodeID]*memEndpoint
+	cut       map[[2]NodeID]bool // severed directed links
+	rng       *rand.Rand
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewMemory creates an in-memory network.
+func NewMemory(cfg MemoryConfig) *Memory {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Memory{
+		cfg:       cfg,
+		endpoints: make(map[NodeID]*memEndpoint),
+		cut:       make(map[[2]NodeID]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Attach creates the endpoint for node id. Attaching the same id twice
+// replaces the previous endpoint (the old one is closed).
+func (m *Memory) Attach(id NodeID) Endpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.endpoints[id]; ok {
+		old.closeLocked()
+	}
+	ep := &memEndpoint{
+		net: m,
+		id:  id,
+		ch:  make(chan protocol.Envelope, m.cfg.Buffer),
+	}
+	m.endpoints[id] = ep
+	return ep
+}
+
+// Partition severs the directed links a->b and b->a.
+func (m *Memory) Partition(a, b NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[[2]NodeID{a, b}] = true
+	m.cut[[2]NodeID{b, a}] = true
+}
+
+// Heal restores the links between a and b.
+func (m *Memory) Heal(a, b NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, [2]NodeID{a, b})
+	delete(m.cut, [2]NodeID{b, a})
+}
+
+// Close shuts the network and all endpoints, waiting for in-flight delayed
+// deliveries to finish.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for _, ep := range m.endpoints {
+		ep.closeLocked()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	return nil
+}
+
+// send routes an envelope, applying faults. Called by endpoints.
+func (m *Memory) send(env protocol.Envelope) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return wrapSendErr(ErrClosed, env)
+	}
+	if m.cut[[2]NodeID{env.From, env.To}] {
+		m.mu.Unlock()
+		return wrapSendErr(ErrDropped, env)
+	}
+	dst, ok := m.endpoints[env.To]
+	if !ok || dst.closed {
+		m.mu.Unlock()
+		return wrapSendErr(ErrUnknownPeer, env)
+	}
+	if m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
+		m.mu.Unlock()
+		return wrapSendErr(ErrDropped, env)
+	}
+	delay := m.cfg.Latency
+	if m.cfg.Jitter > 0 {
+		delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
+	}
+	m.mu.Unlock()
+
+	if delay <= 0 {
+		dst.deliver(env)
+		return nil
+	}
+	m.wg.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer m.wg.Done()
+		dst.deliver(env)
+	})
+	_ = timer
+	return nil
+}
+
+type memEndpoint struct {
+	net    *Memory
+	id     NodeID
+	ch     chan protocol.Envelope
+	mu     sync.Mutex
+	closed bool
+}
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(env protocol.Envelope) error {
+	env.From = e.id
+	return e.net.send(env)
+}
+
+// Recv implements Endpoint.
+func (e *memEndpoint) Recv() <-chan protocol.Envelope { return e.ch }
+
+// deliver enqueues an inbound envelope, dropping when the endpoint is
+// closed or its buffer is full (backpressure-as-loss, like UDP).
+func (e *memEndpoint) deliver(env protocol.Envelope) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.ch <- env:
+	default:
+		// Queue overflow: drop. Anti-entropy tolerates loss by design.
+	}
+}
+
+// Close implements Endpoint.
+func (e *memEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closeLocked()
+	return nil
+}
+
+func (e *memEndpoint) closeLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.ch)
+}
+
+// Compile-time interface compliance check.
+var _ Endpoint = (*memEndpoint)(nil)

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// peerConn serialises writes so concurrent senders cannot interleave frames.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peerConn) write(env protocol.Envelope) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return protocol.WriteEnvelope(p.conn, env)
+}
+
+// TCP is a socket transport: each replica listens on its own address and
+// dials peers on demand, caching one outbound connection per peer. Envelopes
+// travel in the protocol package's length-prefixed binary framing.
+//
+// TCP is safe for concurrent use.
+type TCP struct {
+	id       NodeID
+	listener net.Listener
+
+	mu       sync.Mutex
+	peers    map[NodeID]string
+	conns    map[NodeID]*peerConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	recv chan protocol.Envelope
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ListenTCP starts a TCP endpoint for node id on addr (use "127.0.0.1:0"
+// to pick a free port; see Addr).
+func ListenTCP(id NodeID, addr string) (*TCP, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		id:       id,
+		listener: l,
+		peers:    make(map[NodeID]string),
+		conns:    make(map[NodeID]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		recv:     make(chan protocol.Envelope, 256),
+		done:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// AddPeer registers the address of a peer replica.
+func (t *TCP) AddPeer(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := protocol.ReadEnvelope(r)
+		if err != nil {
+			return
+		}
+		// Block until the consumer keeps up (TCP semantics: backpressure,
+		// not loss), bailing out when the endpoint closes.
+		select {
+		case t.recv <- env:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send implements Endpoint.
+func (t *TCP) Send(env protocol.Envelope) error {
+	env.From = t.id
+	pc, err := t.connTo(env.To)
+	if err != nil {
+		return wrapSendErr(err, env)
+	}
+	if err := pc.write(env); err != nil {
+		// Connection broke: forget it so the next send redials.
+		t.dropConn(env.To, pc)
+		return wrapSendErr(err, env)
+	}
+	return nil
+}
+
+func (t *TCP) connTo(id NodeID) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pc, ok := t.conns[id]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := t.peers[id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %v at %s: %w", id, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[id]; ok {
+		// Lost the race; reuse the established connection.
+		conn.Close()
+		return existing, nil
+	}
+	pc := &peerConn{conn: conn}
+	t.conns[id] = pc
+	return pc, nil
+}
+
+func (t *TCP) dropConn(id NodeID, pc *peerConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[id] == pc {
+		delete(t.conns, id)
+	}
+	pc.conn.Close()
+}
+
+// Recv implements Endpoint.
+func (t *TCP) Recv() <-chan protocol.Envelope { return t.recv }
+
+// Close implements Endpoint.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for id, pc := range t.conns {
+		pc.conn.Close()
+		delete(t.conns, id)
+	}
+	// Unblock read loops stuck on inbound connections or on the recv
+	// channel.
+	for conn := range t.accepted {
+		conn.Close()
+	}
+	close(t.done)
+	t.mu.Unlock()
+	err := t.listener.Close()
+	t.wg.Wait()
+	close(t.recv)
+	return err
+}
+
+// Compile-time interface compliance check.
+var _ Endpoint = (*TCP)(nil)

@@ -1,0 +1,50 @@
+// Package transport moves protocol envelopes between live replicas.
+//
+// Two implementations are provided. Memory is an in-process network with
+// configurable latency, loss and partitions, used by the runtime cluster and
+// by failure-injection tests. TCP runs the same wire protocol over real
+// sockets (stdlib net), demonstrating that the protocol is deployable, not
+// just simulable.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// Errors common to transports.
+var (
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownPeer is returned when sending to an unregistered replica.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrDropped is returned when fault injection discarded the message.
+	ErrDropped = errors.New("transport: message dropped")
+)
+
+// Endpoint is one replica's attachment to a network.
+type Endpoint interface {
+	// Send delivers env to env.To. Delivery is asynchronous; an error means
+	// the message will never arrive (closed, unknown peer, or injected
+	// fault).
+	Send(env protocol.Envelope) error
+	// Recv is the stream of inbound envelopes. It is closed when the
+	// endpoint closes.
+	Recv() <-chan protocol.Envelope
+	// Close detaches the endpoint. Safe to call twice.
+	Close() error
+}
+
+// wrapSendErr annotates a send error with routing context.
+func wrapSendErr(err error, env protocol.Envelope) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("sending %v: %w", env, err)
+}

@@ -1,0 +1,348 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func advert(from, to NodeID, d float64) protocol.Envelope {
+	return protocol.Envelope{From: from, To: to, Msg: protocol.DemandAdvert{Demand: d}}
+}
+
+func recvOne(t *testing.T, ep Endpoint) protocol.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for envelope")
+	}
+	return protocol.Envelope{}
+}
+
+func TestMemoryBasicDelivery(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+	if err := a.Send(advert(0, 1, 5)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, b)
+	if env.From != 0 || env.To != 1 {
+		t.Errorf("routing = %v->%v", env.From, env.To)
+	}
+	if adv, ok := env.Msg.(protocol.DemandAdvert); !ok || adv.Demand != 5 {
+		t.Errorf("payload = %+v", env.Msg)
+	}
+}
+
+func TestMemorySenderStamped(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+	// The endpoint overrides From with its own identity (anti-spoofing).
+	if err := a.Send(advert(42, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b); env.From != 0 {
+		t.Errorf("From = %v, want n0 (stamped)", env.From)
+	}
+}
+
+func TestMemoryUnknownPeer(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	if err := a.Send(advert(0, 9, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestMemoryPartitionAndHeal(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+	net.Partition(0, 1)
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrDropped) {
+		t.Errorf("partitioned send err = %v, want ErrDropped", err)
+	}
+	if err := b.Send(advert(1, 0, 1)); !errors.Is(err, ErrDropped) {
+		t.Errorf("reverse partitioned send err = %v, want ErrDropped", err)
+	}
+	net.Heal(0, 1)
+	if err := a.Send(advert(0, 1, 2)); err != nil {
+		t.Errorf("healed send err = %v", err)
+	}
+	recvOne(t, b)
+}
+
+func TestMemoryLoss(t *testing.T) {
+	net := NewMemory(MemoryConfig{LossRate: 1})
+	defer net.Close()
+	a := net.Attach(0)
+	net.Attach(1)
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrDropped) {
+		t.Errorf("err = %v, want ErrDropped at loss rate 1", err)
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	net := NewMemory(MemoryConfig{Latency: 30 * time.Millisecond})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+	start := time.Now()
+	if err := a.Send(advert(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestMemoryCloseEndpoint(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Error("closed endpoint's Recv should be closed")
+	}
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to closed endpoint err = %v, want ErrUnknownPeer", err)
+	}
+	// Double close is safe.
+	if err := b.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemoryCloseNetwork(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	a := net.Attach(0)
+	net.Attach(1)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close err = %v, want ErrClosed", err)
+	}
+	if err := net.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemoryReattachReplaces(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	old := net.Attach(0)
+	fresh := net.Attach(0)
+	b := net.Attach(1)
+	if _, ok := <-old.Recv(); ok {
+		t.Error("old endpoint should be closed after reattach")
+	}
+	if err := b.Send(advert(1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, fresh)
+}
+
+func TestMemoryConcurrentSends(t *testing.T) {
+	net := NewMemory(MemoryConfig{Buffer: 4096})
+	defer net.Close()
+	eps := make([]Endpoint, 8)
+	for i := range eps {
+		eps[i] = net.Attach(NodeID(i))
+	}
+	var wg sync.WaitGroup
+	const perSender = 200
+	for i := range eps {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				_ = eps[i].Send(advert(NodeID(i), NodeID((i+1)%8), float64(j)))
+			}
+		}()
+	}
+	wg.Wait()
+	// Every endpoint should have perSender messages queued.
+	for i := range eps {
+		got := 0
+	drain:
+		for {
+			select {
+			case _, ok := <-eps[i].Recv():
+				if !ok {
+					break drain
+				}
+				got++
+			default:
+				break drain
+			}
+		}
+		if got != perSender {
+			t.Errorf("endpoint %d received %d, want %d", i, got, perSender)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(1, b.Addr())
+	b.AddPeer(0, a.Addr())
+
+	if err := a.Send(advert(0, 1, 7.5)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	env := recvOne(t, b)
+	if adv, ok := env.Msg.(protocol.DemandAdvert); !ok || adv.Demand != 7.5 {
+		t.Errorf("payload = %+v", env.Msg)
+	}
+	// Reply in the other direction (b dials back).
+	if err := b.Send(advert(1, 0, 9)); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	env = recvOne(t, a)
+	if env.From != 1 {
+		t.Errorf("reply From = %v", env.From)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(advert(0, 5, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(1, "127.0.0.1:1") // never used
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTCPConcurrentSendersNoCorruption(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(1, b.Addr())
+
+	const senders, each = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if err := a.Send(advert(0, 1, 1)); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < senders*each {
+		select {
+		case _, ok := <-b.Recv():
+			if !ok {
+				t.Fatalf("recv closed after %d messages", got)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("received %d/%d before timeout", got, senders*each)
+		}
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.AddPeer(1, addrB)
+	if err := a.Send(advert(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	// Restart B on the same address.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ListenTCP(1, addrB)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrB, err)
+	}
+	defer b2.Close()
+
+	// The first send may fail on the dead cached connection; the transport
+	// must recover by redialling.
+	var sent bool
+	for attempt := 0; attempt < 10; attempt++ {
+		if err := a.Send(advert(0, 1, 2)); err == nil {
+			sent = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sent {
+		t.Fatal("transport never recovered after peer restart")
+	}
+	recvOne(t, b2)
+}

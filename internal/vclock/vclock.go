@@ -1,0 +1,270 @@
+// Package vclock implements the logical-time machinery of Golding's
+// timestamped anti-entropy protocol: per-write timestamps and per-replica
+// summary vectors.
+//
+// A Timestamp names a single write uniquely by its origin replica and a
+// per-origin sequence number. A Summary is the "summary vector" exchanged at
+// the start of an anti-entropy session: for every origin replica it records
+// the highest contiguous sequence number seen, so two replicas can compute
+// exactly the set of writes each is missing.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a replica. IDs are small dense integers assigned by the
+// topology, which keeps summary vectors compact and comparisons cheap.
+type NodeID int32
+
+// String returns a short human-readable form such as "n7".
+func (id NodeID) String() string { return fmt.Sprintf("n%d", int32(id)) }
+
+// Timestamp uniquely identifies one write: the Seq-th write accepted at
+// replica Node. Seq starts at 1; the zero Timestamp is not a valid write id.
+type Timestamp struct {
+	Node NodeID
+	Seq  uint64
+}
+
+// IsZero reports whether ts is the zero value (no write).
+func (ts Timestamp) IsZero() bool { return ts == Timestamp{} }
+
+// String returns a form such as "n3:17".
+func (ts Timestamp) String() string { return fmt.Sprintf("%v:%d", ts.Node, ts.Seq) }
+
+// Compare orders timestamps first by origin, then by sequence. It induces an
+// arbitrary but deterministic total order used for tie-breaking; it is not a
+// happens-before order.
+func (ts Timestamp) Compare(other Timestamp) int {
+	switch {
+	case ts.Node < other.Node:
+		return -1
+	case ts.Node > other.Node:
+		return 1
+	case ts.Seq < other.Seq:
+		return -1
+	case ts.Seq > other.Seq:
+		return 1
+	}
+	return 0
+}
+
+// Ordering is the result of comparing two summary vectors.
+type Ordering int
+
+// Possible results of Summary.Compare.
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String returns the name of the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Summary is a summary vector: for each origin replica, the highest sequence
+// number such that all writes from that origin up to and including it have
+// been received. The zero value is an empty summary ready to use.
+//
+// Summary is not safe for concurrent use; callers synchronise.
+type Summary struct {
+	seq map[NodeID]uint64
+}
+
+// NewSummary returns an empty summary vector.
+func NewSummary() *Summary { return &Summary{} }
+
+// Get returns the highest contiguous sequence number seen from node, or 0.
+func (s *Summary) Get(node NodeID) uint64 {
+	if s == nil || s.seq == nil {
+		return 0
+	}
+	return s.seq[node]
+}
+
+// Covers reports whether the summary already accounts for ts, i.e. whether a
+// replica holding this summary has received the write named by ts.
+func (s *Summary) Covers(ts Timestamp) bool {
+	if ts.IsZero() {
+		return true
+	}
+	return s.Get(ts.Node) >= ts.Seq
+}
+
+// Observe records receipt of the write named by ts. Writes from one origin
+// must be observed in sequence order (the write log guarantees this); Observe
+// panics on a gap because a gap would silently corrupt the "contiguous
+// prefix" invariant every other method relies on.
+func (s *Summary) Observe(ts Timestamp) {
+	if ts.IsZero() {
+		return
+	}
+	cur := s.Get(ts.Node)
+	switch {
+	case ts.Seq <= cur:
+		return // duplicate delivery; already covered
+	case ts.Seq != cur+1:
+		panic(fmt.Sprintf("vclock: out-of-order observe %v after seq %d", ts, cur))
+	}
+	if s.seq == nil {
+		s.seq = make(map[NodeID]uint64)
+	}
+	s.seq[ts.Node] = ts.Seq
+}
+
+// Next returns the timestamp the given origin should assign to its next
+// local write, based on this summary.
+func (s *Summary) Next(node NodeID) Timestamp {
+	return Timestamp{Node: node, Seq: s.Get(node) + 1}
+}
+
+// Merge folds other into s, taking the element-wise maximum. Merging is the
+// commutative, associative, idempotent join of the summary lattice.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil {
+		return
+	}
+	for node, seq := range other.seq {
+		if seq > s.Get(node) {
+			if s.seq == nil {
+				s.seq = make(map[NodeID]uint64)
+			}
+			s.seq[node] = seq
+		}
+	}
+}
+
+// Compare returns the lattice order between s and other: Equal, Before
+// (s strictly dominated), After (s strictly dominates), or Concurrent.
+func (s *Summary) Compare(other *Summary) Ordering {
+	sLess, oLess := false, false
+	for node, seq := range s.all() {
+		switch o := other.Get(node); {
+		case seq < o:
+			sLess = true
+		case seq > o:
+			oLess = true
+		}
+		_ = node
+	}
+	for node, seq := range other.all() {
+		if s.Get(node) < seq {
+			sLess = true
+		}
+	}
+	switch {
+	case sLess && oLess:
+		return Concurrent
+	case sLess:
+		return Before
+	case oLess:
+		return After
+	}
+	return Equal
+}
+
+// Dominates reports whether s covers every write that other covers.
+func (s *Summary) Dominates(other *Summary) bool {
+	ord := s.Compare(other)
+	return ord == Equal || ord == After
+}
+
+// Clone returns an independent deep copy of s.
+func (s *Summary) Clone() *Summary {
+	c := NewSummary()
+	if len(s.all()) == 0 {
+		return c
+	}
+	c.seq = make(map[NodeID]uint64, len(s.seq))
+	for node, seq := range s.seq {
+		c.seq[node] = seq
+	}
+	return c
+}
+
+// Len returns the number of origins with at least one observed write.
+func (s *Summary) Len() int { return len(s.all()) }
+
+// Origins returns the origins with at least one observed write, ascending.
+func (s *Summary) Origins() []NodeID {
+	nodes := make([]NodeID, 0, len(s.all()))
+	for node := range s.all() {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// Total returns the total number of writes covered across all origins. It is
+// the anti-entropy progress metric: Total is monotone non-decreasing and two
+// replicas are mutually consistent exactly when their summaries are Equal.
+func (s *Summary) Total() uint64 {
+	var total uint64
+	for _, seq := range s.all() {
+		total += seq
+	}
+	return total
+}
+
+// Pairs returns the vector as an (origin, highest-seq) map copy, for
+// serialisation.
+func (s *Summary) Pairs() map[NodeID]uint64 {
+	out := make(map[NodeID]uint64, len(s.all()))
+	for node, seq := range s.all() {
+		out[node] = seq
+	}
+	return out
+}
+
+// FromPairs reconstructs a summary from serialised (origin, highest-seq)
+// pairs. Zero sequences are dropped.
+func FromPairs(pairs map[NodeID]uint64) *Summary {
+	s := NewSummary()
+	for node, seq := range pairs {
+		if seq == 0 {
+			continue
+		}
+		if s.seq == nil {
+			s.seq = make(map[NodeID]uint64, len(pairs))
+		}
+		s.seq[node] = seq
+	}
+	return s
+}
+
+// String renders the vector as "{n0:3 n2:1}" with origins in ascending order.
+func (s *Summary) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, node := range s.Origins() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v:%d", node, s.seq[node])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Summary) all() map[NodeID]uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.seq
+}

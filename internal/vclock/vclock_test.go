@@ -1,0 +1,402 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampIsZero(t *testing.T) {
+	if !(Timestamp{}).IsZero() {
+		t.Error("zero Timestamp should report IsZero")
+	}
+	if (Timestamp{Node: 1, Seq: 1}).IsZero() {
+		t.Error("non-zero Timestamp should not report IsZero")
+	}
+}
+
+func TestTimestampCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Timestamp
+		want int
+	}{
+		{"equal", Timestamp{1, 5}, Timestamp{1, 5}, 0},
+		{"lower node", Timestamp{1, 9}, Timestamp{2, 1}, -1},
+		{"higher node", Timestamp{3, 1}, Timestamp{2, 9}, 1},
+		{"same node lower seq", Timestamp{2, 1}, Timestamp{2, 2}, -1},
+		{"same node higher seq", Timestamp{2, 3}, Timestamp{2, 2}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+			}
+		})
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	ts := Timestamp{Node: 3, Seq: 17}
+	if got, want := ts.String(), "n3:17"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSummaryZeroValueUsable(t *testing.T) {
+	var s Summary
+	if got := s.Get(4); got != 0 {
+		t.Errorf("Get on zero Summary = %d, want 0", got)
+	}
+	if s.Covers(Timestamp{Node: 1, Seq: 1}) {
+		t.Error("zero Summary should not cover any write")
+	}
+	s.Observe(Timestamp{Node: 1, Seq: 1})
+	if !s.Covers(Timestamp{Node: 1, Seq: 1}) {
+		t.Error("Summary should cover an observed write")
+	}
+}
+
+func TestSummaryObserveSequence(t *testing.T) {
+	s := NewSummary()
+	for seq := uint64(1); seq <= 10; seq++ {
+		s.Observe(Timestamp{Node: 2, Seq: seq})
+	}
+	if got := s.Get(2); got != 10 {
+		t.Errorf("Get(2) = %d, want 10", got)
+	}
+	// Duplicates are ignored.
+	s.Observe(Timestamp{Node: 2, Seq: 7})
+	if got := s.Get(2); got != 10 {
+		t.Errorf("after duplicate observe Get(2) = %d, want 10", got)
+	}
+	// Zero timestamps are ignored.
+	s.Observe(Timestamp{})
+	if got := s.Len(); got != 1 {
+		t.Errorf("Len() = %d, want 1", got)
+	}
+}
+
+func TestSummaryObserveGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe with a sequence gap should panic")
+		}
+	}()
+	s := NewSummary()
+	s.Observe(Timestamp{Node: 1, Seq: 2})
+}
+
+func TestSummaryNext(t *testing.T) {
+	s := NewSummary()
+	if got, want := s.Next(5), (Timestamp{Node: 5, Seq: 1}); got != want {
+		t.Errorf("Next(5) = %v, want %v", got, want)
+	}
+	s.Observe(Timestamp{Node: 5, Seq: 1})
+	s.Observe(Timestamp{Node: 5, Seq: 2})
+	if got, want := s.Next(5), (Timestamp{Node: 5, Seq: 3}); got != want {
+		t.Errorf("Next(5) = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryCovers(t *testing.T) {
+	s := NewSummary()
+	s.Observe(Timestamp{Node: 1, Seq: 1})
+	s.Observe(Timestamp{Node: 1, Seq: 2})
+	tests := []struct {
+		ts   Timestamp
+		want bool
+	}{
+		{Timestamp{}, true}, // zero timestamp is vacuously covered
+		{Timestamp{Node: 1, Seq: 1}, true},
+		{Timestamp{Node: 1, Seq: 2}, true},
+		{Timestamp{Node: 1, Seq: 3}, false},
+		{Timestamp{Node: 2, Seq: 1}, false},
+	}
+	for _, tt := range tests {
+		if got := s.Covers(tt.ts); got != tt.want {
+			t.Errorf("Covers(%v) = %t, want %t", tt.ts, got, tt.want)
+		}
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	a := NewSummary()
+	a.Observe(Timestamp{Node: 1, Seq: 1})
+	a.Observe(Timestamp{Node: 1, Seq: 2})
+	b := NewSummary()
+	b.Observe(Timestamp{Node: 1, Seq: 1})
+	b.Observe(Timestamp{Node: 2, Seq: 1})
+
+	a.Merge(b)
+	if got := a.Get(1); got != 2 {
+		t.Errorf("after merge Get(1) = %d, want 2", got)
+	}
+	if got := a.Get(2); got != 1 {
+		t.Errorf("after merge Get(2) = %d, want 1", got)
+	}
+	a.Merge(nil) // merging nil is a no-op
+	if got := a.Total(); got != 3 {
+		t.Errorf("Total() = %d, want 3", got)
+	}
+}
+
+func TestSummaryCompare(t *testing.T) {
+	mk := func(pairs ...uint64) *Summary {
+		s := NewSummary()
+		for i := 0; i+1 < len(pairs); i += 2 {
+			for seq := uint64(1); seq <= pairs[i+1]; seq++ {
+				s.Observe(Timestamp{Node: NodeID(pairs[i]), Seq: seq})
+			}
+		}
+		return s
+	}
+	tests := []struct {
+		name string
+		a, b *Summary
+		want Ordering
+	}{
+		{"both empty", mk(), mk(), Equal},
+		{"equal", mk(1, 2, 2, 3), mk(1, 2, 2, 3), Equal},
+		{"before", mk(1, 1), mk(1, 2), Before},
+		{"after", mk(1, 3), mk(1, 2), After},
+		{"missing origin before", mk(1, 2), mk(1, 2, 2, 1), Before},
+		{"concurrent", mk(1, 2), mk(2, 2), Concurrent},
+		{"concurrent mixed", mk(1, 3, 2, 1), mk(1, 1, 2, 3), Concurrent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSummaryCompareSymmetry(t *testing.T) {
+	a := NewSummary()
+	a.Observe(Timestamp{Node: 1, Seq: 1})
+	b := NewSummary()
+	b.Observe(Timestamp{Node: 1, Seq: 1})
+	b.Observe(Timestamp{Node: 1, Seq: 2})
+	if a.Compare(b) != Before || b.Compare(a) != After {
+		t.Errorf("Compare not antisymmetric: %v / %v", a.Compare(b), b.Compare(a))
+	}
+	if a.Dominates(b) {
+		t.Error("a should not dominate b")
+	}
+	if !b.Dominates(a) {
+		t.Error("b should dominate a")
+	}
+}
+
+func TestSummaryClone(t *testing.T) {
+	a := NewSummary()
+	a.Observe(Timestamp{Node: 1, Seq: 1})
+	c := a.Clone()
+	c.Observe(Timestamp{Node: 1, Seq: 2})
+	if a.Get(1) != 1 {
+		t.Error("mutating clone affected original")
+	}
+	if c.Get(1) != 2 {
+		t.Error("clone did not accept new observation")
+	}
+	empty := NewSummary().Clone()
+	if empty.Len() != 0 {
+		t.Error("clone of empty summary should be empty")
+	}
+}
+
+func TestSummaryOriginsSorted(t *testing.T) {
+	s := NewSummary()
+	for _, n := range []NodeID{9, 2, 5} {
+		s.Observe(Timestamp{Node: n, Seq: 1})
+	}
+	got := s.Origins()
+	want := []NodeID{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Origins() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Origins() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSummary()
+	s.Observe(Timestamp{Node: 2, Seq: 1})
+	s.Observe(Timestamp{Node: 0, Seq: 1})
+	s.Observe(Timestamp{Node: 0, Seq: 2})
+	if got, want := s.String(), "{n0:2 n2:1}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	names := map[Ordering]string{
+		Equal:       "equal",
+		Before:      "before",
+		After:       "after",
+		Concurrent:  "concurrent",
+		Ordering(0): "Ordering(0)",
+	}
+	for o, want := range names {
+		if got := o.String(); got != want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+// randomSummary builds a random summary with origins < nodes and per-origin
+// sequence counts < maxSeq.
+func randomSummary(r *rand.Rand, nodes, maxSeq int) *Summary {
+	s := NewSummary()
+	for n := 0; n < nodes; n++ {
+		count := r.Intn(maxSeq)
+		for seq := 1; seq <= count; seq++ {
+			s.Observe(Timestamp{Node: NodeID(n), Seq: uint64(seq)})
+		}
+	}
+	return s
+}
+
+func TestSummaryMergeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+
+	// Commutativity: a ⊔ b == b ⊔ a.
+	commutative := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSummary(r, 6, 8), randomSummary(r, 6, 8)
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		return ab.Compare(ba) == Equal
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("merge not commutative: %v", err)
+	}
+
+	// Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+	associative := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSummary(r, 5, 6), randomSummary(r, 5, 6), randomSummary(r, 5, 6)
+		left := a.Clone()
+		left.Merge(b)
+		left.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		right := a.Clone()
+		right.Merge(bc)
+		return left.Compare(right) == Equal
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("merge not associative: %v", err)
+	}
+
+	// Idempotence: a ⊔ a == a.
+	idempotent := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSummary(r, 6, 8)
+		aa := a.Clone()
+		aa.Merge(a)
+		return aa.Compare(a) == Equal
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("merge not idempotent: %v", err)
+	}
+
+	// Merge dominates both inputs (it is an upper bound).
+	upperBound := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSummary(r, 6, 8), randomSummary(r, 6, 8)
+		m := a.Clone()
+		m.Merge(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(upperBound, cfg); err != nil {
+		t.Errorf("merge not an upper bound: %v", err)
+	}
+}
+
+func TestSummaryTotalMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSummary()
+		prev := s.Total()
+		for i := 0; i < 50; i++ {
+			node := NodeID(r.Intn(5))
+			s.Observe(s.Next(node))
+			if got := s.Total(); got < prev {
+				return false
+			} else {
+				prev = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("Total not monotone under Observe: %v", err)
+	}
+}
+
+func TestSummaryCoversAfterMerge(t *testing.T) {
+	// Anything covered by either input is covered by the merge.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSummary(r, 6, 8), randomSummary(r, 6, 8)
+		m := a.Clone()
+		m.Merge(b)
+		for n := NodeID(0); n < 6; n++ {
+			for seq := uint64(1); seq <= 8; seq++ {
+				ts := Timestamp{Node: n, Seq: seq}
+				if (a.Covers(ts) || b.Covers(ts)) && !m.Covers(ts) {
+					return false
+				}
+				if m.Covers(ts) && !a.Covers(ts) && !b.Covers(ts) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("merge coverage property violated: %v", err)
+	}
+}
+
+func BenchmarkSummaryObserve(b *testing.B) {
+	s := NewSummary()
+	node := NodeID(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(s.Next(node))
+	}
+}
+
+func BenchmarkSummaryMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSummary(r, 100, 50)
+	c := randomSummary(r, 100, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := a.Clone()
+		m.Merge(c)
+	}
+}
+
+func BenchmarkSummaryCompare(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSummary(r, 100, 50)
+	c := randomSummary(r, 100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Compare(c)
+	}
+}

@@ -1,0 +1,356 @@
+// Package wlog implements the per-replica write log of the anti-entropy
+// protocol.
+//
+// Every client write becomes an Entry stamped with a vclock.Timestamp. The
+// log indexes entries by origin so that, given a partner's summary vector,
+// it can produce exactly the entries the partner is missing (the data phase
+// of an anti-entropy session, paper §2.1 steps 7–11).
+//
+// The log also supports the truncation policies discussed in the paper's
+// related-work section (Bayou, Petersen et al.): entries covered by a
+// "stable" summary — one known to be dominated by every replica's summary —
+// may be discarded to bound storage, at the cost of longer sessions with
+// replicas that later turn out to need them.
+package wlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Entry is one replicated write operation.
+type Entry struct {
+	// TS uniquely identifies the write (origin replica + sequence).
+	TS vclock.Timestamp
+	// Key and Value carry the write's content ("write" operation of the
+	// paper's model §2). Value is never aliased after insertion.
+	Key   string
+	Value []byte
+	// Clock is the Lamport clock attached at the origin; the store uses it
+	// for last-writer-wins conflict resolution across origins.
+	Clock uint64
+}
+
+// Clone returns a deep copy of e.
+func (e Entry) Clone() Entry {
+	c := e
+	if e.Value != nil {
+		c.Value = append([]byte(nil), e.Value...)
+	}
+	return c
+}
+
+// String renders the entry compactly for traces.
+func (e Entry) String() string {
+	return fmt.Sprintf("%v %s=%q@%d", e.TS, e.Key, e.Value, e.Clock)
+}
+
+// ErrGap is returned by Add when an entry would leave a sequence hole for
+// its origin (e.g. receiving n3:5 while the log only covers n3:3).
+var ErrGap = errors.New("wlog: entry would create a sequence gap")
+
+// ErrTruncated is returned by MissingGiven when the partner needs entries
+// the log has already truncated; recovery requires a full-state transfer.
+var ErrTruncated = errors.New("wlog: required entries already truncated")
+
+// Log is a write log. The zero value is ready to use. Log is safe for
+// concurrent use.
+type Log struct {
+	mu sync.RWMutex
+	// byOrigin[n] holds, in sequence order, entries originated at n that are
+	// still retained. Retained entries are always a contiguous sequence
+	// range [truncated[n]+1 .. summary.Get(n)].
+	byOrigin map[vclock.NodeID][]Entry
+	// truncated[n] is the highest sequence from origin n discarded by
+	// truncation. 0 means nothing was truncated.
+	truncated map[vclock.NodeID]uint64
+	summary   vclock.Summary
+	bytes     int
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append records a new local write at origin, assigning the next sequence
+// number, and returns the resulting entry. The caller supplies the Lamport
+// clock value.
+func (l *Log) Append(origin vclock.NodeID, key string, value []byte, clock uint64) Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{TS: l.summary.Next(origin), Key: key, Clock: clock}
+	if value != nil {
+		e.Value = append([]byte(nil), value...)
+	}
+	l.insertLocked(e)
+	return e.Clone()
+}
+
+// Add inserts an entry received from a partner. Duplicates are ignored and
+// reported as (false, nil). Entries that would create a sequence gap return
+// ErrGap; callers deliver a remote origin's entries in sequence order, which
+// MissingGiven guarantees.
+func (l *Log) Add(e Entry) (added bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.summary.Get(e.TS.Node)
+	switch {
+	case e.TS.Seq <= cur:
+		return false, nil
+	case e.TS.Seq != cur+1:
+		return false, fmt.Errorf("%w: got %v, have seq %d", ErrGap, e.TS, cur)
+	}
+	l.insertLocked(e.Clone())
+	return true, nil
+}
+
+func (l *Log) insertLocked(e Entry) {
+	l.summary.Observe(e.TS)
+	if l.byOrigin == nil {
+		l.byOrigin = make(map[vclock.NodeID][]Entry)
+	}
+	l.byOrigin[e.TS.Node] = append(l.byOrigin[e.TS.Node], e)
+	l.bytes += len(e.Key) + len(e.Value)
+}
+
+// Summary returns a copy of the log's summary vector.
+func (l *Log) Summary() *vclock.Summary {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.Clone()
+}
+
+// Covers reports whether the log has received the write named by ts.
+func (l *Log) Covers(ts vclock.Timestamp) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.Covers(ts)
+}
+
+// Get returns the entry named by ts, if it is retained.
+func (l *Log) Get(ts vclock.Timestamp) (Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	entries := l.byOrigin[ts.Node]
+	base := l.truncated[ts.Node]
+	if ts.Seq <= base || ts.Seq > l.summary.Get(ts.Node) {
+		return Entry{}, false
+	}
+	return entries[ts.Seq-base-1].Clone(), true
+}
+
+// MissingGiven returns, in a deterministic order (origin ascending, then
+// sequence ascending), copies of all retained entries not covered by the
+// partner summary. If truncation already discarded entries the partner
+// needs, it returns ErrTruncated.
+func (l *Log) MissingGiven(partner *vclock.Summary) ([]Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+
+	origins := l.summary.Origins()
+	var out []Entry
+	for _, origin := range origins {
+		have := l.summary.Get(origin)
+		theirs := partner.Get(origin)
+		if theirs >= have {
+			continue
+		}
+		base := l.truncated[origin]
+		if theirs < base {
+			return nil, fmt.Errorf("%w: partner at %v:%d, truncated through %d",
+				ErrTruncated, origin, theirs, base)
+		}
+		entries := l.byOrigin[origin]
+		for seq := theirs + 1; seq <= have; seq++ {
+			out = append(out, entries[seq-base-1].Clone())
+		}
+	}
+	return out, nil
+}
+
+// MissingCount returns how many retained entries a partner with the given
+// summary is missing, without copying them.
+func (l *Log) MissingCount(partner *vclock.Summary) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	count := 0
+	for _, origin := range l.summary.Origins() {
+		have := l.summary.Get(origin)
+		if theirs := partner.Get(origin); theirs < have {
+			count += int(have - theirs)
+		}
+	}
+	return count
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, entries := range l.byOrigin {
+		n += len(entries)
+	}
+	return n
+}
+
+// Bytes returns the approximate retained payload size (keys + values).
+func (l *Log) Bytes() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytes
+}
+
+// All returns copies of every retained entry ordered by origin then
+// sequence.
+func (l *Log) All() []Entry {
+	entries, err := l.MissingGiven(vclock.NewSummary())
+	if err != nil {
+		// An empty summary is never below the truncation floor unless
+		// truncation happened; in that case fall back to retained range.
+		entries = l.retained()
+	}
+	return entries
+}
+
+func (l *Log) retained() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Entry
+	origins := make([]vclock.NodeID, 0, len(l.byOrigin))
+	for origin := range l.byOrigin {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		for _, e := range l.byOrigin[origin] {
+			out = append(out, e.Clone())
+		}
+	}
+	return out
+}
+
+// TruncateCovered discards every entry covered by stable, a summary known to
+// be dominated by all replicas (so no partner can ever need the discarded
+// entries during normal anti-entropy). It returns the number of entries
+// discarded. Truncating beyond what is actually stable trades storage for
+// the risk of ErrTruncated sessions — exactly the Bayou trade-off the paper
+// discusses.
+func (l *Log) TruncateCovered(stable *vclock.Summary) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	discarded := 0
+	for origin, entries := range l.byOrigin {
+		base := l.truncated[origin]
+		cut := stable.Get(origin)
+		if cut > l.summary.Get(origin) {
+			cut = l.summary.Get(origin)
+		}
+		if cut <= base {
+			continue
+		}
+		drop := int(cut - base)
+		for _, e := range entries[:drop] {
+			l.bytes -= len(e.Key) + len(e.Value)
+		}
+		rest := make([]Entry, len(entries)-drop)
+		copy(rest, entries[drop:])
+		l.byOrigin[origin] = rest
+		if l.truncated == nil {
+			l.truncated = make(map[vclock.NodeID]uint64)
+		}
+		l.truncated[origin] = cut
+		discarded += drop
+	}
+	return discarded
+}
+
+// TruncatedThrough returns the highest discarded sequence for origin.
+func (l *Log) TruncatedThrough(origin vclock.NodeID) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.truncated[origin]
+}
+
+// TruncateKeepLast discards, for every origin, all retained entries except
+// the most recent keep — the "aggressive" end of Bayou's truncation
+// spectrum. Unlike TruncateCovered it needs no stability information, so it
+// can force ErrTruncated sessions (and therefore snapshot transfers) when a
+// partner lags more than keep writes behind. It returns the number of
+// entries discarded.
+func (l *Log) TruncateKeepLast(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	discarded := 0
+	for origin, entries := range l.byOrigin {
+		head := l.summary.Get(origin)
+		floor := l.truncated[origin]
+		newFloor := head - uint64(keep)
+		if uint64(keep) > head {
+			newFloor = 0
+		}
+		if newFloor <= floor {
+			continue
+		}
+		drop := int(newFloor - floor)
+		if drop > len(entries) {
+			drop = len(entries)
+		}
+		for _, e := range entries[:drop] {
+			l.bytes -= len(e.Key) + len(e.Value)
+		}
+		rest := make([]Entry, len(entries)-drop)
+		copy(rest, entries[drop:])
+		l.byOrigin[origin] = rest
+		if l.truncated == nil {
+			l.truncated = make(map[vclock.NodeID]uint64)
+		}
+		l.truncated[origin] = newFloor
+		discarded += drop
+	}
+	return discarded
+}
+
+// Adopt folds a full-state snapshot's summary into the log: for every
+// origin where snap exceeds the local head, the log advances its summary to
+// snap and marks the skipped range as truncated (the entries themselves
+// arrive out-of-log via the snapshot's store image). Retained entries below
+// a raised truncation floor are discarded. Adopt returns how many entries
+// were discarded.
+//
+// This is the receiver half of anti-entropy's full-state transfer, the
+// recovery path for ErrTruncated sessions.
+func (l *Log) Adopt(snap *vclock.Summary) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	discarded := 0
+	for node, pairs := range snap.Pairs() {
+		head := l.summary.Get(node)
+		if pairs <= head {
+			continue
+		}
+		// Raise the summary to the snapshot head. Observe demands
+		// contiguity, so extend via the internal map through Merge.
+		one := vclock.FromPairs(map[vclock.NodeID]uint64{node: pairs})
+		l.summary.Merge(one)
+		// Everything at or below the new head that we do not retain is now
+		// logically truncated; discard retained entries below the floor.
+		entries := l.byOrigin[node]
+		for _, e := range entries {
+			l.bytes -= len(e.Key) + len(e.Value)
+			discarded++
+		}
+		delete(l.byOrigin, node)
+		if l.truncated == nil {
+			l.truncated = make(map[vclock.NodeID]uint64)
+		}
+		l.truncated[node] = pairs
+	}
+	return discarded
+}
