@@ -21,7 +21,10 @@ import (
 	"repro/internal/island"
 	"repro/internal/mc"
 	"repro/internal/policy"
+	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // benchParams returns the reduced trial count used by Monte-Carlo benches.
@@ -290,3 +293,58 @@ func BenchmarkIslandDetect(b *testing.B) {
 		island.Detect(g, field, 0, island.Threshold{Percentile: 80})
 	}
 }
+
+// benchShardedThroughput drives the consistent-hash router end-to-end: b.N
+// closed-loop ops against nShards groups carved from one 16-replica
+// substrate, then waits for every shard to converge. Comparing the
+// shards=4 and shards=1 rows shows what partitioning the keyspace buys at
+// fixed total replica count.
+func benchShardedThroughput(b *testing.B, nShards int) {
+	b.Helper()
+	r := rand.New(rand.NewSource(31))
+	g := topology.BarabasiAlbert(16, 2, r)
+	field := demand.Uniform(16, 1, 101, r)
+	sys, err := core.NewSystem(g, field, core.FastConsistency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := core.Sharded(sys, nShards, shard.Config{Seed: 31},
+		runtime.WithSessionInterval(10*time.Millisecond),
+		runtime.WithAdvertInterval(5*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := router.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer router.Stop()
+
+	cfg := workload.Config{Workers: 8, Ops: b.N, ReadFraction: 0.9, Keys: 1024, Seed: 31}
+	b.ResetTimer()
+	res := workload.Run(context.Background(), cfg, shard.Target{Router: router})
+	b.StopTimer()
+	if res.Errors > 0 {
+		b.Fatalf("%d ops failed", res.Errors)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		b.Fatal("shards did not converge after load")
+	}
+	for _, name := range router.Shards() {
+		grp, _ := router.Group(name)
+		if _, ok := grp.Digest(); !ok {
+			b.Fatalf("%s: store digests disagree after convergence", name)
+		}
+	}
+	b.ReportMetric(res.OpsPerSec(), "ops/sec")
+	b.ReportMetric(res.ReadLatency.Percentile(99), "read-p99-ms")
+}
+
+// BenchmarkShardedThroughput4 is the sharded deployment: 4 groups x 4
+// replicas behind the consistent-hash router.
+func BenchmarkShardedThroughput4(b *testing.B) { benchShardedThroughput(b, 4) }
+
+// BenchmarkShardedThroughput1 is the unsharded control at the same total
+// replica count: 1 group x 16 replicas behind the same router surface.
+func BenchmarkShardedThroughput1(b *testing.B) { benchShardedThroughput(b, 1) }

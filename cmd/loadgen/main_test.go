@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallShardedLoad(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "2", "-nodes-per-shard", "4",
+		"-ops", "1500", "-workers", "4", "-keys", "256",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"2 shard(s) x 4 replicas",
+		"throughput (ops/sec)",
+		"read p50 (ms)",
+		"write p99 (ms)",
+		"converged",
+		"shard0: digest",
+		"shard1: digest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleShard(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "1", "-nodes-per-shard", "6",
+		"-ops", "800", "-workers", "4", "-dist", "uniform", "-routing", "random",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1 shard(s) x 6 replicas") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shards", "0"},
+		{"-dist", "bogus"},
+		{"-routing", "bogus"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -23,6 +23,11 @@
 //	internal/island      §6 islands, leader election, overlay
 //	internal/runtime     goroutine-per-replica live cluster
 //	internal/transport   in-memory (faults) + TCP transports
+//	internal/shard       consistent-hash router over per-shard clusters:
+//	                     one keyspace partitioned across many replica
+//	                     groups, with live shard add/remove and handoff
+//	internal/workload    closed-loop load generator (Zipf/uniform keys,
+//	                     read/write mix, latency percentiles)
 //	internal/experiment  every figure/table as runnable code
 //
 // Entry points:
@@ -31,6 +36,8 @@
 //	cmd/fastsim          run a single configurable simulation
 //	cmd/topogen          generate/inspect topologies and power-law fits
 //	cmd/livedemo         drive a live cluster from the terminal
+//	cmd/loadgen          drive a sharded deployment under load and report
+//	                     ops/sec plus p50/p99 latency
 //	examples/...         quickstart and scenario walk-throughs
 //
 // The benchmarks in bench_test.go regenerate each experiment at reduced

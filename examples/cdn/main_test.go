@@ -1,0 +1,60 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+// TestCDNFreshShare runs the example's demand-weighted freshness metric at
+// reduced scale: fast consistency must serve a larger share of requests
+// fresh in the first session than the weak baseline.
+func TestCDNFreshShare(t *testing.T) {
+	const (
+		nodes  = 30
+		trials = 40
+	)
+	r := rand.New(rand.NewSource(11))
+	graph := topology.BarabasiAlbert(nodes, 2, r)
+	field := demand.Zipf(nodes, 1, 1000, r)
+	var totalDemand float64
+	for i := 0; i < nodes; i++ {
+		totalDemand += field.At(demand.NodeID(i), 0)
+	}
+	if totalDemand <= 0 {
+		t.Fatal("degenerate demand field")
+	}
+
+	firstSessionShare := func(variant core.Variant) float64 {
+		sys, err := core.NewSystem(graph, field, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var share float64
+		for trial := 0; trial < trials; trial++ {
+			res := sys.SimulateOnce(int64(trial))
+			if !res.Completed {
+				continue
+			}
+			var fresh float64
+			for id, at := range res.Times {
+				if at <= 1 {
+					fresh += field.At(demand.NodeID(id), 0)
+				}
+			}
+			share += fresh / totalDemand
+		}
+		return share / trials
+	}
+	fast := firstSessionShare(core.FastConsistency)
+	weak := firstSessionShare(core.WeakConsistency)
+	if fast < 0 || fast > 1 || weak < 0 || weak > 1 {
+		t.Fatalf("shares out of range: fast=%f weak=%f", fast, weak)
+	}
+	if fast <= weak {
+		t.Errorf("fast fresh share %.3f not above weak %.3f", fast, weak)
+	}
+}

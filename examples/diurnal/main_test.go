@@ -1,0 +1,44 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// TestDiurnalScenario runs the example's follow-the-sun setup at reduced
+// scale: a diurnal field over a grid, one trial per time of day, with the
+// shifted-field wrapper the example defines.
+func TestDiurnalScenario(t *testing.T) {
+	const period = 24.0
+	graph := topology.Grid(5, 5)
+	r := rand.New(rand.NewSource(5))
+	base := demand.Uniform(25, 20, 40, r)
+	field := demand.NewDiurnal(base, period, 0.9, demand.PhaseByLongitude(graph, 0.5))
+
+	for _, writeAt := range []float64{0.25 * period, 0.75 * period} {
+		shifted := &shiftedField{base: field, offset: writeAt}
+		cfg := mc.NewConfig(graph, shifted, policy.NewDynamicOrdered)
+		cfg.FastPush = true
+		cfg.Origin = 12
+		res := mc.RunTrial(cfg, 1)
+		if !res.Completed {
+			t.Fatalf("trial at t=%.2f did not converge", writeAt)
+		}
+		if res.TimeAll() <= 0 {
+			t.Errorf("trial at t=%.2f reports non-positive convergence time", writeAt)
+		}
+	}
+}
+
+func TestShiftedFieldOffsets(t *testing.T) {
+	base := demand.Static{1, 2, 3}
+	s := &shiftedField{base: base, offset: 10}
+	if got, want := s.At(1, 5), base.At(1, 15); got != want {
+		t.Errorf("shifted At = %f, want base at t+offset = %f", got, want)
+	}
+}

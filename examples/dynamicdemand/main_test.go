@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// TestDynamicDemandSweep runs the example's refresh-period sweep at reduced
+// scale and checks the reported means are usable numbers.
+func TestDynamicDemandSweep(t *testing.T) {
+	const (
+		nodes  = 20
+		trials = 30
+	)
+	r := rand.New(rand.NewSource(3))
+	graph := topology.BarabasiAlbert(nodes, 2, r)
+	field := demand.NewRandomWalk(nodes, 1, 100, 15, 1, 64, r)
+
+	for _, refresh := range []float64{0, 1, 4} {
+		cfg := mc.NewConfig(graph, field, policy.NewDynamicOrdered)
+		cfg.FastPush = true
+		cfg.RefreshInterval = refresh
+		agg := mc.RunMany(cfg, trials, 17, 0.2)
+		if agg.Trials != trials {
+			t.Fatalf("refresh=%.1f: attempted %d trials, want %d", refresh, agg.Trials, trials)
+		}
+		if all := agg.TimeAll.Mean(); all <= 0 {
+			t.Errorf("refresh=%.1f: non-positive mean %f", refresh, all)
+		}
+		if high, all := agg.TimeHigh.Mean(), agg.TimeAll.Mean(); high > all {
+			t.Errorf("refresh=%.1f: high-demand mean %f above overall %f", refresh, high, all)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/mc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// TestFlashCrowdScenario runs the example's arms at reduced scale: a flash
+// crowd at the far corner, one origin, all three policies converging.
+func TestFlashCrowdScenario(t *testing.T) {
+	const n = 25
+	graph := topology.Grid(5, 5)
+	r := rand.New(rand.NewSource(7))
+	base := demand.Uniform(n, 1, 5, r)
+	crowd := &demand.FlashCrowd{Base: base, Node: 24, Start: 1, End: 50, Factor: 100}
+
+	for _, factory := range []policy.Factory{
+		policy.NewStaticOrdered, policy.NewDynamicOrdered, policy.NewRandom,
+	} {
+		cfg := mc.NewConfig(graph, crowd, factory)
+		cfg.Origin = 0
+		for trial := 0; trial < 10; trial++ {
+			res := mc.RunTrial(cfg, int64(trial))
+			if !res.Completed {
+				t.Fatalf("trial %d did not converge", trial)
+			}
+			if res.Times[24] <= 0 || res.Times[24] > res.TimeAll() {
+				t.Fatalf("crowd time %f outside (0, all=%f]", res.Times[24], res.TimeAll())
+			}
+		}
+	}
+}
+
+func TestFlashCrowdFieldSpikes(t *testing.T) {
+	base := demand.Static{1, 1}
+	crowd := &demand.FlashCrowd{Base: base, Node: 1, Start: 1, End: 2, Factor: 100}
+	if before, during := crowd.At(1, 0.5), crowd.At(1, 1.5); during <= before {
+		t.Errorf("flash crowd did not spike: before=%f during=%f", before, during)
+	}
+}

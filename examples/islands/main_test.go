@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/island"
+	"repro/internal/mc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// TestIslandsScenario runs the example's detection + overlay flow at
+// reduced scale: two valleys on a grid must be detected as islands, and the
+// leader overlay must shorten the leader-to-leader distance.
+func TestIslandsScenario(t *testing.T) {
+	graph := topology.Grid(6, 6)
+	field := island.TwoValleyField(graph, 1, 100, 0.12)
+
+	islands := island.Detect(graph, field, 0, island.Threshold{Percentile: 85})
+	if len(islands) < 2 {
+		t.Fatalf("detected %d islands, want the two valleys", len(islands))
+	}
+	overlay := island.Overlay(graph, islands)
+	if overlay.M() <= graph.M() {
+		t.Fatalf("overlay added no leader links (%d vs %d edges)", overlay.M(), graph.M())
+	}
+	l0, l1 := islands[0].Leader, islands[len(islands)-1].Leader
+	if before, after := graph.BFS(l0)[l1], overlay.BFS(l0)[l1]; after > before {
+		t.Errorf("overlay lengthened leader distance: %d -> %d hops", before, after)
+	}
+
+	cfg := mc.NewConfig(overlay, field, policy.NewDynamicOrdered)
+	cfg.FastPush = true
+	cfg.Origin = 0
+	res := mc.RunTrial(cfg, 1)
+	if !res.Completed {
+		t.Fatal("trial over the overlay did not converge")
+	}
+	if clusters := island.StalenessClusters(graph, res.Times, 1.5); len(clusters) == 0 {
+		t.Error("no staleness clusters found 1.5 sessions after the write")
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+// TestQuickstartBody runs the example's full flow at reduced scale:
+// simulate both variants, then serve a write through a live cluster.
+func TestQuickstartBody(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	graph := topology.BarabasiAlbert(20, 2, r)
+	field := demand.Uniform(20, 1, 101, r)
+
+	var fast, weak float64
+	for _, variant := range []core.Variant{core.WeakConsistency, core.FastConsistency} {
+		sys, err := core.NewSystem(graph, field, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report := sys.Simulate(100, 1)
+		if report.Trials == 0 || report.MeanSessionsAll <= 0 {
+			t.Fatalf("%v: degenerate report %v", variant, report)
+		}
+		if variant == core.FastConsistency {
+			fast = report.MeanSessionsAll
+		} else {
+			weak = report.MeanSessionsAll
+		}
+	}
+	if fast >= weak {
+		t.Errorf("fast consistency (%.3f sessions) not faster than weak (%.3f)", fast, weak)
+	}
+
+	sys, err := core.NewSystem(graph, field, core.FastConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sys.Cluster()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if _, err := cluster.Write(0, "motd", []byte("fast consistency works")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		t.Fatal("cluster did not converge")
+	}
+	v, ok, err := cluster.Read(19, "motd")
+	if err != nil || !ok || string(v) != "fast consistency works" {
+		t.Fatalf("read at far replica: %q ok=%t err=%v", v, ok, err)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+)
+
+// TestUsenetScenario runs the example's TCP news network at reduced scale:
+// every server posts one article over loopback sockets, the network
+// converges, and all stores end up byte-identical.
+func TestUsenetScenario(t *testing.T) {
+	const servers = 4
+	r := rand.New(rand.NewSource(2))
+	graph := topology.BarabasiAlbert(servers, 2, r)
+	readers := demand.Zipf(servers, 1, 300, r)
+
+	cluster, err := runtime.NewTCP(graph, readers, "127.0.0.1",
+		runtime.WithSeed(3),
+		runtime.WithMeasuredDemand(time.Second),
+		runtime.WithSessionInterval(20*time.Millisecond),
+		runtime.WithAdvertInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	for id := 0; id < servers; id++ {
+		article := fmt.Sprintf("comp.os.news/%d-0", id)
+		if _, err := cluster.Write(runtime.NodeID(id), article, []byte("body")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		t.Fatal("news network did not converge")
+	}
+	d0 := cluster.Digest(0)
+	for id := 1; id < servers; id++ {
+		if cluster.Digest(runtime.NodeID(id)) != d0 {
+			t.Fatalf("server n%d diverged", id)
+		}
+	}
+}

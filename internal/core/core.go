@@ -19,6 +19,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/policy"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/topology"
 	"repro/internal/vclock"
 )
@@ -162,6 +163,25 @@ func (s *System) Cluster(opts ...runtime.Option) *runtime.Cluster {
 		runtime.WithFastPush(push),
 	}, opts...)
 	return runtime.New(s.graph, s.field, all...)
+}
+
+// Sharded builds (without starting) a consistent-hash router over nShards
+// replica groups carved from this system's topology and demand field, every
+// group running the system's algorithm variant independently. The router
+// serves the same Write/Read/Watch/Converged surface as a single Cluster
+// but scales horizontally: each write floods only its owning shard. cfg
+// tunes the ring and routing; opts apply to every group's cluster.
+func Sharded(s *System, nShards int, cfg shard.Config, opts ...runtime.Option) (*shard.Router, error) {
+	specs, err := shard.Carve(s.graph, s.field, nShards)
+	if err != nil {
+		return nil, err
+	}
+	factory, push := s.variant.factoryAndPush()
+	cfg.RuntimeOptions = append(append([]runtime.Option{
+		runtime.WithPolicy(factory),
+		runtime.WithFastPush(push),
+	}, cfg.RuntimeOptions...), opts...)
+	return shard.NewRouter(specs, cfg)
 }
 
 // Compare runs the same workload under every variant and returns the

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/runtime"
+	"repro/internal/shard"
+	"repro/internal/topology"
+)
+
+func TestShardedServesKeyspace(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := topology.BarabasiAlbert(12, 2, r)
+	f := demand.Uniform(12, 1, 101, r)
+	sys, err := NewSystem(g, f, FastConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := Sharded(sys, 3, shard.Config{Seed: 6},
+		runtime.WithSessionInterval(5*time.Millisecond),
+		runtime.WithAdvertInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Stop()
+
+	if got := len(router.Shards()); got != 3 {
+		t.Fatalf("router has %d shards, want 3", got)
+	}
+	if router.N() != 12 {
+		t.Fatalf("router.N = %d, want the system's 12 replicas", router.N())
+	}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if _, err := router.Write(key, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		t.Fatal("sharded system did not converge")
+	}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		v, ok, err := router.Read(key)
+		if err != nil || !ok || string(v) != key {
+			t.Fatalf("Read(%s) = %q ok=%t err=%v", key, v, ok, err)
+		}
+	}
+}
+
+func TestShardedPropagatesVariant(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	g := topology.BarabasiAlbert(8, 2, r)
+	f := demand.Uniform(8, 1, 101, r)
+	sys, err := NewSystem(g, f, WeakConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := Sharded(sys, 2, shard.Config{Seed: 8},
+		runtime.WithSessionInterval(time.Hour),
+		runtime.WithAdvertInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Stop()
+	// Weak consistency has no fast push: a write cannot propagate before
+	// the (hour-long) first sessions, so the owning group stays behind.
+	rc, err := router.Write("weak-key", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, ok := router.Group(rc.Shard)
+	if !ok {
+		t.Fatal("owning group missing")
+	}
+	if g2.Converged() {
+		t.Error("weak-consistency shard converged instantly — fast push leaked through the variant")
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := topology.BarabasiAlbert(6, 2, r)
+	f := demand.Uniform(6, 1, 101, r)
+	sys, err := NewSystem(g, f, FastConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sharded(sys, 0, shard.Config{}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Sharded(sys, 7, shard.Config{}); err == nil {
+		t.Error("more shards than nodes accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import "testing"
+
+func TestSampleMerge(t *testing.T) {
+	a, b := NewSample(4), NewSample(4)
+	a.AddAll([]float64{1, 3})
+	b.AddAll([]float64{2, 4})
+	a.Merge(b)
+	if a.N() != 4 {
+		t.Fatalf("merged N = %d, want 4", a.N())
+	}
+	if got := a.Mean(); got != 2.5 {
+		t.Errorf("merged mean %f, want 2.5", got)
+	}
+	if got := a.Max(); got != 4 {
+		t.Errorf("merged max %f, want 4", got)
+	}
+	// The source sample is unchanged, and a nil merge is a no-op.
+	if b.N() != 2 {
+		t.Errorf("source sample mutated: N = %d", b.N())
+	}
+	a.Merge(nil)
+	if a.N() != 4 {
+		t.Errorf("nil merge changed N to %d", a.N())
+	}
+}
+
+func TestSampleMergeResortsLazily(t *testing.T) {
+	a, b := NewSample(2), NewSample(2)
+	a.Add(10)
+	if a.Min() != 10 { // forces the sorted flag on
+		t.Fatal("unexpected min")
+	}
+	b.Add(1)
+	a.Merge(b)
+	if got := a.Min(); got != 1 {
+		t.Errorf("min after merge %f, want 1 (sorted flag not reset)", got)
+	}
+}

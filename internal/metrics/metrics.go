@@ -115,6 +115,17 @@ func (s *Sample) Values() []float64 {
 	return append([]float64(nil), s.values...)
 }
 
+// Merge folds another sample's observations into s (other is unchanged;
+// nil is a no-op). Used to combine per-worker latency samples after a
+// concurrent load run.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	s.sorted = false
+}
+
 func (s *Sample) ensureSorted() {
 	if !s.sorted {
 		sort.Float64s(s.values)

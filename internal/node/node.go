@@ -471,6 +471,21 @@ func (n *Node) onSnapshot(now float64, from NodeID, m protocol.Snapshot) []proto
 	return nil
 }
 
+// AbsorbItems merges a content-level store image (e.g. a shard handoff)
+// via normal LWW resolution and advances the Lamport clock past every
+// imported write, so subsequent local client writes supersede imported
+// versions. Unlike onSnapshot this is not a protocol exchange: the write
+// log and summary are untouched, because the imported items are content
+// from a *different* replica group whose entry ids are meaningless here.
+func (n *Node) AbsorbItems(items []store.Item) {
+	n.st.ApplySnapshot(items)
+	for _, item := range items {
+		if item.Clock > n.lamport {
+			n.lamport = item.Clock
+		}
+	}
+}
+
 // OpenSessions returns how many sessions the node is currently tracking (as
 // initiator or responder); it should return to 0 when the network quiesces.
 func (n *Node) OpenSessions() int { return len(n.initiated) + len(n.accepted) }

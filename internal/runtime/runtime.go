@@ -21,6 +21,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/policy"
 	"repro/internal/protocol"
+	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -116,6 +117,10 @@ type Cluster struct {
 
 	replicas []*replica
 
+	// absorbed accumulates every ApplySnapshot image (LWW-merged) so
+	// restarted replicas can re-absorb content that no write log records.
+	absorbed *store.Store
+
 	mu      sync.Mutex
 	watches []*Watch
 	started bool
@@ -134,10 +139,11 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 		opt(&o)
 	}
 	c := &Cluster{
-		opts:  o,
-		graph: g,
-		field: field,
-		net:   transport.NewMemory(o.netCfg),
+		opts:     o,
+		graph:    g,
+		field:    field,
+		net:      transport.NewMemory(o.netCfg),
+		absorbed: store.New(),
 	}
 	for i := 0; i < g.N(); i++ {
 		id := NodeID(i)
@@ -221,11 +227,13 @@ func (c *Cluster) Kill(id NodeID) error {
 	return nil
 }
 
-// Restart brings a killed replica back with *empty* state: a fresh node
-// rejoins under the same identity and recovers everything through normal
-// anti-entropy (or a full-state snapshot if peers have truncated their
-// logs past its empty summary). Only memory-backed clusters support
-// restart.
+// Restart brings a killed replica back with *empty* protocol state: a
+// fresh node rejoins under the same identity and recovers logged writes
+// through normal anti-entropy (or a full-state snapshot if peers have
+// truncated their logs past its empty summary). Content previously handed
+// in via ApplySnapshot is re-absorbed directly — it exists in no peer's
+// write log, so the protocol could never replay it. Only memory-backed
+// clusters support restart.
 func (c *Cluster) Restart(id NodeID) error {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return fmt.Errorf("runtime: no replica %v", id)
@@ -255,6 +263,9 @@ func (c *Cluster) Restart(id NodeID) error {
 		FanOut:    c.opts.fanOut,
 		Demand:    demandSource(&c.opts, r, c.field, id),
 	})
+	if items := c.absorbed.Snapshot(); len(items) > 0 {
+		r.node.AbsorbItems(items)
+	}
 	r.ep = c.net.Attach(id)
 	r.dead = false
 	r.mu.Unlock()
@@ -368,6 +379,34 @@ func (c *Cluster) Stats(id NodeID) node.Stats {
 // Digest returns a replica's store digest.
 func (c *Cluster) Digest(id NodeID) uint64 {
 	return c.replicas[id].node.Store().Digest()
+}
+
+// Snapshot exports replica id's full store contents — the unit of
+// content-level transfer between replica groups (shard handoff).
+func (c *Cluster) Snapshot(id NodeID) ([]store.Item, error) {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return nil, fmt.Errorf("runtime: no replica %v", id)
+	}
+	return c.replicas[id].node.Store().Snapshot(), nil
+}
+
+// ApplySnapshot merges a content-level store image into every live replica
+// via LWW resolution, advancing each replica's Lamport clock past the
+// imported writes. It is how a shard router hands keys to this cluster:
+// items carry their original versions, so converged content (and store
+// digests) survive the move bit-for-bit. The image is also retained so
+// replicas dead now (or killed later) re-absorb it on Restart — absorbed
+// content lives in no peer's write log, so anti-entropy alone could never
+// recover it.
+func (c *Cluster) ApplySnapshot(items []store.Item) {
+	c.absorbed.ApplySnapshot(items)
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if !r.dead {
+			r.node.AbsorbItems(items)
+		}
+		r.mu.Unlock()
+	}
 }
 
 // Converged reports whether all *live* replicas hold equal summaries.

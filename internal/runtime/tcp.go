@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/demand"
 	"repro/internal/node"
+	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -24,9 +25,10 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 		opt(&o)
 	}
 	c := &Cluster{
-		opts:  o,
-		graph: g,
-		field: field,
+		opts:     o,
+		graph:    g,
+		field:    field,
+		absorbed: store.New(),
 		// net stays nil for TCP clusters; Stop closes endpoints directly.
 	}
 	endpoints := make([]*transport.TCP, g.N())

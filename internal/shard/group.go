@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/node"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// RoutePolicy selects which replica of the owning group serves an op.
+type RoutePolicy int
+
+const (
+	// RouteLowestDemand sends the op to the replica with the lowest
+	// current demand — the least-loaded server, the router's default.
+	RouteLowestDemand RoutePolicy = iota
+	// RouteHighestDemand sends the op to the replica with the highest
+	// current demand. Under the paper's algorithm that replica receives
+	// updates first, so reads there see the freshest content.
+	RouteHighestDemand
+	// RouteRandom picks a uniformly random replica.
+	RouteRandom
+)
+
+// String names the policy.
+func (p RoutePolicy) String() string {
+	switch p {
+	case RouteLowestDemand:
+		return "lowest-demand"
+	case RouteHighestDemand:
+		return "highest-demand"
+	case RouteRandom:
+		return "random"
+	}
+	return fmt.Sprintf("RoutePolicy(%d)", int(p))
+}
+
+// Group is one shard's replica set: a live fast-consistency cluster over
+// its own sub-topology, serving the slice of the keyspace the ring assigns
+// to it. All replicas in a group hold the shard's full content (the paper's
+// fully-replicated model applies per shard).
+type Group struct {
+	name    string
+	graph   *topology.Graph
+	field   demand.Field
+	cluster *runtime.Cluster
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	start time.Time
+}
+
+// newGroup assembles (without starting) one shard group.
+func newGroup(spec GroupSpec, seed int64, opts []runtime.Option) (*Group, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("shard: group with empty name")
+	}
+	if spec.Graph == nil || spec.Graph.N() == 0 {
+		return nil, fmt.Errorf("shard: group %q has no topology", spec.Name)
+	}
+	if !spec.Graph.IsConnected() {
+		return nil, fmt.Errorf("shard: group %q topology %v is not connected", spec.Name, spec.Graph)
+	}
+	if spec.Field == nil {
+		return nil, fmt.Errorf("shard: group %q has no demand field", spec.Name)
+	}
+	// The per-group seed goes last so it wins over any blanket
+	// runtime.WithSeed in opts: groups must draw distinct RNG streams or
+	// their session timing is identically correlated. Callers control
+	// determinism through Config.Seed, which this seed derives from.
+	all := append(append([]runtime.Option(nil), opts...), runtime.WithSeed(seed))
+	return &Group{
+		name:    spec.Name,
+		graph:   spec.Graph,
+		field:   spec.Field,
+		cluster: runtime.New(spec.Graph, spec.Field, all...),
+		rng:     rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+	}, nil
+}
+
+// Name returns the group's ring name.
+func (g *Group) Name() string { return g.name }
+
+// N returns the number of replicas in the group.
+func (g *Group) N() int { return g.cluster.N() }
+
+// Cluster exposes the underlying live cluster (stats, watches, faults).
+func (g *Group) Cluster() *runtime.Cluster { return g.cluster }
+
+// markStarted records the routing time base; the router calls it right
+// after the group's cluster starts.
+func (g *Group) markStarted() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.start = time.Now()
+}
+
+// now returns seconds since the group started — the time base for demand
+// evaluation during routing.
+func (g *Group) now() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.start.IsZero() {
+		return 0
+	}
+	return time.Since(g.start).Seconds()
+}
+
+// pick chooses the replica that should serve the next op under the policy.
+func (g *Group) pick(p RoutePolicy) NodeID {
+	n := g.cluster.N()
+	if n == 1 {
+		return 0
+	}
+	switch p {
+	case RouteRandom:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return NodeID(g.rng.Intn(n))
+	case RouteHighestDemand:
+		return g.argDemand(true)
+	default:
+		return g.argDemand(false)
+	}
+}
+
+// argDemand returns the live replica with extreme demand (max when highest,
+// else min). Dead replicas are skipped so routing survives faults.
+func (g *Group) argDemand(highest bool) NodeID {
+	now := g.now()
+	best, bestD := NodeID(0), 0.0
+	found := false
+	for i := 0; i < g.cluster.N(); i++ {
+		id := NodeID(i)
+		if !g.cluster.Alive(id) && g.started() {
+			continue
+		}
+		d := g.field.At(id, now)
+		if !found || (highest && d > bestD) || (!highest && d < bestD) {
+			best, bestD, found = id, d, true
+		}
+	}
+	return best
+}
+
+func (g *Group) started() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !g.start.IsZero()
+}
+
+// Converged reports whether the group's live replicas hold equal summaries.
+func (g *Group) Converged() bool { return g.cluster.Converged() }
+
+// Digest returns the group's common store digest, or false when replicas
+// disagree (content still propagating).
+func (g *Group) Digest() (uint64, bool) {
+	var ref uint64
+	first := true
+	for i := 0; i < g.cluster.N(); i++ {
+		id := NodeID(i)
+		if !g.cluster.Alive(id) && g.started() {
+			continue
+		}
+		d := g.cluster.Digest(id)
+		if first {
+			ref, first = d, false
+			continue
+		}
+		if d != ref {
+			return 0, false
+		}
+	}
+	return ref, !first
+}
+
+// snapshotUnion merges every live replica's store image via LWW, so the
+// result covers writes that have not finished propagating inside the group.
+// This is the source side of a shard handoff.
+func (g *Group) snapshotUnion() []store.Item {
+	merged := store.New()
+	for i := 0; i < g.cluster.N(); i++ {
+		id := NodeID(i)
+		if !g.cluster.Alive(id) && g.started() {
+			continue
+		}
+		items, err := g.cluster.Snapshot(id)
+		if err != nil {
+			continue
+		}
+		merged.ApplySnapshot(items)
+	}
+	return merged.Snapshot()
+}
+
+// Stats sums protocol counters over the group's replicas.
+func (g *Group) Stats() node.Stats {
+	var total node.Stats
+	for i := 0; i < g.cluster.N(); i++ {
+		addStats(&total, g.cluster.Stats(NodeID(i)))
+	}
+	return total
+}
+
+// addStats accumulates b into a field-by-field.
+func addStats(a *node.Stats, b node.Stats) {
+	a.SessionsInitiated += b.SessionsInitiated
+	a.SessionsReceived += b.SessionsReceived
+	a.EntriesSent += b.EntriesSent
+	a.EntriesReceived += b.EntriesReceived
+	a.FastOffersSent += b.FastOffersSent
+	a.FastOffersReceived += b.FastOffersReceived
+	a.FastOffersAccepted += b.FastOffersAccepted
+	a.FastOffersDeclined += b.FastOffersDeclined
+	a.FastEntriesSent += b.FastEntriesSent
+	a.FastEntriesGained += b.FastEntriesGained
+	a.GapDrops += b.GapDrops
+	a.AdvertsSent += b.AdvertsSent
+	a.MessagesHandled += b.MessagesHandled
+	a.SnapshotsSent += b.SnapshotsSent
+	a.SnapshotsReceived += b.SnapshotsReceived
+}

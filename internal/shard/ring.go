@@ -1,0 +1,174 @@
+// Package shard scales the fast-consistency system horizontally: instead of
+// one replica group holding the entire keyspace, a consistent-hash ring
+// partitions keys across many independent groups, each running the paper's
+// full anti-entropy protocol over its own sub-topology. Clients talk to a
+// Router, which owns the ring and forwards every operation to a replica of
+// the owning group — the sharded analogue of the paper's "clients contact
+// the nearest replica".
+//
+// The package has three layers:
+//
+//	Ring    deterministic consistent hashing with virtual nodes
+//	Group   one runtime.Cluster serving one shard of the keyspace
+//	Router  the client surface: Write/Read/Watch/Converged across shards,
+//	        plus shard add/remove with content handoff
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count used when a Ring
+// (or Router) is built with vnodes <= 0. 64 points per shard keeps the
+// owned-keyspace imbalance between shards within a few percent.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring mapping keys to shard names. Each shard
+// contributes a fixed number of virtual nodes (hash points); a key belongs
+// to the shard owning the first point clockwise from the key's hash. The
+// mapping is deterministic in the set of shards: adding a shard moves keys
+// only onto the new shard, removing one moves only its keys elsewhere —
+// the bounded-movement property resharding relies on.
+//
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []uint64            // sorted vnode hashes
+	owner  map[uint64]string   // vnode hash -> shard
+	shards map[string][]uint64 // shard -> its vnode hashes
+}
+
+// NewRing returns an empty ring with the given virtual-node count per shard
+// (DefaultVirtualNodes when vnodes <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{
+		vnodes: vnodes,
+		owner:  make(map[uint64]string),
+		shards: make(map[string][]uint64),
+	}
+}
+
+// ringHash hashes s with 64-bit FNV-1a followed by a murmur-style
+// finalizer. The finalizer matters: sequential strings ("key-000041",
+// "key-000042", ...) hash to near-arithmetic progressions under plain
+// FNV-1a, which clumps them onto a handful of ring arcs and destroys
+// balance. Deterministic across processes, so key placement is stable
+// between runs and between router instances.
+func ringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a shard's virtual nodes. It fails if the shard is already
+// present or its name is empty.
+func (r *Ring) Add(shard string) error {
+	if shard == "" {
+		return fmt.Errorf("shard: empty shard name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; ok {
+		return fmt.Errorf("shard: %q already on ring", shard)
+	}
+	hashes := make([]uint64, 0, r.vnodes)
+	for i := 0; i < r.vnodes; i++ {
+		h := ringHash(fmt.Sprintf("%s#%d", shard, i))
+		// On the (astronomically rare) 64-bit collision, probe forward so
+		// every virtual node lands on a distinct point.
+		for probe := 0; ; probe++ {
+			if _, taken := r.owner[h]; !taken {
+				break
+			}
+			h = ringHash(fmt.Sprintf("%s#%d#%d", shard, i, probe))
+		}
+		r.owner[h] = shard
+		hashes = append(hashes, h)
+	}
+	r.shards[shard] = hashes
+	r.points = append(r.points, hashes...)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+	return nil
+}
+
+// Remove deletes a shard's virtual nodes; keys it owned fall through to
+// their clockwise successors.
+func (r *Ring) Remove(shard string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hashes, ok := r.shards[shard]
+	if !ok {
+		return fmt.Errorf("shard: %q not on ring", shard)
+	}
+	delete(r.shards, shard)
+	for _, h := range hashes {
+		delete(r.owner, h)
+	}
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if _, alive := r.owner[p]; alive {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Owner returns the shard owning key, or false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if idx == len(r.points) {
+		idx = 0 // wrap: the ring is circular
+	}
+	return r.owner[r.points[idx]], true
+}
+
+// Has reports whether the shard is on the ring.
+func (r *Ring) Has(shard string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.shards[shard]
+	return ok
+}
+
+// Shards returns the shard names in ascending order.
+func (r *Ring) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of shards on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(t *testing.T, vnodes int, shards ...string) *Ring {
+	t.Helper()
+	r := NewRing(vnodes)
+	for _, s := range shards {
+		if err := r.Add(s); err != nil {
+			t.Fatalf("Add(%q): %v", s, err)
+		}
+	}
+	return r
+}
+
+func owners(t *testing.T, r *Ring, nKeys int) map[string]string {
+	t.Helper()
+	out := make(map[string]string, nKeys)
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		owner, ok := r.Owner(key)
+		if !ok {
+			t.Fatalf("Owner(%q) on non-empty ring returned !ok", key)
+		}
+		out[key] = owner
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := ringWith(t, 0, "a", "b", "c", "d")
+	b := ringWith(t, 0, "a", "b", "c", "d")
+	oa, ob := owners(t, a, 2000), owners(t, b, 2000)
+	for k, want := range oa {
+		if ob[k] != want {
+			t.Fatalf("ring not deterministic: key %q -> %q vs %q", k, want, ob[k])
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := ringWith(t, 0, "a", "b", "c", "d")
+	counts := make(map[string]int)
+	for _, owner := range owners(t, r, 8000) {
+		counts[owner]++
+	}
+	for _, s := range r.Shards() {
+		if counts[s] < 8000/4/3 {
+			t.Errorf("shard %q owns only %d of 8000 keys — badly unbalanced", s, counts[s])
+		}
+	}
+}
+
+// TestRingAddMovesKeysOnlyToNewShard asserts consistent hashing's bounded
+// movement: growing the ring relocates keys exclusively onto the new shard,
+// and roughly the fair share of them.
+func TestRingAddMovesKeysOnlyToNewShard(t *testing.T) {
+	r := ringWith(t, 0, "a", "b", "c", "d")
+	const nKeys = 8000
+	before := owners(t, r, nKeys)
+	if err := r.Add("e"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, nKeys)
+	moved := 0
+	for k, was := range before {
+		now := after[k]
+		if now == was {
+			continue
+		}
+		if now != "e" {
+			t.Fatalf("key %q moved %q -> %q, not onto the new shard", k, was, now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new shard")
+	}
+	// Fair share is 1/5; allow generous hashing slack either way.
+	if frac := float64(moved) / nKeys; frac > 2.0/5 {
+		t.Errorf("add moved %.1f%% of keys; want roughly the 20%% fair share", frac*100)
+	}
+}
+
+// TestRingRemoveMovesOnlyRemovedShardsKeys is the shrink-side bound: keys
+// not owned by the removed shard keep their owner exactly.
+func TestRingRemoveMovesOnlyRemovedShardsKeys(t *testing.T) {
+	r := ringWith(t, 0, "a", "b", "c", "d")
+	const nKeys = 8000
+	before := owners(t, r, nKeys)
+	if err := r.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, nKeys)
+	for k, was := range before {
+		now := after[k]
+		if was == "c" {
+			if now == "c" {
+				t.Fatalf("key %q still owned by removed shard", k)
+			}
+			continue
+		}
+		if now != was {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed on the ring", k, was, now)
+		}
+	}
+}
+
+// TestRingAddRemoveRoundTrips pairs the two: add then remove restores the
+// original mapping bit-for-bit.
+func TestRingAddRemoveRoundTrips(t *testing.T) {
+	r := ringWith(t, 0, "a", "b", "c")
+	before := owners(t, r, 3000)
+	if err := r.Add("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("d"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, 3000)
+	for k, was := range before {
+		if after[k] != was {
+			t.Fatalf("key %q: %q -> %q after add+remove round trip", k, was, after[k])
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("k"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty shard name accepted")
+	}
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a"); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if err := r.Remove("ghost"); err == nil {
+		t.Error("removing unknown shard succeeded")
+	}
+	if !r.Has("a") || r.Has("ghost") {
+		t.Error("Has misreports membership")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}

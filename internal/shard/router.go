@@ -1,0 +1,423 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// VirtualNodes per shard on the hash ring (DefaultVirtualNodes if 0).
+	VirtualNodes int
+	// Routing picks the serving replica within the owning group
+	// (RouteLowestDemand by default).
+	Routing RoutePolicy
+	// Seed makes replica RNGs and random routing deterministic.
+	Seed int64
+	// RuntimeOptions apply to every group's cluster (session interval,
+	// policy, fast push, network faults, ...).
+	RuntimeOptions []runtime.Option
+}
+
+// Receipt identifies a routed write: which shard accepted it, at which
+// replica, and the write's timestamp within that group. Pass it to Watch to
+// observe the write's propagation across the owning group.
+type Receipt struct {
+	Shard string
+	Node  NodeID
+	TS    vclock.Timestamp
+}
+
+// String renders the receipt.
+func (rc Receipt) String() string {
+	return fmt.Sprintf("%s/%v@%v", rc.Shard, rc.Node, rc.TS)
+}
+
+// Router serves one sharded keyspace: a consistent-hash ring over replica
+// groups, each running the fast-consistency protocol independently. The
+// router exposes the familiar cluster surface — Write, Read, Watch,
+// Converged, Stats — and resolves the owning group per key, so callers
+// never see shard boundaries except through receipts.
+//
+// Router is safe for concurrent use; Write/Read may be called from many
+// client goroutines at once.
+type Router struct {
+	cfg  Config
+	ring *Ring
+
+	mu      sync.RWMutex
+	groups  map[string]*Group
+	started bool
+	stopped bool
+	ctx     context.Context
+
+	// reshardMu serialises AddShard/RemoveShard end to end: the shard set
+	// and ring only change under it, which keeps the handoff and the
+	// last-shard guard atomic with respect to concurrent resharding.
+	reshardMu sync.Mutex
+}
+
+// NewRouter assembles a router over the given shard groups. Use Carve to
+// derive specs from one shared topology, or hand-build specs for
+// heterogeneous shards. Call Start to launch the clusters.
+func NewRouter(specs []GroupSpec, cfg Config) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("shard: router needs at least one group")
+	}
+	r := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VirtualNodes),
+		groups: make(map[string]*Group, len(specs)),
+	}
+	for i, spec := range specs {
+		if _, dup := r.groups[spec.Name]; dup {
+			return nil, fmt.Errorf("shard: duplicate group %q", spec.Name)
+		}
+		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.RuntimeOptions)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.ring.Add(spec.Name); err != nil {
+			return nil, err
+		}
+		r.groups[spec.Name] = g
+	}
+	return r, nil
+}
+
+// Start launches every group's cluster. The router stops when ctx is
+// cancelled or Stop is called.
+func (r *Router) Start(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return errors.New("shard: router already started")
+	}
+	r.started = true
+	r.ctx = ctx
+	for _, g := range r.groups {
+		if err := g.cluster.Start(ctx); err != nil {
+			return err
+		}
+		g.markStarted()
+	}
+	return nil
+}
+
+// Stop shuts every group down. Safe to call more than once.
+func (r *Router) Stop() {
+	r.mu.Lock()
+	if !r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	groups := make([]*Group, 0, len(r.groups))
+	for _, g := range r.groups {
+		groups = append(groups, g)
+	}
+	r.mu.Unlock()
+	for _, g := range groups {
+		g.cluster.Stop()
+	}
+}
+
+// route resolves key to its owning group.
+func (r *Router) route(key string) (*Group, error) {
+	owner, ok := r.ring.Owner(key)
+	if !ok {
+		return nil, errors.New("shard: empty ring")
+	}
+	r.mu.RLock()
+	g := r.groups[owner]
+	r.mu.RUnlock()
+	if g == nil {
+		return nil, fmt.Errorf("shard: ring owner %q has no group", owner)
+	}
+	return g, nil
+}
+
+// OwnerOf returns the shard that owns key.
+func (r *Router) OwnerOf(key string) (string, bool) { return r.ring.Owner(key) }
+
+// Write routes a client write to the owning group's serving replica.
+func (r *Router) Write(key string, value []byte) (Receipt, error) {
+	g, err := r.route(key)
+	if err != nil {
+		return Receipt{}, err
+	}
+	id := g.pick(r.cfg.Routing)
+	ts, err := g.cluster.Write(id, key, value)
+	if err != nil {
+		return Receipt{}, fmt.Errorf("shard: write to %s: %w", g.name, err)
+	}
+	return Receipt{Shard: g.name, Node: id, TS: ts}, nil
+}
+
+// Read routes a client read to the owning group's serving replica.
+func (r *Router) Read(key string) ([]byte, bool, error) {
+	g, err := r.route(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return g.cluster.Read(g.pick(r.cfg.Routing), key)
+}
+
+// Watch observes a routed write propagating across its owning group (a
+// write only ever reaches its own shard's replicas).
+func (r *Router) Watch(rc Receipt) (*runtime.Watch, error) {
+	r.mu.RLock()
+	g := r.groups[rc.Shard]
+	r.mu.RUnlock()
+	if g == nil {
+		return nil, fmt.Errorf("shard: no group %q", rc.Shard)
+	}
+	return g.cluster.Watch(rc.TS), nil
+}
+
+// Shards returns the shard names in ring order (ascending).
+func (r *Router) Shards() []string { return r.ring.Shards() }
+
+// Group returns a shard's group for direct inspection (stats, faults).
+func (r *Router) Group(name string) (*Group, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.groups[name]
+	return g, ok
+}
+
+// Converged reports whether every group's live replicas hold equal
+// summaries — the sharded analogue of Cluster.Converged. One stalled group
+// makes the whole keyspace unconverged.
+func (r *Router) Converged() bool {
+	r.mu.RLock()
+	groups := make([]*Group, 0, len(r.groups))
+	for _, g := range r.groups {
+		groups = append(groups, g)
+	}
+	r.mu.RUnlock()
+	for _, g := range groups {
+		if !g.Converged() {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitConverged polls until every group converges or ctx expires.
+func (r *Router) WaitConverged(ctx context.Context) bool {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if r.Converged() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return r.Converged()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Stats sums protocol counters across every replica of every group.
+func (r *Router) Stats() node.Stats {
+	r.mu.RLock()
+	groups := make([]*Group, 0, len(r.groups))
+	for _, g := range r.groups {
+		groups = append(groups, g)
+	}
+	r.mu.RUnlock()
+	var total node.Stats
+	for _, g := range groups {
+		addStats(&total, g.Stats())
+	}
+	return total
+}
+
+// GroupStats returns per-shard protocol counters keyed by shard name.
+func (r *Router) GroupStats() map[string]node.Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]node.Stats, len(r.groups))
+	for name, g := range r.groups {
+		out[name] = g.Stats()
+	}
+	return out
+}
+
+// N returns the total replica count across groups.
+func (r *Router) N() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, g := range r.groups {
+		total += g.N()
+	}
+	return total
+}
+
+// AddShard grows the keyspace: a new group is built (and started, when the
+// router runs), every key the grown ring will assign to it is handed off
+// from the group that held it, and only then does the new shard join the
+// live ring — so a concurrently routed read never lands on an empty group,
+// and the absorbed versions advance the new group's clocks before any
+// client write can race them. The handoff is a content-level store
+// transfer preserving each key's version bit-for-bit, so store digests
+// over moved keys are identical on both sides. Handed-off keys remain on
+// the old owners as inert residue (the ring never routes to them again);
+// the paper's per-group anti-entropy is untouched.
+//
+// Resharding is not linearizable against concurrent writes to moving keys:
+// a write landing on the old owner after its image is captured stays
+// there, invisible to the new owner. Quiesce writers (or re-run AddShard's
+// handoff) when that window matters.
+func (r *Router) AddShard(spec GroupSpec) error {
+	r.reshardMu.Lock()
+	defer r.reshardMu.Unlock()
+	r.mu.Lock()
+	if _, dup := r.groups[spec.Name]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: group %q already present", spec.Name)
+	}
+	seed := r.cfg.Seed + int64(len(r.groups))*104729
+	g, err := newGroup(spec, seed, r.cfg.RuntimeOptions)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	if r.started && !r.stopped {
+		if err := g.cluster.Start(r.ctx); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		g.markStarted()
+	}
+	donors := make([]*Group, 0, len(r.groups))
+	for _, old := range r.groups {
+		donors = append(donors, old)
+	}
+	r.mu.Unlock()
+
+	// Handoff against a preview of the grown ring, before routing flips.
+	// Consistent hashing guarantees keys move only *onto* the new shard,
+	// so donors never receive anything.
+	preview := NewRing(r.cfg.VirtualNodes)
+	for _, name := range r.ring.Shards() {
+		if err := preview.Add(name); err != nil {
+			g.cluster.Stop()
+			return err
+		}
+	}
+	if err := preview.Add(spec.Name); err != nil {
+		g.cluster.Stop()
+		return err
+	}
+	var moved []store.Item
+	for _, donor := range donors {
+		for _, item := range donor.snapshotUnion() {
+			if owner, ok := preview.Owner(item.Key); ok && owner == spec.Name {
+				moved = append(moved, item)
+			}
+		}
+	}
+	if len(moved) > 0 {
+		g.cluster.ApplySnapshot(moved)
+	}
+
+	// Flip routing: register the group, then its ring points.
+	r.mu.Lock()
+	r.groups[spec.Name] = g
+	r.mu.Unlock()
+	if err := r.ring.Add(spec.Name); err != nil {
+		r.mu.Lock()
+		delete(r.groups, spec.Name)
+		r.mu.Unlock()
+		g.cluster.Stop()
+		return err
+	}
+	return nil
+}
+
+// Target adapts the router to op-stream drivers (it satisfies
+// workload.Target structurally): write receipts are discarded.
+type Target struct{ Router *Router }
+
+// Write routes a write, discarding the receipt.
+func (t Target) Write(key string, value []byte) error {
+	_, err := t.Router.Write(key, value)
+	return err
+}
+
+// Read routes a read.
+func (t Target) Read(key string) ([]byte, bool, error) { return t.Router.Read(key) }
+
+// RemoveShard shrinks the keyspace: every key the shard held is handed off
+// to its post-removal ring owner (the same version-preserving content
+// transfer as AddShard, against a preview of the shrunk ring), then the
+// shard leaves the live ring and its cluster stops. The same
+// non-linearizability caveat as AddShard applies to writes racing the
+// handoff.
+func (r *Router) RemoveShard(name string) error {
+	r.reshardMu.Lock()
+	defer r.reshardMu.Unlock()
+	r.mu.Lock()
+	g := r.groups[name]
+	if g == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: no group %q", name)
+	}
+	// Sound under reshardMu: only resharding changes the group set.
+	if len(r.groups) == 1 {
+		r.mu.Unlock()
+		return errors.New("shard: cannot remove the last shard")
+	}
+	started := r.started
+	r.mu.Unlock()
+
+	// Handoff before routing flips: redistribute the departing shard's
+	// image to the owners a shrunk ring will choose.
+	preview := NewRing(r.cfg.VirtualNodes)
+	for _, s := range r.ring.Shards() {
+		if s == name {
+			continue
+		}
+		if err := preview.Add(s); err != nil {
+			return err
+		}
+	}
+	perOwner := make(map[string][]store.Item)
+	for _, item := range g.snapshotUnion() {
+		owner, ok := preview.Owner(item.Key)
+		if !ok {
+			continue
+		}
+		perOwner[owner] = append(perOwner[owner], item)
+	}
+	r.mu.RLock()
+	for owner, items := range perOwner {
+		if dst := r.groups[owner]; dst != nil {
+			dst.cluster.ApplySnapshot(items)
+		}
+	}
+	r.mu.RUnlock()
+
+	if err := r.ring.Remove(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	delete(r.groups, name)
+	r.mu.Unlock()
+	if started {
+		g.cluster.Stop()
+	}
+	return nil
+}

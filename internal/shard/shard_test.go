@@ -1,0 +1,469 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/policy"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// carved builds specs over a shared BA substrate.
+func carved(t *testing.T, totalNodes, nShards int) []GroupSpec {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	g := topology.BarabasiAlbert(totalNodes, 2, r)
+	f := demand.Uniform(totalNodes, 1, 101, r)
+	specs, err := Carve(g, f, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func TestCarveShapes(t *testing.T) {
+	specs := carved(t, 40, 5)
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs, want 5", len(specs))
+	}
+	total := 0
+	for i, spec := range specs {
+		if spec.Name == "" {
+			t.Errorf("spec %d has empty name", i)
+		}
+		if !spec.Graph.IsConnected() {
+			t.Errorf("%s sub-topology %v is disconnected", spec.Name, spec.Graph)
+		}
+		if err := spec.Graph.Validate(); err != nil {
+			t.Errorf("%s sub-topology invalid: %v", spec.Name, err)
+		}
+		if spec.Field.At(0, 0) <= 0 {
+			t.Errorf("%s demand field returned non-positive demand", spec.Name)
+		}
+		total += spec.Graph.N()
+	}
+	if total != 40 {
+		t.Errorf("carved node counts sum to %d, want 40", total)
+	}
+}
+
+func TestCarveDeterministic(t *testing.T) {
+	a, b := carved(t, 30, 3), carved(t, 30, 3)
+	for i := range a {
+		ea, eb := a[i].Graph.Edges(), b[i].Graph.Edges()
+		if fmt.Sprint(ea) != fmt.Sprint(eb) {
+			t.Fatalf("carve not deterministic for %s:\n%v\nvs\n%v", a[i].Name, ea, eb)
+		}
+	}
+}
+
+func TestCarveErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := topology.BarabasiAlbert(10, 2, r)
+	f := demand.Uniform(10, 1, 10, r)
+	for _, tc := range []struct {
+		name   string
+		g      *topology.Graph
+		f      demand.Field
+		shards int
+	}{
+		{"nil graph", nil, f, 2},
+		{"nil field", g, nil, 2},
+		{"zero shards", g, f, 0},
+		{"more shards than nodes", g, f, 11},
+	} {
+		if _, err := Carve(tc.g, tc.f, tc.shards); err == nil {
+			t.Errorf("%s: Carve succeeded", tc.name)
+		}
+	}
+}
+
+// startRouter builds and starts a router over the specs with fast test
+// timings, registering cleanup.
+func startRouter(t *testing.T, specs []GroupSpec, cfg Config) *Router {
+	t.Helper()
+	if cfg.RuntimeOptions == nil {
+		cfg.RuntimeOptions = []runtime.Option{
+			runtime.WithSessionInterval(5 * time.Millisecond),
+			runtime.WithAdvertInterval(2 * time.Millisecond),
+		}
+	}
+	router, err := NewRouter(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Stop)
+	return router
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	router := startRouter(t, carved(t, 15, 3), Config{Seed: 3})
+	if router.N() != 15 {
+		t.Fatalf("router.N = %d, want 15", router.N())
+	}
+
+	// Write a keyspace through the router and remember what went where.
+	const nKeys = 60
+	receipts := make(map[string]Receipt, nKeys)
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		rc, err := router.Write(key, []byte(key+"-v"))
+		if err != nil {
+			t.Fatalf("Write(%s): %v", key, err)
+		}
+		if owner, _ := router.OwnerOf(key); owner != rc.Shard {
+			t.Fatalf("receipt shard %q != ring owner %q", rc.Shard, owner)
+		}
+		receipts[key] = rc
+	}
+
+	// Every shard should own part of the keyspace.
+	perShard := make(map[string]int)
+	for _, rc := range receipts {
+		perShard[rc.Shard]++
+	}
+	for _, name := range router.Shards() {
+		if perShard[name] == 0 {
+			t.Errorf("shard %q received no writes", name)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		t.Fatal("router did not converge")
+	}
+	for key := range receipts {
+		got, ok, err := router.Read(key)
+		if err != nil || !ok {
+			t.Fatalf("Read(%s) after convergence: ok=%t err=%v", key, ok, err)
+		}
+		if string(got) != key+"-v" {
+			t.Fatalf("Read(%s) = %q", key, got)
+		}
+	}
+	for _, name := range router.Shards() {
+		g, _ := router.Group(name)
+		if _, ok := g.Digest(); !ok {
+			t.Errorf("%s: store digests disagree after convergence", name)
+		}
+	}
+	if st := router.Stats(); st.SessionsInitiated == 0 {
+		t.Error("aggregate stats report zero sessions")
+	}
+	if len(router.GroupStats()) != 3 {
+		t.Errorf("GroupStats has %d entries, want 3", len(router.GroupStats()))
+	}
+}
+
+func TestRouterWatchCoversOwningGroup(t *testing.T) {
+	router := startRouter(t, carved(t, 12, 2), Config{Seed: 5})
+	rc, err := router.Write("watched-key", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := router.Watch(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch did not complete")
+	}
+	g, _ := router.Group(rc.Shard)
+	if got := len(w.Times()); got != g.N() {
+		t.Errorf("watch recorded %d replicas, want the owning group's %d", got, g.N())
+	}
+	if _, err := router.Watch(Receipt{Shard: "ghost"}); err == nil {
+		t.Error("Watch on unknown shard succeeded")
+	}
+}
+
+// TestConvergedWithStalledGroup: a write lands in one group whose
+// anti-entropy is effectively frozen (hour-long sessions, no fast push), so
+// that group cannot converge — and the router must report the whole
+// keyspace unconverged while the untouched group stays converged.
+func TestConvergedWithStalledGroup(t *testing.T) {
+	specs := carved(t, 12, 2)
+	router := startRouter(t, specs, Config{Seed: 9, RuntimeOptions: []runtime.Option{
+		runtime.WithSessionInterval(time.Hour),
+		runtime.WithAdvertInterval(time.Hour),
+		runtime.WithFastPush(false),
+		runtime.WithPolicy(policy.NewRandom),
+	}})
+	if !router.Converged() {
+		t.Fatal("empty router not converged")
+	}
+	rc, err := router.Write("stall-key", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, _ := router.Group(rc.Shard)
+	if stalled.Converged() {
+		t.Fatal("written group converged instantly despite frozen anti-entropy")
+	}
+	for _, name := range router.Shards() {
+		if name == rc.Shard {
+			continue
+		}
+		g, _ := router.Group(name)
+		if !g.Converged() {
+			t.Errorf("untouched group %q not converged", name)
+		}
+	}
+	if router.Converged() {
+		t.Error("router converged despite one stalled group")
+	}
+}
+
+// TestAddShardHandoffPreservesVersions: growing the ring moves keys onto
+// the new shard with their versions intact, so the new group's stores agree
+// digest-wise and every moved key keeps its exact (TS, Clock, Value).
+func TestAddShardHandoffPreservesVersions(t *testing.T) {
+	router := startRouter(t, carved(t, 12, 2), Config{Seed: 11})
+	const nKeys = 80
+	for i := 0; i < nKeys; i++ {
+		if _, err := router.Write(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		t.Fatal("router did not converge before handoff")
+	}
+
+	// Record every key's version from its pre-add owner.
+	type version struct {
+		ts    vclock.Timestamp
+		clock uint64
+		value string
+	}
+	before := make(map[string]version, nKeys)
+	for _, name := range router.Shards() {
+		g, _ := router.Group(name)
+		items, err := g.Cluster().Snapshot(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, item := range items {
+			before[item.Key] = version{item.TS, item.Clock, string(item.Value)}
+		}
+	}
+	if len(before) != nKeys {
+		t.Fatalf("recorded %d keys pre-add, want %d", len(before), nKeys)
+	}
+
+	// Grow: one fresh 5-replica group joins the ring.
+	r := rand.New(rand.NewSource(21))
+	newSpec := GroupSpec{
+		Name:  "grown",
+		Graph: topology.BarabasiAlbert(5, 2, r),
+		Field: demand.Uniform(5, 1, 101, r),
+	}
+	if err := router.AddShard(newSpec); err != nil {
+		t.Fatal(err)
+	}
+	grown, ok := router.Group("grown")
+	if !ok {
+		t.Fatal("grown group missing after AddShard")
+	}
+
+	// The handoff is synchronous: every replica of the new group must hold
+	// all moved keys at their original versions immediately.
+	movedKeys := 0
+	for key, want := range before {
+		owner, _ := router.OwnerOf(key)
+		if owner != "grown" {
+			continue
+		}
+		movedKeys++
+		for id := 0; id < grown.N(); id++ {
+			v, ok := grown.Cluster().Snapshot(NodeID(id))
+			if ok != nil {
+				t.Fatal(ok)
+			}
+			found := false
+			for _, item := range v {
+				if item.Key != key {
+					continue
+				}
+				found = true
+				if item.TS != want.ts || item.Clock != want.clock || string(item.Value) != want.value {
+					t.Fatalf("key %q version changed in handoff: (%v,%d,%q) -> (%v,%d,%q)",
+						key, want.ts, want.clock, want.value, item.TS, item.Clock, item.Value)
+				}
+			}
+			if !found {
+				t.Fatalf("replica %d of grown group missing handed-off key %q", id, key)
+			}
+		}
+	}
+	if movedKeys == 0 {
+		t.Fatal("ring moved no keys to the new shard")
+	}
+	if _, ok := grown.Digest(); !ok {
+		t.Error("grown group replicas disagree on store digest after handoff")
+	}
+	// The full keyspace still reads back through the router.
+	for key, want := range before {
+		got, ok, err := router.Read(key)
+		if err != nil || !ok || string(got) != want.value {
+			t.Fatalf("Read(%s) after add: %q ok=%t err=%v", key, got, ok, err)
+		}
+	}
+	if err := router.AddShard(newSpec); err == nil {
+		t.Error("duplicate AddShard succeeded")
+	}
+}
+
+func TestRemoveShardRedistributesKeys(t *testing.T) {
+	router := startRouter(t, carved(t, 18, 3), Config{Seed: 13})
+	const nKeys = 90
+	values := make(map[string]string, nKeys)
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		values[key] = fmt.Sprintf("v%03d", i)
+		if _, err := router.Write(key, []byte(values[key])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		t.Fatal("router did not converge before removal")
+	}
+	victim := router.Shards()[0]
+	if err := router.RemoveShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := router.Group(victim); ok {
+		t.Fatalf("group %q still present after removal", victim)
+	}
+	for key, want := range values {
+		owner, _ := router.OwnerOf(key)
+		if owner == victim {
+			t.Fatalf("key %q still owned by removed shard", key)
+		}
+		got, ok, err := router.Read(key)
+		if err != nil || !ok || string(got) != want {
+			t.Fatalf("Read(%s) after removal: %q ok=%t err=%v", key, got, ok, err)
+		}
+	}
+	// The last shards cannot be removed down to zero.
+	for _, name := range router.Shards()[1:] {
+		if err := router.RemoveShard(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.RemoveShard(router.Shards()[0]); err == nil {
+		t.Error("removing the last shard succeeded")
+	}
+	if err := router.RemoveShard("ghost"); err == nil {
+		t.Error("removing unknown shard succeeded")
+	}
+}
+
+// TestConcurrentRemoveShardKeepsLastShard: with two shards, two racing
+// removals must not empty the router — the last-shard guard holds under
+// concurrency, exactly one removal wins, and the keyspace stays served.
+func TestConcurrentRemoveShardKeepsLastShard(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		router := startRouter(t, carved(t, 8, 2), Config{Seed: int64(round)})
+		if _, err := router.Write("race-key", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		names := router.Shards()
+		errs := make(chan error, 2)
+		for _, name := range names {
+			go func(name string) { errs <- router.RemoveShard(name) }(name)
+		}
+		failed := 0
+		for range names {
+			if err := <-errs; err != nil {
+				failed++
+			}
+		}
+		if failed != 1 {
+			t.Fatalf("round %d: %d of 2 racing removals failed, want exactly 1", round, failed)
+		}
+		if got := len(router.Shards()); got != 1 {
+			t.Fatalf("round %d: %d shards survive, want 1", round, got)
+		}
+		if v, ok, err := router.Read("race-key"); err != nil || !ok || string(v) != "v" {
+			t.Fatalf("round %d: key lost in racing removals: %q ok=%t err=%v", round, v, ok, err)
+		}
+		router.Stop()
+	}
+}
+
+// TestHandoffSurvivesReplicaRestart: a replica dead during a handoff must
+// re-absorb the handed-off content on restart — it exists in no write log,
+// so anti-entropy alone cannot recover it.
+func TestHandoffSurvivesReplicaRestart(t *testing.T) {
+	router := startRouter(t, carved(t, 8, 2), Config{Seed: 17})
+	for i := 0; i < 40; i++ {
+		if _, err := router.Write(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !router.WaitConverged(ctx) {
+		t.Fatal("router did not converge")
+	}
+
+	// Kill a replica in a survivor group, then remove the other shard so
+	// its keys hand off while the replica is down.
+	names := router.Shards()
+	survivor, _ := router.Group(names[0])
+	if err := survivor.Cluster().Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.RemoveShard(names[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Cluster().Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if !survivor.Cluster().WaitConverged(ctx) {
+		t.Fatal("survivor group did not converge after restart")
+	}
+	// Digest agreement requires the restarted replica to hold the
+	// handed-off keys too, not just the logged ones.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := survivor.Digest(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never reached digest agreement — handed-off content lost")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRouterErrors(t *testing.T) {
+	if _, err := NewRouter(nil, Config{}); err == nil {
+		t.Error("router with no groups accepted")
+	}
+	specs := carved(t, 8, 2)
+	dup := []GroupSpec{specs[0], specs[0]}
+	if _, err := NewRouter(dup, Config{}); err == nil {
+		t.Error("duplicate group names accepted")
+	}
+	bad := []GroupSpec{{Name: "x", Graph: nil, Field: specs[0].Field}}
+	if _, err := NewRouter(bad, Config{}); err == nil {
+		t.Error("nil group topology accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload drives a replicated keyspace with synthetic client
+// traffic and measures what the ROADMAP's production framing cares about:
+// throughput and tail latency. The generator is closed-loop — a fixed pool
+// of workers each issue one op, wait for it, record its latency, and issue
+// the next — so measured latency includes every queueing effect the serving
+// path has, and offered load adapts to what the target sustains.
+//
+// Key popularity follows either a uniform or a Zipf distribution; the Zipf
+// default mirrors the paper's demand model (a few very hot items, a long
+// cold tail), so shard routers see realistically skewed per-shard load.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Target is anything that serves the keyspace's read and write ops —
+// a shard router, a single live cluster behind an adapter, or a fake.
+type Target interface {
+	Write(key string, value []byte) error
+	Read(key string) ([]byte, bool, error)
+}
+
+// KeyDist selects the key-popularity distribution.
+type KeyDist int
+
+const (
+	// Zipf popularity (skewed; exponent Config.ZipfS). The default.
+	Zipf KeyDist = iota
+	// Uniform popularity.
+	Uniform
+)
+
+// String names the distribution.
+func (d KeyDist) String() string {
+	switch d {
+	case Zipf:
+		return "zipf"
+	case Uniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("KeyDist(%d)", int(d))
+}
+
+// Config parametrises one load run. Run fills every unset field with the
+// listed default (a zero-value Config runs a write-only workload — set
+// ReadFraction negative to get the read-heavy default mix).
+type Config struct {
+	// Workers is the closed-loop concurrency (default 8).
+	Workers int
+	// Ops is the total operation count across workers (default 10000).
+	Ops int
+	// ReadFraction in [0,1] is the probability an op is a read; 0 is a
+	// valid write-only mix. Negative (or >1) selects the default 0.9, a
+	// read-heavy serving mix.
+	ReadFraction float64
+	// Keys is the keyspace size (default 1024).
+	Keys int
+	// Dist picks key popularity (default Zipf).
+	Dist KeyDist
+	// ZipfS is the Zipf exponent, > 1 (default 1.2).
+	ZipfS float64
+	// ValueBytes sizes write payloads (default 64).
+	ValueBytes int
+	// Seed makes the op stream deterministic (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		c.ReadFraction = 0.9
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1024
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result summarises one load run.
+type Result struct {
+	// Ops completed (reads + writes); may stop short of Config.Ops when
+	// the context expires mid-run.
+	Ops, Reads, Writes int
+	// Errors counts ops the target rejected.
+	Errors int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// ReadLatency and WriteLatency hold per-op latencies in milliseconds.
+	ReadLatency, WriteLatency *metrics.Sample
+}
+
+// OpsPerSec returns completed-op throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"workload{ops=%d (%dr/%dw) errs=%d elapsed=%v %.0f ops/s read p50=%.3fms p99=%.3fms write p50=%.3fms p99=%.3fms}",
+		r.Ops, r.Reads, r.Writes, r.Errors, r.Elapsed.Round(time.Millisecond), r.OpsPerSec(),
+		r.ReadLatency.Median(), r.ReadLatency.Percentile(99),
+		r.WriteLatency.Median(), r.WriteLatency.Percentile(99))
+}
+
+// Key formats the i-th key of the keyspace; exported so callers can preload
+// or verify the same keys the generator touches.
+func Key(i int) string { return fmt.Sprintf("key-%06d", i) }
+
+// Run drives the target with cfg's op mix until the op budget is spent or
+// ctx expires, whichever comes first.
+func Run(ctx context.Context, cfg Config, target Target) Result {
+	cfg = cfg.withDefaults()
+
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]workerResult, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(ctx, cfg, target, int64(w), &issued)
+		}(w)
+	}
+	wg.Wait()
+
+	out := Result{
+		Elapsed:      time.Since(start),
+		ReadLatency:  metrics.NewSample(cfg.Ops),
+		WriteLatency: metrics.NewSample(cfg.Ops),
+	}
+	for _, r := range results {
+		out.Reads += r.reads
+		out.Writes += r.writes
+		out.Errors += r.errors
+		out.ReadLatency.Merge(r.readLat)
+		out.WriteLatency.Merge(r.writeLat)
+	}
+	out.Ops = out.Reads + out.Writes
+	return out
+}
+
+type workerResult struct {
+	reads, writes, errors int
+	readLat, writeLat     *metrics.Sample
+}
+
+// runWorker is one closed-loop client: draw a key, issue the op, wait,
+// record, repeat until the shared budget is gone.
+func runWorker(ctx context.Context, cfg Config, target Target, id int64, issued *atomic.Int64) workerResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + id*6364136223846793005))
+	var zipf *rand.Zipf
+	if cfg.Dist == Zipf {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	value := make([]byte, cfg.ValueBytes)
+	rng.Read(value)
+
+	res := workerResult{
+		readLat:  metrics.NewSample(cfg.Ops / cfg.Workers),
+		writeLat: metrics.NewSample(cfg.Ops / cfg.Workers),
+	}
+	for issued.Add(1) <= int64(cfg.Ops) {
+		if ctx.Err() != nil {
+			break
+		}
+		var k int
+		if zipf != nil {
+			k = int(zipf.Uint64())
+		} else {
+			k = rng.Intn(cfg.Keys)
+		}
+		key := Key(k)
+		begin := time.Now()
+		if rng.Float64() < cfg.ReadFraction {
+			if _, _, err := target.Read(key); err != nil {
+				res.errors++
+				continue
+			}
+			res.readLat.Add(float64(time.Since(begin)) / float64(time.Millisecond))
+			res.reads++
+		} else {
+			if err := target.Write(key, value); err != nil {
+				res.errors++
+				continue
+			}
+			res.writeLat.Add(float64(time.Since(begin)) / float64(time.Millisecond))
+			res.writes++
+		}
+	}
+	return res
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTarget is an in-memory keyspace recording which keys were touched.
+type fakeTarget struct {
+	mu     sync.Mutex
+	kv     map[string][]byte
+	writes int
+	reads  int
+	fail   bool
+}
+
+func newFakeTarget() *fakeTarget { return &fakeTarget{kv: make(map[string][]byte)} }
+
+func (f *fakeTarget) Write(key string, value []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errors.New("injected failure")
+	}
+	f.kv[key] = append([]byte(nil), value...)
+	f.writes++
+	return nil
+}
+
+func (f *fakeTarget) Read(key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return nil, false, errors.New("injected failure")
+	}
+	f.reads++
+	v, ok := f.kv[key]
+	return v, ok, nil
+}
+
+func TestRunCompletesOpBudget(t *testing.T) {
+	target := newFakeTarget()
+	cfg := Config{Workers: 4, Ops: 2000, ReadFraction: 0.75, Keys: 128, Seed: 42}
+	res := Run(context.Background(), cfg, target)
+	if res.Ops != 2000 {
+		t.Fatalf("completed %d ops, want 2000", res.Ops)
+	}
+	if res.Ops != res.Reads+res.Writes {
+		t.Fatalf("ops %d != reads %d + writes %d", res.Ops, res.Reads, res.Writes)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+	// The read mix should be near the configured fraction.
+	frac := float64(res.Reads) / float64(res.Ops)
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("read fraction %.3f far from configured 0.75", frac)
+	}
+	if res.ReadLatency.N() != res.Reads || res.WriteLatency.N() != res.Writes {
+		t.Errorf("latency sample sizes (%d, %d) don't match op counts (%d, %d)",
+			res.ReadLatency.N(), res.WriteLatency.N(), res.Reads, res.Writes)
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Errorf("non-positive throughput %f", res.OpsPerSec())
+	}
+	if p50, p99 := res.WriteLatency.Median(), res.WriteLatency.Percentile(99); p99 < p50 {
+		t.Errorf("p99 %.4f below p50 %.4f", p99, p50)
+	}
+	if target.writes != res.Writes {
+		t.Errorf("target saw %d writes, result says %d", target.writes, res.Writes)
+	}
+}
+
+func TestRunZipfSkewsKeys(t *testing.T) {
+	target := newFakeTarget()
+	cfg := Config{Workers: 2, Ops: 4000, ReadFraction: 0, Keys: 512, Dist: Zipf, ZipfS: 1.4, Seed: 7}
+	res := Run(context.Background(), cfg, target)
+	if res.Writes != 4000 {
+		t.Fatalf("writes %d, want 4000", res.Writes)
+	}
+	// Zipf concentrates mass on low key indices: far fewer distinct keys
+	// than ops, and the hottest key must exist.
+	if len(target.kv) >= 400 {
+		t.Errorf("zipf touched %d distinct keys out of 512 — not skewed", len(target.kv))
+	}
+	if _, ok := target.kv[Key(0)]; !ok {
+		t.Error("hottest zipf key never written")
+	}
+}
+
+func TestRunUniformSpreadsKeys(t *testing.T) {
+	target := newFakeTarget()
+	cfg := Config{Workers: 2, Ops: 4000, ReadFraction: 0, Keys: 256, Dist: Uniform, Seed: 7}
+	Run(context.Background(), cfg, target)
+	if len(target.kv) < 200 {
+		t.Errorf("uniform touched only %d distinct keys out of 256", len(target.kv))
+	}
+}
+
+func TestRunDeterministicOpStream(t *testing.T) {
+	a, b := newFakeTarget(), newFakeTarget()
+	cfg := Config{Workers: 1, Ops: 500, ReadFraction: 0.5, Keys: 64, Seed: 99}
+	ra := Run(context.Background(), cfg, a)
+	rb := Run(context.Background(), cfg, b)
+	if ra.Reads != rb.Reads || ra.Writes != rb.Writes {
+		t.Errorf("same seed produced different mixes: (%d,%d) vs (%d,%d)",
+			ra.Reads, ra.Writes, rb.Reads, rb.Writes)
+	}
+	if len(a.kv) != len(b.kv) {
+		t.Errorf("same seed touched different key sets: %d vs %d", len(a.kv), len(b.kv))
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	target := newFakeTarget()
+	target.fail = true
+	res := Run(context.Background(), Config{Workers: 2, Ops: 100, Seed: 1}, target)
+	if res.Errors != 100 {
+		t.Errorf("errors %d, want all 100", res.Errors)
+	}
+	if res.Ops != 0 {
+		t.Errorf("ops %d, want 0 when every op fails", res.Ops)
+	}
+}
+
+func TestRunHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Run(ctx, Config{Workers: 2, Ops: 1 << 30, Seed: 1}, newFakeTarget())
+	if res.Ops > 2 {
+		t.Errorf("cancelled run still completed %d ops", res.Ops)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers <= 0 || c.Ops <= 0 || c.Keys <= 0 || c.ValueBytes <= 0 || c.ZipfS <= 1 {
+		t.Errorf("defaults incomplete: %+v", c)
+	}
+	if c.ReadFraction != 0 {
+		t.Errorf("zero read fraction overridden to %f; 0 means write-only", c.ReadFraction)
+	}
+	if d := (Config{ReadFraction: -1}).withDefaults(); d.ReadFraction != 0.9 {
+		t.Errorf("negative read fraction defaulted to %f, want 0.9", d.ReadFraction)
+	}
+}
+
+func TestKeyDistString(t *testing.T) {
+	if Zipf.String() != "zipf" || Uniform.String() != "uniform" {
+		t.Error("KeyDist names wrong")
+	}
+	if KeyDist(9).String() == "" {
+		t.Error("unknown KeyDist has empty name")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Run(context.Background(), Config{Workers: 1, Ops: 50, Seed: 1}, newFakeTarget())
+	if s := res.String(); s == "" {
+		t.Error("empty result string")
+	}
+	if res.Elapsed <= 0 || res.Elapsed > time.Minute {
+		t.Errorf("implausible elapsed %v", res.Elapsed)
+	}
+}
