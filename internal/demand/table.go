@@ -111,14 +111,44 @@ func (t *Table) Best() (TableEntry, bool) {
 	return ranked[0], true
 }
 
-// BestExcluding returns the highest-demand reachable neighbour not in skip.
-func (t *Table) BestExcluding(skip map[NodeID]bool) (TableEntry, bool) {
-	for _, e := range t.ByDemand() {
-		if !skip[e.Node] {
-			return e, true
+// bestWhere returns the highest-demand reachable neighbour for which skip
+// reports false, ties broken by lower node id — the selection order of
+// ByDemand without sorting or materialising the ranked slice.
+func (t *Table) bestWhere(skip func(NodeID) bool) (TableEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best TableEntry
+	found := false
+	for _, e := range t.entries {
+		if !e.Reachable || skip(e.Node) {
+			continue
+		}
+		if !found || e.Demand > best.Demand ||
+			(e.Demand == best.Demand && e.Node < best.Node) {
+			best = e
+			found = true
 		}
 	}
-	return TableEntry{}, false
+	return best, found
+}
+
+// BestExcluding returns the highest-demand reachable neighbour not in skip.
+func (t *Table) BestExcluding(skip map[NodeID]bool) (TableEntry, bool) {
+	return t.bestWhere(func(n NodeID) bool { return skip[n] })
+}
+
+// BestExcept returns the highest-demand reachable neighbour whose id is not
+// in excluded. It allocates nothing — the fast-offer hot path calls it once
+// per message with a reusable exclusion buffer.
+func (t *Table) BestExcept(excluded []NodeID) (TableEntry, bool) {
+	return t.bestWhere(func(n NodeID) bool {
+		for _, x := range excluded {
+			if n == x {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // StalestUpdate returns the oldest Updated time across entries, i.e. how out

@@ -95,6 +95,65 @@ func TestTableBestExcluding(t *testing.T) {
 	}
 }
 
+func TestTableBestExcept(t *testing.T) {
+	tb := NewTable([]NodeID{1, 2, 3, 4})
+	tb.Update(1, 5, 0)
+	tb.Update(2, 9, 0)
+	tb.Update(3, 9, 0) // ties break toward the lower id
+	tb.Update(4, 7, 0)
+
+	if e, ok := tb.BestExcept(nil); !ok || e.Node != 2 {
+		t.Errorf("BestExcept(nil) = (%v, %t), want n2", e.Node, ok)
+	}
+	if e, ok := tb.BestExcept([]NodeID{2}); !ok || e.Node != 3 {
+		t.Errorf("BestExcept([2]) = (%v, %t), want n3", e.Node, ok)
+	}
+	if e, ok := tb.BestExcept([]NodeID{2, 3}); !ok || e.Node != 4 {
+		t.Errorf("BestExcept([2 3]) = (%v, %t), want n4", e.Node, ok)
+	}
+	if _, ok := tb.BestExcept([]NodeID{1, 2, 3, 4}); ok {
+		t.Error("BestExcept with everything excluded should report false")
+	}
+	tb.MarkUnreachable(2, 1)
+	if e, ok := tb.BestExcept(nil); !ok || e.Node != 3 {
+		t.Errorf("BestExcept skipping unreachable = (%v, %t), want n3", e.Node, ok)
+	}
+}
+
+// TestBestExceptMatchesBestExcluding pins the single-pass selection to the
+// sort-based semantics it replaced on the fast-offer hot path.
+func TestBestExceptMatchesBestExcluding(t *testing.T) {
+	tb := NewTable([]NodeID{0, 1, 2, 3, 4, 5})
+	demands := []float64{3, 8, 8, 1, 8, 0}
+	for n, d := range demands {
+		tb.Update(NodeID(n), d, 0)
+	}
+	tb.MarkUnreachable(4, 1)
+	for _, excl := range [][]NodeID{nil, {1}, {1, 2}, {1, 2, 0}, {0, 1, 2, 3, 5}} {
+		skip := make(map[NodeID]bool, len(excl))
+		for _, n := range excl {
+			skip[n] = true
+		}
+		wantE, wantOK := tb.BestExcluding(skip)
+		gotE, gotOK := tb.BestExcept(excl)
+		if wantOK != gotOK || (wantOK && wantE.Node != gotE.Node) {
+			t.Errorf("excluding %v: BestExcept = (%v, %t), BestExcluding = (%v, %t)",
+				excl, gotE.Node, gotOK, wantE.Node, wantOK)
+		}
+	}
+}
+
+func TestBestExceptAllocs(t *testing.T) {
+	tb := NewTable([]NodeID{0, 1, 2, 3})
+	for n := 0; n < 4; n++ {
+		tb.Update(NodeID(n), float64(n), 0)
+	}
+	excl := []NodeID{1, 2}
+	if avg := testing.AllocsPerRun(100, func() { tb.BestExcept(excl) }); avg != 0 {
+		t.Errorf("BestExcept allocates %v per run, want 0", avg)
+	}
+}
+
 func TestTableUnreachable(t *testing.T) {
 	tab := NewTable([]NodeID{1, 2})
 	tab.Update(1, 10, 0)

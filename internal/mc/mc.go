@@ -156,6 +156,78 @@ func (t TrialResult) MeanTime() float64 {
 	return sum / float64(len(t.Times))
 }
 
+// delivery is the constant-delay FIFO message pipe shared by RunTrial and
+// RunSteady. Because every envelope travels for the same LinkDelay,
+// envelopes become due in exactly the order they were sent, so one
+// recurring drain event delivers them all instead of one closure-capturing
+// event per envelope — keeping the per-message cost of the simulator's
+// inner loop allocation-free.
+type delivery struct {
+	eng     *sim.Engine
+	delay   float64
+	filter  func(from, to NodeID, t float64) bool
+	deliver func(protocol.Envelope)
+
+	queue   []timedEnv
+	qhead   int
+	pending bool
+	drainFn func() // pre-bound drain method value, reused across schedules
+}
+
+type timedEnv struct {
+	due float64
+	env protocol.Envelope
+}
+
+// newDelivery builds a pipe; the caller assigns deliver before first use.
+func newDelivery(eng *sim.Engine, delay float64, filter func(from, to NodeID, t float64) bool) *delivery {
+	d := &delivery{eng: eng, delay: delay, filter: filter}
+	d.drainFn = d.drain
+	return d
+}
+
+// send enqueues envelopes for delivery after the link delay.
+func (d *delivery) send(envs []protocol.Envelope) {
+	for _, env := range envs {
+		if d.filter != nil && !d.filter(env.From, env.To, d.eng.Now()) {
+			continue // dropped by partition/loss model
+		}
+		d.queue = append(d.queue, timedEnv{due: d.eng.Now() + d.delay, env: env})
+	}
+	d.schedule()
+}
+
+func (d *delivery) schedule() {
+	if d.pending || d.qhead >= len(d.queue) {
+		return
+	}
+	d.pending = true
+	d.eng.At(d.queue[d.qhead].due, d.drainFn)
+}
+
+func (d *delivery) drain() {
+	d.pending = false
+	for d.qhead < len(d.queue) && d.queue[d.qhead].due <= d.eng.Now() {
+		env := d.queue[d.qhead].env
+		d.queue[d.qhead] = timedEnv{}
+		d.qhead++
+		d.deliver(env)
+	}
+	if d.qhead >= len(d.queue) {
+		d.queue = d.queue[:0]
+		d.qhead = 0
+		return
+	}
+	// Compact the consumed prefix once it dominates the slice, so queue
+	// memory tracks messages in flight rather than messages ever sent.
+	if d.qhead > 64 && d.qhead > len(d.queue)/2 {
+		n := copy(d.queue, d.queue[d.qhead:])
+		d.queue = d.queue[:n]
+		d.qhead = 0
+	}
+	d.schedule()
+}
+
 // RunTrial executes one trial with the given seed.
 func RunTrial(cfg Config, seed int64) TrialResult {
 	cfg.applyDefaults()
@@ -223,18 +295,10 @@ func RunTrial(cfg Config, seed int64) TrialResult {
 		origin = NodeID(cfg.Origin)
 	}
 
-	var deliver func(env protocol.Envelope)
-	send := func(envs []protocol.Envelope) {
-		for _, env := range envs {
-			if cfg.LinkFilter != nil && !cfg.LinkFilter(env.From, env.To, eng.Now()) {
-				continue // dropped by partition/loss model
-			}
-			env := env
-			eng.After(cfg.LinkDelay, func() { deliver(env) })
-		}
-	}
 	var ref vclock.Timestamp
-	deliver = func(env protocol.Envelope) {
+	pipe := newDelivery(eng, cfg.LinkDelay, cfg.LinkFilter)
+	send := pipe.send
+	pipe.deliver = func(env protocol.Envelope) {
 		dst := nodes[env.To]
 		refresh(env.To)
 		out := dst.HandleMessage(eng.Now(), env)
@@ -243,9 +307,12 @@ func RunTrial(cfg Config, seed int64) TrialResult {
 		send(out)
 	}
 
-	var scheduleSession func(id NodeID)
-	scheduleSession = func(id NodeID) {
-		eng.After(sim.ExpInterval(r, cfg.SessionMean), func() {
+	// One persistent tick closure per node, re-armed after every session, so
+	// session scheduling does not allocate a fresh closure per event.
+	ticks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		ticks[i] = func() {
 			if done() || eng.Now() > cfg.Horizon {
 				return
 			}
@@ -255,11 +322,9 @@ func RunTrial(cfg Config, seed int64) TrialResult {
 				res.Sessions++
 			}
 			send(out)
-			scheduleSession(id)
-		})
-	}
-	for i := 0; i < n; i++ {
-		scheduleSession(NodeID(i))
+			eng.After(sim.ExpInterval(r, cfg.SessionMean), ticks[id])
+		}
+		eng.After(sim.ExpInterval(r, cfg.SessionMean), ticks[i])
 	}
 
 	// Inject the write at t=0 (before any session fires).

@@ -104,37 +104,31 @@ func RunSteady(cfg SteadyConfig, seed int64) SteadyResult {
 		nodes[i].Table().RefreshAll(cfg.Field, 0)
 	}
 
-	var deliver func(env protocol.Envelope)
-	send := func(envs []protocol.Envelope) {
-		for _, env := range envs {
-			env := env
-			eng.After(cfg.LinkDelay, func() { deliver(env) })
-		}
-	}
+	pipe := newDelivery(eng, cfg.LinkDelay, cfg.LinkFilter)
+	send := pipe.send
 	refresh := func(id NodeID) {
 		if cfg.RefreshInterval == 0 {
 			nodes[id].Table().RefreshAll(cfg.Field, eng.Now())
 		}
 	}
-	deliver = func(env protocol.Envelope) {
+	pipe.deliver = func(env protocol.Envelope) {
 		refresh(env.To)
 		send(nodes[env.To].HandleMessage(eng.Now(), env))
 	}
 
-	// Sessions.
-	var scheduleSession func(id NodeID)
-	scheduleSession = func(id NodeID) {
-		eng.After(sim.ExpInterval(r, cfg.SessionMean), func() {
+	// Sessions: one persistent tick closure per node, as in RunTrial.
+	ticks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		ticks[i] = func() {
 			if eng.Now() > end {
 				return
 			}
 			refresh(id)
 			send(nodes[id].StartSession(eng.Now(), r))
-			scheduleSession(id)
-		})
-	}
-	for i := 0; i < n; i++ {
-		scheduleSession(NodeID(i))
+			eng.After(sim.ExpInterval(r, cfg.SessionMean), ticks[id])
+		}
+		eng.After(sim.ExpInterval(r, cfg.SessionMean), ticks[i])
 	}
 
 	// Periodic aggressive truncation (optional).
@@ -211,7 +205,7 @@ func RunSteady(cfg SteadyConfig, seed int64) SteadyResult {
 				return
 			}
 			if eng.Now() >= cfg.Warmup {
-				covered := nodes[id].Summary().Total()
+				covered := nodes[id].SummaryTotal()
 				lag := float64(totalWrites) - float64(covered)
 				if lag < 0 {
 					lag = 0

@@ -1,0 +1,62 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// allocNode builds a minimal replica for allocation-regression tests.
+func allocNode(id NodeID, neighbors []NodeID) *Node {
+	return New(Config{
+		ID:        id,
+		Neighbors: neighbors,
+		Selector:  policy.NewRandom(id, neighbors),
+		FastPush:  true,
+		Demand:    func(float64) float64 { return 1 },
+	})
+}
+
+// TestHandleDemandAdvertAllocs guards the cheapest, most frequent protocol
+// message: a demand advertisement must be absorbed without allocating.
+func TestHandleDemandAdvertAllocs(t *testing.T) {
+	n := allocNode(1, []NodeID{0, 2})
+	env := protocol.Envelope{From: 2, To: 1, Msg: protocol.DemandAdvert{Demand: 3}}
+	n.HandleMessage(0, env) // warm the table row
+	if avg := testing.AllocsPerRun(100, func() { n.HandleMessage(1, env) }); avg != 0 {
+		t.Errorf("HandleMessage(DemandAdvert) allocates %v per run, want 0", avg)
+	}
+}
+
+// TestCoversAllocs guards the per-delivery convergence probe of the
+// Monte-Carlo inner loop.
+func TestCoversAllocs(t *testing.T) {
+	n := allocNode(1, []NodeID{0})
+	e, _ := n.ClientWrite(0, "k", []byte("v"))
+	if avg := testing.AllocsPerRun(100, func() { _ = n.Covers(e.TS) }); avg != 0 {
+		t.Errorf("Covers allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = n.SummaryTotal() }); avg != 0 {
+		t.Errorf("SummaryTotal allocates %v per run, want 0", avg)
+	}
+}
+
+// TestDeclinedFastOfferAllocs guards the fast-update NO path: an offer whose
+// ids are all covered produces one reply envelope and nothing else; the
+// wanted-subset scan must not allocate.
+func TestDeclinedFastOfferAllocs(t *testing.T) {
+	n := allocNode(1, []NodeID{0, 2})
+	e, _ := n.ClientWrite(0, "k", []byte("v"))
+	ids := []vclock.Timestamp{e.TS}
+	env := protocol.Envelope{From: 2, To: 1, Msg: protocol.FastOffer{IDs: ids, Demand: 2}}
+	n.HandleMessage(0, env)
+	avg := testing.AllocsPerRun(100, func() { n.HandleMessage(1, env) })
+	// Two allocations are inherent to the API: the returned envelope slice
+	// and boxing the FastReply into the Message interface. Anything beyond
+	// those is a regression (e.g. a wanted-subset slice for an empty subset).
+	if avg > 2 {
+		t.Errorf("HandleMessage(declined FastOffer) allocates %v per run, want <= 2", avg)
+	}
+}

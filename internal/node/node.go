@@ -22,7 +22,6 @@ package node
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/demand"
 	"repro/internal/policy"
@@ -96,6 +95,10 @@ type Node struct {
 	// accepted tracks sessions this node is responding to.
 	accepted map[uint64]NodeID
 
+	// offerSkip is the reusable fast-offer exclusion buffer; node methods
+	// are single-threaded per replica, so one buffer per node suffices.
+	offerSkip []NodeID
+
 	stats Stats
 }
 
@@ -126,6 +129,16 @@ func (n *Node) ID() NodeID { return n.cfg.ID }
 
 // Summary returns a copy of the replica's summary vector.
 func (n *Node) Summary() *vclock.Summary { return n.log.Summary() }
+
+// SummaryTotal returns the number of writes the replica covers, without
+// cloning the summary vector.
+func (n *Node) SummaryTotal() uint64 { return n.log.SummaryTotal() }
+
+// CompareSummary returns the lattice order between the replica's summary and
+// other, without cloning the vector.
+func (n *Node) CompareSummary(other *vclock.Summary) vclock.Ordering {
+	return n.log.CompareSummary(other)
+}
 
 // Covers reports whether the replica has received the write named by ts.
 func (n *Node) Covers(ts vclock.Timestamp) bool { return n.log.Covers(ts) }
@@ -333,28 +346,24 @@ func (n *Node) onUpdateBatch(now float64, from NodeID, m protocol.UpdateBatch) [
 
 // absorb applies entries to the log and store, returning those that were
 // actually new. Entries are applied in (origin, seq) order so batches never
-// self-gap.
+// self-gap; MissingGiven already guarantees that order, so the common case
+// skips the sort and hands the batch straight to the log under one lock.
 func (n *Node) absorb(entries []wlog.Entry) []wlog.Entry {
 	if len(entries) == 0 {
 		return nil
 	}
-	sorted := append([]wlog.Entry(nil), entries...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS.Compare(sorted[j].TS) < 0 })
-	var gained []wlog.Entry
-	for _, e := range sorted {
-		added, err := n.log.Add(e)
-		if err != nil {
-			n.stats.GapDrops++
-			continue
-		}
-		if !added {
-			continue
-		}
+	if !wlog.Sorted(entries) {
+		sorted := append([]wlog.Entry(nil), entries...)
+		wlog.SortByTS(sorted)
+		entries = sorted
+	}
+	gained, gaps := n.log.AddBatch(entries)
+	n.stats.GapDrops += uint64(gaps)
+	for _, e := range gained {
 		if e.Clock > n.lamport {
 			n.lamport = e.Clock
 		}
 		n.st.Apply(e)
-		gained = append(gained, e)
 	}
 	return gained
 }
@@ -369,15 +378,15 @@ func (n *Node) fastOffers(now float64, gained []wlog.Entry, hops uint32, source 
 	for i, e := range gained {
 		ids[i] = e.TS
 	}
-	skip := map[NodeID]bool{source: true, n.cfg.ID: true}
+	skip := append(n.offerSkip[:0], source, n.cfg.ID)
 	own := n.OwnDemand(now)
 	var out []protocol.Envelope
 	for i := 0; i < n.cfg.FanOut; i++ {
-		best, ok := n.table.BestExcluding(skip)
+		best, ok := n.table.BestExcept(skip)
 		if !ok {
 			break
 		}
-		skip[best.Node] = true
+		skip = append(skip, best.Node)
 		if n.cfg.GradientOnly && best.Demand <= own {
 			continue
 		}
@@ -388,6 +397,7 @@ func (n *Node) fastOffers(now float64, gained []wlog.Entry, hops uint32, source 
 		})
 		n.stats.FastOffersSent++
 	}
+	n.offerSkip = skip
 	return out
 }
 

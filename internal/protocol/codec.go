@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/store"
 	"repro/internal/vclock"
@@ -29,6 +30,16 @@ const (
 	MaxEnvelopeSize = 16 << 20
 	// maxBatchEntries bounds per-batch entry counts on decode.
 	maxBatchEntries = 1 << 20
+	// maxNodeID bounds decoded replica ids. NodeIDs are small dense
+	// integers, and summary vectors are dense arrays indexed by id — an
+	// unchecked hostile id would force a multi-gigabyte vector allocation.
+	// 1<<16 replicas is far beyond any deployment here and caps a decoded
+	// summary vector at 512 KiB.
+	maxNodeID = 1 << 16
+	// maxPooledBuf caps the capacity of buffers returned to the codec
+	// pools, so one near-MaxEnvelopeSize message cannot pin megabytes of
+	// scratch memory for the rest of the process lifetime.
+	maxPooledBuf = 64 << 10
 )
 
 // Errors returned by the codec.
@@ -77,12 +88,24 @@ func (e *encoder) entry(en wlog.Entry) {
 	e.uvarint(en.Clock)
 }
 func (e *encoder) summary(s *vclock.Summary) {
-	pairs := s.Pairs()
-	e.uvarint(uint64(len(pairs)))
-	// Deterministic order for reproducible wire bytes.
-	for _, node := range s.Origins() {
+	// The dense vector iterates its origins in ascending order, so the wire
+	// bytes are deterministic with no intermediate map or sort.
+	e.uvarint(uint64(s.Len()))
+	s.ForEach(func(node vclock.NodeID, seq uint64) {
 		e.varint(int64(node))
-		e.uvarint(pairs[node])
+		e.uvarint(seq)
+	})
+}
+
+// encPool recycles encoder buffers across Marshal/WriteEnvelope calls; the
+// protocol hot path would otherwise regrow a fresh buffer per message.
+var encPool = sync.Pool{New: func() any { return &encoder{buf: make([]byte, 0, 512)} }}
+
+// putEncoder returns e to the pool unless its buffer grew past maxPooledBuf
+// (one oversized message must not pin a large buffer forever).
+func putEncoder(e *encoder) {
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
 	}
 }
 
@@ -158,10 +181,18 @@ func (d *decoder) bytes() []byte {
 }
 func (d *decoder) str() string { return string(d.bytes()) }
 func (d *decoder) bool() bool  { return d.u8() != 0 }
-func (d *decoder) ts() vclock.Timestamp {
+func (d *decoder) nodeID() vclock.NodeID {
 	node := d.varint()
+	if node < 0 || node > maxNodeID {
+		d.fail("node id out of range")
+		return 0
+	}
+	return vclock.NodeID(node)
+}
+func (d *decoder) ts() vclock.Timestamp {
+	node := d.nodeID()
 	seq := d.uvarint()
-	return vclock.Timestamp{Node: vclock.NodeID(node), Seq: seq}
+	return vclock.Timestamp{Node: node, Seq: seq}
 }
 func (d *decoder) entry() wlog.Entry {
 	return wlog.Entry{TS: d.ts(), Key: d.str(), Value: d.bytes(), Clock: d.uvarint()}
@@ -172,17 +203,32 @@ func (d *decoder) summary() *vclock.Summary {
 		d.fail("summary size")
 		return nil
 	}
-	pairs := make(map[vclock.NodeID]uint64, n)
+	s := vclock.NewSummary()
 	for i := uint64(0); i < n && d.err == nil; i++ {
-		node := vclock.NodeID(d.varint())
-		pairs[node] = d.uvarint()
+		node := d.nodeID()
+		seq := d.uvarint()
+		if d.err == nil {
+			s.Advance(node, seq)
+		}
 	}
-	return vclock.FromPairs(pairs)
+	return s
 }
 
-// Marshal encodes an envelope to wire bytes.
+// Marshal encodes an envelope to wire bytes. The returned slice is freshly
+// allocated and owned by the caller; the scratch buffer used to build it is
+// pooled. Writers on the hot path use WriteEnvelope, which skips the copy.
 func Marshal(env Envelope) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	e := encPool.Get().(*encoder)
+	defer putEncoder(e)
+	if err := e.envelope(env); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), e.buf...), nil
+}
+
+// envelope resets e and encodes env into its buffer.
+func (e *encoder) envelope(env Envelope) error {
+	e.buf = e.buf[:0]
 	e.u8(Version)
 	e.u8(uint8(env.Msg.MsgType()))
 	e.varint(int64(env.From))
@@ -239,12 +285,12 @@ func Marshal(env Envelope) ([]byte, error) {
 		}
 		e.f64(m.Demand)
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrBadType, env.Msg)
+		return fmt.Errorf("%w: %T", ErrBadType, env.Msg)
 	}
 	if len(e.buf) > MaxEnvelopeSize {
-		return nil, ErrTooLarge
+		return ErrTooLarge
 	}
-	return e.buf, nil
+	return nil
 }
 
 // Unmarshal decodes wire bytes into an envelope.
@@ -348,22 +394,32 @@ func Unmarshal(buf []byte) (Envelope, error) {
 }
 
 // WriteEnvelope frames and writes an envelope to w: uvarint length followed
-// by the Marshal bytes.
+// by the Marshal bytes. The wire bytes are built in a pooled buffer, so the
+// steady-state send path allocates nothing.
 func WriteEnvelope(w io.Writer, env Envelope) error {
-	body, err := Marshal(env)
-	if err != nil {
+	e := encPool.Get().(*encoder)
+	defer putEncoder(e)
+	if err := e.envelope(env); err != nil {
 		return err
 	}
 	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	n := binary.PutUvarint(hdr[:], uint64(len(e.buf)))
 	if _, err := w.Write(hdr[:n]); err != nil {
 		return fmt.Errorf("protocol: writing frame header: %w", err)
 	}
-	if _, err := w.Write(body); err != nil {
+	if _, err := w.Write(e.buf); err != nil {
 		return fmt.Errorf("protocol: writing frame body: %w", err)
 	}
 	return nil
 }
+
+// bodyPool recycles frame-body buffers across ReadEnvelope calls. Unmarshal
+// copies every variable-length field out of the frame, so the buffer can be
+// reused as soon as decoding finishes.
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
 
 // ReadEnvelope reads one framed envelope from r.
 func ReadEnvelope(r io.ByteReader) (Envelope, error) {
@@ -374,16 +430,41 @@ func ReadEnvelope(r io.ByteReader) (Envelope, error) {
 	if size > MaxEnvelopeSize {
 		return Envelope{}, ErrTooLarge
 	}
-	body := make([]byte, size)
-	for i := range body {
-		b, err := r.ReadByte()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				err = io.ErrUnexpectedEOF
-			}
-			return Envelope{}, fmt.Errorf("protocol: reading frame body: %w", err)
+	bp := bodyPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bp) <= maxPooledBuf {
+			bodyPool.Put(bp)
 		}
-		body[i] = b
+	}()
+	if uint64(cap(*bp)) < size {
+		*bp = make([]byte, size)
+	}
+	body := (*bp)[:size]
+	if err := readFull(r, body); err != nil {
+		// The length header was already consumed, so any EOF mid-frame —
+		// including before the first body byte — is a truncated stream, not
+		// an orderly close.
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Envelope{}, fmt.Errorf("protocol: reading frame body: %w", err)
 	}
 	return Unmarshal(body)
+}
+
+// readFull fills buf from r, using bulk reads when r is also an io.Reader
+// (bufio.Reader is, on every transport in this repo).
+func readFull(r io.ByteReader, buf []byte) error {
+	if rr, ok := r.(io.Reader); ok {
+		_, err := io.ReadFull(rr, buf)
+		return err
+	}
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		buf[i] = b
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package protocol
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -206,6 +207,94 @@ func TestUnmarshalRejectsHugeDeclaredLengths(t *testing.T) {
 	e.uvarint(1 << 40) // entry count
 	if _, err := Unmarshal(e.buf); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnmarshalRejectsHostileNodeIDs(t *testing.T) {
+	// Summaries are dense vectors indexed by NodeID, so a decoded id must be
+	// non-negative and bounded — otherwise a hostile peer could force a
+	// multi-gigabyte allocation (or a panic) with a few bytes.
+	t.Run("negative timestamp node", func(t *testing.T) {
+		env := Envelope{From: 1, To: 2, Msg: FastOffer{
+			IDs: []vclock.Timestamp{{Node: -5, Seq: 1}},
+		}}
+		buf, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Unmarshal(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("huge timestamp node", func(t *testing.T) {
+		env := Envelope{From: 1, To: 2, Msg: FastOffer{
+			IDs: []vclock.Timestamp{{Node: 1 << 25, Seq: 1}},
+		}}
+		buf, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Unmarshal(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("huge summary origin", func(t *testing.T) {
+		e := &encoder{}
+		e.u8(Version)
+		e.u8(uint8(TypeSummary))
+		e.varint(1)       // from
+		e.varint(2)       // to
+		e.uvarint(7)      // session
+		e.uvarint(1)      // one pair
+		e.varint(1 << 30) // hostile origin id
+		e.uvarint(3)      // seq
+		e.f64(1.25)       // demand
+		if _, err := Unmarshal(e.buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestMarshalReturnsCallerOwnedBuffer(t *testing.T) {
+	// Marshal builds in a pooled scratch buffer; the returned bytes must be
+	// a private copy, unaffected by later Marshal/WriteEnvelope calls.
+	env := Envelope{From: 1, To: 2, Msg: SummaryMsg{SessionID: 5, Summary: sampleSummary()}}
+	first, err := Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), first...)
+	for i := 0; i < 10; i++ {
+		if _, err := Marshal(Envelope{From: 9, To: 8, Msg: DemandAdvert{Demand: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		var sink bytes.Buffer
+		if err := WriteEnvelope(&sink, Envelope{From: 3, To: 4, Msg: SessionRequest{SessionID: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(first, want) {
+		t.Error("Marshal result was clobbered by later pooled encodes")
+	}
+}
+
+func TestWriteEnvelopeMatchesMarshalFraming(t *testing.T) {
+	for _, msg := range allMessages() {
+		env := Envelope{From: 1, To: 2, Msg: msg}
+		body, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var framed bytes.Buffer
+		if err := WriteEnvelope(&framed, env); err != nil {
+			t.Fatal(err)
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(body)))
+		want := append(hdr[:n:n], body...)
+		if !bytes.Equal(framed.Bytes(), want) {
+			t.Errorf("%T: WriteEnvelope bytes differ from uvarint(len)+Marshal", msg)
+		}
 	}
 }
 

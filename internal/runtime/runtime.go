@@ -347,7 +347,9 @@ func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, 
 	return e.TS, nil
 }
 
-// Read serves a client read at a replica.
+// Read serves a client read at a replica. The returned slice is a read-only
+// view of replicated content (store immutability contract); callers that
+// need a mutable buffer copy it.
 func (c *Cluster) Read(id NodeID, key string) ([]byte, bool, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return nil, false, fmt.Errorf("runtime: no replica %v", id)
@@ -420,13 +422,17 @@ func (c *Cluster) Converged() bool {
 			r.mu.Unlock()
 			continue
 		}
-		s := r.node.Summary()
-		r.mu.Unlock()
 		if ref == nil {
-			ref = s
+			// One clone establishes the reference; every other replica
+			// compares against it in place, so the convergence poll does not
+			// copy a summary per replica.
+			ref = r.node.Summary()
+			r.mu.Unlock()
 			continue
 		}
-		if s.Compare(ref) != vclock.Equal {
+		ord := r.node.CompareSummary(ref)
+		r.mu.Unlock()
+		if ord != vclock.Equal {
 			return false
 		}
 	}

@@ -186,7 +186,9 @@ func (g *Group) Digest() (uint64, bool) {
 
 // snapshotUnion merges every live replica's store image via LWW, so the
 // result covers writes that have not finished propagating inside the group.
-// This is the source side of a shard handoff.
+// This is the source side of a shard handoff. Item values are read-only
+// views shared with the source replicas' stores (immutability contract), so
+// a handoff moves versions without copying payload bytes.
 func (g *Group) snapshotUnion() []store.Item {
 	merged := store.New()
 	for i := 0; i < g.cluster.N(); i++ {

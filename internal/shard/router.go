@@ -162,7 +162,9 @@ func (r *Router) Write(key string, value []byte) (Receipt, error) {
 	return Receipt{Shard: g.name, Node: id, TS: ts}, nil
 }
 
-// Read routes a client read to the owning group's serving replica.
+// Read routes a client read to the owning group's serving replica. The
+// returned slice is a read-only view of replicated content (store
+// immutability contract); callers that need a mutable buffer copy it.
 func (r *Router) Read(key string) ([]byte, bool, error) {
 	g, err := r.route(key)
 	if err != nil {

@@ -65,6 +65,9 @@ type Engine struct {
 	nextSeq EventID
 	byID    map[EventID]*event
 	steps   uint64
+	// free recycles event structs: a trial schedules one event per message
+	// delivery, so without reuse the scheduler would dominate allocation.
+	free []*event
 }
 
 // New returns an engine at time 0.
@@ -91,7 +94,14 @@ func (e *Engine) At(t float64, fn func()) EventID {
 		panic("sim: scheduling nil callback")
 	}
 	e.nextSeq++
-	ev := &event{time: t, seq: e.nextSeq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{time: t, seq: e.nextSeq, fn: fn}
+	} else {
+		ev = &event{time: t, seq: e.nextSeq, fn: fn}
+	}
 	heap.Push(&e.heap, ev)
 	if e.byID == nil {
 		e.byID = make(map[EventID]*event)
@@ -117,6 +127,8 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	heap.Remove(&e.heap, ev.idx)
 	delete(e.byID, id)
+	ev.fn = nil
+	e.free = append(e.free, ev)
 	return true
 }
 
@@ -130,7 +142,12 @@ func (e *Engine) step() bool {
 	delete(e.byID, ev.seq)
 	e.now = ev.time
 	e.steps++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: the callback may schedule (and thus reuse the
+	// struct for) new events, which is safe once fn is saved out.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

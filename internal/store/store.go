@@ -13,6 +13,11 @@
 // and how many of those were served with *stale* content relative to a
 // reference version. This is the paper's headline metric — "number of
 // requests satisfied with consistent content" (Fig. 3).
+//
+// Values follow the wlog immutability contract: entry values are never
+// mutated after insertion into a log, so the store aliases them rather than
+// copying — Apply retains the entry's value slice, and Get/GetVersion/
+// Snapshot return views that callers must treat as read-only.
 package store
 
 import (
@@ -58,11 +63,8 @@ func (s *Store) Apply(e wlog.Entry) {
 	if ok && !wins(e, cur) {
 		return
 	}
-	v := Versioned{TS: e.TS, Clock: e.Clock}
-	if e.Value != nil {
-		v.Value = append([]byte(nil), e.Value...)
-	}
-	s.kv[e.Key] = v
+	// The value is aliased, not copied: entries are immutable once logged.
+	s.kv[e.Key] = Versioned{Value: e.Value, TS: e.TS, Clock: e.Clock}
 }
 
 // wins reports whether entry e supersedes the current versioned value under
@@ -76,7 +78,8 @@ func wins(e wlog.Entry, cur Versioned) bool {
 }
 
 // Get returns the current value for key and whether it exists. It counts as
-// a client read.
+// a client read. The returned slice is a read-only view of the stored value;
+// callers must not mutate it.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -85,10 +88,11 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), v.Value...), true
+	return v.Value, true
 }
 
 // GetVersion returns the version metadata for key without counting a read.
+// The returned value slice is a read-only view.
 func (s *Store) GetVersion(key string) (Versioned, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -96,9 +100,7 @@ func (s *Store) GetVersion(key string) (Versioned, bool) {
 	if !ok {
 		return Versioned{}, false
 	}
-	out := v
-	out.Value = append([]byte(nil), v.Value...)
-	return out, true
+	return v, true
 }
 
 // ReadAsOf serves a client read of key and records whether the served
@@ -161,8 +163,9 @@ type Item struct {
 	Clock uint64
 }
 
-// Snapshot exports the store's current contents in ascending key order,
-// with copied values.
+// Snapshot exports the store's current contents in ascending key order. The
+// item values are read-only views of the stored values (immutability
+// contract), so exporting copies no payload bytes.
 func (s *Store) Snapshot() []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -174,12 +177,7 @@ func (s *Store) Snapshot() []Item {
 	items := make([]Item, 0, len(keys))
 	for _, k := range keys {
 		v := s.kv[k]
-		items = append(items, Item{
-			Key:   k,
-			Value: append([]byte(nil), v.Value...),
-			TS:    v.TS,
-			Clock: v.Clock,
-		})
+		items = append(items, Item{Key: k, Value: v.Value, TS: v.TS, Clock: v.Clock})
 	}
 	return items
 }

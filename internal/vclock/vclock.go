@@ -7,11 +7,23 @@
 // the start of an anti-entropy session: for every origin replica it records
 // the highest contiguous sequence number seen, so two replicas can compute
 // exactly the set of writes each is missing.
+//
+// # Dense representation
+//
+// NodeIDs are small dense integers assigned by the topology (0, 1, 2, …), so
+// a Summary stores its vector as a []uint64 indexed directly by NodeID rather
+// than as a map. This makes Covers a bounds-checked array load, Merge and
+// Compare single linear scans with no hashing or map iteration, Clone one
+// slice copy, and Origins a scan that needs no sort — exactly the dense
+// vector representation Golding's timestamped anti-entropy and Bayou's log
+// truncation assume. The cost is that the vector's length is the highest
+// origin id observed plus one; with dense ids that is within a constant
+// factor of the population. Sparse or negative NodeIDs are outside the
+// representation's contract: Observe panics on a negative origin.
 package vclock
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -84,7 +96,12 @@ func (o Ordering) String() string {
 //
 // Summary is not safe for concurrent use; callers synchronise.
 type Summary struct {
-	seq map[NodeID]uint64
+	// seq[n] is the highest contiguous sequence seen from origin n; entries
+	// past the slice end are implicitly 0. Trailing zeros may be present
+	// (e.g. after observing origin 7 before origin 3).
+	seq []uint64
+	// origins counts the non-zero entries of seq, so Len is O(1).
+	origins int
 }
 
 // NewSummary returns an empty summary vector.
@@ -92,7 +109,7 @@ func NewSummary() *Summary { return &Summary{} }
 
 // Get returns the highest contiguous sequence number seen from node, or 0.
 func (s *Summary) Get(node NodeID) uint64 {
-	if s == nil || s.seq == nil {
+	if s == nil || node < 0 || int(node) >= len(s.seq) {
 		return 0
 	}
 	return s.seq[node]
@@ -105,6 +122,41 @@ func (s *Summary) Covers(ts Timestamp) bool {
 		return true
 	}
 	return s.Get(ts.Node) >= ts.Seq
+}
+
+// grow extends the dense vector so index node is addressable. Spare capacity
+// doubles so observing origins in ascending order stays amortised O(1); the
+// region between the old and new length is zero because the backing array is
+// allocated zeroed and never shrunk.
+func (s *Summary) grow(node NodeID) {
+	need := int(node) + 1
+	if need <= len(s.seq) {
+		return
+	}
+	if need <= cap(s.seq) {
+		s.seq = s.seq[:need]
+		return
+	}
+	newCap := 2 * cap(s.seq)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]uint64, need, newCap)
+	copy(grown, s.seq)
+	s.seq = grown
+}
+
+// set stores seq for node, maintaining the non-zero-entry count. seq must be
+// >= the current value (summaries only advance).
+func (s *Summary) set(node NodeID, seq uint64) {
+	if node < 0 {
+		panic(fmt.Sprintf("vclock: negative origin %v breaks the dense-vector contract", node))
+	}
+	s.grow(node)
+	if s.seq[node] == 0 && seq > 0 {
+		s.origins++
+	}
+	s.seq[node] = seq
 }
 
 // Observe records receipt of the write named by ts. Writes from one origin
@@ -122,10 +174,18 @@ func (s *Summary) Observe(ts Timestamp) {
 	case ts.Seq != cur+1:
 		panic(fmt.Sprintf("vclock: out-of-order observe %v after seq %d", ts, cur))
 	}
-	if s.seq == nil {
-		s.seq = make(map[NodeID]uint64)
+	s.set(ts.Node, ts.Seq)
+}
+
+// Advance raises the vector for node to at least seq, skipping any
+// intermediate sequences. It is the non-contiguous counterpart of Observe,
+// used when adopting a full-state snapshot whose intervening writes arrive
+// out-of-log; every sequence at or below seq is then covered by fiat.
+func (s *Summary) Advance(node NodeID, seq uint64) {
+	if seq == 0 || seq <= s.Get(node) {
+		return
 	}
-	s.seq[ts.Node] = ts.Seq
+	s.set(node, seq)
 }
 
 // Next returns the timestamp the given origin should assign to its next
@@ -137,13 +197,16 @@ func (s *Summary) Next(node NodeID) Timestamp {
 // Merge folds other into s, taking the element-wise maximum. Merging is the
 // commutative, associative, idempotent join of the summary lattice.
 func (s *Summary) Merge(other *Summary) {
-	if other == nil {
+	if other == nil || len(other.seq) == 0 {
 		return
 	}
+	if n := len(other.seq); n > len(s.seq) {
+		s.grow(NodeID(n - 1))
+	}
 	for node, seq := range other.seq {
-		if seq > s.Get(node) {
-			if s.seq == nil {
-				s.seq = make(map[NodeID]uint64)
+		if seq > s.seq[node] {
+			if s.seq[node] == 0 {
+				s.origins++
 			}
 			s.seq[node] = seq
 		}
@@ -153,24 +216,38 @@ func (s *Summary) Merge(other *Summary) {
 // Compare returns the lattice order between s and other: Equal, Before
 // (s strictly dominated), After (s strictly dominates), or Concurrent.
 func (s *Summary) Compare(other *Summary) Ordering {
+	var a, b []uint64
+	if s != nil {
+		a = s.seq
+	}
+	if other != nil {
+		b = other.seq
+	}
+	// One pass over the longer vector; the shorter reads as implicit zeros.
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
 	sLess, oLess := false, false
-	for node, seq := range s.all() {
-		switch o := other.Get(node); {
-		case seq < o:
+	for i := 0; i < n; i++ {
+		var av, bv uint64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		switch {
+		case av < bv:
 			sLess = true
-		case seq > o:
+		case av > bv:
 			oLess = true
 		}
-		_ = node
-	}
-	for node, seq := range other.all() {
-		if s.Get(node) < seq {
-			sLess = true
+		if sLess && oLess {
+			return Concurrent
 		}
 	}
 	switch {
-	case sLess && oLess:
-		return Concurrent
 	case sLess:
 		return Before
 	case oLess:
@@ -188,35 +265,60 @@ func (s *Summary) Dominates(other *Summary) bool {
 // Clone returns an independent deep copy of s.
 func (s *Summary) Clone() *Summary {
 	c := NewSummary()
-	if len(s.all()) == 0 {
+	if s == nil || len(s.seq) == 0 {
 		return c
 	}
-	c.seq = make(map[NodeID]uint64, len(s.seq))
-	for node, seq := range s.seq {
-		c.seq[node] = seq
-	}
+	c.seq = make([]uint64, len(s.seq))
+	copy(c.seq, s.seq)
+	c.origins = s.origins
 	return c
 }
 
 // Len returns the number of origins with at least one observed write.
-func (s *Summary) Len() int { return len(s.all()) }
+func (s *Summary) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.origins
+}
 
 // Origins returns the origins with at least one observed write, ascending.
+// The dense layout yields them in order with no sort.
 func (s *Summary) Origins() []NodeID {
-	nodes := make([]NodeID, 0, len(s.all()))
-	for node := range s.all() {
-		nodes = append(nodes, node)
+	if s == nil || s.origins == 0 {
+		return nil
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	nodes := make([]NodeID, 0, s.origins)
+	for node, seq := range s.seq {
+		if seq > 0 {
+			nodes = append(nodes, NodeID(node))
+		}
+	}
 	return nodes
+}
+
+// ForEach calls fn for every origin with at least one observed write, in
+// ascending origin order, without allocating. fn must not mutate s.
+func (s *Summary) ForEach(fn func(node NodeID, seq uint64)) {
+	if s == nil {
+		return
+	}
+	for node, seq := range s.seq {
+		if seq > 0 {
+			fn(NodeID(node), seq)
+		}
+	}
 }
 
 // Total returns the total number of writes covered across all origins. It is
 // the anti-entropy progress metric: Total is monotone non-decreasing and two
 // replicas are mutually consistent exactly when their summaries are Equal.
 func (s *Summary) Total() uint64 {
+	if s == nil {
+		return 0
+	}
 	var total uint64
-	for _, seq := range s.all() {
+	for _, seq := range s.seq {
 		total += seq
 	}
 	return total
@@ -225,10 +327,8 @@ func (s *Summary) Total() uint64 {
 // Pairs returns the vector as an (origin, highest-seq) map copy, for
 // serialisation.
 func (s *Summary) Pairs() map[NodeID]uint64 {
-	out := make(map[NodeID]uint64, len(s.all()))
-	for node, seq := range s.all() {
-		out[node] = seq
-	}
+	out := make(map[NodeID]uint64, s.Len())
+	s.ForEach(func(node NodeID, seq uint64) { out[node] = seq })
 	return out
 }
 
@@ -237,13 +337,7 @@ func (s *Summary) Pairs() map[NodeID]uint64 {
 func FromPairs(pairs map[NodeID]uint64) *Summary {
 	s := NewSummary()
 	for node, seq := range pairs {
-		if seq == 0 {
-			continue
-		}
-		if s.seq == nil {
-			s.seq = make(map[NodeID]uint64, len(pairs))
-		}
-		s.seq[node] = seq
+		s.Advance(node, seq)
 	}
 	return s
 }
@@ -252,19 +346,14 @@ func FromPairs(pairs map[NodeID]uint64) *Summary {
 func (s *Summary) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, node := range s.Origins() {
-		if i > 0 {
+	first := true
+	s.ForEach(func(node NodeID, seq uint64) {
+		if !first {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%v:%d", node, s.seq[node])
-	}
+		first = false
+		fmt.Fprintf(&b, "%v:%d", node, seq)
+	})
 	b.WriteByte('}')
 	return b.String()
-}
-
-func (s *Summary) all() map[NodeID]uint64 {
-	if s == nil {
-		return nil
-	}
-	return s.seq
 }

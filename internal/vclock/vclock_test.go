@@ -370,6 +370,123 @@ func TestSummaryCoversAfterMerge(t *testing.T) {
 	}
 }
 
+func TestSummaryAdvance(t *testing.T) {
+	s := NewSummary()
+	s.Advance(3, 10) // non-contiguous jump is the point of Advance
+	if got := s.Get(3); got != 10 {
+		t.Errorf("Get(3) = %d, want 10", got)
+	}
+	s.Advance(3, 5) // regressions are ignored
+	if got := s.Get(3); got != 10 {
+		t.Errorf("after lower Advance Get(3) = %d, want 10", got)
+	}
+	s.Advance(3, 0) // zero is a no-op, not an origin
+	s.Advance(5, 0)
+	if got := s.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	// Observe continues from the advanced head.
+	s.Observe(Timestamp{Node: 3, Seq: 11})
+	if got := s.Get(3); got != 11 {
+		t.Errorf("Observe after Advance Get(3) = %d, want 11", got)
+	}
+}
+
+func TestSummaryDenseOutOfOrderOrigins(t *testing.T) {
+	// Observing a high origin first then a lower one must work: the dense
+	// vector grows to the highest id and lower slots fill in later.
+	s := NewSummary()
+	s.Observe(Timestamp{Node: 7, Seq: 1})
+	s.Observe(Timestamp{Node: 3, Seq: 1})
+	s.Observe(Timestamp{Node: 3, Seq: 2})
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if s.Get(3) != 2 || s.Get(7) != 1 {
+		t.Errorf("Get(3)=%d Get(7)=%d, want 2 and 1", s.Get(3), s.Get(7))
+	}
+	// Origins between observed ids read as zero and are not origins.
+	if s.Get(5) != 0 {
+		t.Errorf("Get(5) = %d, want 0", s.Get(5))
+	}
+	got := s.Origins()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("Origins = %v, want [3 7]", got)
+	}
+}
+
+func TestSummaryForEachAscending(t *testing.T) {
+	s := NewSummary()
+	s.Advance(9, 4)
+	s.Advance(0, 1)
+	s.Advance(4, 2)
+	var nodes []NodeID
+	var seqs []uint64
+	s.ForEach(func(node NodeID, seq uint64) {
+		nodes = append(nodes, node)
+		seqs = append(seqs, seq)
+	})
+	wantNodes := []NodeID{0, 4, 9}
+	wantSeqs := []uint64{1, 2, 4}
+	if len(nodes) != 3 {
+		t.Fatalf("ForEach visited %v", nodes)
+	}
+	for i := range wantNodes {
+		if nodes[i] != wantNodes[i] || seqs[i] != wantSeqs[i] {
+			t.Fatalf("ForEach visited (%v, %v), want (%v, %v)", nodes, seqs, wantNodes, wantSeqs)
+		}
+	}
+	NewSummary().ForEach(func(NodeID, uint64) { t.Error("empty summary visited a pair") })
+}
+
+func TestSummaryNegativeOriginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe with a negative origin should panic (dense contract)")
+		}
+	}()
+	s := NewSummary()
+	s.Observe(Timestamp{Node: -1, Seq: 1})
+}
+
+func TestSummaryGetNegativeOrigin(t *testing.T) {
+	s := NewSummary()
+	s.Advance(2, 5)
+	if got := s.Get(-3); got != 0 {
+		t.Errorf("Get(-3) = %d, want 0", got)
+	}
+	if s.Covers(Timestamp{Node: -3, Seq: 1}) {
+		t.Error("negative origin should not be covered")
+	}
+}
+
+// TestSummaryHotPathAllocs is the allocation-regression guard for the dense
+// representation: the per-message summary operations must not allocate.
+func TestSummaryHotPathAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSummary(r, 50, 20)
+	b := randomSummary(r, 50, 20)
+	a.Merge(b) // pre-grow a so the measured Merge needs no growth
+	ts := Timestamp{Node: 25, Seq: 1}
+
+	if avg := testing.AllocsPerRun(100, func() { _ = a.Covers(ts) }); avg != 0 {
+		t.Errorf("Covers allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = a.Get(25) }); avg != 0 {
+		t.Errorf("Get allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = a.Compare(b) }); avg != 0 {
+		t.Errorf("Compare allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = a.Total() }); avg != 0 {
+		t.Errorf("Total allocates %v per run, want 0", avg)
+	}
+	// Merge into an equal-length vector needs no growth and no allocation.
+	if avg := testing.AllocsPerRun(100, func() { a.Merge(b) }); avg != 0 {
+		t.Errorf("Merge allocates %v per run, want 0", avg)
+	}
+}
+
 func BenchmarkSummaryObserve(b *testing.B) {
 	s := NewSummary()
 	node := NodeID(1)

@@ -11,6 +11,19 @@
 // "stable" summary — one known to be dominated by every replica's summary —
 // may be discarded to bound storage, at the cost of longer sessions with
 // replicas that later turn out to need them.
+//
+// # Immutability contract
+//
+// An Entry's Key and Value are immutable from the moment the entry enters a
+// log: neither the log nor any caller may mutate them afterwards. Append
+// copies the caller's value slice (the caller may reuse its buffer), but
+// every read path — Get, MissingGiven, All — returns entries that share the
+// log's backing arrays, and Add/AddBatch retain the given entries without
+// copying. This makes the protocol data phase zero-copy end to end: an entry
+// produced by one replica's MissingGiven can flow through an in-memory
+// transport into a partner's AddBatch and store with no per-entry
+// allocation. Callers that genuinely need a private mutable copy use
+// Entry.Clone.
 package wlog
 
 import (
@@ -27,7 +40,8 @@ type Entry struct {
 	// TS uniquely identifies the write (origin replica + sequence).
 	TS vclock.Timestamp
 	// Key and Value carry the write's content ("write" operation of the
-	// paper's model §2). Value is never aliased after insertion.
+	// paper's model §2). Both are immutable once the entry is in a log; see
+	// the package comment's immutability contract.
 	Key   string
 	Value []byte
 	// Clock is the Lamport clock attached at the origin; the store uses it
@@ -35,7 +49,8 @@ type Entry struct {
 	Clock uint64
 }
 
-// Clone returns a deep copy of e.
+// Clone returns a deep copy of e, for the rare caller that needs a mutable
+// value outside the immutability contract.
 func (e Entry) Clone() Entry {
 	c := e
 	if e.Value != nil {
@@ -77,7 +92,8 @@ func New() *Log { return &Log{} }
 
 // Append records a new local write at origin, assigning the next sequence
 // number, and returns the resulting entry. The caller supplies the Lamport
-// clock value.
+// clock value. The caller's value slice is copied; the returned entry shares
+// the log's backing array and is immutable.
 func (l *Log) Append(origin vclock.NodeID, key string, value []byte, clock uint64) Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -86,10 +102,11 @@ func (l *Log) Append(origin vclock.NodeID, key string, value []byte, clock uint6
 		e.Value = append([]byte(nil), value...)
 	}
 	l.insertLocked(e)
-	return e.Clone()
+	return e
 }
 
-// Add inserts an entry received from a partner. Duplicates are ignored and
+// Add inserts an entry received from a partner, retaining e's Key and Value
+// without copying (immutability contract). Duplicates are ignored and
 // reported as (false, nil). Entries that would create a sequence gap return
 // ErrGap; callers deliver a remote origin's entries in sequence order, which
 // MissingGiven guarantees.
@@ -103,8 +120,38 @@ func (l *Log) Add(e Entry) (added bool, err error) {
 	case e.TS.Seq != cur+1:
 		return false, fmt.Errorf("%w: got %v, have seq %d", ErrGap, e.TS, cur)
 	}
-	l.insertLocked(e.Clone())
+	l.insertLocked(e)
 	return true, nil
+}
+
+// AddBatch inserts a batch of entries received from a partner, taking the
+// log lock once for the whole batch. Entries must arrive in the (origin,
+// seq)-ascending order MissingGiven produces so one origin's entries never
+// self-gap. Duplicates are skipped silently; entries that would create a
+// sequence gap are skipped and counted in gaps. AddBatch returns the entries
+// actually added, in input order, sharing the input's backing arrays.
+func (l *Log) AddBatch(entries []Entry) (added []Entry, gaps int) {
+	if len(entries) == 0 {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		cur := l.summary.Get(e.TS.Node)
+		switch {
+		case e.TS.Seq <= cur:
+			continue
+		case e.TS.Seq != cur+1:
+			gaps++
+			continue
+		}
+		l.insertLocked(e)
+		if added == nil {
+			added = make([]Entry, 0, len(entries))
+		}
+		added = append(added, e)
+	}
+	return added, gaps
 }
 
 func (l *Log) insertLocked(e Entry) {
@@ -123,6 +170,22 @@ func (l *Log) Summary() *vclock.Summary {
 	return l.summary.Clone()
 }
 
+// SummaryTotal returns the total number of writes the log's summary covers,
+// without cloning the vector. It is the cheap convergence-progress probe.
+func (l *Log) SummaryTotal() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.Total()
+}
+
+// CompareSummary returns the lattice order between the log's summary and
+// other, without cloning the vector.
+func (l *Log) CompareSummary(other *vclock.Summary) vclock.Ordering {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.Compare(other)
+}
+
 // Covers reports whether the log has received the write named by ts.
 func (l *Log) Covers(ts vclock.Timestamp) bool {
 	l.mu.RLock()
@@ -130,7 +193,8 @@ func (l *Log) Covers(ts vclock.Timestamp) bool {
 	return l.summary.Covers(ts)
 }
 
-// Get returns the entry named by ts, if it is retained.
+// Get returns the entry named by ts, if it is retained. The entry shares the
+// log's backing arrays (immutability contract).
 func (l *Log) Get(ts vclock.Timestamp) (Entry, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -139,35 +203,50 @@ func (l *Log) Get(ts vclock.Timestamp) (Entry, bool) {
 	if ts.Seq <= base || ts.Seq > l.summary.Get(ts.Node) {
 		return Entry{}, false
 	}
-	return entries[ts.Seq-base-1].Clone(), true
+	return entries[ts.Seq-base-1], true
 }
 
 // MissingGiven returns, in a deterministic order (origin ascending, then
-// sequence ascending), copies of all retained entries not covered by the
-// partner summary. If truncation already discarded entries the partner
-// needs, it returns ErrTruncated.
+// sequence ascending), all retained entries not covered by the partner
+// summary. The entries share the log's backing arrays (immutability
+// contract); only the returned slice itself is fresh. If truncation already
+// discarded entries the partner needs, it returns ErrTruncated.
 func (l *Log) MissingGiven(partner *vclock.Summary) ([]Entry, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 
-	origins := l.summary.Origins()
-	var out []Entry
-	for _, origin := range origins {
-		have := l.summary.Get(origin)
+	// Size the result exactly before collecting, so one allocation serves
+	// the whole batch.
+	need := 0
+	var err error
+	l.summary.ForEach(func(origin vclock.NodeID, have uint64) {
+		theirs := partner.Get(origin)
+		if theirs >= have || err != nil {
+			return
+		}
+		if base := l.truncated[origin]; theirs < base {
+			err = fmt.Errorf("%w: partner at %v:%d, truncated through %d",
+				ErrTruncated, origin, theirs, base)
+			return
+		}
+		need += int(have - theirs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if need == 0 {
+		return nil, nil
+	}
+	out := make([]Entry, 0, need)
+	l.summary.ForEach(func(origin vclock.NodeID, have uint64) {
 		theirs := partner.Get(origin)
 		if theirs >= have {
-			continue
+			return
 		}
 		base := l.truncated[origin]
-		if theirs < base {
-			return nil, fmt.Errorf("%w: partner at %v:%d, truncated through %d",
-				ErrTruncated, origin, theirs, base)
-		}
 		entries := l.byOrigin[origin]
-		for seq := theirs + 1; seq <= have; seq++ {
-			out = append(out, entries[seq-base-1].Clone())
-		}
-	}
+		out = append(out, entries[theirs-base:have-base]...)
+	})
 	return out, nil
 }
 
@@ -177,12 +256,11 @@ func (l *Log) MissingCount(partner *vclock.Summary) int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	count := 0
-	for _, origin := range l.summary.Origins() {
-		have := l.summary.Get(origin)
+	l.summary.ForEach(func(origin vclock.NodeID, have uint64) {
 		if theirs := partner.Get(origin); theirs < have {
 			count += int(have - theirs)
 		}
-	}
+	})
 	return count
 }
 
@@ -204,32 +282,28 @@ func (l *Log) Bytes() int {
 	return l.bytes
 }
 
-// All returns copies of every retained entry ordered by origin then
-// sequence.
+// All returns every retained entry ordered by origin then sequence, sharing
+// the log's backing arrays (immutability contract). Unlike MissingGiven with
+// an empty summary, All never fails on a truncated log: it returns whatever
+// is retained.
 func (l *Log) All() []Entry {
-	entries, err := l.MissingGiven(vclock.NewSummary())
-	if err != nil {
-		// An empty summary is never below the truncation floor unless
-		// truncation happened; in that case fall back to retained range.
-		entries = l.retained()
-	}
-	return entries
+	return l.retained()
 }
 
 func (l *Log) retained() []Entry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var out []Entry
-	origins := make([]vclock.NodeID, 0, len(l.byOrigin))
-	for origin := range l.byOrigin {
-		origins = append(origins, origin)
+	n := 0
+	for _, entries := range l.byOrigin {
+		n += len(entries)
 	}
-	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
-	for _, origin := range origins {
-		for _, e := range l.byOrigin[origin] {
-			out = append(out, e.Clone())
-		}
+	if n == 0 {
+		return nil
 	}
+	out := make([]Entry, 0, n)
+	l.summary.ForEach(func(origin vclock.NodeID, _ uint64) {
+		out = append(out, l.byOrigin[origin]...)
+	})
 	return out
 }
 
@@ -246,8 +320,8 @@ func (l *Log) TruncateCovered(stable *vclock.Summary) int {
 	for origin, entries := range l.byOrigin {
 		base := l.truncated[origin]
 		cut := stable.Get(origin)
-		if cut > l.summary.Get(origin) {
-			cut = l.summary.Get(origin)
+		if head := l.summary.Get(origin); cut > head {
+			cut = head
 		}
 		if cut <= base {
 			continue
@@ -330,19 +404,17 @@ func (l *Log) Adopt(snap *vclock.Summary) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	discarded := 0
-	for node, pairs := range snap.Pairs() {
-		head := l.summary.Get(node)
-		if pairs <= head {
-			continue
+	snap.ForEach(func(node vclock.NodeID, head uint64) {
+		if head <= l.summary.Get(node) {
+			return
 		}
-		// Raise the summary to the snapshot head. Observe demands
-		// contiguity, so extend via the internal map through Merge.
-		one := vclock.FromPairs(map[vclock.NodeID]uint64{node: pairs})
-		l.summary.Merge(one)
+		// Raise the summary to the snapshot head; Advance skips the
+		// contiguity check Observe enforces, because the skipped range is
+		// covered by the snapshot's store image.
+		l.summary.Advance(node, head)
 		// Everything at or below the new head that we do not retain is now
 		// logically truncated; discard retained entries below the floor.
-		entries := l.byOrigin[node]
-		for _, e := range entries {
+		for _, e := range l.byOrigin[node] {
 			l.bytes -= len(e.Key) + len(e.Value)
 			discarded++
 		}
@@ -350,7 +422,26 @@ func (l *Log) Adopt(snap *vclock.Summary) int {
 		if l.truncated == nil {
 			l.truncated = make(map[vclock.NodeID]uint64)
 		}
-		l.truncated[node] = pairs
-	}
+		l.truncated[node] = head
+	})
 	return discarded
+}
+
+// Sorted reports whether entries are in the (origin, seq)-ascending order
+// MissingGiven produces, so batch consumers can skip re-sorting the common
+// case.
+func Sorted(entries []Entry) bool {
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].TS.Compare(entries[i].TS) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByTS sorts entries into (origin, seq)-ascending order in place.
+func SortByTS(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].TS.Compare(entries[j].TS) < 0
+	})
 }

@@ -36,11 +36,13 @@ func TestAppendCopiesValue(t *testing.T) {
 	if string(got.Value) != "mutable" {
 		t.Errorf("log aliased caller's value slice: %q", got.Value)
 	}
-	// Mutating the returned copy must not affect the log either.
-	got.Value[0] = 'Z'
+	// Get shares the log's backing array (immutability contract); a caller
+	// needing a private mutable copy clones explicitly.
+	c := got.Clone()
+	c.Value[0] = 'Z'
 	again, _ := l.Get(e.TS)
 	if string(again.Value) != "mutable" {
-		t.Errorf("Get returned aliased value: %q", again.Value)
+		t.Errorf("Clone aliased the log's value: %q", again.Value)
 	}
 }
 
@@ -282,6 +284,136 @@ func TestAntiEntropyConvergesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Errorf("anti-entropy convergence property: %v", err)
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	src := New()
+	for i := 0; i < 6; i++ {
+		src.Append(vclock.NodeID(i%2), "k", []byte{byte(i)}, uint64(i))
+	}
+	dst := New()
+	batch, err := src.MissingGiven(dst.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, gaps := dst.AddBatch(batch)
+	if gaps != 0 || len(added) != 6 {
+		t.Fatalf("AddBatch = (%d added, %d gaps), want (6, 0)", len(added), gaps)
+	}
+	if dst.Summary().Compare(src.Summary()) != vclock.Equal {
+		t.Error("summaries differ after AddBatch of full missing set")
+	}
+	// Re-adding the same batch: all duplicates, no gaps, nothing gained.
+	added, gaps = dst.AddBatch(batch)
+	if gaps != 0 || len(added) != 0 {
+		t.Errorf("duplicate AddBatch = (%d added, %d gaps), want (0, 0)", len(added), gaps)
+	}
+	// A gapped entry is skipped and counted without poisoning the rest.
+	gapBatch := []Entry{
+		{TS: vclock.Timestamp{Node: 5, Seq: 2}, Key: "gap"},
+		{TS: vclock.Timestamp{Node: 6, Seq: 1}, Key: "fine"},
+	}
+	added, gaps = dst.AddBatch(gapBatch)
+	if gaps != 1 || len(added) != 1 || added[0].TS.Node != 6 {
+		t.Errorf("gapped AddBatch = (%v, %d gaps), want 1 added from n6, 1 gap", added, gaps)
+	}
+	if added, gaps = dst.AddBatch(nil); added != nil || gaps != 0 {
+		t.Errorf("empty AddBatch = (%v, %d)", added, gaps)
+	}
+}
+
+func TestAllOnTruncatedLog(t *testing.T) {
+	// All must return the retained suffix of a truncated log rather than
+	// failing (or silently falling back) the way MissingGiven(empty) would.
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.Append(1, "k", []byte{byte(i)}, uint64(i))
+	}
+	stable := vclock.NewSummary()
+	stable.Observe(vclock.Timestamp{Node: 1, Seq: 1})
+	stable.Observe(vclock.Timestamp{Node: 1, Seq: 2})
+	l.TruncateCovered(stable)
+
+	all := l.All()
+	if len(all) != 3 {
+		t.Fatalf("All on truncated log returned %d entries, want 3", len(all))
+	}
+	if all[0].TS.Seq != 3 || all[2].TS.Seq != 5 {
+		t.Errorf("All returned wrong range: %v", all)
+	}
+	if got := New().All(); got != nil {
+		t.Errorf("All on empty log = %v, want nil", got)
+	}
+}
+
+func TestReadPathsShareBackingArrays(t *testing.T) {
+	// Get, MissingGiven and All return views of the log's entries, not
+	// clones — the zero-copy half of the immutability contract.
+	l := New()
+	e := l.Append(1, "k", []byte("payload"), 1)
+	got, ok := l.Get(e.TS)
+	if !ok || &got.Value[0] != &e.Value[0] {
+		t.Error("Get returned a copy; expected a view of the log's entry")
+	}
+	missing, err := l.MissingGiven(vclock.NewSummary())
+	if err != nil || len(missing) != 1 || &missing[0].Value[0] != &e.Value[0] {
+		t.Error("MissingGiven returned copies; expected views")
+	}
+	all := l.All()
+	if len(all) != 1 || &all[0].Value[0] != &e.Value[0] {
+		t.Error("All returned copies; expected views")
+	}
+}
+
+func TestSortedAndSortByTS(t *testing.T) {
+	in := []Entry{
+		{TS: vclock.Timestamp{Node: 2, Seq: 1}},
+		{TS: vclock.Timestamp{Node: 1, Seq: 2}},
+		{TS: vclock.Timestamp{Node: 1, Seq: 1}},
+	}
+	if Sorted(in) {
+		t.Error("Sorted reported true for unsorted entries")
+	}
+	SortByTS(in)
+	if !Sorted(in) {
+		t.Error("Sorted reported false after SortByTS")
+	}
+	want := []vclock.Timestamp{{Node: 1, Seq: 1}, {Node: 1, Seq: 2}, {Node: 2, Seq: 1}}
+	for i, e := range in {
+		if e.TS != want[i] {
+			t.Fatalf("sorted order = %v", in)
+		}
+	}
+	if !Sorted(nil) || !Sorted(in[:1]) {
+		t.Error("empty and single-entry slices are trivially sorted")
+	}
+}
+
+// TestLogHotPathAllocs is the allocation-regression guard for the log's
+// per-message operations.
+func TestLogHotPathAllocs(t *testing.T) {
+	l := New()
+	for i := 0; i < 100; i++ {
+		l.Append(vclock.NodeID(i%8), "k", []byte("v"), uint64(i))
+	}
+	ts := vclock.Timestamp{Node: 3, Seq: 2}
+	if avg := testing.AllocsPerRun(100, func() { _ = l.Covers(ts) }); avg != 0 {
+		t.Errorf("Covers allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _, _ = l.Get(ts) }); avg != 0 {
+		t.Errorf("Get allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = l.SummaryTotal() }); avg != 0 {
+		t.Errorf("SummaryTotal allocates %v per run, want 0", avg)
+	}
+	partner := l.Summary()
+	if avg := testing.AllocsPerRun(100, func() { _ = l.MissingCount(partner) }); avg != 0 {
+		t.Errorf("MissingCount allocates %v per run, want 0", avg)
+	}
+	// A fully caught-up partner costs nothing to serve.
+	if avg := testing.AllocsPerRun(100, func() { _, _ = l.MissingGiven(partner) }); avg != 0 {
+		t.Errorf("MissingGiven(caught-up) allocates %v per run, want 0", avg)
 	}
 }
 

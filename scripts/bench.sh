@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline micro-benchmarks and save benchstat-comparable
+# output, so the repo accumulates a perf trajectory across commits.
+#
+# Usage:
+#   scripts/bench.sh                 # default benches, 5 runs each
+#   BENCH='SummaryMerge' scripts/bench.sh
+#   COUNT=10 OUTDIR=/tmp/bench scripts/bench.sh
+#
+# Each invocation writes bench-results/<commit>-<timestamp>.txt. Compare two
+# runs with:
+#   benchstat bench-results/<old>.txt bench-results/<new>.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-SingleTrialFast50|ShardedThroughput4}"
+OUTDIR="${OUTDIR:-bench-results}"
+
+mkdir -p "$OUTDIR"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+out="$OUTDIR/${commit}-$(date -u +%Y%m%dT%H%M%SZ).txt"
+
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$out"
+
+echo
+echo "wrote $out"
+echo "compare against an older run with: benchstat <old>.txt $out"
