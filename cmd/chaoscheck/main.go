@@ -1,0 +1,117 @@
+// Command chaoscheck runs seeded, reproducible chaos scenarios against a
+// live cluster (or shard router) and verifies the invariants the protocol
+// promises: acknowledged writes survive and converge after faults heal,
+// store versions never regress, fault-free settling converges, and
+// high-demand replicas reach consistency first.
+//
+// The event schedule and the verdict are deterministic functions of
+// (scenario, seed, scale): run the same invocation twice and the output is
+// byte-identical. To replay a CI failure locally, copy the seed from the
+// logged schedule header:
+//
+//	go run ./cmd/chaoscheck -scenario split-brain -seed 42
+//	go run ./cmd/chaoscheck -random -seed 7 -shards 3
+//	go run ./cmd/chaoscheck -quick   # the CI smoke tier: 3 scenarios, <2min
+//
+// Wall-clock measurements (settle times, probe arrival means, op counts)
+// are not part of the verdict; print them with -v.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaoscheck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("chaoscheck", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		scenario = fs.String("scenario", "", "built-in scenario name (see -list)")
+		seed     = fs.Int64("seed", 1, "deterministic seed (schedule + verdict reproduce from it)")
+		scale    = fs.Float64("scale", 1, "stretch factor on every event offset")
+		random   = fs.Bool("random", false, "generate a random scenario from -seed instead of a built-in")
+		nodes    = fs.Int("nodes", 8, "replicas per cluster for -random")
+		shards   = fs.Int("shards", 1, "shard groups for -random (>1 adds reshard events)")
+		duration = fs.Duration("duration", 4*time.Second, "schedule span for -random")
+		quick    = fs.Bool("quick", false, "CI smoke tier: split-brain, rolling-restart and flaky-network at half scale, fixed seeds")
+		list     = fs.Bool("list", false, "list built-in scenarios and exit")
+		verbose  = fs.Bool("v", false, "print wall-clock observations alongside the verdict")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "hard cap per scenario run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, name := range chaos.Names() {
+			fmt.Fprintf(w, "%-20s %s\n", name, chaos.Describe(name))
+		}
+		return 0, nil
+	}
+
+	var scenarios []chaos.Scenario
+	switch {
+	case *quick:
+		for i, name := range []string{"split-brain", "rolling-restart", "flaky-network"} {
+			sc, err := chaos.Named(name, 42+int64(i), 0.5)
+			if err != nil {
+				return 2, err
+			}
+			scenarios = append(scenarios, sc)
+		}
+	case *random:
+		scenarios = append(scenarios, chaos.Generate(*seed, chaos.GenConfig{
+			Nodes:    *nodes,
+			Shards:   *shards,
+			Duration: time.Duration(float64(*duration) * *scale),
+		}))
+	case *scenario != "":
+		sc, err := chaos.Named(*scenario, *seed, *scale)
+		if err != nil {
+			return 2, err
+		}
+		scenarios = append(scenarios, sc)
+	default:
+		return 2, fmt.Errorf("pick one of -scenario, -random, -quick or -list")
+	}
+
+	failed := 0
+	for i, sc := range scenarios {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, sc.Schedule())
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		rep, err := chaos.Run(ctx, sc)
+		cancel()
+		if err != nil {
+			return 2, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		fmt.Fprint(w, rep.Verdict())
+		if *verbose {
+			fmt.Fprint(w, rep.Observations())
+		}
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestListScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-list"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("run -list: code=%d err=%v", code, err)
+	}
+	for _, name := range chaos.Names() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if _, err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no mode selected should error")
+	}
+	if _, err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if code, err := run([]string{"-bogus-flag"}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Errorf("bad flag: code=%d err=%v", code, err)
+	}
+}
+
+// TestScenarioRunReproducible runs one short scenario twice through the CLI
+// surface: the full output (schedule + verdict) must be byte-identical and
+// report success — the contract CI failure replays depend on.
+func TestScenarioRunReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos run in -short mode")
+	}
+	args := []string{"-scenario", "split-brain", "-seed", "5", "-scale", "0.25"}
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var buf bytes.Buffer
+		code, err := run(args, &buf)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if code != 0 {
+			t.Fatalf("run %d failed invariants:\n%s", i, buf.String())
+		}
+		outputs[i] = buf.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("same invocation produced different output:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], "verdict: PASS") {
+		t.Errorf("output missing pass verdict:\n%s", outputs[0])
+	}
+}

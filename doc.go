@@ -28,6 +28,13 @@
 //	                     groups, with live shard add/remove and handoff
 //	internal/workload    closed-loop load generator (Zipf/uniform keys,
 //	                     read/write mix, latency percentiles)
+//	internal/chaos       seeded deterministic fault-schedule engine:
+//	                     scripted or generated partitions, crashes,
+//	                     loss/latency ramps, demand flips and reshards
+//	                     against live clusters, with invariant checkers
+//	                     (durability, monotonicity, convergence, demand
+//	                     ordering); seed alone reproduces schedule and
+//	                     verdict
 //	internal/experiment  every figure/table as runnable code
 //
 // Entry points:
@@ -38,6 +45,9 @@
 //	cmd/livedemo         drive a live cluster from the terminal
 //	cmd/loadgen          drive a sharded deployment under load and report
 //	                     ops/sec plus p50/p99 latency
+//	cmd/chaoscheck       run seeded fault scenarios against live clusters
+//	                     and check the protocol's invariants (CI's
+//	                     chaos-smoke tier; failures replay from the seed)
 //	examples/...         quickstart and scenario walk-throughs
 //
 // The benchmarks in bench_test.go regenerate each experiment at reduced

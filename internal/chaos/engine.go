@@ -1,0 +1,718 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/runtime"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// CheckResult is one invariant verdict. Detail is deterministic for passing
+// checks (empty); Obs carries wall-clock measurements and is excluded from
+// Verdict so verdicts stay byte-identical across runs.
+type CheckResult struct {
+	Name   string
+	Pass   bool
+	Detail string
+	Obs    string
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario Scenario
+	Checks   []CheckResult
+
+	// Observations (not part of the verdict).
+	Acked, TrackedKeys, AtRisk int
+	LoadOps, LoadErrs          int
+	Elapsed                    time.Duration
+}
+
+func (r *Report) add(c CheckResult) { r.Checks = append(r.Checks, c) }
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Verdict renders the per-invariant results. For a passing run the output
+// is a deterministic function of the scenario alone (seed contract).
+func (r *Report) Verdict() string {
+	var b strings.Builder
+	failed := 0
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(&b, "  %s %s", status, c.Name)
+		if !c.Pass && c.Detail != "" {
+			fmt.Fprintf(&b, " — %s", c.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	if failed == 0 {
+		fmt.Fprintf(&b, "verdict: PASS (%d checks)\n", len(r.Checks))
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL (%d/%d checks failed)\n", failed, len(r.Checks))
+	}
+	return b.String()
+}
+
+// Observations renders wall-clock measurements — useful for humans, not
+// reproducible byte-for-byte.
+func (r *Report) Observations() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  elapsed %v, %d ops applied (%d errors), %d writes acked over %d keys (%d at-risk)\n",
+		r.Elapsed.Round(time.Millisecond), r.LoadOps, r.LoadErrs, r.Acked, r.TrackedKeys, r.AtRisk)
+	for _, c := range r.Checks {
+		if c.Obs != "" {
+			fmt.Fprintf(&b, "  %s: %s\n", c.Name, c.Obs)
+		}
+	}
+	return b.String()
+}
+
+// verKey is a store version for monotonicity comparison.
+type verKey struct {
+	clock uint64
+	ts    vclock.Timestamp
+}
+
+// regressedFrom reports whether cur is older than prev under LWW order.
+func (cur verKey) regressedFrom(prev verKey) bool {
+	if cur.clock != prev.clock {
+		return cur.clock < prev.clock
+	}
+	return cur.ts.Compare(prev.ts) < 0
+}
+
+// clusterSys serves the single-cluster workload, spreading ops round-robin
+// over replicas and retrying on a different replica when one is down — the
+// client-side failover a real deployment would have.
+type clusterSys struct {
+	c    *runtime.Cluster
+	n    int
+	next atomic.Uint64
+}
+
+func (s *clusterSys) write(key string, value []byte) (ackLoc, error) {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		id := NodeID(s.next.Add(1) % uint64(s.n))
+		if _, werr := s.c.Write(id, key, value); werr == nil {
+			return ackLoc{node: id}, nil
+		} else {
+			err = werr
+		}
+	}
+	return ackLoc{}, err
+}
+
+func (s *clusterSys) read(key string) ([]byte, bool, error) {
+	var (
+		err error
+		v   []byte
+		ok  bool
+	)
+	for attempt := 0; attempt < 3; attempt++ {
+		id := NodeID(s.next.Add(1) % uint64(s.n))
+		if v, ok, err = s.c.Read(id, key); err == nil {
+			return v, ok, nil
+		}
+	}
+	return nil, false, err
+}
+
+// routerSys serves the sharded workload through the router.
+type routerSys struct{ r *shard.Router }
+
+func (s routerSys) write(key string, value []byte) (ackLoc, error) {
+	rc, err := s.r.Write(key, value)
+	if err != nil {
+		return ackLoc{}, err
+	}
+	return ackLoc{shard: rc.Shard, node: rc.Node}, nil
+}
+
+func (s routerSys) read(key string) ([]byte, bool, error) { return s.r.Read(key) }
+
+// engine executes one scenario. Events run on a single goroutine; only the
+// tracker and the system under test are shared with workload goroutines.
+type engine struct {
+	sc      Scenario
+	rep     *Report
+	tracker *tracker
+	start   time.Time
+
+	// Single-cluster mode.
+	cluster *runtime.Cluster
+	mfield  *demand.Mutable
+	base    demand.Static
+	flipped bool
+
+	// Router mode.
+	router *shard.Router
+
+	dead     map[ackLoc]bool
+	prevVers map[ackLoc]map[string]verKey
+
+	// Written by loadLoop before it signals done; read only after.
+	loadOps, loadErrs int
+}
+
+// Run executes the scenario against a freshly built live system and reports
+// every invariant check. The returned error covers engine failures
+// (malformed schedules, replicas that refuse to restart); invariant
+// violations are reported through the Report, not the error.
+func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		sc:       sc,
+		rep:      &Report{Scenario: sc},
+		dead:     make(map[ackLoc]bool),
+		prevVers: make(map[ackLoc]map[string]verKey),
+	}
+	return e.run(ctx)
+}
+
+func (e *engine) run(ctx context.Context) (*Report, error) {
+	rng := rand.New(rand.NewSource(e.sc.Seed))
+	runCtx, stopAll := context.WithCancel(ctx)
+	defer stopAll()
+	if e.sc.Shards > 1 {
+		if err := e.buildRouter(runCtx, rng); err != nil {
+			return nil, err
+		}
+		defer e.router.Stop()
+	} else {
+		if err := e.buildCluster(runCtx, rng); err != nil {
+			return nil, err
+		}
+		defer e.cluster.Stop()
+	}
+
+	loadCtx, stopLoad := context.WithCancel(runCtx)
+	loadDone := make(chan struct{})
+	go e.loadLoop(loadCtx, loadDone)
+	defer func() {
+		stopLoad()
+		<-loadDone
+		e.rep.Elapsed = time.Since(e.start)
+		e.rep.LoadOps, e.rep.LoadErrs = e.loadOps, e.loadErrs
+		e.rep.Acked, e.rep.TrackedKeys, e.rep.AtRisk = e.tracker.counts()
+	}()
+
+	e.start = time.Now()
+	for i, ev := range e.sc.Events {
+		if d := time.Until(e.start.Add(ev.At)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return e.rep, ctx.Err()
+			}
+		}
+		if err := e.apply(ctx, i, ev); err != nil {
+			return e.rep, fmt.Errorf("event %d (%v): %w", i, ev, err)
+		}
+	}
+	e.finalChecks(ctx)
+	return e.rep, nil
+}
+
+func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
+	n := e.sc.Nodes
+	g := buildGraph(e.sc.Topology, n, rng)
+	e.base = e.sc.Field
+	if e.base == nil {
+		e.base = demand.Uniform(n, 1, 101, rng)
+	}
+	e.mfield = demand.NewMutable(e.base)
+	e.cluster = runtime.New(g, e.mfield,
+		runtime.WithSeed(e.sc.Seed),
+		runtime.WithSessionInterval(e.sc.SessionInterval),
+		runtime.WithAdvertInterval(e.sc.AdvertInterval),
+	)
+	if err := e.cluster.Start(ctx); err != nil {
+		return err
+	}
+	e.tracker = newTracker(&clusterSys{c: e.cluster, n: n})
+	return nil
+}
+
+func (e *engine) buildRouter(ctx context.Context, rng *rand.Rand) error {
+	specs := make([]shard.GroupSpec, e.sc.Shards)
+	for i := range specs {
+		specs[i] = e.groupSpec(fmt.Sprintf("shard%d", i), rng)
+	}
+	r, err := shard.NewRouter(specs, shard.Config{
+		Seed: e.sc.Seed,
+		RuntimeOptions: []runtime.Option{
+			runtime.WithSessionInterval(e.sc.SessionInterval),
+			runtime.WithAdvertInterval(e.sc.AdvertInterval),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := r.Start(ctx); err != nil {
+		return err
+	}
+	e.router = r
+	e.tracker = newTracker(routerSys{r: r})
+	return nil
+}
+
+// groupSpec builds one shard group's spec deterministically from rng.
+func (e *engine) groupSpec(name string, rng *rand.Rand) shard.GroupSpec {
+	k := e.sc.Nodes
+	field := e.sc.Field
+	if field == nil {
+		field = demand.Uniform(k, 1, 101, rng)
+	}
+	return shard.GroupSpec{Name: name, Graph: buildGraph(e.sc.Topology, k, rng), Field: field}
+}
+
+// loadLoop applies background traffic in rounds until cancelled.
+func (e *engine) loadLoop(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	for ctx.Err() == nil {
+		res := workload.Run(ctx, e.sc.Load, e.tracker)
+		e.loadOps += res.Ops
+		e.loadErrs += res.Errors
+		if res.Ops == 0 {
+			// Everything failing instantly (total outage): don't spin hot.
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// clustersFor resolves the clusters an event targets: the single cluster,
+// one named group, or every group ("" in router mode).
+func (e *engine) clustersFor(shardName string) ([]*runtime.Cluster, error) {
+	if e.router == nil {
+		return []*runtime.Cluster{e.cluster}, nil
+	}
+	if shardName == "" {
+		var out []*runtime.Cluster
+		for _, name := range e.router.Shards() {
+			if g, ok := e.router.Group(name); ok {
+				out = append(out, g.Cluster())
+			}
+		}
+		return out, nil
+	}
+	g, ok := e.router.Group(shardName)
+	if !ok {
+		return nil, fmt.Errorf("chaos: no shard %q", shardName)
+	}
+	return []*runtime.Cluster{g.Cluster()}, nil
+}
+
+func (e *engine) apply(ctx context.Context, idx int, ev Event) error {
+	clusters, err := e.clustersFor(ev.Shard)
+	if err != nil && ev.Kind != EvAddShard {
+		return err
+	}
+	faults := func(f func(transport.Faults)) {
+		for _, c := range clusters {
+			if flt := c.Faults(); flt != nil {
+				f(flt)
+			}
+		}
+	}
+	switch ev.Kind {
+	case EvPartition:
+		faults(func(f transport.Faults) { f.PartitionSets(ev.Nodes, ev.Peers) })
+	case EvHeal:
+		faults(func(f transport.Faults) { f.HealAll() })
+	case EvSetLoss:
+		faults(func(f transport.Faults) { f.SetLoss(ev.Rate) })
+	case EvSetLatency:
+		faults(func(f transport.Faults) { f.SetLatency(ev.Latency, ev.Jitter) })
+	case EvKill:
+		for _, id := range ev.Nodes {
+			if err := clusters[0].Kill(id); err != nil {
+				return err
+			}
+			e.dead[ackLoc{shard: ev.Shard, node: id}] = true
+		}
+	case EvRestart:
+		for _, id := range ev.Nodes {
+			loc := ackLoc{shard: ev.Shard, node: id}
+			// Mark before the replica is reborn: once Restart returns it
+			// acks writes again, and those must stay durability-required.
+			e.tracker.markLost(loc) // empty-state restart: unreplicated acks died
+			if err := clusters[0].Restart(id); err != nil {
+				return err
+			}
+			delete(e.dead, loc)
+			delete(e.prevVers, loc) // fresh store: prior versions are moot
+		}
+	case EvRestartPreserve:
+		for _, id := range ev.Nodes {
+			if err := clusters[0].RestartPreserving(id); err != nil {
+				return err
+			}
+			delete(e.dead, ackLoc{shard: ev.Shard, node: id})
+		}
+	case EvDemandFlip:
+		if e.flipped {
+			e.mfield.Set(e.base)
+		} else {
+			e.mfield.Set(demand.Invert(e.base))
+		}
+		e.flipped = !e.flipped
+	case EvAddShard:
+		rng := rand.New(rand.NewSource(e.sc.Seed ^ int64(hashBytes([]byte(ev.Shard)))))
+		spec := e.groupSpec(ev.Shard, rng)
+		e.tracker.beginReshard()
+		err := e.router.AddShard(spec)
+		e.tracker.endReshard()
+		if err != nil {
+			return err
+		}
+	case EvRemoveShard:
+		// Dead replicas leave the handoff union: their unreplicated acks
+		// are lost with the group.
+		for loc := range e.dead {
+			if loc.shard == ev.Shard {
+				e.tracker.markLost(loc)
+				delete(e.dead, loc)
+			}
+		}
+		e.tracker.beginReshard()
+		err := e.router.RemoveShard(ev.Shard)
+		e.tracker.endReshard()
+		if err != nil {
+			return err
+		}
+		for loc := range e.prevVers {
+			if loc.shard == ev.Shard {
+				delete(e.prevVers, loc)
+			}
+		}
+	case EvQuiesce:
+		e.quiesce(ctx, fmt.Sprintf("e%d", idx), false)
+	case EvProbe:
+		e.rep.add(e.probe(ctx, fmt.Sprintf("e%d", idx)))
+	}
+	return nil
+}
+
+// clearFaults returns every network to a fault-free state (partitions
+// healed, zero loss and latency) ahead of the final settling.
+func (e *engine) clearFaults() {
+	clusters, _ := e.clustersFor("")
+	for _, c := range clusters {
+		if f := c.Faults(); f != nil {
+			f.HealAll()
+			f.SetLoss(0)
+			f.SetLatency(0, 0)
+		}
+	}
+}
+
+// finalChecks heals everything, settles, and verifies all invariants
+// including durability. Replicas still dead stay dead — their unreplicated
+// acks are reclassified at-risk first.
+func (e *engine) finalChecks(ctx context.Context) {
+	e.clearFaults()
+	for loc := range e.dead {
+		e.tracker.markLost(loc)
+	}
+	e.quiesce(ctx, "final", true)
+}
+
+// quiesce pauses traffic, waits for convergence, and checks invariants.
+func (e *engine) quiesce(ctx context.Context, label string, final bool) {
+	e.tracker.Pause()
+	defer e.tracker.Resume()
+
+	cctx, cancel := context.WithTimeout(ctx, e.sc.QuiesceTimeout)
+	waited := time.Now()
+	conv := e.waitConverged(cctx)
+	cancel()
+	res := CheckResult{
+		Name: label + "/converged",
+		Pass: conv,
+		Obs:  fmt.Sprintf("settled in %v", time.Since(waited).Round(time.Millisecond)),
+	}
+	if !conv {
+		res.Detail = fmt.Sprintf("not converged within %v of fault-free settling", e.sc.QuiesceTimeout)
+		res.Obs = ""
+	}
+	e.rep.add(res)
+	if !conv {
+		// Downstream checks assume a converged system; report them as
+		// failed-by-implication rather than misleading passes.
+		e.rep.add(CheckResult{Name: label + "/digest-agreement", Pass: false, Detail: "skipped: not converged"})
+		e.rep.add(CheckResult{Name: label + "/monotone-versions", Pass: false, Detail: "skipped: not converged"})
+		if final {
+			e.rep.add(CheckResult{Name: label + "/durability", Pass: false, Detail: "skipped: not converged"})
+		}
+		return
+	}
+
+	pass, detail := e.digestsAgree()
+	e.rep.add(CheckResult{Name: label + "/digest-agreement", Pass: pass, Detail: detail})
+
+	violations := e.monotoneCheck()
+	mres := CheckResult{Name: label + "/monotone-versions", Pass: violations == 0}
+	if violations > 0 {
+		mres.Detail = fmt.Sprintf("%d key versions regressed", violations)
+	}
+	e.rep.add(mres)
+
+	if final {
+		d := e.tracker.checkDurability(e.lookup())
+		dres := CheckResult{
+			Name: label + "/durability",
+			Pass: d.ok(),
+			Obs:  fmt.Sprintf("%d keys required and present, %d at-risk-only", d.required, d.atRiskOnly),
+		}
+		if !d.ok() {
+			dres.Detail = fmt.Sprintf("%d acked keys missing, %d converged to never-acked values", d.missing, d.wrongValue)
+		}
+		e.rep.add(dres)
+	}
+	e.tracker.seal(e.dead)
+}
+
+func (e *engine) waitConverged(ctx context.Context) bool {
+	if e.router != nil {
+		return e.router.WaitConverged(ctx)
+	}
+	return e.cluster.WaitConverged(ctx)
+}
+
+// liveReplica returns one live replica of c, or -1.
+func liveReplica(c *runtime.Cluster) NodeID {
+	for i := 0; i < c.N(); i++ {
+		if c.Alive(NodeID(i)) {
+			return NodeID(i)
+		}
+	}
+	return -1
+}
+
+// digestsAgree verifies all live replicas of every cluster hold identical
+// store digests — content-level agreement beyond summary equality.
+func (e *engine) digestsAgree() (bool, string) {
+	clusters, _ := e.clustersFor("")
+	names := e.clusterNames()
+	for ci, c := range clusters {
+		var ref uint64
+		first := true
+		for i := 0; i < c.N(); i++ {
+			id := NodeID(i)
+			if !c.Alive(id) {
+				continue
+			}
+			d := c.Digest(id)
+			if first {
+				ref, first = d, false
+				continue
+			}
+			if d != ref {
+				return false, fmt.Sprintf("%s: store digests disagree between live replicas", names[ci])
+			}
+		}
+	}
+	return true, ""
+}
+
+// clusterNames parallels clustersFor("") for diagnostics.
+func (e *engine) clusterNames() []string {
+	if e.router == nil {
+		return []string{"cluster"}
+	}
+	return e.router.Shards()
+}
+
+// monotoneCheck snapshots every live replica's per-key versions and checks
+// them against the previous converged checkpoint: versions must never
+// regress. Returns the number of regressions found.
+func (e *engine) monotoneCheck() int {
+	clusters, _ := e.clustersFor("")
+	names := e.clusterNames()
+	violations := 0
+	for ci, c := range clusters {
+		shardName := ""
+		if e.router != nil {
+			shardName = names[ci]
+		}
+		for i := 0; i < c.N(); i++ {
+			id := NodeID(i)
+			if !c.Alive(id) {
+				continue
+			}
+			items, err := c.Snapshot(id)
+			if err != nil {
+				continue
+			}
+			cur := make(map[string]verKey, len(items))
+			for _, it := range items {
+				cur[it.Key] = verKey{clock: it.Clock, ts: it.TS}
+			}
+			loc := ackLoc{shard: shardName, node: id}
+			if prev, ok := e.prevVers[loc]; ok {
+				for key, pv := range prev {
+					cv, present := cur[key]
+					if !present || cv.regressedFrom(pv) {
+						violations++
+					}
+				}
+			}
+			e.prevVers[loc] = cur
+		}
+	}
+	return violations
+}
+
+// lookup builds the durability resolver from the converged system: key →
+// converged value hash. In router mode each key resolves through its owning
+// group.
+func (e *engine) lookup() func(key string) (uint64, bool) {
+	if e.router == nil {
+		m := snapshotHashes(e.cluster)
+		return func(key string) (uint64, bool) {
+			h, ok := m[key]
+			return h, ok
+		}
+	}
+	byShard := make(map[string]map[string]uint64)
+	for _, name := range e.router.Shards() {
+		if g, ok := e.router.Group(name); ok {
+			byShard[name] = snapshotHashes(g.Cluster())
+		}
+	}
+	return func(key string) (uint64, bool) {
+		owner, ok := e.router.OwnerOf(key)
+		if !ok {
+			return 0, false
+		}
+		h, ok := byShard[owner][key]
+		return h, ok
+	}
+}
+
+// snapshotHashes maps each key to its value hash at one live replica (the
+// system is converged, so any live replica is representative).
+func snapshotHashes(c *runtime.Cluster) map[string]uint64 {
+	id := liveReplica(c)
+	if id < 0 {
+		return nil
+	}
+	items, err := c.Snapshot(id)
+	if err != nil {
+		return nil
+	}
+	m := make(map[string]uint64, len(items))
+	for _, it := range items {
+		m[it.Key] = hashBytes(it.Value)
+	}
+	return m
+}
+
+// probe measures the paper's demand-ordering property on the live cluster:
+// writes injected at the lowest-demand replica must reach high-demand
+// replicas before low-demand ones, on average, under whatever fault
+// pressure is currently applied.
+func (e *engine) probe(ctx context.Context, label string) CheckResult {
+	e.tracker.Pause()
+	defer e.tracker.Resume()
+	name := label + "/demand-ordering"
+
+	n := e.sc.Nodes
+	now := time.Since(e.start).Seconds()
+	demands := make([]float64, n)
+	origin := NodeID(0)
+	for i := 0; i < n; i++ {
+		demands[i] = e.mfield.At(NodeID(i), now)
+		if demands[i] < demands[origin] {
+			origin = NodeID(i)
+		}
+	}
+
+	totals := make([]time.Duration, n)
+	for p := 0; p < e.sc.Probes; p++ {
+		key := fmt.Sprintf("chaos.probe.%s.%d", label, p)
+		ts, err := e.cluster.Write(origin, key, []byte{byte(p)})
+		if err != nil {
+			return CheckResult{Name: name, Pass: false, Detail: "probe write failed"}
+		}
+		w := e.cluster.Watch(ts)
+		select {
+		case <-w.Done():
+		case <-time.After(e.sc.QuiesceTimeout):
+			e.cluster.Unwatch(w)
+			return CheckResult{Name: name, Pass: false,
+				Detail: fmt.Sprintf("probe write did not propagate within %v", e.sc.QuiesceTimeout)}
+		case <-ctx.Done():
+			e.cluster.Unwatch(w)
+			return CheckResult{Name: name, Pass: false, Detail: "cancelled"}
+		}
+		for id, d := range w.Times() {
+			totals[id] += d
+		}
+	}
+
+	// Rank non-origin replicas by demand, descending; compare top third
+	// against bottom third mean arrival.
+	ids := make([]NodeID, 0, n-1)
+	for i := 0; i < n; i++ {
+		if NodeID(i) != origin {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return demands[ids[a]] > demands[ids[b]] })
+	k := len(ids) / 3
+	if k < 1 {
+		k = 1
+	}
+	mean := func(group []NodeID) time.Duration {
+		var sum time.Duration
+		for _, id := range group {
+			sum += totals[id]
+		}
+		return sum / time.Duration(len(group)*e.sc.Probes)
+	}
+	top, bottom := mean(ids[:k]), mean(ids[len(ids)-k:])
+
+	// Slack absorbs scheduler noise: the paper's effect is a large
+	// separation, and a true inversion overshoots this bound at once.
+	pass := top <= bottom+bottom/4+2*time.Millisecond
+	res := CheckResult{
+		Name: name,
+		Pass: pass,
+		Obs: fmt.Sprintf("origin %v, top-third mean %v, bottom-third mean %v",
+			origin, top.Round(time.Microsecond), bottom.Round(time.Microsecond)),
+	}
+	if !pass {
+		res.Detail = "high-demand replicas converged slower than low-demand ones"
+	}
+	return res
+}

@@ -1,0 +1,338 @@
+// Package chaos is a seeded, deterministic fault-schedule engine for live
+// clusters. It composes the repository's fault primitives — transport
+// partitions/loss/latency (transport.Faults), replica crash/restart with and
+// without state loss (runtime.Cluster), live shard add/remove
+// (shard.Router), and demand-field flips (demand.Mutable) — into scripted
+// adversarial scenarios, applies background client traffic while the
+// schedule runs, and checks invariants at quiesce points:
+//
+//  1. durability — every acknowledged write survives and converges after
+//     faults heal (writes whose only copy died with a crashed replica are
+//     classified at-risk, not required; see tracker.go),
+//  2. monotonicity — store versions never regress per key per replica
+//     across converged checkpoints,
+//  3. convergence — Converged holds after fault-free settling, with all
+//     live store digests equal,
+//  4. demand ordering — the paper's property: high-demand replicas reach
+//     consistency before low-demand ones under identical fault pressure.
+//
+// # Seed reproducibility
+//
+// A Scenario's event schedule is pure data, and every built-in or randomly
+// generated schedule is a deterministic function of (name, seed, scale) or
+// (seed, GenConfig) alone. Running the same scenario with the same seed
+// twice produces byte-identical Schedule() and — whenever the invariants
+// hold, which they must — byte-identical Verdict() output. Wall-clock
+// measurements (propagation times, op counts) are intentionally excluded
+// from the verdict and reported separately via Observations(). To replay a
+// CI failure locally, copy the seed from the logged schedule header and run
+//
+//	go run ./cmd/chaoscheck -scenario <name> -seed <seed>
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// NodeID aliases the replica identifier.
+type NodeID = vclock.NodeID
+
+// EventKind enumerates the fault and checkpoint actions a schedule can take.
+type EventKind int
+
+const (
+	// EvPartition severs every link between Nodes and Peers in the target
+	// network (split-brain).
+	EvPartition EventKind = iota
+	// EvHeal restores every severed link in the target network.
+	EvHeal
+	// EvKill crashes the replicas in Nodes.
+	EvKill
+	// EvRestart restarts crashed replicas with empty state (state loss):
+	// recovery happens through anti-entropy.
+	EvRestart
+	// EvRestartPreserve restarts crashed replicas with their protocol state
+	// intact, as if recovering from durable storage.
+	EvRestartPreserve
+	// EvSetLoss sets the per-message drop probability to Rate.
+	EvSetLoss
+	// EvSetLatency sets base delivery latency and jitter.
+	EvSetLatency
+	// EvDemandFlip inverts the demand field: hottest replicas become
+	// coldest and vice versa (single-cluster scenarios only).
+	EvDemandFlip
+	// EvAddShard grows a sharded keyspace by one group named Shard
+	// (router scenarios only).
+	EvAddShard
+	// EvRemoveShard shrinks a sharded keyspace, handing the named group's
+	// keys off (router scenarios only).
+	EvRemoveShard
+	// EvQuiesce pauses traffic, waits for convergence, and checks the
+	// convergence, digest-agreement and monotonicity invariants.
+	EvQuiesce
+	// EvProbe measures the paper's demand-ordering property: probe writes
+	// are injected at the lowest-demand replica and per-replica arrival
+	// times are compared across demand ranks (single-cluster only).
+	EvProbe
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal-all"
+	case EvKill:
+		return "kill"
+	case EvRestart:
+		return "restart"
+	case EvRestartPreserve:
+		return "restart-preserve"
+	case EvSetLoss:
+		return "set-loss"
+	case EvSetLatency:
+		return "set-latency"
+	case EvDemandFlip:
+		return "demand-flip"
+	case EvAddShard:
+		return "add-shard"
+	case EvRemoveShard:
+		return "remove-shard"
+	case EvQuiesce:
+		return "quiesce"
+	case EvProbe:
+		return "probe"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled action. At is the offset from scenario start; if
+// the preceding event overran (a quiesce waiting for convergence), the
+// event fires immediately after it.
+type Event struct {
+	At      time.Duration
+	Kind    EventKind
+	Shard   string        // target group for node-level events in router scenarios; spec name for add/remove
+	Nodes   []NodeID      // kill/restart targets, or partition side A
+	Peers   []NodeID      // partition side B
+	Rate    float64       // loss probability for EvSetLoss
+	Latency time.Duration // base delay for EvSetLatency
+	Jitter  time.Duration // jitter bound for EvSetLatency
+}
+
+// String renders the event deterministically (schedule contract).
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%-8v %s", e.At, e.Kind)
+	if e.Shard != "" {
+		fmt.Fprintf(&b, " %s", e.Shard)
+	}
+	switch e.Kind {
+	case EvPartition:
+		fmt.Fprintf(&b, " %v | %v", e.Nodes, e.Peers)
+	case EvKill, EvRestart, EvRestartPreserve:
+		fmt.Fprintf(&b, " %v", e.Nodes)
+	case EvSetLoss:
+		fmt.Fprintf(&b, " %g", e.Rate)
+	case EvSetLatency:
+		fmt.Fprintf(&b, " %v jitter %v", e.Latency, e.Jitter)
+	}
+	return b.String()
+}
+
+// Scenario is one reproducible chaos run: a system shape, a fault schedule,
+// and the workload that runs underneath it.
+type Scenario struct {
+	// Name labels the scenario in schedules and verdicts.
+	Name string
+	// Description says what the scenario stresses.
+	Description string
+	// Seed drives every RNG involved — replica session timing, network
+	// loss/jitter, workload key choice, and random schedule generation.
+	Seed int64
+	// Nodes is the replica count (per shard group when Shards > 1).
+	Nodes int
+	// Shards > 1 runs the schedule against a shard.Router with that many
+	// groups; otherwise a single runtime.Cluster.
+	Shards int
+	// Topology picks the replica graph: "ring" (default), "complete", or
+	// "ba" (Barabási–Albert).
+	Topology string
+	// Field fixes the per-replica demand (indexed by local id, applied to
+	// every group); nil draws Uniform(1,101) demands from Seed.
+	Field demand.Static
+	// Events is the fault schedule, ordered by At.
+	Events []Event
+	// Load configures the background traffic. Seed is overridden with the
+	// scenario seed. ReadFraction 0 (unset) selects a balanced 0.5 mix so
+	// durability sees plenty of writes; request an all-write mix with a
+	// negative value (clamped to 0 before the workload runs).
+	Load workload.Config
+	// SessionInterval and AdvertInterval tune the protocol (defaults 15ms
+	// and 5ms — fast convergence keeps scenarios short).
+	SessionInterval time.Duration
+	AdvertInterval  time.Duration
+	// QuiesceTimeout bounds each convergence wait and probe (default 30s).
+	QuiesceTimeout time.Duration
+	// Probes is the number of probe writes per EvProbe (default 8).
+	Probes int
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Name == "" {
+		s.Name = "unnamed"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 8
+	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.Topology == "" {
+		s.Topology = "ring"
+	}
+	if s.SessionInterval <= 0 {
+		s.SessionInterval = 15 * time.Millisecond
+	}
+	if s.AdvertInterval <= 0 {
+		s.AdvertInterval = 5 * time.Millisecond
+	}
+	if s.QuiesceTimeout <= 0 {
+		s.QuiesceTimeout = 30 * time.Second
+	}
+	if s.Probes <= 0 {
+		s.Probes = 8
+	}
+	if s.Load.Workers <= 0 {
+		s.Load.Workers = 6
+	}
+	if s.Load.Ops <= 0 {
+		s.Load.Ops = 4000 // per background round; rounds repeat until the run ends
+	}
+	if s.Load.Keys <= 0 {
+		s.Load.Keys = 256
+	}
+	switch {
+	case s.Load.ReadFraction == 0:
+		s.Load.ReadFraction = 0.5 // balanced mix: durability needs writes
+	case s.Load.ReadFraction < 0:
+		s.Load.ReadFraction = 0 // explicit all-write request
+	case s.Load.ReadFraction > 1:
+		s.Load.ReadFraction = 1
+	}
+	if s.Load.ValueBytes <= 0 {
+		s.Load.ValueBytes = 32
+	}
+	s.Load.Seed = s.Seed
+	return s
+}
+
+// Validate checks the schedule against the system shape.
+func (s Scenario) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("chaos: need at least 2 replicas, have %d", s.Nodes)
+	}
+	switch s.Topology {
+	case "ring", "complete", "ba":
+	default:
+		return fmt.Errorf("chaos: unknown topology %q", s.Topology)
+	}
+	if s.Field != nil && len(s.Field) != s.Nodes {
+		return fmt.Errorf("chaos: demand field has %d entries for %d nodes", len(s.Field), s.Nodes)
+	}
+	sharded := s.Shards > 1
+	var prev time.Duration
+	for i, e := range s.Events {
+		if e.At < prev {
+			return fmt.Errorf("chaos: event %d (%v) out of order", i, e)
+		}
+		prev = e.At
+		switch e.Kind {
+		case EvPartition:
+			if len(e.Nodes) == 0 || len(e.Peers) == 0 {
+				return fmt.Errorf("chaos: event %d: partition needs two non-empty sides", i)
+			}
+		case EvKill, EvRestart, EvRestartPreserve:
+			if len(e.Nodes) == 0 {
+				return fmt.Errorf("chaos: event %d: %v needs targets", i, e.Kind)
+			}
+			if sharded && e.Shard == "" {
+				return fmt.Errorf("chaos: event %d: %v needs a target shard in a sharded scenario", i, e.Kind)
+			}
+		case EvSetLoss:
+			if e.Rate < 0 || e.Rate >= 1 {
+				return fmt.Errorf("chaos: event %d: loss rate %g outside [0,1)", i, e.Rate)
+			}
+		case EvDemandFlip, EvProbe:
+			if sharded {
+				return fmt.Errorf("chaos: event %d: %v is single-cluster only", i, e.Kind)
+			}
+		case EvAddShard, EvRemoveShard:
+			if !sharded {
+				return fmt.Errorf("chaos: event %d: %v needs a sharded scenario", i, e.Kind)
+			}
+			if e.Shard == "" {
+				return fmt.Errorf("chaos: event %d: %v needs a shard name", i, e.Kind)
+			}
+		}
+		if e.Shard != "" && !sharded {
+			switch e.Kind {
+			case EvAddShard, EvRemoveShard:
+			default:
+				return fmt.Errorf("chaos: event %d targets shard %q in a single-cluster scenario", i, e.Shard)
+			}
+		}
+		for _, id := range append(append([]NodeID(nil), e.Nodes...), e.Peers...) {
+			if int(id) < 0 || int(id) >= s.Nodes {
+				return fmt.Errorf("chaos: event %d targets replica %v outside [0,%d)", i, id, s.Nodes)
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule renders the full event schedule. The output is a deterministic
+// function of the scenario value — the reproducibility contract.
+func (s Scenario) Schedule() string {
+	s = s.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s seed=%d nodes=%d shards=%d topo=%s events=%d\n",
+		s.Name, s.Seed, s.Nodes, s.Shards, s.Topology, len(s.Events))
+	for i, e := range s.Events {
+		fmt.Fprintf(&b, "  %2d %s\n", i, e)
+	}
+	return b.String()
+}
+
+// buildGraph constructs the scenario's replica topology. Shapes that need
+// more replicas than the scenario has fall back to the complete graph
+// (identical for n <= 3 anyway).
+func buildGraph(topo string, n int, rng *rand.Rand) *topology.Graph {
+	switch {
+	case topo == "ba" && n >= 3:
+		return topology.BarabasiAlbert(n, 2, rng)
+	case topo == "ring" && n >= 3:
+		return topology.Ring(n)
+	default:
+		return topology.Complete(n)
+	}
+}
+
+// sortEvents orders a generated schedule by offset, keeping generation
+// order for ties.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}

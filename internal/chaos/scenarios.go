@@ -1,0 +1,345 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/demand"
+)
+
+// Names returns the built-in scenario names in a fixed order.
+func Names() []string {
+	return []string{
+		"split-brain",
+		"rolling-restart",
+		"flaky-network",
+		"reshard-under-fire",
+		"demand-inversion",
+	}
+}
+
+// Describe returns the one-line description of a built-in scenario.
+func Describe(name string) string {
+	sc, err := Named(name, 1, 1)
+	if err != nil {
+		return ""
+	}
+	return sc.Description
+}
+
+// Named builds a built-in scenario. The schedule is a pure function of
+// (name, seed, scale): the same triple always yields a byte-identical
+// Schedule. scale stretches every event offset — 1 is the full run, the CI
+// smoke tier uses 0.5.
+func Named(name string, seed int64, scale float64) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	at := func(ms int) time.Duration {
+		return time.Duration(float64(ms)*scale) * time.Millisecond
+	}
+	// linear demand: strongly separated ranks make ordering probes crisp.
+	linear := func(n int) demand.Static {
+		f := make(demand.Static, n)
+		for i := range f {
+			f[i] = float64(10*i + 5)
+		}
+		return f
+	}
+	switch name {
+	case "split-brain":
+		return Scenario{
+			Name:        name,
+			Description: "two network splits with writes landing on both sides, healed and checked",
+			Seed:        seed,
+			Nodes:       10,
+			Topology:    "ring",
+			Events: []Event{
+				{At: at(300), Kind: EvPartition, Nodes: []NodeID{0, 1, 2, 3, 4}, Peers: []NodeID{5, 6, 7, 8, 9}},
+				{At: at(2000), Kind: EvHeal},
+				{At: at(2100), Kind: EvQuiesce},
+				{At: at(2300), Kind: EvPartition, Nodes: []NodeID{0, 1, 2, 6, 7}, Peers: []NodeID{3, 4, 5, 8, 9}},
+				{At: at(4000), Kind: EvHeal},
+			},
+		}, nil
+	case "rolling-restart":
+		return Scenario{
+			Name:        name,
+			Description: "replicas crash and rejoin one after another, alternating durable and empty restarts",
+			Seed:        seed,
+			Nodes:       9,
+			Topology:    "ring",
+			Events: []Event{
+				{At: at(300), Kind: EvKill, Nodes: []NodeID{0}},
+				{At: at(900), Kind: EvRestartPreserve, Nodes: []NodeID{0}},
+				{At: at(1200), Kind: EvKill, Nodes: []NodeID{1}},
+				{At: at(1800), Kind: EvRestart, Nodes: []NodeID{1}},
+				{At: at(2100), Kind: EvKill, Nodes: []NodeID{2}},
+				{At: at(2700), Kind: EvRestartPreserve, Nodes: []NodeID{2}},
+				{At: at(2900), Kind: EvQuiesce},
+				{At: at(3100), Kind: EvKill, Nodes: []NodeID{3, 4}},
+				// Durable restart first: an empty-state restart with another
+				// replica still down would strand that replica's unique
+				// content (see runtime.Restart).
+				{At: at(3800), Kind: EvRestartPreserve, Nodes: []NodeID{4}},
+				{At: at(3900), Kind: EvRestart, Nodes: []NodeID{3}},
+			},
+		}, nil
+	case "flaky-network":
+		return Scenario{
+			Name:        name,
+			Description: "loss and jitter ramp up and back down; demand ordering is probed under residual loss",
+			Seed:        seed,
+			Nodes:       9,
+			Topology:    "complete",
+			Field:       linear(9),
+			Events: []Event{
+				{At: at(200), Kind: EvSetLoss, Rate: 0.15},
+				{At: at(250), Kind: EvSetLatency, Latency: time.Millisecond, Jitter: 4 * time.Millisecond},
+				{At: at(1300), Kind: EvSetLoss, Rate: 0.30},
+				{At: at(2400), Kind: EvSetLoss, Rate: 0.10},
+				{At: at(2600), Kind: EvProbe},
+				{At: at(2700), Kind: EvQuiesce},
+			},
+		}, nil
+	case "reshard-under-fire":
+		return Scenario{
+			Name:        name,
+			Description: "shards join and leave a lossy keyspace while a replica crashes and recovers",
+			Seed:        seed,
+			Nodes:       4,
+			Shards:      3,
+			Topology:    "ring",
+			Events: []Event{
+				{At: at(300), Kind: EvSetLoss, Rate: 0.08},
+				{At: at(800), Kind: EvAddShard, Shard: "extra0"},
+				{At: at(1600), Kind: EvKill, Shard: "shard0", Nodes: []NodeID{1}},
+				{At: at(2400), Kind: EvRemoveShard, Shard: "shard1"},
+				{At: at(3200), Kind: EvRestart, Shard: "shard0", Nodes: []NodeID{1}},
+				{At: at(3600), Kind: EvSetLoss, Rate: 0},
+				{At: at(3800), Kind: EvQuiesce},
+			},
+		}, nil
+	case "demand-inversion":
+		return Scenario{
+			Name:        name,
+			Description: "demand ordering is probed, the demand field is inverted, and ordering must follow",
+			Seed:        seed,
+			Nodes:       9,
+			Topology:    "complete",
+			Field:       linear(9),
+			Events: []Event{
+				{At: at(800), Kind: EvProbe},
+				{At: at(3000), Kind: EvDemandFlip},
+				{At: at(5500), Kind: EvProbe},
+			},
+		}, nil
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+}
+
+// GenConfig shapes a randomly generated scenario.
+type GenConfig struct {
+	// Nodes per cluster (per group when Shards > 1). Default 8.
+	Nodes int
+	// Shards > 1 generates a sharded scenario with reshard events.
+	Shards int
+	// Duration spans the whole schedule. Default 4s.
+	Duration time.Duration
+	// Quiesces is the number of mid-run checkpoints. Default 1.
+	Quiesces int
+	// Faults is the number of fault events between checkpoints. Default 4.
+	Faults int
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Nodes <= 0 {
+		g.Nodes = 8
+	}
+	if g.Nodes < 2 {
+		g.Nodes = 2 // schedules need a peer to partition against
+	}
+	if g.Shards <= 0 {
+		g.Shards = 1
+	}
+	if g.Duration <= 0 {
+		g.Duration = 4 * time.Second
+	}
+	if g.Quiesces <= 0 {
+		g.Quiesces = 1
+	}
+	if g.Faults <= 0 {
+		g.Faults = 4
+	}
+	return g
+}
+
+// Generate builds a random but fully reproducible scenario: the schedule is
+// a pure function of (seed, cfg). Every checkpoint (and the scenario end)
+// is preceded by heal/zero-loss/restart events so the convergence invariant
+// is decidable, and kills never take down more than a third of a replica
+// set at once.
+func Generate(seed int64, cfg GenConfig) Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	sharded := cfg.Shards > 1
+
+	shards := []string{""}
+	if sharded {
+		shards = shards[:0]
+		for i := 0; i < cfg.Shards; i++ {
+			shards = append(shards, fmt.Sprintf("shard%d", i))
+		}
+	}
+	dead := make(map[ackLoc]bool)
+	added := 0
+
+	var events []Event
+	segments := cfg.Quiesces + 1
+	segLen := cfg.Duration / time.Duration(segments)
+	for seg := 0; seg < segments; seg++ {
+		segStart := segLen * time.Duration(seg)
+		// Random faults inside the segment's first 70%. Offsets are drawn
+		// first and sorted so kill/restart legality (tracked in generation
+		// order) matches execution order.
+		offs := make([]time.Duration, cfg.Faults)
+		for f := range offs {
+			offs[f] = segStart
+			if span := int64(segLen * 7 / 10); span > 0 {
+				offs[f] += time.Duration(rng.Int63n(span))
+			}
+		}
+		sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+		for _, off := range offs {
+			events = append(events, randomFault(rng, cfg, shards, dead, &added, off, sharded))
+		}
+		// Settle window: heal, clear loss/latency, resurrect the dead.
+		settle := segStart + segLen*75/100
+		events = append(events,
+			Event{At: settle, Kind: EvHeal},
+			Event{At: settle, Kind: EvSetLoss, Rate: 0},
+			Event{At: settle, Kind: EvSetLatency})
+		locs := make([]ackLoc, 0, len(dead))
+		for loc := range dead {
+			locs = append(locs, loc)
+		}
+		sort.Slice(locs, func(a, b int) bool {
+			if locs[a].shard != locs[b].shard {
+				return locs[a].shard < locs[b].shard
+			}
+			return locs[a].node < locs[b].node
+		})
+		// Durable restarts first: an empty-state restart must only happen
+		// once its group's other replicas are back, or their unique
+		// content is stranded (see runtime.Restart).
+		kinds := make([]EventKind, len(locs))
+		for i := range kinds {
+			if rng.Intn(2) == 0 {
+				kinds[i] = EvRestartPreserve
+			} else {
+				kinds[i] = EvRestart
+			}
+		}
+		for _, want := range []EventKind{EvRestartPreserve, EvRestart} {
+			for i, loc := range locs {
+				if kinds[i] != want {
+					continue
+				}
+				events = append(events, Event{At: settle, Kind: want, Shard: loc.shard, Nodes: []NodeID{loc.node}})
+				delete(dead, loc)
+			}
+		}
+		if seg < segments-1 {
+			events = append(events, Event{At: segStart + segLen*85/100, Kind: EvQuiesce})
+		}
+	}
+	sortEvents(events)
+	return Scenario{
+		Name:        fmt.Sprintf("random-%d", seed),
+		Description: "randomly generated fault schedule (reproducible from seed)",
+		Seed:        seed,
+		Nodes:       cfg.Nodes,
+		Shards:      cfg.Shards,
+		Topology:    "ring",
+		Events:      events,
+	}
+}
+
+// randomFault draws one fault event. dead and added track schedule state so
+// generated kills/restarts/reshards stay legal.
+func randomFault(rng *rand.Rand, cfg GenConfig, shards []string, dead map[ackLoc]bool, added *int, off time.Duration, sharded bool) Event {
+	shard := shards[rng.Intn(len(shards))]
+	deadIn := func(s string) []NodeID {
+		var ids []NodeID
+		for loc := range dead {
+			if loc.shard == s {
+				ids = append(ids, loc.node)
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	for {
+		switch rng.Intn(7) {
+		case 0: // partition: random split of the target replica set
+			k := 1 + rng.Intn(cfg.Nodes-1)
+			perm := rng.Perm(cfg.Nodes)
+			left := make([]NodeID, 0, k)
+			right := make([]NodeID, 0, cfg.Nodes-k)
+			for i, p := range perm {
+				if i < k {
+					left = append(left, NodeID(p))
+				} else {
+					right = append(right, NodeID(p))
+				}
+			}
+			sort.Slice(left, func(a, b int) bool { return left[a] < left[b] })
+			sort.Slice(right, func(a, b int) bool { return right[a] < right[b] })
+			return Event{At: off, Kind: EvPartition, Shard: shard, Nodes: left, Peers: right}
+		case 1: // kill one live replica, capped at a third of the set
+			if len(deadIn(shard)) >= cfg.Nodes/3 {
+				continue
+			}
+			id := NodeID(rng.Intn(cfg.Nodes))
+			loc := ackLoc{shard: shard, node: id}
+			if dead[loc] {
+				continue
+			}
+			dead[loc] = true
+			return Event{At: off, Kind: EvKill, Shard: shard, Nodes: []NodeID{id}}
+		case 2: // restart one dead replica
+			ids := deadIn(shard)
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			// Empty-state restarts are only safe when this is the group's
+			// sole dead replica (see runtime.Restart); otherwise preserve.
+			kind := EvRestartPreserve
+			if len(ids) == 1 && rng.Intn(2) == 0 {
+				kind = EvRestart
+			}
+			delete(dead, ackLoc{shard: shard, node: id})
+			return Event{At: off, Kind: kind, Shard: shard, Nodes: []NodeID{id}}
+		case 3:
+			return Event{At: off, Kind: EvSetLoss, Rate: float64(rng.Intn(30)) / 100}
+		case 4:
+			return Event{At: off, Kind: EvSetLatency,
+				Latency: time.Duration(rng.Intn(3)) * time.Millisecond,
+				Jitter:  time.Duration(1+rng.Intn(6)) * time.Millisecond}
+		case 5:
+			if sharded {
+				continue
+			}
+			return Event{At: off, Kind: EvDemandFlip}
+		case 6:
+			if !sharded || *added >= 2 {
+				continue
+			}
+			*added++
+			return Event{At: off, Kind: EvAddShard, Shard: fmt.Sprintf("gen%d", *added-1)}
+		}
+	}
+}

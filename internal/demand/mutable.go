@@ -1,0 +1,71 @@
+package demand
+
+import "sync"
+
+// Mutable wraps a Field and lets it be swapped atomically at runtime — the
+// live-cluster analogue of §3's changing demand conditions. The chaos
+// harness flips fields mid-run to test that the protocol re-adapts its
+// propagation order to the new demand distribution.
+//
+// Mutable is safe for concurrent readers and swappers. At remains
+// deterministic between swaps: it delegates to whichever field is current.
+type Mutable struct {
+	mu sync.RWMutex
+	f  Field
+}
+
+// NewMutable wraps f.
+func NewMutable(f Field) *Mutable {
+	if f == nil {
+		panic("demand: NewMutable(nil)")
+	}
+	return &Mutable{f: f}
+}
+
+// At implements Field by delegating to the current field.
+func (m *Mutable) At(node NodeID, t float64) float64 {
+	m.mu.RLock()
+	f := m.f
+	m.mu.RUnlock()
+	return f.At(node, t)
+}
+
+// Set swaps the wrapped field.
+func (m *Mutable) Set(f Field) {
+	if f == nil {
+		panic("demand: Mutable.Set(nil)")
+	}
+	m.mu.Lock()
+	m.f = f
+	m.mu.Unlock()
+}
+
+// Current returns the wrapped field.
+func (m *Mutable) Current() Field {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.f
+}
+
+// Invert returns a static field with the demand order reversed: each node's
+// demand becomes max+min-d, so the hottest replica becomes the coldest and
+// vice versa. Inverting an empty field returns an empty field.
+func Invert(s Static) Static {
+	if len(s) == 0 {
+		return Static{}
+	}
+	lo, hi := s[0], s[0]
+	for _, d := range s[1:] {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	out := make(Static, len(s))
+	for i, d := range s {
+		out[i] = hi + lo - d
+	}
+	return out
+}

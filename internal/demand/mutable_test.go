@@ -1,0 +1,65 @@
+package demand
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMutableSwapsFields(t *testing.T) {
+	base := Static{1, 2, 3}
+	m := NewMutable(base)
+	if got := m.At(2, 0); got != 3 {
+		t.Errorf("At(2) = %g, want 3", got)
+	}
+	m.Set(Static{9, 8, 7})
+	if got := m.At(2, 0); got != 7 {
+		t.Errorf("after Set, At(2) = %g, want 7", got)
+	}
+	if got := m.Current().At(0, 0); got != 9 {
+		t.Errorf("Current().At(0) = %g, want 9", got)
+	}
+}
+
+func TestMutableConcurrentAccess(t *testing.T) {
+	m := NewMutable(Static{1, 2, 3})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.At(NodeID(j%3), float64(j))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 500; j++ {
+			m.Set(Static{float64(j), 1, 2})
+		}
+	}()
+	wg.Wait()
+}
+
+func TestInvert(t *testing.T) {
+	s := Static{5, 15, 25, 85}
+	inv := Invert(s)
+	// max+min-d per node: order reverses, extremes swap.
+	want := Static{85, 75, 65, 5}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Errorf("Invert[%d] = %g, want %g", i, inv[i], want[i])
+		}
+	}
+	// Involution up to the same extremes.
+	back := Invert(inv)
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("Invert(Invert)[%d] = %g, want %g", i, back[i], s[i])
+		}
+	}
+	if got := Invert(Static{}); len(got) != 0 {
+		t.Errorf("Invert(empty) = %v", got)
+	}
+}

@@ -143,6 +143,36 @@ func (n *Node) CompareSummary(other *vclock.Summary) vclock.Ordering {
 // Covers reports whether the replica has received the write named by ts.
 func (n *Node) Covers(ts vclock.Timestamp) bool { return n.log.Covers(ts) }
 
+// Clock returns the replica's Lamport clock — the incarnation counter a
+// restart must carry forward so the reused identity never reissues
+// timestamps.
+func (n *Node) Clock() uint64 { return n.lamport }
+
+// Bootstrap seeds a freshly created replica from a consistent state image
+// (summary plus the store contents it covers) before the replica serves
+// traffic — crash recovery from peers, the content-level analogue of
+// onSnapshot. The summary is adopted into the write log (the covered ranges
+// are marked truncated locally, so partners that need them entry-wise fall
+// back to full-state transfer), the items merge via LWW, and the Lamport
+// clock advances past every imported write and minClock.
+//
+// Callers must fold the replica's own pre-crash write head into snap:
+// without it, a reused identity restarts its sequence numbers from the
+// adopted coverage and reissues timestamps its peers treat as duplicates —
+// new writes silently dropped, old writes masked forever.
+func (n *Node) Bootstrap(snap *vclock.Summary, items []store.Item, minClock uint64) {
+	n.log.Adopt(snap)
+	n.st.ApplySnapshot(items)
+	for _, item := range items {
+		if item.Clock > n.lamport {
+			n.lamport = item.Clock
+		}
+	}
+	if minClock > n.lamport {
+		n.lamport = minClock
+	}
+}
+
 // Store exposes the replica's content store (for client reads).
 func (n *Node) Store() *store.Store { return n.st }
 

@@ -73,7 +73,7 @@ func TestKillAndRestartRecoversState(t *testing.T) {
 	}
 }
 
-func TestRestartAfterTruncationUsesSnapshot(t *testing.T) {
+func TestRestartAfterTruncationBootstraps(t *testing.T) {
 	g := topology.Ring(4)
 	field := demand.Uniform(4, 1, 20, randSource(57))
 	c := startCluster(t, g, field,
@@ -94,24 +94,110 @@ func TestRestartAfterTruncationUsesSnapshot(t *testing.T) {
 	if err := c.Kill(1); err != nil {
 		t.Fatal(err)
 	}
-	// Survivors truncate aggressively: entry replay to an empty node is now
-	// impossible; recovery must use a snapshot.
+	// Survivors truncate aggressively: entry replay to an empty node is
+	// impossible. Restart bootstraps from the peers' merged state image, so
+	// the replica holds the content before it serves a single message.
 	if got := c.TruncateLogs(1); got == 0 {
 		t.Fatal("truncation discarded nothing")
 	}
 	if err := c.Restart(1); err != nil {
 		t.Fatal(err)
 	}
+	if c.Digest(1) != c.Digest(0) {
+		t.Error("restarted replica's bootstrap image differs from peers")
+	}
+}
 
+// TestLaggardBehindTruncationUsesSnapshot pins the protocol's full-state
+// recovery path: a live replica isolated by a partition while the others
+// write and truncate their logs can only catch up via a Snapshot message.
+func TestLaggardBehindTruncationUsesSnapshot(t *testing.T) {
+	g := topology.Complete(4)
+	field := demand.Uniform(4, 1, 20, randSource(61))
+	c := startCluster(t, g, field,
+		WithSeed(63), WithSessionInterval(10*time.Millisecond),
+		WithAdvertInterval(5*time.Millisecond))
+
+	// Isolate replica 3, then make progress it cannot see.
+	c.Faults().PartitionSets([]NodeID{3}, []NodeID{0, 1, 2})
+	for i := 0; i < 8; i++ {
+		if _, err := c.Write(0, "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
 	deadline := time.Now().Add(20 * time.Second)
-	for c.Digest(1) != c.Digest(0) {
+	for c.Digest(1) != c.Digest(0) || c.Digest(2) != c.Digest(0) {
 		if time.Now().After(deadline) {
-			t.Fatal("restarted replica never recovered via snapshot")
+			t.Fatal("majority side never converged")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := c.Stats(1).SnapshotsReceived; got == 0 {
+	if got := c.TruncateLogs(1); got == 0 {
+		t.Fatal("truncation discarded nothing")
+	}
+	c.Faults().HealAll()
+
+	for c.Digest(3) != c.Digest(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("laggard never recovered via snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Stats(3).SnapshotsReceived; got == 0 {
 		t.Error("recovery did not use the snapshot path")
+	}
+}
+
+// TestRestartPreservingKeepsState distinguishes a durable restart from the
+// bootstrap path: anti-entropy is effectively disabled (huge session
+// interval, no fast push), so whatever the replica holds after rejoining is
+// its own preserved state, not recovered or bootstrapped content.
+func TestRestartPreservingKeepsState(t *testing.T) {
+	g := topology.Ring(3)
+	c := startCluster(t, g, demand.Static{1, 2, 3},
+		WithSeed(71), WithFastPush(false),
+		WithSessionInterval(time.Hour), WithAdvertInterval(time.Hour))
+
+	if _, err := c.Write(2, "mine", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	// Progress elsewhere while 2 is down.
+	if _, err := c.Write(0, "theirs", []byte("missed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartPreserving(2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Read(2, "mine"); err != nil || !ok || string(v) != "kept" {
+		t.Fatalf("preserved state lost: v=%q ok=%t err=%v", v, ok, err)
+	}
+	if _, ok, _ := c.Read(2, "theirs"); ok {
+		t.Fatal("durable restart absorbed peer content without anti-entropy — state was not simply preserved")
+	}
+	if err := c.RestartPreserving(2); err == nil {
+		t.Error("RestartPreserving of a live replica should error")
+	}
+}
+
+func TestFaultsSurface(t *testing.T) {
+	g := topology.Line(2)
+	c := New(g, demand.Static{1, 1})
+	if c.Faults() == nil {
+		t.Fatal("memory-backed cluster exposes no fault surface")
+	}
+	tc, err := NewTCP(topology.Line(2), demand.Static{1, 1}, "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Stop()
+	if tc.Faults() != nil {
+		t.Error("TCP cluster should expose no in-memory fault surface")
+	}
+	if err := tc.Restart(0); err == nil {
+		t.Error("Restart on a TCP cluster should error")
 	}
 }
 

@@ -179,6 +179,16 @@ func demandSource(o *options, r *replica, field demand.Field, id NodeID) func(fl
 // N returns the number of replicas.
 func (c *Cluster) N() int { return len(c.replicas) }
 
+// Faults exposes the cluster network's fault-injection surface (partitions,
+// loss, latency — see transport.Faults). It returns nil for TCP-backed
+// clusters, whose faults live in the real network.
+func (c *Cluster) Faults() transport.Faults {
+	if c.net == nil {
+		return nil
+	}
+	return c.net
+}
+
 // Start launches every replica goroutine. The cluster stops when ctx is
 // cancelled or Stop is called.
 func (c *Cluster) Start(ctx context.Context) error {
@@ -227,14 +237,30 @@ func (c *Cluster) Kill(id NodeID) error {
 	return nil
 }
 
-// Restart brings a killed replica back with *empty* protocol state: a
-// fresh node rejoins under the same identity and recovers logged writes
-// through normal anti-entropy (or a full-state snapshot if peers have
-// truncated their logs past its empty summary). Content previously handed
-// in via ApplySnapshot is re-absorbed directly — it exists in no peer's
-// write log, so the protocol could never replay it. Only memory-backed
-// clusters support restart.
-func (c *Cluster) Restart(id NodeID) error {
+// Restart brings a killed replica back after *state loss*: a fresh node
+// rejoins under the same identity, bootstrapped from the merged state of
+// its live peers (crash recovery from backup) with its own pre-crash write
+// head carried forward so the reused identity never reissues timestamps.
+// Writes the crashed replica acknowledged but never replicated are gone —
+// that is the state loss. Content previously handed in via ApplySnapshot is
+// re-absorbed directly — it exists in no peer's write log, so the protocol
+// could never replay it. Only memory-backed clusters support restart.
+//
+// Restarting with empty state while *other* replicas of the group are also
+// down can strand their unique content: the rejoining replica adopts
+// coverage past entries only the still-dead replicas hold, so those
+// entries are never replayed to it. Restart one replica at a time (or use
+// RestartPreserving) when overlapping failures matter.
+func (c *Cluster) Restart(id NodeID) error { return c.restart(id, false) }
+
+// RestartPreserving brings a killed replica back with its protocol state
+// intact — write log, store and demand table survive, as if the process had
+// restarted from durable storage. The replica reattaches to the network
+// under the same identity and catches up on writes it missed through normal
+// anti-entropy. Only memory-backed clusters support restart.
+func (c *Cluster) RestartPreserving(id NodeID) error { return c.restart(id, true) }
+
+func (c *Cluster) restart(id NodeID, preserve bool) error {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return fmt.Errorf("runtime: no replica %v", id)
 	}
@@ -250,21 +276,63 @@ func (c *Cluster) Restart(id NodeID) error {
 	}
 	r := c.replicas[id]
 	r.mu.Lock()
+	alive := !r.dead
+	r.mu.Unlock()
+	if alive {
+		return fmt.Errorf("runtime: replica %v is alive", id)
+	}
+	var bootSnap *vclock.Summary
+	var bootItems []store.Item
+	if !preserve {
+		// Crash recovery bootstraps from the merged state of live peers (a
+		// backup restore): the pointwise-max summary plus the LWW union of
+		// their stores, each captured consistently under the peer's lock
+		// and merged through a scratch store so near-identical peer images
+		// collapse instead of accumulating n copies.
+		bootSnap = vclock.NewSummary()
+		merged := store.New()
+		for _, peer := range c.replicas {
+			if peer == r {
+				continue
+			}
+			snap, items, ok := peer.exportState()
+			if !ok {
+				continue
+			}
+			bootSnap.Merge(snap)
+			merged.ApplySnapshot(items)
+		}
+		bootItems = merged.Snapshot()
+	}
+	r.mu.Lock()
 	if !r.dead {
 		r.mu.Unlock()
 		return fmt.Errorf("runtime: replica %v is alive", id)
 	}
-	nbrs := c.graph.NeighborsCopy(id)
-	r.node = node.New(node.Config{
-		ID:        id,
-		Neighbors: nbrs,
-		Selector:  c.opts.policy(id, nbrs),
-		FastPush:  c.opts.fastPush,
-		FanOut:    c.opts.fanOut,
-		Demand:    demandSource(&c.opts, r, c.field, id),
-	})
-	if items := c.absorbed.Snapshot(); len(items) > 0 {
-		r.node.AbsorbItems(items)
+	if !preserve {
+		// The identity's own write head and Lamport clock survive the
+		// crash (the incarnation counter every real deployment persists):
+		// without the floor, the reborn replica reissues timestamps its
+		// peers already saw — its new writes are dropped as duplicates and
+		// its advancing summary masks old entries it never recovered.
+		ownHead := r.node.Summary().Get(id)
+		minClock := r.node.Clock()
+		nbrs := c.graph.NeighborsCopy(id)
+		r.node = node.New(node.Config{
+			ID:        id,
+			Neighbors: nbrs,
+			Selector:  c.opts.policy(id, nbrs),
+			FastPush:  c.opts.fastPush,
+			FanOut:    c.opts.fanOut,
+			Demand:    demandSource(&c.opts, r, c.field, id),
+		})
+		if ownHead > bootSnap.Get(id) {
+			bootSnap.Advance(id, ownHead)
+		}
+		r.node.Bootstrap(bootSnap, bootItems, minClock)
+		if items := c.absorbed.Snapshot(); len(items) > 0 {
+			r.node.AbsorbItems(items)
+		}
 	}
 	r.ep = c.net.Attach(id)
 	r.dead = false
@@ -332,10 +400,10 @@ func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, 
 		return vclock.Timestamp{}, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
+	r.mu.Lock()
 	if r.meter != nil {
 		r.meter.Record(time.Now())
 	}
-	r.mu.Lock()
 	if r.dead {
 		r.mu.Unlock()
 		return vclock.Timestamp{}, fmt.Errorf("runtime: replica %v is down", id)
@@ -347,18 +415,26 @@ func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, 
 	return e.TS, nil
 }
 
-// Read serves a client read at a replica. The returned slice is a read-only
-// view of replicated content (store immutability contract); callers that
-// need a mutable buffer copy it.
+// Read serves a client read at a replica. Reads at a killed replica fail —
+// a crashed server cannot serve — matching Write. The returned slice is a
+// read-only view of replicated content (store immutability contract);
+// callers that need a mutable buffer copy it.
 func (c *Cluster) Read(id NodeID, key string) ([]byte, bool, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return nil, false, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
+	r.mu.Lock()
 	if r.meter != nil {
 		r.meter.Record(time.Now())
 	}
-	v, ok := r.node.Store().Get(key)
+	if r.dead {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("runtime: replica %v is down", id)
+	}
+	st := r.node.Store()
+	r.mu.Unlock()
+	v, ok := st.Get(key)
 	return v, ok, nil
 }
 
@@ -380,7 +456,11 @@ func (c *Cluster) Stats(id NodeID) node.Stats {
 
 // Digest returns a replica's store digest.
 func (c *Cluster) Digest(id NodeID) uint64 {
-	return c.replicas[id].node.Store().Digest()
+	r := c.replicas[id]
+	r.mu.Lock()
+	st := r.node.Store()
+	r.mu.Unlock()
+	return st.Digest()
 }
 
 // Snapshot exports replica id's full store contents — the unit of
@@ -389,7 +469,11 @@ func (c *Cluster) Snapshot(id NodeID) ([]store.Item, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return nil, fmt.Errorf("runtime: no replica %v", id)
 	}
-	return c.replicas[id].node.Store().Snapshot(), nil
+	r := c.replicas[id]
+	r.mu.Lock()
+	st := r.node.Store()
+	r.mu.Unlock()
+	return st.Snapshot(), nil
 }
 
 // ApplySnapshot merges a content-level store image into every live replica
@@ -488,6 +572,20 @@ func (c *Cluster) Watch(ts vclock.Timestamp) *Watch {
 // Done is closed when every replica covers the watched write.
 func (w *Watch) Done() <-chan struct{} { return w.done }
 
+// Unwatch removes a watch that will not be waited on (e.g. a timed-out
+// probe), so completed-coverage checks stop paying for it. Recorded times
+// remain readable; unwatching an already-completed watch is a no-op.
+func (c *Cluster) Unwatch(w *Watch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cw := range c.watches {
+		if cw == w {
+			c.watches = append(c.watches[:i], c.watches[i+1:]...)
+			return
+		}
+	}
+}
+
 // TimeOf returns when replica id first covered the write (elapsed since
 // Watch creation).
 func (w *Watch) TimeOf(id NodeID) (time.Duration, bool) {
@@ -568,6 +666,18 @@ type replica struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	dead   bool
+}
+
+// exportState captures a consistent (summary, store image) pair from a
+// live replica — the bootstrap source for a peer's crash recovery. It
+// reports ok=false for dead replicas.
+func (r *replica) exportState() (*vclock.Summary, []store.Item, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return nil, nil, false
+	}
+	return r.node.Summary(), r.node.Store().Snapshot(), true
 }
 
 // spawn launches (or relaunches) the replica goroutine.

@@ -24,19 +24,26 @@ type MemoryConfig struct {
 
 // Memory is an in-process network hub. Endpoints attach by node id; Send
 // routes through the hub, applying latency, loss, and partitions.
-// Memory is safe for concurrent use.
+// Memory is safe for concurrent use, including runtime fault mutation
+// (Partition/Heal/SetLoss/SetLatency) concurrent with sends: all fault
+// state, including the loss/jitter RNG, is guarded by one mutex.
 type Memory struct {
 	cfg MemoryConfig
 
 	mu        sync.Mutex
 	endpoints map[NodeID]*memEndpoint
 	cut       map[[2]NodeID]bool // severed directed links
+	loss      float64            // current drop probability
+	latency   time.Duration      // current base delay
+	jitter    time.Duration      // current jitter bound
 	rng       *rand.Rand
 	closed    bool
 	wg        sync.WaitGroup
 }
 
-// NewMemory creates an in-memory network.
+// NewMemory creates an in-memory network. The config's Latency, Jitter and
+// LossRate seed the initial fault state; SetLoss and SetLatency change it
+// at runtime.
 func NewMemory(cfg MemoryConfig) *Memory {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 256
@@ -49,6 +56,9 @@ func NewMemory(cfg MemoryConfig) *Memory {
 		cfg:       cfg,
 		endpoints: make(map[NodeID]*memEndpoint),
 		cut:       make(map[[2]NodeID]bool),
+		loss:      cfg.LossRate,
+		latency:   cfg.Latency,
+		jitter:    cfg.Jitter,
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
@@ -78,12 +88,47 @@ func (m *Memory) Partition(a, b NodeID) {
 	m.cut[[2]NodeID{b, a}] = true
 }
 
+// PartitionSets severs every link between a node in left and a node in
+// right (both directions), splitting the network into two sides.
+func (m *Memory) PartitionSets(left, right []NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range left {
+		for _, b := range right {
+			m.cut[[2]NodeID{a, b}] = true
+			m.cut[[2]NodeID{b, a}] = true
+		}
+	}
+}
+
 // Heal restores the links between a and b.
 func (m *Memory) Heal(a, b NodeID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.cut, [2]NodeID{a, b})
 	delete(m.cut, [2]NodeID{b, a})
+}
+
+// HealAll restores every severed link.
+func (m *Memory) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.cut)
+}
+
+// SetLoss changes the per-message drop probability at runtime.
+func (m *Memory) SetLoss(rate float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loss = rate
+}
+
+// SetLatency changes the base delivery delay and jitter bound at runtime.
+func (m *Memory) SetLatency(latency, jitter time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency = latency
+	m.jitter = jitter
 }
 
 // Close shuts the network and all endpoints, waiting for in-flight delayed
@@ -119,13 +164,13 @@ func (m *Memory) send(env protocol.Envelope) error {
 		m.mu.Unlock()
 		return wrapSendErr(ErrUnknownPeer, env)
 	}
-	if m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
+	if m.loss > 0 && m.rng.Float64() < m.loss {
 		m.mu.Unlock()
 		return wrapSendErr(ErrDropped, env)
 	}
-	delay := m.cfg.Latency
-	if m.cfg.Jitter > 0 {
-		delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
+	delay := m.latency
+	if m.jitter > 0 {
+		delay += time.Duration(m.rng.Int63n(int64(m.jitter)))
 	}
 	m.mu.Unlock()
 
@@ -134,11 +179,10 @@ func (m *Memory) send(env protocol.Envelope) error {
 		return nil
 	}
 	m.wg.Add(1)
-	timer := time.AfterFunc(delay, func() {
+	time.AfterFunc(delay, func() {
 		defer m.wg.Done()
 		dst.deliver(env)
 	})
-	_ = timer
 	return nil
 }
 
@@ -192,5 +236,8 @@ func (e *memEndpoint) closeLocked() {
 	close(e.ch)
 }
 
-// Compile-time interface compliance check.
-var _ Endpoint = (*memEndpoint)(nil)
+// Compile-time interface compliance checks.
+var (
+	_ Endpoint = (*memEndpoint)(nil)
+	_ Faults   = (*Memory)(nil)
+)

@@ -10,6 +10,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/vclock"
@@ -27,6 +28,28 @@ var (
 	// ErrDropped is returned when fault injection discarded the message.
 	ErrDropped = errors.New("transport: message dropped")
 )
+
+// Faults is the uniform fault-injection surface a transport may expose.
+// All methods are safe for concurrent use and take effect immediately for
+// messages sent after the call; messages already in flight are unaffected.
+// The chaos harness drives this interface to script partitions, loss and
+// latency against a live cluster.
+type Faults interface {
+	// Partition severs the directed links a->b and b->a.
+	Partition(a, b NodeID)
+	// PartitionSets severs every link between a node in left and a node in
+	// right (both directions), splitting the network into two sides.
+	PartitionSets(left, right []NodeID)
+	// Heal restores the links between a and b.
+	Heal(a, b NodeID)
+	// HealAll restores every severed link.
+	HealAll()
+	// SetLoss changes the per-message drop probability at runtime.
+	SetLoss(rate float64)
+	// SetLatency changes the base delivery delay and the uniform random
+	// jitter bound at runtime.
+	SetLatency(latency, jitter time.Duration)
+}
 
 // Endpoint is one replica's attachment to a network.
 type Endpoint interface {

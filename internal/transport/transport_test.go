@@ -202,6 +202,121 @@ func TestMemoryConcurrentSends(t *testing.T) {
 	}
 }
 
+func TestMemoryRuntimeFaultMutation(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	a := net.Attach(0)
+	b := net.Attach(1)
+
+	net.SetLoss(1)
+	if err := a.Send(advert(0, 1, 1)); !errors.Is(err, ErrDropped) {
+		t.Errorf("after SetLoss(1): err = %v, want ErrDropped", err)
+	}
+	net.SetLoss(0)
+	if err := a.Send(advert(0, 1, 2)); err != nil {
+		t.Errorf("after SetLoss(0): %v", err)
+	}
+	recvOne(t, b)
+
+	net.SetLatency(30*time.Millisecond, 0)
+	start := time.Now()
+	if err := a.Send(advert(0, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~30ms after SetLatency", elapsed)
+	}
+	net.SetLatency(0, 0)
+	if err := a.Send(advert(0, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+}
+
+func TestMemoryPartitionSetsAndHealAll(t *testing.T) {
+	net := NewMemory(MemoryConfig{})
+	defer net.Close()
+	eps := make([]Endpoint, 4)
+	for i := range eps {
+		eps[i] = net.Attach(NodeID(i))
+	}
+	net.PartitionSets([]NodeID{0, 1}, []NodeID{2, 3})
+	for _, pair := range [][2]NodeID{{0, 2}, {1, 3}, {2, 0}, {3, 1}} {
+		if err := eps[pair[0]].Send(advert(pair[0], pair[1], 1)); !errors.Is(err, ErrDropped) {
+			t.Errorf("cross-side %v->%v err = %v, want ErrDropped", pair[0], pair[1], err)
+		}
+	}
+	// Same-side traffic is unaffected.
+	if err := eps[0].Send(advert(0, 1, 1)); err != nil {
+		t.Errorf("same-side send: %v", err)
+	}
+	recvOne(t, eps[1])
+	net.HealAll()
+	if err := eps[0].Send(advert(0, 2, 1)); err != nil {
+		t.Errorf("send after HealAll: %v", err)
+	}
+	recvOne(t, eps[2])
+}
+
+// TestMemoryConcurrentFaultMutation hammers every fault control while
+// senders run — the race detector validates that runtime mutation is safe.
+func TestMemoryConcurrentFaultMutation(t *testing.T) {
+	net := NewMemory(MemoryConfig{Buffer: 4096})
+	defer net.Close()
+	const n = 4
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = net.Attach(NodeID(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := range eps {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = eps[i].Send(advert(NodeID(i), NodeID((i+1)%n), float64(j)))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case _, ok := <-eps[i].Recv():
+					if !ok {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 200; k++ {
+			net.SetLoss(float64(k%3) / 10)
+			net.SetLatency(time.Duration(k%2)*time.Millisecond, time.Duration(k%3)*time.Millisecond)
+			net.Partition(NodeID(k%n), NodeID((k+1)%n))
+			net.PartitionSets([]NodeID{0}, []NodeID{2})
+			net.Heal(NodeID(k%n), NodeID((k+1)%n))
+			net.HealAll()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
 func TestTCPRoundTrip(t *testing.T) {
 	a, err := ListenTCP(0, "127.0.0.1:0")
 	if err != nil {
@@ -343,6 +458,201 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 	if !sent {
 		t.Fatal("transport never recovered after peer restart")
+	}
+	recvOne(t, b2)
+}
+
+// TestTCPPeerKilledMidStream kills the receiving endpoint while concurrent
+// senders are mid-envelope: sends must fail cleanly (no deadlock, no
+// panic), and the sender must recover once the peer is back.
+func TestTCPPeerKilledMidStream(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.AddPeer(1, addrB)
+
+	// Drain b so senders are not throttled by its recv backlog.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range b.Recv() {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	killed := make(chan struct{})
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				err := a.Send(advert(0, 1, float64(j)))
+				select {
+				case <-killed:
+					// Peer is down: errors are expected; stop after one
+					// post-kill attempt to bound the test.
+					if err == nil {
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(killed)
+	wg.Wait()
+	<-drained
+
+	// Recovery: peer rebinds, sender redials.
+	b2, err := ListenTCP(1, addrB)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrB, err)
+	}
+	defer b2.Close()
+	var sent bool
+	for attempt := 0; attempt < 20; attempt++ {
+		if err := a.Send(advert(0, 1, 1)); err == nil {
+			sent = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sent {
+		t.Fatal("sender never recovered after peer was killed mid-stream")
+	}
+	recvOne(t, b2)
+}
+
+// TestTCPReconnectStorm restarts the peer repeatedly under concurrent send
+// pressure: every outage window must end with the transport redialling.
+func TestTCPReconnectStorm(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.AddPeer(1, addrB)
+
+	stop := make(chan struct{})
+	var senders sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = a.Send(advert(0, 1, float64(j))) // outage errors expected
+			}
+		}()
+	}
+
+	for round := 0; round < 5; round++ {
+		go func(ep *TCP) {
+			for range ep.Recv() {
+			}
+		}(b)
+		// Let traffic flow, then kill and rebind on the same address.
+		time.Sleep(10 * time.Millisecond)
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		next, err := ListenTCP(1, addrB)
+		if err != nil {
+			close(stop)
+			senders.Wait()
+			t.Skipf("round %d: could not rebind %s: %v", round, addrB, err)
+		}
+		b = next
+		// The transport must deliver to the new incarnation.
+		deadline := time.After(5 * time.Second)
+		select {
+		case _, ok := <-b.Recv():
+			if !ok {
+				t.Fatal("new incarnation's recv closed")
+			}
+		case <-deadline:
+			t.Fatalf("round %d: no delivery to restarted peer", round)
+		}
+	}
+	close(stop)
+	senders.Wait()
+	b.Close()
+}
+
+// TestTCPSendAfterDropConn pins the redial path: after a send fails and
+// drops the cached connection, the very next Send dials afresh instead of
+// reusing the dead peerConn.
+func TestTCPSendAfterDropConn(t *testing.T) {
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.AddPeer(1, addrB)
+	if err := a.Send(advert(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	// Kill the peer; the cached connection is now dead. Writes into a dead
+	// socket may succeed until the kernel notices, so spin until Send
+	// errors (that error is what triggers dropConn).
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(advert(0, 1, 2)); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send into dead connection never errored")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rebind and send again immediately: connTo must redial.
+	b2, err := ListenTCP(1, addrB)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrB, err)
+	}
+	defer b2.Close()
+	var sent bool
+	for attempt := 0; attempt < 20; attempt++ {
+		if err := a.Send(advert(0, 1, 3)); err == nil {
+			sent = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sent {
+		t.Fatal("Send after dropConn never redialled")
 	}
 	recvOne(t, b2)
 }
