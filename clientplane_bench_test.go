@@ -1,0 +1,178 @@
+// Client-plane benchmarks: the live Read/Write surface a replica serves to
+// its clients, measured under parallelism (-cpu 4,8). These are the paper's
+// deployment story — "clients will be able to contact the nearest replica" —
+// so the numbers that matter are concurrent ops/sec against one replica
+// group, not protocol-internal microcosts.
+//
+// BenchmarkClientPlaneReadParallel pins the lock-free read path: many client
+// goroutines reading across all replicas of one group.
+//
+// BenchmarkGroupCommitThroughput pins the write-combining path: many client
+// goroutines writing through a single replica, where concurrent writes fold
+// into one lock acquisition and one merged fast-offer fan-out per batch.
+//
+// BenchmarkTCPClientPlane runs the same closed-loop client mix against a
+// cluster whose replication runs over real TCP sockets, so the coalescing
+// peer writer is on the measured path.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// startBenchCluster builds and starts a live memory-transport cluster with
+// session timing slowed enough that anti-entropy background traffic does not
+// dominate the client-plane measurement.
+func startBenchCluster(b *testing.B, n int) *runtime.Cluster {
+	b.Helper()
+	r := rand.New(rand.NewSource(47))
+	g := topology.BarabasiAlbert(n, 2, r)
+	field := demand.Uniform(n, 1, 101, r)
+	cluster := runtime.New(g, field,
+		runtime.WithSeed(47),
+		runtime.WithSessionInterval(20*time.Millisecond),
+		runtime.WithAdvertInterval(10*time.Millisecond))
+	if err := cluster.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Stop)
+	return cluster
+}
+
+// preloadKeys writes nKeys through replica 0 and waits for the group to
+// converge, so every replica serves every key during the read phase.
+func preloadKeys(b *testing.B, cluster *runtime.Cluster, nKeys int) []string {
+	b.Helper()
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+		if _, err := cluster.Write(0, keys[i], []byte("client-plane-payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		b.Fatal("cluster did not converge after preload")
+	}
+	return keys
+}
+
+// BenchmarkClientPlaneReadParallel measures concurrent client reads spread
+// across every replica of an 8-replica group. Run with -cpu 4,8 to see
+// scaling; the read path must not contend on any per-replica lock.
+func BenchmarkClientPlaneReadParallel(b *testing.B) {
+	cluster := startBenchCluster(b, 8)
+	keys := preloadKeys(b, cluster, 512)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		id := runtime.NodeID(next.Add(1)) % runtime.NodeID(cluster.N())
+		i := int(next.Add(1))
+		for pb.Next() {
+			key := keys[i%len(keys)]
+			i++
+			if _, _, err := cluster.Read(id, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/sec")
+}
+
+// BenchmarkGroupCommitThroughput measures concurrent client writes funnelled
+// through one replica of a 4-replica group — the worst case for the old
+// lock-per-write path and the best case for write combining.
+func BenchmarkGroupCommitThroughput(b *testing.B) {
+	cluster := startBenchCluster(b, 4)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gc-key-%04d", i)
+	}
+	var next atomic.Int64
+	value := []byte("group-commit-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 1_000_003
+		for pb.Next() {
+			key := keys[i%len(keys)]
+			i++
+			if _, err := cluster.Write(0, key, value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/sec")
+	b.StopTimer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		b.Fatal("cluster did not converge after writes")
+	}
+}
+
+// clusterTarget adapts a single live cluster to the workload driver,
+// spreading ops across replicas round-robin (the "nearest replica" of the
+// paper, with clients evenly distributed).
+type clusterTarget struct {
+	cluster *runtime.Cluster
+	next    atomic.Int64
+}
+
+func (t *clusterTarget) pick() runtime.NodeID {
+	return runtime.NodeID(t.next.Add(1)) % runtime.NodeID(t.cluster.N())
+}
+
+func (t *clusterTarget) Write(key string, value []byte) error {
+	_, err := t.cluster.Write(t.pick(), key, value)
+	return err
+}
+
+func (t *clusterTarget) Read(key string) ([]byte, bool, error) {
+	return t.cluster.Read(t.pick(), key)
+}
+
+// BenchmarkTCPClientPlane drives the standard closed-loop client mix (8
+// workers, 90% reads) against a 4-replica cluster replicating over real TCP
+// sockets on the loopback, so frame encoding, the peer send path, and kernel
+// syscalls are all on the measured path.
+func BenchmarkTCPClientPlane(b *testing.B) {
+	r := rand.New(rand.NewSource(53))
+	g := topology.Ring(4)
+	field := demand.Uniform(4, 1, 101, r)
+	cluster, err := runtime.NewTCP(g, field, "127.0.0.1",
+		runtime.WithSeed(53),
+		runtime.WithSessionInterval(20*time.Millisecond),
+		runtime.WithAdvertInterval(10*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cluster.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Stop)
+	target := &clusterTarget{cluster: cluster}
+	cfg := workload.Config{Workers: 8, Ops: b.N, ReadFraction: 0.9, Keys: 1024, Seed: 53}
+	b.ResetTimer()
+	res := workload.Run(context.Background(), cfg, target)
+	b.StopTimer()
+	if res.Errors > 0 {
+		b.Fatalf("%d ops failed", res.Errors)
+	}
+	b.ReportMetric(res.OpsPerSec(), "ops/sec")
+	b.ReportMetric(res.ReadLatency.Percentile(99), "read-p99-ms")
+}

@@ -21,8 +21,10 @@
 //	internal/sim         discrete-event engine (the NS-2 stand-in)
 //	internal/mc          Monte-Carlo session-level simulator (§5)
 //	internal/island      §6 islands, leader election, overlay
-//	internal/runtime     goroutine-per-replica live cluster
-//	internal/transport   in-memory (faults) + TCP transports
+//	internal/runtime     goroutine-per-replica live cluster with a
+//	                     concurrent client plane (see below)
+//	internal/transport   in-memory (faults) + TCP transports; TCP sends
+//	                     coalesce through per-peer writer goroutines
 //	internal/shard       consistent-hash router over per-shard clusters:
 //	                     one keyspace partitioned across many replica
 //	                     groups, with live shard add/remove and handoff
@@ -50,6 +52,39 @@
 //	                     chaos-smoke tier; failures replay from the seed)
 //	examples/...         quickstart and scenario walk-throughs
 //
+// # Concurrent client plane
+//
+// The live runtime separates the client-facing Read/Write plane from the
+// replication machinery, so client throughput scales with cores instead of
+// serialising on per-replica locks:
+//
+//   - Reads are lock-free with respect to the replica: Cluster.Read loads
+//     an atomically published store pointer (nil while the replica is
+//     dead), records the demand meter via CAS on packed float bits, and
+//     reads the store — which is hash-striped into independently locked
+//     segments with per-segment read counters — without ever touching the
+//     replica mutex.
+//
+//   - Writes group-commit: concurrent Cluster.Write calls park in a
+//     per-replica write-combining queue; the first writer becomes the
+//     commit leader and folds the whole batch into the node under ONE
+//     replica-lock acquisition (node.ClientWriteBatch → wlog.AppendBatch,
+//     one log lock and one value arena per batch), emitting ONE merged
+//     fast-offer fan-out per batch. A batch is semantically identical to
+//     the same writes issued back-to-back.
+//
+//   - The write log stores entries in fixed-size chunks, so sustained
+//     write streams never pay growslice doubling or giant-array GC scans,
+//     and truncation drops whole chunks without copying survivors.
+//
+//   - Over TCP, each peer connection has a dedicated writer goroutine
+//     draining a bounded send queue through a bufio.Writer with
+//     flush-on-idle: bursts of envelopes (session batches, group-commit
+//     fan-outs) share flushes and syscalls; a full queue blocks the sender
+//     (backpressure), and the shard router inherits all of the above.
+//
 // The benchmarks in bench_test.go regenerate each experiment at reduced
 // scale under `go test -bench`; cmd/experiments runs them at paper scale.
+// The client-plane benchmarks (clientplane_bench_test.go) measure this
+// surface under -cpu 4,8 parallelism.
 package repro

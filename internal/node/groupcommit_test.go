@@ -1,0 +1,121 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/protocol"
+)
+
+func testNode(id NodeID, neighbors []NodeID) *Node {
+	return New(Config{
+		ID:        id,
+		Neighbors: neighbors,
+		Selector:  policy.NewDynamicOrdered(id, neighbors),
+		FastPush:  true,
+		Demand:    func(float64) float64 { return 1 },
+	})
+}
+
+// TestClientWriteBatchEquivalence commits the same ops through ClientWrite
+// one-by-one on one node and through ClientWriteBatch on another: entries
+// (timestamps, clocks, content), store state and summaries must be
+// identical — a batch is semantically invisible.
+func TestClientWriteBatchEquivalence(t *testing.T) {
+	nbrs := []NodeID{1, 2}
+	serial := testNode(0, nbrs)
+	batched := testNode(0, nbrs)
+	// Teach both nodes the same neighbour demands so fast offers match.
+	for _, n := range []*Node{serial, batched} {
+		n.noteDemand(1, 5, 0)
+		n.noteDemand(2, 9, 0)
+	}
+
+	ops := make([]WriteOp, 16)
+	for i := range ops {
+		ops[i] = WriteOp{Key: fmt.Sprintf("k%02d", i%5), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+
+	var serialEntries []struct {
+		ts    string
+		clock uint64
+	}
+	for _, op := range ops {
+		e, _ := serial.ClientWrite(0, op.Key, op.Value)
+		serialEntries = append(serialEntries, struct {
+			ts    string
+			clock uint64
+		}{e.TS.String(), e.Clock})
+	}
+
+	entries, out := batched.ClientWriteBatch(0, ops)
+	if len(entries) != len(ops) {
+		t.Fatalf("batch returned %d entries, want %d", len(entries), len(ops))
+	}
+	for i, e := range entries {
+		if e.TS.String() != serialEntries[i].ts || e.Clock != serialEntries[i].clock {
+			t.Errorf("entry %d: batch (%v, clock %d) != serial (%s, clock %d)",
+				i, e.TS, e.Clock, serialEntries[i].ts, serialEntries[i].clock)
+		}
+		if e.Key != ops[i].Key || !bytes.Equal(e.Value, ops[i].Value) {
+			t.Errorf("entry %d: content %s=%q, want %s=%q", i, e.Key, e.Value, ops[i].Key, ops[i].Value)
+		}
+	}
+	if got, want := batched.Summary().String(), serial.Summary().String(); got != want {
+		t.Errorf("summaries differ: batch %s, serial %s", got, want)
+	}
+	if got, want := batched.Store().Digest(), serial.Store().Digest(); got != want {
+		t.Errorf("store digests differ: batch %x, serial %x", got, want)
+	}
+	if batched.Clock() != serial.Clock() {
+		t.Errorf("lamport clocks differ: batch %d, serial %d", batched.Clock(), serial.Clock())
+	}
+
+	// The batch must fan out ONE merged offer (to the same best-demand
+	// neighbour the serial path chose) carrying every new id.
+	if len(out) != 1 {
+		t.Fatalf("batch emitted %d envelopes, want 1 merged fast offer", len(out))
+	}
+	offer, ok := out[0].Msg.(protocol.FastOffer)
+	if !ok {
+		t.Fatalf("batch emitted %T, want FastOffer", out[0].Msg)
+	}
+	if out[0].To != 2 {
+		t.Errorf("offer sent to %v, want highest-demand neighbour 2", out[0].To)
+	}
+	if len(offer.IDs) != len(ops) {
+		t.Errorf("offer carries %d ids, want %d", len(offer.IDs), len(ops))
+	}
+	if got, want := batched.Stats().FastOffersSent, uint64(1); got != want {
+		t.Errorf("FastOffersSent = %d, want %d", got, want)
+	}
+}
+
+// TestClientWriteBatchEmpty checks the zero-op edge.
+func TestClientWriteBatchEmpty(t *testing.T) {
+	n := testNode(0, []NodeID{1})
+	entries, out := n.ClientWriteBatch(0, nil)
+	if entries != nil || out != nil {
+		t.Fatalf("empty batch produced %v, %v", entries, out)
+	}
+	if n.Clock() != 0 {
+		t.Fatalf("empty batch advanced the clock to %d", n.Clock())
+	}
+}
+
+// TestClientWriteBatchValueOwnership ensures batched values are copied: the
+// caller may reuse its buffer after the call (same contract as ClientWrite).
+func TestClientWriteBatchValueOwnership(t *testing.T) {
+	n := testNode(0, []NodeID{1})
+	buf := []byte("original")
+	entries, _ := n.ClientWriteBatch(0, []WriteOp{{Key: "k", Value: buf}})
+	copy(buf, "CLOBBER!")
+	if got, _ := n.Store().Get("k"); string(got) != "original" {
+		t.Fatalf("store value %q mutated by caller buffer reuse", got)
+	}
+	if string(entries[0].Value) != "original" {
+		t.Fatalf("entry value %q mutated by caller buffer reuse", entries[0].Value)
+	}
+}

@@ -1,0 +1,316 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+	"repro/internal/vclock"
+)
+
+// startClientPlaneCluster builds a small cluster with slow background
+// anti-entropy so client-plane behaviour dominates the test window.
+func startClientPlaneCluster(t *testing.T, n int, opts ...Option) *Cluster {
+	t.Helper()
+	g := topology.Ring(n)
+	field := make(demand.Static, n)
+	for i := range field {
+		field[i] = float64(i + 1)
+	}
+	all := append([]Option{
+		WithSeed(61),
+		WithSessionInterval(30 * time.Millisecond),
+		WithAdvertInterval(15 * time.Millisecond),
+	}, opts...)
+	c := New(g, field, all...)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestReadDoesNotTakeReplicaLock is the acceptance check for the lock-free
+// read path: a Read must complete while both the replica mutex and the
+// cluster mutex are held by someone else. If Read ever reacquires either,
+// this test deadlocks (and times out) instead of passing.
+func TestReadDoesNotTakeReplicaLock(t *testing.T) {
+	c := startClientPlaneCluster(t, 3)
+	if _, err := c.Write(0, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	r := c.replicas[0]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		v, ok, err := c.Read(0, "k")
+		if err == nil && (!ok || string(v) != "v") {
+			err = fmt.Errorf("read got %q ok=%v", v, ok)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Read blocked on a held replica/cluster lock — read path is not lock-free")
+	}
+}
+
+// TestReadZeroAllocs pins the read path at zero allocations per op, with
+// the demand meter (the measured-demand hot path) enabled.
+func TestReadZeroAllocs(t *testing.T) {
+	c := startClientPlaneCluster(t, 3, WithMeasuredDemand(time.Second))
+	if _, err := c.Write(1, "hot", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, _, err := c.Read(1, "hot"); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("Read allocates %v objects per op, want 0", got)
+	}
+}
+
+// TestReadParallelContention is the scaling regression: hammering one
+// replica from many goroutines must not serialise. The test asserts
+// correctness under contention (the throughput claim lives in
+// BenchmarkClientPlaneReadParallel); with -race it doubles as the data-race
+// check for the lock-free path against concurrent writes and restarts.
+func TestReadParallelContention(t *testing.T) {
+	c := startClientPlaneCluster(t, 4)
+	if _, err := c.Write(2, "shared", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				v, ok, err := c.Read(2, "shared")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok && string(v) != "payload" {
+					errs <- fmt.Errorf("read saw %q", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitTSAssignment checks the core batching semantics: N
+// concurrent writes at one replica must each get a distinct, gapless
+// sequence number from that origin — exactly what N serial ClientWrites
+// would have produced — regardless of how they were batched.
+func TestGroupCommitTSAssignment(t *testing.T) {
+	c := startClientPlaneCluster(t, 3)
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	tss := make([][]vclock.Timestamp, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				ts, err := c.Write(0, key, []byte(key))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tss[w] = append(tss[w], ts)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[vclock.Timestamp]bool)
+	var maxSeq uint64
+	for w := range tss {
+		for _, ts := range tss[w] {
+			if ts.Node != 0 {
+				t.Fatalf("write at replica 0 stamped with origin %v", ts.Node)
+			}
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v", ts)
+			}
+			seen[ts] = true
+			if ts.Seq > maxSeq {
+				maxSeq = ts.Seq
+			}
+		}
+	}
+	if want := uint64(writers * perWriter); maxSeq != want {
+		t.Errorf("max sequence = %d, want %d (gapless assignment)", maxSeq, want)
+	}
+	// Writes from one client must get monotonically increasing timestamps
+	// (each write completes before the client issues the next).
+	for w := range tss {
+		for i := 1; i < len(tss[w]); i++ {
+			if tss[w][i].Seq <= tss[w][i-1].Seq {
+				t.Fatalf("writer %d saw non-monotonic seqs %d then %d",
+					w, tss[w][i-1].Seq, tss[w][i].Seq)
+			}
+		}
+	}
+}
+
+// TestGroupCommitDurability reads back every concurrently written key at
+// the accepting replica: group commit must not lose or cross-wire values.
+func TestGroupCommitDurability(t *testing.T) {
+	c := startClientPlaneCluster(t, 3)
+	const writers = 6
+	const perWriter = 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("d%d-k%d", w, i)
+				if _, err := c.Write(1, key, []byte("val-"+key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			key := fmt.Sprintf("d%d-k%d", w, i)
+			v, ok, err := c.Read(1, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || string(v) != "val-"+key {
+				t.Fatalf("key %s: got %q ok=%v", key, v, ok)
+			}
+		}
+	}
+}
+
+// TestGroupCommitWatchFiring checks that watches see batched writes: a
+// watch on a write committed inside a concurrent batch completes across the
+// cluster.
+func TestGroupCommitWatchFiring(t *testing.T) {
+	c := startClientPlaneCluster(t, 3, WithSessionInterval(10*time.Millisecond))
+	var wg sync.WaitGroup
+	var watched atomic.Pointer[Watch]
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ts, err := c.Write(0, fmt.Sprintf("wf%d-%d", w, i), []byte("x"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if w == 0 && i == 10 {
+					watched.Store(c.Watch(ts))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	w := watched.Load()
+	if w == nil {
+		t.Fatal("watch never created")
+	}
+	select {
+	case <-w.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("watch on a batched write never completed")
+	}
+	if c.watchCount.Load() != 0 {
+		t.Errorf("completed watch not pruned: count=%d", c.watchCount.Load())
+	}
+}
+
+// TestGroupCommitDeadReplica checks that concurrent writes against a killed
+// replica all fail with the down error, including writes batched behind a
+// leader that observed the kill.
+func TestGroupCommitDeadReplica(t *testing.T) {
+	c := startClientPlaneCluster(t, 3)
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Write(1, "k", []byte("v")); err == nil {
+				t.Error("write to dead replica succeeded")
+			} else if !strings.Contains(err.Error(), "down") {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, _, err := c.Read(1, "k"); err == nil {
+		t.Error("read at dead replica succeeded")
+	}
+}
+
+// TestReadAfterKillAndRestart checks the store-pointer lifecycle the
+// lock-free read path depends on: published at start, retracted on Kill,
+// republished on Restart.
+func TestReadAfterKillAndRestart(t *testing.T) {
+	c := startClientPlaneCluster(t, 3)
+	if _, err := c.Write(0, "persist", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if !c.WaitConverged(ctx) {
+		t.Fatal("no convergence before kill")
+	}
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(2, "persist"); err == nil {
+		t.Fatal("read served by killed replica")
+	}
+	if c.Serving(2) {
+		t.Fatal("Serving(2) true while dead")
+	}
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Serving(2) {
+		t.Fatal("Serving(2) false after restart")
+	}
+	v, ok, err := c.Read(2, "persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || string(v) != "before" {
+		t.Fatalf("restarted replica serves %q ok=%v, want bootstrap content", v, ok)
+	}
+}

@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/vclock"
+)
+
+// This file implements the client-plane write path: group commit.
+//
+// Concurrent Cluster.Write calls against one replica land in a per-replica
+// combining queue. The first writer to find the queue leaderless becomes the
+// commit leader: it drains the queue in batches, folds each batch into the
+// node under ONE replica-lock acquisition via node.ClientWriteBatch (one
+// write-log lock, one merged fast-offer fan-out), completes the waiting
+// writers, and keeps draining until the queue is empty, at which point
+// leadership lapses. Writers that find a leader already installed just park
+// on their request's done channel — they never touch the replica lock.
+//
+// Batches form adaptively: under light load every batch has one write and
+// the path degenerates to the old lock-per-write cost; under contention the
+// batch size grows toward the number of concurrent writers, amortising the
+// replica lock, the log lock, and the fan-out across all of them.
+
+// writeReq is one client write parked in a replica's combining queue.
+type writeReq struct {
+	key   string
+	value []byte
+
+	// Filled by the commit leader before signalling done.
+	ts  vclock.Timestamp
+	err error
+
+	// done is buffered so the leader never blocks completing a request.
+	done chan struct{}
+}
+
+// writeReqPool recycles requests (and their channels) across writes.
+var writeReqPool = sync.Pool{
+	New: func() any { return &writeReq{done: make(chan struct{}, 1)} },
+}
+
+// writeQueue is the per-replica write-combining ring: pending requests plus
+// the leader flag that serialises commit duty.
+type writeQueue struct {
+	mu      sync.Mutex
+	pending []*writeReq
+	spare   []*writeReq // recycled batch buffer, swapped with pending
+	leader  bool
+}
+
+// enqueue parks req and reports whether the caller must become the commit
+// leader (true exactly when no leader was installed).
+func (q *writeQueue) enqueue(req *writeReq) (leader bool) {
+	q.mu.Lock()
+	q.pending = append(q.pending, req)
+	if !q.leader {
+		q.leader = true
+		q.mu.Unlock()
+		return true
+	}
+	q.mu.Unlock()
+	return false
+}
+
+// take returns the next batch to commit, or nil when the queue is empty — in
+// which case leadership lapses and the caller must stop committing. The
+// returned batch must be handed back via recycle.
+func (q *writeQueue) take() []*writeReq {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		q.leader = false
+		return nil
+	}
+	batch := q.pending
+	if q.spare != nil {
+		q.pending = q.spare[:0]
+		q.spare = nil
+	} else {
+		q.pending = nil
+	}
+	return batch
+}
+
+// recycle returns a drained batch buffer for reuse, dropping request refs so
+// pooled requests are not pinned.
+func (q *writeQueue) recycle(batch []*writeReq) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	q.mu.Lock()
+	if q.spare == nil || cap(batch) > cap(q.spare) {
+		q.spare = batch[:0]
+	}
+	q.mu.Unlock()
+}
+
+// maxLeaderStint bounds how many batches one client commits before the duty
+// moves off its goroutine: combining must not turn one client's write into
+// unbounded work on other clients' behalf (that is pure write-tail latency),
+// but leadership cannot lapse while requests are parked. The bound is a
+// latency/churn dial: small values spawn background committers more often
+// under sustained load; 16 batches is tens of microseconds of donated time,
+// far below scheduling noise, while keeping promotions rare.
+const maxLeaderStint = 16
+
+// commitLoop is the leader's duty cycle: drain and commit batches until the
+// queue goes empty or the stint budget is spent — in which case the backlog
+// is promoted to a transient background committer that retires as soon as
+// the queue goes idle. A solo writer commits its own batch and leaves
+// without ever spawning anything.
+func (r *replica) commitLoop(c *Cluster) {
+	if r.drain(c, maxLeaderStint) {
+		return
+	}
+	go r.drain(c, math.MaxInt)
+}
+
+// drain commits up to n batches, reporting whether leadership was released
+// (queue observed empty). Leadership stays held across the n-th batch so a
+// caller that stops early can hand the backlog to another drainer. It never
+// yields or sleeps between batches: parked writers wait on the drainer, so
+// any pause here is pure write-tail latency.
+func (r *replica) drain(c *Cluster, n int) bool {
+	for i := 0; i < n; i++ {
+		batch := r.wq.take()
+		if batch == nil {
+			return true
+		}
+		r.commitBatch(c, batch)
+		r.wq.recycle(batch)
+	}
+	return false
+}
+
+// commitBatch folds one batch into the node under a single replica-lock
+// acquisition, completes every waiter, then fires watches once and sends the
+// merged fan-out.
+func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
+	r.mu.Lock()
+	if r.dead {
+		id := r.node.ID()
+		r.mu.Unlock()
+		err := fmt.Errorf("runtime: replica %v is down", id)
+		for _, req := range batch {
+			req.err = err
+			req.done <- struct{}{}
+		}
+		return
+	}
+	ops := r.opsScratch[:0]
+	for _, req := range batch {
+		ops = append(ops, node.WriteOp{Key: req.key, Value: req.value})
+	}
+	entries, out := r.node.ClientWriteBatch(c.now(), ops)
+	// Drop the client value refs before stashing the scratch buffer.
+	for i := range ops {
+		ops[i].Value = nil
+	}
+	r.opsScratch = ops[:0]
+	id := r.node.ID()
+	ep := r.ep
+	r.mu.Unlock()
+
+	for i, req := range batch {
+		req.ts = entries[i].TS
+		req.done <- struct{}{}
+	}
+	c.checkWatches(id)
+	r.sendAllVia(ep, out)
+}

@@ -2,7 +2,7 @@ package runtime
 
 import (
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,11 +16,29 @@ import (
 // The estimator keeps acc = Σ exp(-(now-tᵢ)/τ) over request times tᵢ;
 // the rate estimate is acc/τ, whose expectation equals the true Poisson
 // rate in steady state.
+//
+// The meter sits on the client-plane hot path (every Read and Write records
+// a request), so it is mutex-free: the whole estimator state — the decay
+// reference time and the accumulator — is packed into ONE atomic word
+// (high 32 bits: milliseconds since the meter was created; low 32 bits:
+// float32 bits of acc) updated by CAS. Because both halves move together,
+// a decay step can never be applied to requests recorded after its
+// reference time: any interleaving simply retries with fresh state. Rate
+// is a pure read.
+//
+// Approximations, all deliberate: decay granularity is 1ms (relative error
+// ≤ 1ms/τ per step); the float32 accumulator saturates at 2^24, capping
+// the measurable rate at 2^24/τ requests per second (16.7M/s at the
+// default τ=1s — saturated replicas all read maximal demand rather than
+// misordering below cooler ones); the millisecond clock wraps every ~49.7
+// days, which Record and Rate detect (a reference reading more than
+// meterSkewMs "in the future" cannot come from clock skew) and resolve as
+// a full decay — exact for any τ ≪ the wrap period, i.e. every real
+// averaging window.
 type demandMeter struct {
-	mu   sync.Mutex
-	tau  float64 // decay constant, seconds
-	acc  float64
-	last time.Time
+	tau     float64 // decay constant, seconds
+	created time.Time
+	state   atomic.Uint64 // packed (lastMs, float32 acc); 0 = no requests yet
 }
 
 // newDemandMeter creates a meter with the given averaging window; the
@@ -29,34 +47,83 @@ func newDemandMeter(tau time.Duration) *demandMeter {
 	if tau <= 0 {
 		tau = time.Second
 	}
-	return &demandMeter{tau: tau.Seconds()}
+	return &demandMeter{tau: tau.Seconds(), created: time.Now()}
 }
 
-// Record notes one client request at time now.
+// quantumMs converts an absolute time to the meter's millisecond clock,
+// clamping times before creation (non-monotonic callers) to 0.
+func (m *demandMeter) quantumMs(t time.Time) uint32 {
+	ms := t.Sub(m.created) / time.Millisecond
+	if ms < 0 {
+		return 0
+	}
+	return uint32(ms)
+}
+
+// meterSkewMs bounds how far backwards (in ms) a timestamp may read against
+// the decay reference and still be treated as clock skew between concurrent
+// callers. Anything further back cannot come from skew — time.Now is
+// monotonic within a process and cross-goroutine capture races are
+// microseconds — so it must be the 32-bit clock having lapped an idle
+// meter, and resolves as a full decay.
+const meterSkewMs = 60_000
+
+func packMeter(ms uint32, acc float32) uint64 {
+	return uint64(ms)<<32 | uint64(math.Float32bits(acc))
+}
+
+func unpackMeter(s uint64) (ms uint32, acc float32) {
+	return uint32(s >> 32), math.Float32frombits(uint32(s))
+}
+
+// Record notes one client request at time now. Safe for concurrent use;
+// never blocks on a mutex.
 func (m *demandMeter) Record(now time.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.decayTo(now)
-	m.acc++
+	ms := m.quantumMs(now)
+	for {
+		old := m.state.Load()
+		lastMs, acc := unpackMeter(old)
+		newMs := lastMs
+		// Wrap-aware elapsed time: int32(ms-lastMs) reads a modular gap as
+		// "recent past" only within half the wrap period; anything further
+		// back is the clock having lapped an idle meter, not skew.
+		switch dt := int32(ms - lastMs); {
+		case dt > 0:
+			acc = float32(float64(acc) * math.Exp(-float64(dt)/1e3/m.tau))
+			newMs = ms
+		case dt < -meterSkewMs:
+			// The reference reads more than a minute "in the future": the
+			// 32-bit clock wrapped across an idle stretch (true elapsed
+			// time ≥ 2^32 ms minus the skew bound), so full decay is exact
+			// for any realistic τ.
+			acc = 0
+			newMs = ms
+		}
+		// Otherwise (same quantum, or bounded backwards skew): fold the
+		// request in undecayed at the existing reference.
+		if m.state.CompareAndSwap(old, packMeter(newMs, acc+1)) {
+			return
+		}
+	}
 }
 
-// Rate returns the current requests-per-second estimate.
+// Rate returns the current requests-per-second estimate. It is a pure
+// read: the stored accumulator decays lazily, so Rate applies the elapsed
+// decay arithmetically without writing.
 func (m *demandMeter) Rate(now time.Time) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.decayTo(now)
-	return m.acc / m.tau
-}
-
-func (m *demandMeter) decayTo(now time.Time) {
-	if m.last.IsZero() {
-		m.last = now
-		return
+	s := m.state.Load()
+	if s == 0 {
+		return 0
 	}
-	dt := now.Sub(m.last).Seconds()
-	if dt <= 0 {
-		return
+	lastMs, acc := unpackMeter(s)
+	rate := float64(acc)
+	switch dt := int32(m.quantumMs(now) - lastMs); {
+	case dt > 0:
+		rate *= math.Exp(-float64(dt) / 1e3 / m.tau)
+	case dt < -meterSkewMs:
+		// Same wrap detection as Record: the clock lapped an idle meter,
+		// so the true gap is near the full wrap period — fully decayed.
+		rate = 0
 	}
-	m.acc *= math.Exp(-dt / m.tau)
-	m.last = now
+	return rate / m.tau
 }

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,6 +58,95 @@ func TestDemandMeterNonMonotonicClockSafe(t *testing.T) {
 	if got := m.Rate(now); got < 0 {
 		t.Errorf("negative rate %g after clock skew", got)
 	}
+}
+
+func TestDemandMeterClockWrap(t *testing.T) {
+	// The packed 32-bit millisecond clock wraps every ~49.7 days. A gap
+	// longer than half the wrap period must resolve as a full decay (the
+	// meter was idle for weeks), and recording across the exact wrap point
+	// must keep decaying normally — never freeze.
+	m := newDemandMeter(time.Second)
+	base := m.created
+
+	// Idle for ~25 days: rate must read ~0 afterwards, not a stale burst.
+	for i := 0; i < 100; i++ {
+		m.Record(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	idle := base.Add((1<<31 + 500) * time.Millisecond)
+	m.Record(idle)
+	if got := m.Rate(idle); got > 2.1 { // ≈ the single fresh request / tau
+		t.Errorf("rate after 25-day idle = %g, want ~1 (full decay)", got)
+	}
+
+	// Cross the wrap point: walk the decay reference up to just below 2^32
+	// ms in sub-half-wrap steps (as any live meter would), then record past
+	// the wrap. Decay must continue with the true (small) elapsed time.
+	m2 := newDemandMeter(time.Second)
+	nearWrap := m2.created.Add((1<<32 - 1000) * time.Millisecond)
+	for d := 10; d <= 40; d += 10 {
+		m2.Record(m2.created.Add(time.Duration(d) * 24 * time.Hour))
+	}
+	for i := 0; i < 100; i++ {
+		m2.Record(nearWrap)
+	}
+	afterWrap := nearWrap.Add(2 * time.Second) // ms counter wrapped past 0
+	m2.Record(afterWrap)
+	got := m2.Rate(afterWrap)
+	want := 101*math.Exp(-2) + 1 // burst decayed 2s + 1 fresh, over tau=1
+	if math.Abs(got-want) > want/2 {
+		t.Errorf("rate across clock wrap = %g, want ~%g (decay continues)", got, want)
+	}
+}
+
+func TestDemandMeterConcurrent(t *testing.T) {
+	// 8 goroutines draw timestamps from one shared, strictly advancing
+	// clock: 16000 requests spaced 1ms apart = 1000 req/s over 16s. The
+	// CAS-based meter must land near the true rate despite every record
+	// racing decay steps, and -race must stay silent.
+	const (
+		goroutines = 8
+		perG       = 2000
+		spacing    = time.Millisecond
+	)
+	m := newDemandMeter(time.Second)
+	start := time.Now()
+	var tick atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := tick.Add(1)
+				m.Record(start.Add(time.Duration(k) * spacing))
+			}
+		}()
+	}
+	wg.Wait()
+	end := start.Add(time.Duration(goroutines*perG) * spacing)
+	got := m.Rate(end)
+	want := 1.0 / spacing.Seconds()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("concurrent rate = %.1f req/s, want %.0f ±15%%", got, want)
+	}
+
+	// Rate is a pure read: concurrent Rate calls during recording must also
+	// be race-free (exercised above only sequentially).
+	var wg2 sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg2.Add(1)
+		go func(g int) {
+			defer wg2.Done()
+			for i := 0; i < 1000; i++ {
+				if g%2 == 0 {
+					m.Record(end.Add(time.Duration(i) * spacing))
+				} else if r := m.Rate(end.Add(time.Duration(i) * spacing)); r < 0 {
+					t.Errorf("negative rate %g", r)
+				}
+			}
+		}(g)
+	}
+	wg2.Wait()
 }
 
 func TestMeasuredDemandDrivesTables(t *testing.T) {

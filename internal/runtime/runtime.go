@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/demand"
@@ -129,6 +130,10 @@ type Cluster struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	start   time.Time
+
+	// watchCount mirrors len(watches) so the per-write watch check is one
+	// atomic load on the (common) zero-watch fast path, never Cluster.mu.
+	watchCount atomic.Int32
 }
 
 // New assembles a cluster over the graph with the given demand field. Call
@@ -161,18 +166,24 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
 		})
+		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
 	}
 	return c
 }
 
 // demandSource returns the node's own-demand function: the configured field
-// by default, or the replica's request meter under WithMeasuredDemand.
+// by default, or the replica's request meter under WithMeasuredDemand. The
+// meter is created once per replica and survives restarts: the lock-free
+// read path loads r.meter without holding the replica lock, so the field
+// must never be rewritten after construction.
 func demandSource(o *options, r *replica, field demand.Field, id NodeID) func(float64) float64 {
 	if o.measuredTau <= 0 {
 		return func(now float64) float64 { return field.At(id, now) }
 	}
-	r.meter = newDemandMeter(o.measuredTau)
+	if r.meter == nil {
+		r.meter = newDemandMeter(o.measuredTau)
+	}
 	return func(float64) float64 { return r.meter.Rate(time.Now()) }
 }
 
@@ -233,6 +244,9 @@ func (c *Cluster) Kill(id NodeID) error {
 	r.ep.Close()
 	r.mu.Lock()
 	r.dead = true
+	// Retract the lock-free read path's store pointer: reads at a dead
+	// replica must fail, and they never take the replica lock to find out.
+	r.store.Store(nil)
 	r.mu.Unlock()
 	return nil
 }
@@ -336,9 +350,23 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 	}
 	r.ep = c.net.Attach(id)
 	r.dead = false
+	// Re-publish the (possibly fresh) store to the lock-free read path only
+	// once the replica is consistent again.
+	r.store.Store(r.node.Store())
 	r.mu.Unlock()
 	r.spawn(ctx, &c.wg)
 	return nil
+}
+
+// Serving reports whether replica id currently accepts client-plane
+// operations — lock-free, one atomic load (the exact signal Read uses).
+// Unlike Alive it is also true before Start: a constructed replica already
+// serves reads of absorbed content.
+func (c *Cluster) Serving(id NodeID) bool {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return false
+	}
+	return c.replicas[id].store.Load() != nil
 }
 
 // Alive reports whether replica id is currently running.
@@ -395,45 +423,54 @@ func (c *Cluster) Stop() {
 func (c *Cluster) now() float64 { return time.Since(c.start).Seconds() }
 
 // Write injects a client write at the given replica and returns the entry.
+//
+// Concurrent writes to one replica group-commit: they park in the replica's
+// write-combining queue and a leader folds the whole batch into the node
+// under one lock acquisition, with one merged fast-offer fan-out for the
+// batch (see groupcommit.go). A batch behaves exactly like the same writes
+// issued back-to-back; only the locking and fan-out are amortised.
 func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return vclock.Timestamp{}, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
-	r.mu.Lock()
 	if r.meter != nil {
 		r.meter.Record(time.Now())
 	}
-	if r.dead {
-		r.mu.Unlock()
-		return vclock.Timestamp{}, fmt.Errorf("runtime: replica %v is down", id)
+	req := writeReqPool.Get().(*writeReq)
+	req.key, req.value = key, value
+	req.ts, req.err = vclock.Timestamp{}, nil
+	if r.wq.enqueue(req) {
+		r.commitLoop(c)
 	}
-	e, out := r.node.ClientWrite(c.now(), key, value)
-	r.mu.Unlock()
-	c.checkWatches(id)
-	r.sendAll(out)
-	return e.TS, nil
+	<-req.done
+	ts, err := req.ts, req.err
+	req.key, req.value = "", nil
+	writeReqPool.Put(req)
+	return ts, err
 }
 
 // Read serves a client read at a replica. Reads at a killed replica fail —
 // a crashed server cannot serve — matching Write. The returned slice is a
 // read-only view of replicated content (store immutability contract);
 // callers that need a mutable buffer copy it.
+//
+// The read path never acquires the replica lock: the store pointer is
+// published atomically (nil while the replica is dead), the demand meter is
+// atomic, and the store itself is hash-striped, so concurrent reads scale
+// with cores instead of serialising per replica.
 func (c *Cluster) Read(id NodeID, key string) ([]byte, bool, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return nil, false, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
-	r.mu.Lock()
+	st := r.store.Load()
+	if st == nil {
+		return nil, false, fmt.Errorf("runtime: replica %v is down", id)
+	}
 	if r.meter != nil {
 		r.meter.Record(time.Now())
 	}
-	if r.dead {
-		r.mu.Unlock()
-		return nil, false, fmt.Errorf("runtime: replica %v is down", id)
-	}
-	st := r.node.Store()
-	r.mu.Unlock()
 	v, ok := st.Get(key)
 	return v, ok, nil
 }
@@ -562,9 +599,10 @@ func (c *Cluster) Watch(ts vclock.Timestamp) *Watch {
 	}
 	c.mu.Lock()
 	c.watches = append(c.watches, w)
+	c.watchCount.Add(1)
 	c.mu.Unlock()
-	for _, r := range c.replicas {
-		c.checkWatches(r.node.ID())
+	for i := range c.replicas {
+		c.checkWatches(NodeID(i))
 	}
 	return w
 }
@@ -575,12 +613,17 @@ func (w *Watch) Done() <-chan struct{} { return w.done }
 // Unwatch removes a watch that will not be waited on (e.g. a timed-out
 // probe), so completed-coverage checks stop paying for it. Recorded times
 // remain readable; unwatching an already-completed watch is a no-op.
-func (c *Cluster) Unwatch(w *Watch) {
+func (c *Cluster) Unwatch(w *Watch) { c.removeWatch(w) }
+
+// removeWatch prunes w from the active list (watch completed or abandoned)
+// and keeps the atomic fast-path count in sync.
+func (c *Cluster) removeWatch(w *Watch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, cw := range c.watches {
 		if cw == w {
 			c.watches = append(c.watches[:i], c.watches[i+1:]...)
+			c.watchCount.Add(-1)
 			return
 		}
 	}
@@ -621,8 +664,16 @@ func (w *Watch) record(id NodeID) (complete bool) {
 	return false
 }
 
-// checkWatches records coverage of all active watches for replica id.
+// checkWatches records coverage of all active watches for replica id. The
+// zero-watch case — every client write, almost always — is one atomic load,
+// touching neither Cluster.mu nor the replica lock. When watches exist, the
+// replica lock is taken once for the whole set (not once per watch), and
+// completed watches are pruned eagerly so the active list never accumulates
+// finished entries.
 func (c *Cluster) checkWatches(id NodeID) {
+	if c.watchCount.Load() == 0 {
+		return
+	}
 	c.mu.Lock()
 	watches := append([]*Watch(nil), c.watches...)
 	c.mu.Unlock()
@@ -630,29 +681,29 @@ func (c *Cluster) checkWatches(id NodeID) {
 		return
 	}
 	r := c.replicas[id]
+	covered := watches[:0] // in-place filter of the private copy
+	r.mu.Lock()
 	for _, w := range watches {
-		r.mu.Lock()
-		covered := r.node.Covers(w.ts)
-		r.mu.Unlock()
-		if !covered {
-			continue
+		if r.node.Covers(w.ts) {
+			covered = append(covered, w)
 		}
+	}
+	r.mu.Unlock()
+	for _, w := range covered {
 		if w.record(id) {
-			// Watch complete: drop it from the active list.
-			c.mu.Lock()
-			for i, cw := range c.watches {
-				if cw == w {
-					c.watches = append(c.watches[:i], c.watches[i+1:]...)
-					break
-				}
-			}
-			c.mu.Unlock()
+			c.removeWatch(w)
 		}
 	}
 }
 
 // replica is one live node: goroutine, endpoint, RNG, and the shared state
 // machine guarded by mu (the run loop and external API both touch it).
+//
+// The client plane bypasses mu: Read goes through the atomically published
+// store pointer, Write through the combining queue (whose leader is the only
+// writer that takes mu, once per batch), and the demand meter is recorded
+// without any lock. meter is written only during construction and never
+// rewritten, so the lock-free paths may load it freely.
 type replica struct {
 	cluster *Cluster
 	node    *node.Node
@@ -660,6 +711,18 @@ type replica struct {
 	rng     *rand.Rand
 	meter   *demandMeter // nil unless WithMeasuredDemand
 	mu      sync.Mutex
+
+	// store is the lock-free read path's view of the node's content store:
+	// nil while the replica is dead, swapped on restart. The store itself is
+	// concurrency-safe (hash-striped); the pointer indirection is only so
+	// Kill/Restart stay correct without Read taking mu.
+	store atomic.Pointer[store.Store]
+
+	// wq collects concurrent client writes for group commit; opsScratch is
+	// the leader's reusable staging buffer (only the leader touches it, and
+	// leadership is exclusive).
+	wq         writeQueue
+	opsScratch []node.WriteOp
 
 	// Lifecycle, guarded by mu: cancel/done belong to the current
 	// incarnation's goroutine; dead marks a killed replica.
@@ -733,13 +796,18 @@ func (r *replica) expInterval() time.Duration {
 	return d
 }
 
+// handle processes one inbound envelope per replica-lock acquisition. (A
+// burst-draining variant that handled many queued envelopes under one lock
+// was measured and rejected: it grows the run loop's lock hold time, which
+// directly starves the group-commit leader contending for the same lock.)
 func (r *replica) handle(env protocol.Envelope) {
 	c := r.cluster
 	r.mu.Lock()
 	out := r.node.HandleMessage(c.now(), env)
+	id := r.node.ID()
 	r.mu.Unlock()
-	c.opts.tracer.Debugf(r.node.ID(), "handled %v (+%d out)", env, len(out))
-	c.checkWatches(r.node.ID())
+	c.opts.tracer.Debugf(id, "handled %v (+%d out)", env, len(out))
+	c.checkWatches(id)
 	r.sendAll(out)
 }
 
@@ -763,15 +831,21 @@ func (r *replica) advertise() {
 }
 
 // sendAll transmits envelopes, marking unreachable peers in the demand
-// table (the availability signal §4 calls "an added advantage").
-func (r *replica) sendAll(envs []protocol.Envelope) {
+// table (the availability signal §4 calls "an added advantage"). It runs on
+// the replica goroutine, where r.ep is stable.
+func (r *replica) sendAll(envs []protocol.Envelope) { r.sendAllVia(r.ep, envs) }
+
+// sendAllVia transmits envelopes through a specific endpoint — the commit
+// leader captures the endpoint under the replica lock and sends outside it,
+// so a concurrent restart swapping r.ep cannot race the send.
+func (r *replica) sendAllVia(ep transport.Endpoint, envs []protocol.Envelope) {
 	c := r.cluster
 	for _, env := range envs {
-		if err := r.ep.Send(env); err != nil {
+		if err := ep.Send(env); err != nil {
 			r.mu.Lock()
 			r.node.Table().MarkUnreachable(env.To, c.now())
 			r.mu.Unlock()
-			c.opts.tracer.Warnf(r.node.ID(), "send to %v failed: %v", env.To, err)
+			c.opts.tracer.Warnf(env.From, "send to %v failed: %v", env.To, err)
 		}
 	}
 }

@@ -64,6 +64,7 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
 		})
+		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
 	}
 	return c, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/demand"
@@ -55,13 +56,38 @@ type Group struct {
 	field   demand.Field
 	cluster *runtime.Cluster
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	start time.Time
+	// startNs is the routing time base (unix nanos; 0 = not started),
+	// atomic so the per-op route/pick path never takes a group lock — every
+	// client read and write of the shard passes through pick.
+	startNs atomic.Int64
+	// clock is the router's shared coarse clock (nil for a standalone
+	// group): demand-based routing reads it instead of calling time.Now
+	// per op. Millisecond staleness is invisible to demand fields that
+	// change over seconds.
+	clock *coarseClock
+
+	mu  sync.Mutex // guards rng (RouteRandom only)
+	rng *rand.Rand
 }
 
-// newGroup assembles (without starting) one shard group.
-func newGroup(spec GroupSpec, seed int64, opts []runtime.Option) (*Group, error) {
+// coarseClock is a wall clock updated by a background ticker (see
+// Router.clockLoop): one atomic load per routed op instead of a vDSO call.
+// Before the ticker runs (or after it stops) readers fall back to the real
+// clock.
+type coarseClock struct{ ns atomic.Int64 }
+
+func (c *coarseClock) now() int64 {
+	if c != nil {
+		if ns := c.ns.Load(); ns != 0 {
+			return ns
+		}
+	}
+	return time.Now().UnixNano()
+}
+
+// newGroup assembles (without starting) one shard group. clock may be nil
+// (standalone groups route on the real clock).
+func newGroup(spec GroupSpec, seed int64, opts []runtime.Option, clock *coarseClock) (*Group, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("shard: group with empty name")
 	}
@@ -84,6 +110,7 @@ func newGroup(spec GroupSpec, seed int64, opts []runtime.Option) (*Group, error)
 		graph:   spec.Graph,
 		field:   spec.Field,
 		cluster: runtime.New(spec.Graph, spec.Field, all...),
+		clock:   clock,
 		rng:     rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
 	}, nil
 }
@@ -100,20 +127,21 @@ func (g *Group) Cluster() *runtime.Cluster { return g.cluster }
 // markStarted records the routing time base; the router calls it right
 // after the group's cluster starts.
 func (g *Group) markStarted() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.start = time.Now()
+	g.startNs.Store(time.Now().UnixNano())
 }
 
 // now returns seconds since the group started — the time base for demand
-// evaluation during routing.
+// evaluation during routing. Lock-free: it is on every routed op's path.
 func (g *Group) now() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.start.IsZero() {
+	start := g.startNs.Load()
+	if start == 0 {
 		return 0
 	}
-	return time.Since(g.start).Seconds()
+	now := g.clock.now()
+	if now <= start {
+		return 0
+	}
+	return float64(now-start) / float64(time.Second)
 }
 
 // pick chooses the replica that should serve the next op under the policy.
@@ -135,14 +163,16 @@ func (g *Group) pick(p RoutePolicy) NodeID {
 }
 
 // argDemand returns the live replica with extreme demand (max when highest,
-// else min). Dead replicas are skipped so routing survives faults.
+// else min). Dead replicas are skipped so routing survives faults. It runs
+// on every routed op, so liveness uses the cluster's lock-free Serving
+// probe, not Alive (which takes the replica lock).
 func (g *Group) argDemand(highest bool) NodeID {
 	now := g.now()
 	best, bestD := NodeID(0), 0.0
 	found := false
 	for i := 0; i < g.cluster.N(); i++ {
 		id := NodeID(i)
-		if !g.cluster.Alive(id) && g.started() {
+		if !g.cluster.Serving(id) && g.started() {
 			continue
 		}
 		d := g.field.At(id, now)
@@ -154,9 +184,7 @@ func (g *Group) argDemand(highest bool) NodeID {
 }
 
 func (g *Group) started() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return !g.start.IsZero()
+	return g.startNs.Load() != 0
 }
 
 // Converged reports whether the group's live replicas hold equal summaries.

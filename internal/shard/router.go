@@ -53,6 +53,11 @@ type Router struct {
 	cfg  Config
 	ring *Ring
 
+	// clock is the shared coarse routing clock: one background ticker
+	// serves every group's per-op demand evaluation (see Group.now).
+	clock coarseClock
+	stopC chan struct{}
+
 	mu      sync.RWMutex
 	groups  map[string]*Group
 	started bool
@@ -81,7 +86,7 @@ func NewRouter(specs []GroupSpec, cfg Config) (*Router, error) {
 		if _, dup := r.groups[spec.Name]; dup {
 			return nil, fmt.Errorf("shard: duplicate group %q", spec.Name)
 		}
-		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.RuntimeOptions)
+		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.RuntimeOptions, &r.clock)
 		if err != nil {
 			return nil, err
 		}
@@ -103,13 +108,41 @@ func (r *Router) Start(ctx context.Context) error {
 	}
 	r.started = true
 	r.ctx = ctx
+	r.stopC = make(chan struct{})
 	for _, g := range r.groups {
 		if err := g.cluster.Start(ctx); err != nil {
 			return err
 		}
 		g.markStarted()
 	}
+	// The clock starts only once every group is up, so a failed Start leaks
+	// no ticker goroutine; until the first tick (and again after Stop),
+	// coarseClock.now falls back to the real clock.
+	r.clock.ns.Store(time.Now().UnixNano())
+	go r.clockLoop(ctx, r.stopC)
 	return nil
+}
+
+// clockLoop drives the shared coarse routing clock: a millisecond tick is
+// far finer than any demand field's rate of change, and it converts every
+// routed op's time.Now into one atomic load.
+func (r *Router) clockLoop(ctx context.Context, stop <-chan struct{}) {
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	// On exit, clear the cached time so coarseClock.now falls back to the
+	// real clock instead of freezing at the last tick (Router reads keep
+	// working after Stop).
+	defer r.clock.ns.Store(0)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case t := <-ticker.C:
+			r.clock.ns.Store(t.UnixNano())
+		}
+	}
 }
 
 // Stop shuts every group down. Safe to call more than once.
@@ -120,6 +153,7 @@ func (r *Router) Stop() {
 		return
 	}
 	r.stopped = true
+	close(r.stopC)
 	groups := make([]*Group, 0, len(r.groups))
 	for _, g := range r.groups {
 		groups = append(groups, g)
@@ -291,7 +325,7 @@ func (r *Router) AddShard(spec GroupSpec) error {
 		return fmt.Errorf("shard: group %q already present", spec.Name)
 	}
 	seed := r.cfg.Seed + int64(len(r.groups))*104729
-	g, err := newGroup(spec, seed, r.cfg.RuntimeOptions)
+	g, err := newGroup(spec, seed, r.cfg.RuntimeOptions, &r.clock)
 	if err != nil {
 		r.mu.Unlock()
 		return err

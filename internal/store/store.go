@@ -18,11 +18,25 @@
 // mutated after insertion into a log, so the store aliases them rather than
 // copying — Apply retains the entry's value slice, and Get/GetVersion/
 // Snapshot return views that callers must treat as read-only.
+//
+// # Concurrency
+//
+// The store is the client-plane hot spot: every client read lands here while
+// anti-entropy applies entries concurrently. Keys are hash-striped across
+// fixed segments, each with its own RWMutex, so concurrent Get/Apply on
+// different keys take disjoint locks and concurrent reads of the same
+// segment share a read lock; the read/applied counters are atomics, so a
+// Get never takes an exclusive lock. Whole-store views (Keys, Snapshot,
+// Digest) visit segments one at a time: each segment is internally
+// consistent, but the view is not a point-in-time snapshot across segments
+// under concurrent writes — callers compare digests or hand off snapshots at
+// quiesce points, where the distinction vanishes.
 package store
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vclock"
 	"repro/internal/wlog"
@@ -35,36 +49,66 @@ type Versioned struct {
 	Clock uint64
 }
 
+// segments is the stripe count — a power of two so the hash folds with a
+// mask. 16 keeps cross-CPU collisions on independent keys unlikely at
+// realistic client concurrency while keeping the (padded) segment array
+// cheap enough that simulation workloads can still build thousands of
+// short-lived stores per second.
+const segments = 16
+
+// segment is one stripe: a map guarded by its own lock, plus the stripe's
+// share of the read counters — counting on the segment the reader already
+// owns keeps the hot-key read path off any store-global cache line. The
+// struct is padded to a cache line so neighbouring stripes never false-share.
+type segment struct {
+	mu         sync.RWMutex
+	kv         map[string]Versioned
+	reads      atomic.Uint64
+	staleReads atomic.Uint64
+	_          [16]byte // pad to a full cache line (mutex 24 + map 8 + counters 16)
+}
+
 // Store is a convergent replicated KV store. The zero value is ready to use.
 // Store is safe for concurrent use.
 type Store struct {
-	mu      sync.RWMutex
-	kv      map[string]Versioned
-	applied int
+	segs [segments]segment
 
-	reads      uint64
-	staleReads uint64
+	applied atomic.Int64
 }
 
 // New returns an empty store.
 func New() *Store { return &Store{} }
 
+// seg returns the segment owning key (FNV-1a over the key bytes).
+func (s *Store) seg(key string) *segment {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return &s.segs[h&(segments-1)]
+}
+
 // Apply folds one write into the store. Apply is idempotent for a given
 // entry and commutative across distinct entries: the final state depends
 // only on the set of entries applied.
 func (s *Store) Apply(e wlog.Entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.kv == nil {
-		s.kv = make(map[string]Versioned)
+	s.applied.Add(1)
+	sg := s.seg(e.Key)
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if sg.kv == nil {
+		sg.kv = make(map[string]Versioned)
 	}
-	s.applied++
-	cur, ok := s.kv[e.Key]
+	cur, ok := sg.kv[e.Key]
 	if ok && !wins(e, cur) {
 		return
 	}
 	// The value is aliased, not copied: entries are immutable once logged.
-	s.kv[e.Key] = Versioned{Value: e.Value, TS: e.TS, Clock: e.Clock}
+	sg.kv[e.Key] = Versioned{Value: e.Value, TS: e.TS, Clock: e.Clock}
 }
 
 // wins reports whether entry e supersedes the current versioned value under
@@ -79,12 +123,14 @@ func wins(e wlog.Entry, cur Versioned) bool {
 
 // Get returns the current value for key and whether it exists. It counts as
 // a client read. The returned slice is a read-only view of the stored value;
-// callers must not mutate it.
+// callers must not mutate it. Get takes only a shared segment lock, so
+// concurrent reads never serialise against each other.
 func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.reads++
-	v, ok := s.kv[key]
+	sg := s.seg(key)
+	sg.reads.Add(1)
+	sg.mu.RLock()
+	v, ok := sg.kv[key]
+	sg.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -94,9 +140,10 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // GetVersion returns the version metadata for key without counting a read.
 // The returned value slice is a read-only view.
 func (s *Store) GetVersion(key string) (Versioned, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.kv[key]
+	sg := s.seg(key)
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	v, ok := sg.kv[key]
 	if !ok {
 		return Versioned{}, false
 	}
@@ -109,25 +156,29 @@ func (s *Store) GetVersion(key string) (Versioned, bool) {
 // later-clocked write. This implements the paper's "requests satisfied with
 // consistent (updated) content" counter.
 func (s *Store) ReadAsOf(key string, want vclock.Timestamp, wantClock uint64) (fresh bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.reads++
-	v, ok := s.kv[key]
+	sg := s.seg(key)
+	sg.reads.Add(1)
+	sg.mu.RLock()
+	v, ok := sg.kv[key]
+	sg.mu.RUnlock()
 	fresh = ok && (v.TS == want || v.Clock > wantClock ||
 		(v.Clock == wantClock && v.TS.Compare(want) >= 0))
 	if !fresh {
-		s.staleReads++
+		sg.staleReads.Add(1)
 	}
 	return fresh
 }
 
 // Keys returns all keys in ascending order.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.kv))
-	for k := range s.kv {
-		keys = append(keys, k)
+	keys := make([]string, 0, s.Len())
+	for i := range s.segs {
+		sg := &s.segs[i]
+		sg.mu.RLock()
+		for k := range sg.kv {
+			keys = append(keys, k)
+		}
+		sg.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
@@ -135,24 +186,29 @@ func (s *Store) Keys() []string {
 
 // Len returns the number of live keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.kv)
+	n := 0
+	for i := range s.segs {
+		sg := &s.segs[i]
+		sg.mu.RLock()
+		n += len(sg.kv)
+		sg.mu.RUnlock()
+	}
+	return n
 }
 
 // Applied returns how many entries have been applied (including no-ops that
 // lost LWW resolution).
 func (s *Store) Applied() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.applied
+	return int(s.applied.Load())
 }
 
 // ReadStats returns the total reads served and how many were stale.
 func (s *Store) ReadStats() (reads, stale uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.reads, s.staleReads
+	for i := range s.segs {
+		reads += s.segs[i].reads.Load()
+		stale += s.segs[i].staleReads.Load()
+	}
+	return reads, stale
 }
 
 // Item is one key's versioned state, the unit of full-state snapshots.
@@ -165,20 +221,20 @@ type Item struct {
 
 // Snapshot exports the store's current contents in ascending key order. The
 // item values are read-only views of the stored values (immutability
-// contract), so exporting copies no payload bytes.
+// contract), so exporting copies no payload bytes. Under concurrent writes
+// the image is consistent per key (and per segment) but not across segments;
+// see the package comment.
 func (s *Store) Snapshot() []Item {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.kv))
-	for k := range s.kv {
-		keys = append(keys, k)
+	items := make([]Item, 0, s.Len())
+	for i := range s.segs {
+		sg := &s.segs[i]
+		sg.mu.RLock()
+		for k, v := range sg.kv {
+			items = append(items, Item{Key: k, Value: v.Value, TS: v.TS, Clock: v.Clock})
+		}
+		sg.mu.RUnlock()
 	}
-	sort.Strings(keys)
-	items := make([]Item, 0, len(keys))
-	for _, k := range keys {
-		v := s.kv[k]
-		items = append(items, Item{Key: k, Value: v.Value, TS: v.TS, Clock: v.Clock})
-	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Key < items[j].Key })
 	return items
 }
 
@@ -195,37 +251,30 @@ func (s *Store) ApplySnapshot(items []Item) {
 // check that two replicas converged to identical state. It is an FNV-1a hash
 // over sorted key/value/version triples.
 func (s *Store) Digest() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
-	keys := make([]string, 0, len(s.kv))
-	for k := range s.kv {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	items := s.Snapshot()
 	h := uint64(offset64)
 	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
-	for _, k := range keys {
-		for i := 0; i < len(k); i++ {
-			mix(k[i])
+	for _, it := range items {
+		for i := 0; i < len(it.Key); i++ {
+			mix(it.Key[i])
 		}
 		mix(0)
-		v := s.kv[k]
-		for _, b := range v.Value {
+		for _, b := range it.Value {
 			mix(b)
 		}
 		mix(0)
 		for i := 0; i < 8; i++ {
-			mix(byte(v.Clock >> (8 * i)))
+			mix(byte(it.Clock >> (8 * i)))
 		}
 		for i := 0; i < 4; i++ {
-			mix(byte(uint32(v.TS.Node) >> (8 * i)))
+			mix(byte(uint32(it.TS.Node) >> (8 * i)))
 		}
 		for i := 0; i < 8; i++ {
-			mix(byte(v.TS.Seq >> (8 * i)))
+			mix(byte(it.TS.Seq >> (8 * i)))
 		}
 	}
 	return h

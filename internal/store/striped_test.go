@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+// randomEntries builds a randomized entry set over a small key pool so LWW
+// conflicts are frequent: duplicate clocks, clock ties broken by timestamp,
+// several writes per key.
+func randomEntries(rng *rand.Rand, n, keyPool int) []wlog.Entry {
+	entries := make([]wlog.Entry, n)
+	for i := range entries {
+		ts := vclock.Timestamp{Node: vclock.NodeID(rng.Intn(7)), Seq: uint64(rng.Intn(50) + 1)}
+		clock := uint64(rng.Intn(20))
+		entries[i] = wlog.Entry{
+			TS:  ts,
+			Key: fmt.Sprintf("k%02d", rng.Intn(keyPool)),
+			// The value is a function of the write identity (TS, Clock), so
+			// two generated entries that tie completely also carry the same
+			// value — the winner is order-independent, as it must be for the
+			// permutation equivalence below.
+			Value: []byte(fmt.Sprintf("v%d.%d.%d", ts.Node, ts.Seq, clock)),
+			Clock: clock,
+		}
+	}
+	return entries
+}
+
+// referenceLWW folds entries into a plain map with the same wins rule — the
+// unstriped model the striped store must match exactly.
+func referenceLWW(entries []wlog.Entry) map[string]Versioned {
+	ref := make(map[string]Versioned)
+	for _, e := range entries {
+		cur, ok := ref[e.Key]
+		if ok && !wins(e, cur) {
+			continue
+		}
+		ref[e.Key] = Versioned{Value: e.Value, TS: e.TS, Clock: e.Clock}
+	}
+	return ref
+}
+
+// TestStripedLWWEquivalence applies a randomized entry set in many
+// permutations: every permutation must converge to the reference model's
+// content and to identical digests — the order-independence the protocol's
+// convergence argument rests on, now across hash-striped segments.
+func TestStripedLWWEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	entries := randomEntries(rng, 400, 24)
+	ref := referenceLWW(entries)
+
+	var firstDigest uint64
+	for perm := 0; perm < 8; perm++ {
+		shuffled := append([]wlog.Entry(nil), entries...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s := New()
+		for _, e := range shuffled {
+			s.Apply(e)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("perm %d: %d keys, want %d", perm, s.Len(), len(ref))
+		}
+		for k, want := range ref {
+			got, ok := s.GetVersion(k)
+			if !ok {
+				t.Fatalf("perm %d: key %s missing", perm, k)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("perm %d: key %s = %+v, want %+v", perm, k, got, want)
+			}
+		}
+		d := s.Digest()
+		if perm == 0 {
+			firstDigest = d
+		} else if d != firstDigest {
+			t.Fatalf("perm %d: digest %x, want %x", perm, d, firstDigest)
+		}
+	}
+}
+
+// TestStripedConcurrentApplyEquivalence applies one entry set concurrently
+// from many goroutines: the result must equal the sequential fold (Apply is
+// commutative and the stripes must not lose updates). Run with -race.
+func TestStripedConcurrentApplyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	entries := randomEntries(rng, 2000, 32)
+
+	seq := New()
+	for _, e := range entries {
+		seq.Apply(e)
+	}
+
+	conc := New()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(entries); i += workers {
+				conc.Apply(entries[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := conc.Digest(), seq.Digest(); got != want {
+		t.Fatalf("concurrent digest %x != sequential %x", got, want)
+	}
+	if got, want := conc.Applied(), seq.Applied(); got != want {
+		t.Fatalf("concurrent applied %d != sequential %d", got, want)
+	}
+	if !reflect.DeepEqual(conc.Snapshot(), seq.Snapshot()) {
+		t.Fatal("concurrent snapshot differs from sequential")
+	}
+}
+
+// TestStripedConcurrentReadsDuringWrites hammers Get/ReadAsOf from readers
+// while writers apply: values observed must always be complete (a key maps
+// to one of its written values, never a torn mix), and the read counters
+// must account every read.
+func TestStripedConcurrentReadsDuringWrites(t *testing.T) {
+	s := New()
+	const keys = 64
+	valid := make(map[string]map[string]bool) // key -> acceptable values
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("rk%02d", k)
+		valid[key] = map[string]bool{"": true}
+		for v := 0; v < 4; v++ {
+			valid[key][fmt.Sprintf("val-%d", v)] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := 0; v < 4; v++ {
+				for k := 0; k < keys; k++ {
+					s.Apply(wlog.Entry{
+						TS:    vclock.Timestamp{Node: vclock.NodeID(w), Seq: uint64(v*keys + k + 1)},
+						Key:   fmt.Sprintf("rk%02d", k),
+						Value: []byte(fmt.Sprintf("val-%d", v)),
+						Clock: uint64(v + 1),
+					})
+				}
+			}
+		}(w)
+	}
+	const readers = 4
+	const readsPer = 2000
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < readsPer; i++ {
+				key := fmt.Sprintf("rk%02d", rng.Intn(keys))
+				v, ok := s.Get(key)
+				got := ""
+				if ok {
+					got = string(v)
+				}
+				if !valid[key][got] {
+					t.Errorf("key %s: torn/unknown value %q", key, got)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	reads, stale := s.ReadStats()
+	if reads != readers*readsPer {
+		t.Errorf("ReadStats reads = %d, want %d", reads, readers*readsPer)
+	}
+	if stale != 0 {
+		t.Errorf("ReadStats stale = %d, want 0 (no ReadAsOf issued)", stale)
+	}
+}
+
+// TestStripedGetZeroAllocs pins the striped Get at zero allocations — the
+// foundation of the lock-free client read path's alloc guarantee.
+func TestStripedGetZeroAllocs(t *testing.T) {
+	s := New()
+	s.Apply(wlog.Entry{TS: vclock.Timestamp{Node: 1, Seq: 1}, Key: "k", Value: []byte("v"), Clock: 1})
+	if got := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Get("k"); !ok {
+			t.Fatal("key missing")
+		}
+	}); got != 0 {
+		t.Errorf("Get allocates %v objects per op, want 0", got)
+	}
+}

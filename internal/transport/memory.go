@@ -25,20 +25,27 @@ type MemoryConfig struct {
 // Memory is an in-process network hub. Endpoints attach by node id; Send
 // routes through the hub, applying latency, loss, and partitions.
 // Memory is safe for concurrent use, including runtime fault mutation
-// (Partition/Heal/SetLoss/SetLatency) concurrent with sends: all fault
-// state, including the loss/jitter RNG, is guarded by one mutex.
+// (Partition/Heal/SetLoss/SetLatency) concurrent with sends.
+//
+// The hub lock is a RWMutex: every send of every replica routes through
+// here, so senders take only the read side (fault state and the endpoint
+// table are read-mostly) and sends on disjoint links proceed in parallel.
+// Fault mutation and attach/close take the write side; the loss/jitter RNG
+// has its own small mutex, touched only when loss or jitter is configured.
 type Memory struct {
 	cfg MemoryConfig
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	endpoints map[NodeID]*memEndpoint
 	cut       map[[2]NodeID]bool // severed directed links
 	loss      float64            // current drop probability
 	latency   time.Duration      // current base delay
 	jitter    time.Duration      // current jitter bound
-	rng       *rand.Rand
 	closed    bool
 	wg        sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewMemory creates an in-memory network. The config's Latency, Jitter and
@@ -148,37 +155,52 @@ func (m *Memory) Close() error {
 	return nil
 }
 
-// send routes an envelope, applying faults. Called by endpoints.
+// send routes an envelope, applying faults. Called by endpoints. Senders
+// share the hub read lock, so concurrent traffic on disjoint links does not
+// serialise.
 func (m *Memory) send(env protocol.Envelope) error {
-	m.mu.Lock()
+	m.mu.RLock()
 	if m.closed {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return wrapSendErr(ErrClosed, env)
 	}
 	if m.cut[[2]NodeID{env.From, env.To}] {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return wrapSendErr(ErrDropped, env)
 	}
 	dst, ok := m.endpoints[env.To]
 	if !ok || dst.closed {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return wrapSendErr(ErrUnknownPeer, env)
 	}
-	if m.loss > 0 && m.rng.Float64() < m.loss {
-		m.mu.Unlock()
-		return wrapSendErr(ErrDropped, env)
+	loss, delay, jitter := m.loss, m.latency, m.jitter
+	m.mu.RUnlock()
+
+	if loss > 0 || jitter > 0 {
+		m.rngMu.Lock()
+		dropped := loss > 0 && m.rng.Float64() < loss
+		if !dropped && jitter > 0 {
+			delay += time.Duration(m.rng.Int63n(int64(jitter)))
+		}
+		m.rngMu.Unlock()
+		if dropped {
+			return wrapSendErr(ErrDropped, env)
+		}
 	}
-	delay := m.latency
-	if m.jitter > 0 {
-		delay += time.Duration(m.rng.Int63n(int64(m.jitter)))
-	}
-	m.mu.Unlock()
 
 	if delay <= 0 {
 		dst.deliver(env)
 		return nil
 	}
+	// Re-check closed around the wg.Add: Close (under the write lock) must
+	// not start waiting while a racing delayed send is about to register.
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return wrapSendErr(ErrClosed, env)
+	}
 	m.wg.Add(1)
+	m.mu.RUnlock()
 	time.AfterFunc(delay, func() {
 		defer m.wg.Done()
 		dst.deliver(env)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -9,21 +10,117 @@ import (
 	"repro/internal/protocol"
 )
 
-// peerConn serialises writes so concurrent senders cannot interleave frames.
+// errPeerConnClosed reports a send into a peer connection whose writer has
+// exited (broken connection or endpoint close); the next Send redials.
+var errPeerConnClosed = errors.New("transport: peer connection closed")
+
+// sendQueueDepth bounds the per-peer send queue. A full queue blocks the
+// sender — backpressure, matching what a full kernel socket buffer did when
+// writes were synchronous — rather than dropping.
+const sendQueueDepth = 512
+
+// writerBufBytes sizes the per-peer bufio.Writer through which the writer
+// goroutine coalesces envelope frames into shared syscalls.
+const writerBufBytes = 32 << 10
+
+// peerConn owns one outbound connection: a bounded send queue drained by a
+// dedicated writer goroutine through a bufio.Writer. The writer keeps
+// encoding frames while the queue has envelopes and flushes only when the
+// queue goes idle, so a burst of envelopes — a session's update batches, a
+// group commit's fan-out — shares buffer flushes and write syscalls instead
+// of paying one per envelope under a lock.
 type peerConn struct {
-	mu   sync.Mutex
 	conn net.Conn
+	q    chan protocol.Envelope
+
+	stop chan struct{} // closed by close(): stop writing, shut the conn
+	dead chan struct{} // closed by the writer on exit: senders must redial
+	once sync.Once
 }
 
-func (p *peerConn) write(env protocol.Envelope) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return protocol.WriteEnvelope(p.conn, env)
+func newPeerConn(conn net.Conn) *peerConn {
+	return &peerConn{
+		conn: conn,
+		q:    make(chan protocol.Envelope, sendQueueDepth),
+		stop: make(chan struct{}),
+		dead: make(chan struct{}),
+	}
+}
+
+// send enqueues env for the writer, blocking while the queue is full
+// (backpressure). It fails once the writer has exited; envelopes still
+// queued at that point never arrive, which is within Send's asynchronous
+// delivery contract.
+func (p *peerConn) send(env protocol.Envelope) error {
+	// Fast path: the queue has room and the writer is alive.
+	select {
+	case <-p.dead:
+		return errPeerConnClosed
+	default:
+	}
+	select {
+	case p.q <- env:
+		return nil
+	case <-p.dead:
+		return errPeerConnClosed
+	}
+}
+
+// close shuts the connection down: the writer stops (mid-flush writes fail
+// fast because the conn is closed under it) and blocked senders wake.
+// Idempotent.
+func (p *peerConn) close() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.conn.Close()
+	})
+}
+
+// writeLoop drains the queue through bw, flushing on idle. It exits on the
+// first write error or when close() fires, closing dead so senders stop
+// using this connection.
+func (p *peerConn) writeLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(p.dead)
+	defer p.conn.Close()
+	bw := bufio.NewWriterSize(p.conn, writerBufBytes)
+	for {
+		select {
+		case <-p.stop:
+			bw.Flush() // best effort; queued envelopes are dropped
+			return
+		case env := <-p.q:
+			if !p.drain(bw, env) {
+				return
+			}
+		}
+	}
+}
+
+// drain writes env and then keeps writing whatever else is already queued,
+// flushing exactly once when the queue goes idle. Returns false when the
+// writer must exit.
+func (p *peerConn) drain(bw *bufio.Writer, env protocol.Envelope) bool {
+	for {
+		if err := protocol.WriteEnvelope(bw, env); err != nil {
+			return false
+		}
+		select {
+		case env = <-p.q:
+			continue
+		case <-p.stop:
+			bw.Flush()
+			return false
+		default:
+			return bw.Flush() == nil
+		}
+	}
 }
 
 // TCP is a socket transport: each replica listens on its own address and
 // dials peers on demand, caching one outbound connection per peer. Envelopes
-// travel in the protocol package's length-prefixed binary framing.
+// travel in the protocol package's length-prefixed binary framing; each peer
+// connection is drained by a coalescing writer goroutine (see peerConn).
 //
 // TCP is safe for concurrent use.
 type TCP struct {
@@ -116,15 +213,20 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint. Delivery is asynchronous: Send parks the
+// envelope in the peer's coalescing write queue and returns; a full queue
+// blocks (backpressure). An error means the envelope will never arrive. A
+// connection that breaks after envelopes were queued loses them silently —
+// the *next* Send fails and redials, which is when the caller's
+// unreachability signal fires.
 func (t *TCP) Send(env protocol.Envelope) error {
 	env.From = t.id
 	pc, err := t.connTo(env.To)
 	if err != nil {
 		return wrapSendErr(err, env)
 	}
-	if err := pc.write(env); err != nil {
-		// Connection broke: forget it so the next send redials.
+	if err := pc.send(env); err != nil {
+		// Writer is gone: forget the connection so the next send redials.
 		t.dropConn(env.To, pc)
 		return wrapSendErr(err, env)
 	}
@@ -161,8 +263,10 @@ func (t *TCP) connTo(id NodeID) (*peerConn, error) {
 		conn.Close()
 		return existing, nil
 	}
-	pc := &peerConn{conn: conn}
+	pc := newPeerConn(conn)
 	t.conns[id] = pc
+	t.wg.Add(1)
+	go pc.writeLoop(&t.wg)
 	return pc, nil
 }
 
@@ -172,7 +276,7 @@ func (t *TCP) dropConn(id NodeID, pc *peerConn) {
 	if t.conns[id] == pc {
 		delete(t.conns, id)
 	}
-	pc.conn.Close()
+	pc.close()
 }
 
 // Recv implements Endpoint.
@@ -187,7 +291,7 @@ func (t *TCP) Close() error {
 	}
 	t.closed = true
 	for id, pc := range t.conns {
-		pc.conn.Close()
+		pc.close()
 		delete(t.conns, id)
 	}
 	// Unblock read loops stuck on inbound connections or on the recv

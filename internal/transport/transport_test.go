@@ -446,20 +446,34 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 	defer b2.Close()
 
-	// The first send may fail on the dead cached connection; the transport
-	// must recover by redialling.
-	var sent bool
-	for attempt := 0; attempt < 10; attempt++ {
-		if err := a.Send(advert(0, 1, 2)); err == nil {
-			sent = true
-			break
+	// Sends into the dead cached connection are asynchronous: the first may
+	// enqueue successfully and be lost when the writer discovers the broken
+	// conn, and the next fails and triggers a redial. The transport must
+	// recover — some retried envelope has to arrive at the restarted peer.
+	recovered := make(chan protocol.Envelope, 1)
+	go func() {
+		select {
+		case env := <-b2.Recv():
+			recovered <- env
+		case <-time.After(5 * time.Second):
+			close(recovered)
 		}
-		time.Sleep(20 * time.Millisecond)
+	}()
+	var arrived bool
+	for attempt := 0; attempt < 100 && !arrived; attempt++ {
+		a.Send(advert(0, 1, 2)) // errors expected while the conn churns
+		select {
+		case _, ok := <-recovered:
+			if !ok {
+				t.Fatal("transport never recovered after peer restart")
+			}
+			arrived = true
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
-	if !sent {
-		t.Fatal("transport never recovered after peer restart")
+	if !arrived {
+		t.Fatal("no envelope arrived at the restarted peer")
 	}
-	recvOne(t, b2)
 }
 
 // TestTCPPeerKilledMidStream kills the receiving endpoint while concurrent

@@ -1,0 +1,195 @@
+package wlog
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestAppendBatchMatchesAppend commits the same local writes through Append
+// one-by-one and through AppendBatch: entries, summary, and retained state
+// must be identical.
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	writes := make([]LocalWrite, 10)
+	for i := range writes {
+		writes[i] = LocalWrite{
+			Key:   fmt.Sprintf("k%d", i%3),
+			Value: []byte(fmt.Sprintf("value-%d", i)),
+			Clock: uint64(i + 1),
+		}
+	}
+
+	serial := New()
+	var serialEntries []Entry
+	for _, w := range writes {
+		serialEntries = append(serialEntries, serial.Append(3, w.Key, w.Value, w.Clock))
+	}
+
+	batched := New()
+	got := batched.AppendBatch(3, writes)
+
+	if !reflect.DeepEqual(got, serialEntries) {
+		t.Fatalf("AppendBatch entries differ:\n got %v\nwant %v", got, serialEntries)
+	}
+	if g, w := batched.Summary().String(), serial.Summary().String(); g != w {
+		t.Errorf("summaries differ: %s vs %s", g, w)
+	}
+	if !reflect.DeepEqual(batched.All(), serial.All()) {
+		t.Error("retained entries differ")
+	}
+	if batched.Bytes() != serial.Bytes() {
+		t.Errorf("bytes accounting differs: %d vs %d", batched.Bytes(), serial.Bytes())
+	}
+}
+
+// TestAppendBatchCopiesValues checks the arena copy: callers may reuse their
+// buffers after AppendBatch returns.
+func TestAppendBatchCopiesValues(t *testing.T) {
+	l := New()
+	buf := []byte("payload")
+	entries := l.AppendBatch(1, []LocalWrite{{Key: "a", Value: buf, Clock: 1}, {Key: "b", Value: buf, Clock: 2}})
+	copy(buf, "XXXXXXX")
+	for _, e := range entries {
+		if !bytes.Equal(e.Value, []byte("payload")) {
+			t.Fatalf("entry %v aliased the caller's buffer: %q", e.TS, e.Value)
+		}
+	}
+	if e, ok := l.Get(vclock.Timestamp{Node: 1, Seq: 2}); !ok || string(e.Value) != "payload" {
+		t.Fatalf("retained value corrupted: %q ok=%v", e.Value, ok)
+	}
+}
+
+// TestAppendBatchEmptyAndNilValues covers the degenerate shapes.
+func TestAppendBatchEmptyAndNilValues(t *testing.T) {
+	l := New()
+	if out := l.AppendBatch(1, nil); out != nil {
+		t.Fatalf("empty batch returned %v", out)
+	}
+	entries := l.AppendBatch(1, []LocalWrite{{Key: "nilval", Value: nil, Clock: 1}})
+	if entries[0].Value != nil {
+		t.Fatalf("nil value became %v", entries[0].Value)
+	}
+}
+
+// TestChunkedStorageSpansChunks drives the log well past several chunk
+// boundaries and checks every read path still observes exactly the entries
+// written, in order.
+func TestChunkedStorageSpansChunks(t *testing.T) {
+	const n = 3*logChunk + 17
+	l := New()
+	for i := 1; i <= n; i++ {
+		l.Append(5, fmt.Sprintf("k%d", i), []byte{byte(i)}, uint64(i))
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+	// Point reads across chunk boundaries.
+	for _, seq := range []uint64{1, logChunk, logChunk + 1, 2 * logChunk, uint64(n)} {
+		e, ok := l.Get(vclock.Timestamp{Node: 5, Seq: seq})
+		if !ok || e.Clock != seq {
+			t.Fatalf("Get(seq %d): ok=%v clock=%d", seq, ok, e.Clock)
+		}
+	}
+	// Range read starting inside a middle chunk.
+	partner := vclock.NewSummary()
+	partner.Advance(5, logChunk+100)
+	missing, err := l.MissingGiven(partner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != n-logChunk-100 {
+		t.Fatalf("missing = %d entries, want %d", len(missing), n-logChunk-100)
+	}
+	for i, e := range missing {
+		if want := uint64(logChunk + 100 + i + 1); e.TS.Seq != want {
+			t.Fatalf("missing[%d].Seq = %d, want %d", i, e.TS.Seq, want)
+		}
+	}
+	// All returns everything in order.
+	all := l.All()
+	if len(all) != n {
+		t.Fatalf("All = %d entries, want %d", len(all), n)
+	}
+	for i, e := range all {
+		if e.TS.Seq != uint64(i+1) {
+			t.Fatalf("All[%d].Seq = %d, want %d", i, e.TS.Seq, i+1)
+		}
+	}
+}
+
+// TestChunkedTruncationAcrossChunks truncates past several chunk boundaries
+// and verifies the floor, point reads, ranges and byte accounting all agree.
+func TestChunkedTruncationAcrossChunks(t *testing.T) {
+	const n = 2*logChunk + 500
+	l := New()
+	for i := 1; i <= n; i++ {
+		l.Append(2, "k", []byte("0123456789"), uint64(i))
+	}
+	const keep = 300
+	discarded := l.TruncateKeepLast(keep)
+	if discarded != n-keep {
+		t.Fatalf("discarded %d, want %d", discarded, n-keep)
+	}
+	if l.Len() != keep {
+		t.Fatalf("Len = %d, want %d", l.Len(), keep)
+	}
+	if got, want := l.TruncatedThrough(2), uint64(n-keep); got != want {
+		t.Fatalf("TruncatedThrough = %d, want %d", got, want)
+	}
+	if got, want := l.Bytes(), keep*(len("k")+10); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+	if _, ok := l.Get(vclock.Timestamp{Node: 2, Seq: n - keep}); ok {
+		t.Fatal("Get below the truncation floor succeeded")
+	}
+	if e, ok := l.Get(vclock.Timestamp{Node: 2, Seq: n - keep + 1}); !ok || e.Clock != uint64(n-keep+1) {
+		t.Fatalf("Get at the floor boundary: ok=%v clock=%d", ok, e.Clock)
+	}
+	// Incremental truncation within the now-partial head chunk.
+	stable := vclock.NewSummary()
+	stable.Advance(2, uint64(n-keep+50))
+	if d := l.TruncateCovered(stable); d != 50 {
+		t.Fatalf("second truncation discarded %d, want 50", d)
+	}
+	if l.Len() != keep-50 {
+		t.Fatalf("Len after second truncation = %d, want %d", l.Len(), keep-50)
+	}
+	// A partner behind the floor forces the snapshot path.
+	behind := vclock.NewSummary()
+	behind.Advance(2, 10)
+	if _, err := l.MissingGiven(behind); err == nil {
+		t.Fatal("MissingGiven for a partner behind the floor did not fail")
+	}
+	// The log keeps working after truncation.
+	e := l.Append(2, "post", []byte("new"), uint64(n+1))
+	if e.TS.Seq != uint64(n+1) {
+		t.Fatalf("post-truncation append got seq %d, want %d", e.TS.Seq, n+1)
+	}
+	if got, ok := l.Get(e.TS); !ok || string(got.Value) != "new" {
+		t.Fatalf("post-truncation Get: %q ok=%v", got.Value, ok)
+	}
+}
+
+// TestChunkedAdoptReleasesEntries checks Adopt's full-drop path on a
+// multi-chunk origin.
+func TestChunkedAdoptReleasesEntries(t *testing.T) {
+	l := New()
+	const n = logChunk + 50
+	for i := 1; i <= n; i++ {
+		l.Append(4, "k", []byte("v"), uint64(i))
+	}
+	snap := vclock.NewSummary()
+	snap.Advance(4, n+1000)
+	if d := l.Adopt(snap); d != n {
+		t.Fatalf("Adopt discarded %d, want %d", d, n)
+	}
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatalf("after Adopt: Len=%d Bytes=%d, want 0/0", l.Len(), l.Bytes())
+	}
+	if got := l.Summary().Get(4); got != n+1000 {
+		t.Fatalf("summary head = %d, want %d", got, n+1000)
+	}
+}

@@ -72,6 +72,103 @@ var ErrGap = errors.New("wlog: entry would create a sequence gap")
 // the log has already truncated; recovery requires a full-state transfer.
 var ErrTruncated = errors.New("wlog: required entries already truncated")
 
+// logChunk is the number of entries per full storage chunk. 1024 entries ≈
+// 64KiB of Entry headers — large enough to amortise chunk allocation, small
+// enough that a partially truncated head chunk pins little memory.
+// logChunkSeed is the capacity of an origin's very first allocation: most
+// origins in a simulation hold a handful of entries, and paying a full
+// chunk for each would dominate small-trial memory.
+const (
+	logChunk     = 1024
+	logChunkSeed = 8
+)
+
+// chunkedEntries stores one origin's retained entries in fixed-size chunks.
+// Unlike a single contiguous slice, appends never recopy or re-zero the
+// entries already stored (no growslice doubling on million-entry logs — the
+// sustained-write hot path), and truncation drops whole chunks instead of
+// copying the survivors. The tail chunk starts at logChunkSeed capacity and
+// grows geometrically in place until it reaches logChunk (a bounded, one-off
+// cost per origin); every earlier chunk holds exactly logChunk entries, so
+// indexing stays O(1).
+type chunkedEntries struct {
+	off    int       // entries logically dropped from the front of chunks[0]
+	n      int       // retained entry count
+	chunks [][]Entry // every chunk but the last holds exactly logChunk entries
+}
+
+func (c *chunkedEntries) append(e Entry) {
+	if len(c.chunks) == 0 {
+		c.chunks = append(c.chunks, make([]Entry, 0, logChunkSeed))
+	}
+	last := len(c.chunks) - 1
+	ch := c.chunks[last]
+	if len(ch) == cap(ch) {
+		if cap(ch) < logChunk {
+			// Grow the tail chunk toward full size. Copying here is safe
+			// under the immutability contract — previously handed-out views
+			// keep reading identical entries from the old array — and
+			// bounded: an origin pays at most ~2/3·logChunk copied entries
+			// over its whole lifetime.
+			bigger := make([]Entry, len(ch), min(cap(ch)*4, logChunk))
+			copy(bigger, ch)
+			c.chunks[last] = bigger
+			ch = bigger
+		} else {
+			ch = make([]Entry, 0, logChunk)
+			c.chunks = append(c.chunks, ch)
+			last++
+		}
+	}
+	c.chunks[last] = append(ch, e)
+	c.n++
+}
+
+// at returns the i-th retained entry (0-based).
+func (c *chunkedEntries) at(i int) Entry {
+	j := i + c.off
+	return c.chunks[j/logChunk][j%logChunk]
+}
+
+// appendRange appends the retained entries [from, to) to dst as zero-copy
+// views sharing the chunk backing arrays.
+func (c *chunkedEntries) appendRange(dst []Entry, from, to int) []Entry {
+	j, end := from+c.off, to+c.off
+	for j < end {
+		ch := c.chunks[j/logChunk]
+		lo := j % logChunk
+		hi := lo + (end - j)
+		if hi > len(ch) {
+			hi = len(ch)
+		}
+		dst = append(dst, ch[lo:hi]...)
+		j += hi - lo
+	}
+	return dst
+}
+
+// dropFront discards the first d retained entries, calling onDrop for each
+// (storage accounting), zeroing the vacated slots so value refs release, and
+// freeing whole chunks as the floor passes them.
+func (c *chunkedEntries) dropFront(d int, onDrop func(Entry)) {
+	if d > c.n {
+		d = c.n
+	}
+	for i := 0; i < d; i++ {
+		j := c.off + i
+		ch := c.chunks[j/logChunk]
+		onDrop(ch[j%logChunk])
+		ch[j%logChunk] = Entry{}
+	}
+	c.off += d
+	c.n -= d
+	for len(c.chunks) > 0 && c.off >= logChunk {
+		c.chunks[0] = nil
+		c.chunks = c.chunks[1:]
+		c.off -= logChunk
+	}
+}
+
 // Log is a write log. The zero value is ready to use. Log is safe for
 // concurrent use.
 type Log struct {
@@ -79,7 +176,7 @@ type Log struct {
 	// byOrigin[n] holds, in sequence order, entries originated at n that are
 	// still retained. Retained entries are always a contiguous sequence
 	// range [truncated[n]+1 .. summary.Get(n)].
-	byOrigin map[vclock.NodeID][]Entry
+	byOrigin map[vclock.NodeID]*chunkedEntries
 	// truncated[n] is the highest sequence from origin n discarded by
 	// truncation. 0 means nothing was truncated.
 	truncated map[vclock.NodeID]uint64
@@ -103,6 +200,49 @@ func (l *Log) Append(origin vclock.NodeID, key string, value []byte, clock uint6
 	}
 	l.insertLocked(e)
 	return e
+}
+
+// LocalWrite is one client write of a local group commit: the content plus
+// the Lamport clock the origin assigned. AppendBatch turns each into an
+// Entry stamped with the origin's next sequence number.
+type LocalWrite struct {
+	Key   string
+	Value []byte
+	Clock uint64
+}
+
+// AppendBatch records a batch of new local writes at origin under one lock
+// acquisition — the log half of a client-plane group commit. Sequence
+// numbers are assigned in batch order, so the returned entries (in input
+// order) are exactly what a per-write Append loop would have produced.
+// Values are copied like Append; the returned entries share the log's
+// backing arrays and are immutable.
+func (l *Log) AppendBatch(origin vclock.NodeID, writes []LocalWrite) []Entry {
+	if len(writes) == 0 {
+		return nil
+	}
+	// One arena holds every copied value: a batch costs one value
+	// allocation instead of one per write. Sub-slices are immutable the
+	// moment they enter the log, so sharing a backing array is safe.
+	total := 0
+	for _, w := range writes {
+		total += len(w.Value)
+	}
+	arena := make([]byte, 0, total)
+	out := make([]Entry, 0, len(writes))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, w := range writes {
+		e := Entry{TS: l.summary.Next(origin), Key: w.Key, Clock: w.Clock}
+		if len(w.Value) > 0 {
+			start := len(arena)
+			arena = append(arena, w.Value...)
+			e.Value = arena[start:len(arena):len(arena)]
+		}
+		l.insertLocked(e)
+		out = append(out, e)
+	}
+	return out
 }
 
 // Add inserts an entry received from a partner, retaining e's Key and Value
@@ -157,9 +297,14 @@ func (l *Log) AddBatch(entries []Entry) (added []Entry, gaps int) {
 func (l *Log) insertLocked(e Entry) {
 	l.summary.Observe(e.TS)
 	if l.byOrigin == nil {
-		l.byOrigin = make(map[vclock.NodeID][]Entry)
+		l.byOrigin = make(map[vclock.NodeID]*chunkedEntries)
 	}
-	l.byOrigin[e.TS.Node] = append(l.byOrigin[e.TS.Node], e)
+	ce := l.byOrigin[e.TS.Node]
+	if ce == nil {
+		ce = &chunkedEntries{}
+		l.byOrigin[e.TS.Node] = ce
+	}
+	ce.append(e)
 	l.bytes += len(e.Key) + len(e.Value)
 }
 
@@ -200,10 +345,10 @@ func (l *Log) Get(ts vclock.Timestamp) (Entry, bool) {
 	defer l.mu.RUnlock()
 	entries := l.byOrigin[ts.Node]
 	base := l.truncated[ts.Node]
-	if ts.Seq <= base || ts.Seq > l.summary.Get(ts.Node) {
+	if entries == nil || ts.Seq <= base || ts.Seq > l.summary.Get(ts.Node) {
 		return Entry{}, false
 	}
-	return entries[ts.Seq-base-1], true
+	return entries.at(int(ts.Seq - base - 1)), true
 }
 
 // MissingGiven returns, in a deterministic order (origin ascending, then
@@ -244,8 +389,7 @@ func (l *Log) MissingGiven(partner *vclock.Summary) ([]Entry, error) {
 			return
 		}
 		base := l.truncated[origin]
-		entries := l.byOrigin[origin]
-		out = append(out, entries[theirs-base:have-base]...)
+		out = l.byOrigin[origin].appendRange(out, int(theirs-base), int(have-base))
 	})
 	return out, nil
 }
@@ -270,7 +414,7 @@ func (l *Log) Len() int {
 	defer l.mu.RUnlock()
 	n := 0
 	for _, entries := range l.byOrigin {
-		n += len(entries)
+		n += entries.n
 	}
 	return n
 }
@@ -295,14 +439,16 @@ func (l *Log) retained() []Entry {
 	defer l.mu.RUnlock()
 	n := 0
 	for _, entries := range l.byOrigin {
-		n += len(entries)
+		n += entries.n
 	}
 	if n == 0 {
 		return nil
 	}
 	out := make([]Entry, 0, n)
 	l.summary.ForEach(func(origin vclock.NodeID, _ uint64) {
-		out = append(out, l.byOrigin[origin]...)
+		if entries := l.byOrigin[origin]; entries != nil {
+			out = entries.appendRange(out, 0, entries.n)
+		}
 	})
 	return out
 }
@@ -327,12 +473,9 @@ func (l *Log) TruncateCovered(stable *vclock.Summary) int {
 			continue
 		}
 		drop := int(cut - base)
-		for _, e := range entries[:drop] {
+		entries.dropFront(drop, func(e Entry) {
 			l.bytes -= len(e.Key) + len(e.Value)
-		}
-		rest := make([]Entry, len(entries)-drop)
-		copy(rest, entries[drop:])
-		l.byOrigin[origin] = rest
+		})
 		if l.truncated == nil {
 			l.truncated = make(map[vclock.NodeID]uint64)
 		}
@@ -373,15 +516,12 @@ func (l *Log) TruncateKeepLast(keep int) int {
 			continue
 		}
 		drop := int(newFloor - floor)
-		if drop > len(entries) {
-			drop = len(entries)
+		if drop > entries.n {
+			drop = entries.n
 		}
-		for _, e := range entries[:drop] {
+		entries.dropFront(drop, func(e Entry) {
 			l.bytes -= len(e.Key) + len(e.Value)
-		}
-		rest := make([]Entry, len(entries)-drop)
-		copy(rest, entries[drop:])
-		l.byOrigin[origin] = rest
+		})
 		if l.truncated == nil {
 			l.truncated = make(map[vclock.NodeID]uint64)
 		}
@@ -414,11 +554,13 @@ func (l *Log) Adopt(snap *vclock.Summary) int {
 		l.summary.Advance(node, head)
 		// Everything at or below the new head that we do not retain is now
 		// logically truncated; discard retained entries below the floor.
-		for _, e := range l.byOrigin[node] {
-			l.bytes -= len(e.Key) + len(e.Value)
-			discarded++
+		if entries := l.byOrigin[node]; entries != nil {
+			entries.dropFront(entries.n, func(e Entry) {
+				l.bytes -= len(e.Key) + len(e.Value)
+				discarded++
+			})
+			delete(l.byOrigin, node)
 		}
-		delete(l.byOrigin, node)
 		if l.truncated == nil {
 			l.truncated = make(map[vclock.NodeID]uint64)
 		}

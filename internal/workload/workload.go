@@ -132,11 +132,24 @@ func (r Result) String() string {
 // or verify the same keys the generator touches.
 func Key(i int) string { return fmt.Sprintf("key-%06d", i) }
 
+// keyTable materialises the keyspace once per run, so workers index a
+// shared read-only slice instead of formatting a key per op — key
+// formatting is measurable driver overhead at millions of ops/sec, and it
+// would otherwise pollute the target's measured latency.
+func keyTable(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	return keys
+}
+
 // Run drives the target with cfg's op mix until the op budget is spent or
 // ctx expires, whichever comes first.
 func Run(ctx context.Context, cfg Config, target Target) Result {
 	cfg = cfg.withDefaults()
 
+	keys := keyTable(cfg.Keys)
 	var issued atomic.Int64
 	var wg sync.WaitGroup
 	results := make([]workerResult, cfg.Workers)
@@ -145,7 +158,7 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(ctx, cfg, target, int64(w), &issued)
+			results[w] = runWorker(ctx, cfg, target, int64(w), keys, &issued)
 		}(w)
 	}
 	wg.Wait()
@@ -173,7 +186,7 @@ type workerResult struct {
 
 // runWorker is one closed-loop client: draw a key, issue the op, wait,
 // record, repeat until the shared budget is gone.
-func runWorker(ctx context.Context, cfg Config, target Target, id int64, issued *atomic.Int64) workerResult {
+func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []string, issued *atomic.Int64) workerResult {
 	rng := rand.New(rand.NewSource(cfg.Seed + id*6364136223846793005))
 	var zipf *rand.Zipf
 	if cfg.Dist == Zipf {
@@ -196,7 +209,7 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, issued 
 		} else {
 			k = rng.Intn(cfg.Keys)
 		}
-		key := Key(k)
+		key := keys[k]
 		begin := time.Now()
 		if rng.Float64() < cfg.ReadFraction {
 			if _, _, err := target.Read(key); err != nil {

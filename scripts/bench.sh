@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
 # bench.sh — run the headline micro-benchmarks and save benchstat-comparable
-# output, so the repo accumulates a perf trajectory across commits.
+# output plus a machine-readable JSON snapshot, so the repo accumulates a
+# perf trajectory across commits.
 #
 # Usage:
 #   scripts/bench.sh                 # default benches, 5 runs each
 #   BENCH='SummaryMerge' scripts/bench.sh
 #   COUNT=10 OUTDIR=/tmp/bench scripts/bench.sh
+#   CPU=8 PR=4 scripts/bench.sh     # pin -cpu and also write BENCH_4.json
 #
-# Each invocation writes bench-results/<commit>-<timestamp>.txt. Compare two
-# runs with:
+# Each invocation writes bench-results/<commit>-<timestamp>.txt (benchstat
+# input) and the matching .json (see scripts/benchjson). With PR=<n> set,
+# the JSON is also copied to BENCH_<n>.json at the repo root — the frozen
+# snapshot committed with that PR. Compare two text runs with:
 #   benchstat bench-results/<old>.txt bench-results/<new>.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-SingleTrialFast50|ShardedThroughput4}"
+BENCH="${BENCH:-SingleTrialFast50|ShardedThroughput4|ClientPlaneReadParallel|GroupCommitThroughput|TCPClientPlane}"
 OUTDIR="${OUTDIR:-bench-results}"
+CPU="${CPU:-}"
 
 mkdir -p "$OUTDIR"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 out="$OUTDIR/${commit}-$(date -u +%Y%m%dT%H%M%SZ).txt"
 
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$out"
+args=(-run '^$' -bench "$BENCH" -benchmem -count "$COUNT")
+if [ -n "$CPU" ]; then
+  args+=(-cpu "$CPU")
+fi
+go test "${args[@]}" . | tee "$out"
 
+go run ./scripts/benchjson -commit "$commit" < "$out" > "${out%.txt}.json"
 echo
 echo "wrote $out"
+echo "wrote ${out%.txt}.json"
+if [ -n "${PR:-}" ]; then
+  cp "${out%.txt}.json" "BENCH_${PR}.json"
+  echo "wrote BENCH_${PR}.json"
+fi
 echo "compare against an older run with: benchstat <old>.txt $out"

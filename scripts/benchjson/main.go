@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output into a JSON snapshot,
+// so the repo's perf trajectory is machine-readable across PRs: each
+// BENCH_<pr>.json at the repo root is one frozen measurement, and CI
+// archives one per commit next to the benchstat-comparable text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -commit abc123 > BENCH_4.json
+//
+// The text form stays the benchstat input; the JSON form is for dashboards
+// and scripted regression gates (jq '.benchmarks[] | select(.name | ...)').
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark execution: the iteration count plus every reported
+// metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units).
+type Run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Benchmark groups the runs of one benchmark name (as printed, including
+// the -cpu suffix, so GOMAXPROCS variants stay distinct).
+type Benchmark struct {
+	Name string `json:"name"`
+	Runs []Run  `json:"runs"`
+}
+
+// Snapshot is the file layout of BENCH_<pr>.json.
+type Snapshot struct {
+	Commit     string       `json:"commit,omitempty"`
+	Date       string       `json:"date"`
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit hash recorded in the snapshot")
+	flag.Parse()
+
+	snap := &Snapshot{
+		Commit: *commit,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+	byName := make(map[string]*Benchmark)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations (value unit)+
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		run := Run{Iterations: iters, Metrics: make(map[string]float64, (len(fields)-2)/2)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			run.Metrics[fields[i+1]] = v
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+		b.Runs = append(b.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
