@@ -33,15 +33,16 @@ import (
 // startBenchCluster builds and starts a live memory-transport cluster with
 // session timing slowed enough that anti-entropy background traffic does not
 // dominate the client-plane measurement.
-func startBenchCluster(b *testing.B, n int) *runtime.Cluster {
+func startBenchCluster(b *testing.B, n int, extra ...runtime.Option) *runtime.Cluster {
 	b.Helper()
 	r := rand.New(rand.NewSource(47))
 	g := topology.BarabasiAlbert(n, 2, r)
 	field := demand.Uniform(n, 1, 101, r)
-	cluster := runtime.New(g, field,
+	opts := append([]runtime.Option{
 		runtime.WithSeed(47),
-		runtime.WithSessionInterval(20*time.Millisecond),
-		runtime.WithAdvertInterval(10*time.Millisecond))
+		runtime.WithSessionInterval(20 * time.Millisecond),
+		runtime.WithAdvertInterval(10 * time.Millisecond)}, extra...)
+	cluster := runtime.New(g, field, opts...)
 	if err := cluster.Start(context.Background()); err != nil {
 		b.Fatal(err)
 	}
@@ -97,6 +98,42 @@ func BenchmarkClientPlaneReadParallel(b *testing.B) {
 // lock-per-write path and the best case for write combining.
 func BenchmarkGroupCommitThroughput(b *testing.B) {
 	cluster := startBenchCluster(b, 4)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gc-key-%04d", i)
+	}
+	var next atomic.Int64
+	value := []byte("group-commit-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 1_000_003
+		for pb.Next() {
+			key := keys[i%len(keys)]
+			i++
+			if _, err := cluster.Write(0, key, value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/sec")
+	b.StopTimer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !cluster.WaitConverged(ctx) {
+		b.Fatal("cluster did not converge after writes")
+	}
+}
+
+// BenchmarkDurableGroupCommit is BenchmarkGroupCommitThroughput with the
+// durable persistence plane on: every batch pays one WAL append per write
+// plus ONE fsync for the whole batch before any client in it is
+// acknowledged. The gap to BenchmarkGroupCommitThroughput is the price of
+// crash-surviving acks; write combining amortises the fsync across every
+// concurrent writer, so the gap shrinks as parallelism grows.
+func BenchmarkDurableGroupCommit(b *testing.B) {
+	cluster := startBenchCluster(b, 4, runtime.WithDurability(b.TempDir()))
 	keys := make([]string, 1024)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("gc-key-%04d", i)

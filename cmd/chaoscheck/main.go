@@ -10,8 +10,14 @@
 // logged schedule header:
 //
 //	go run ./cmd/chaoscheck -scenario split-brain -seed 42
+//	go run ./cmd/chaoscheck -scenario crash-recover-disk      # durable: SIGKILL + recover from WAL
 //	go run ./cmd/chaoscheck -random -seed 7 -shards 3
-//	go run ./cmd/chaoscheck -quick   # the CI smoke tier: 3 scenarios, <2min
+//	go run ./cmd/chaoscheck -random -seed 7 -durable          # random schedule over on-disk WALs
+//	go run ./cmd/chaoscheck -quick   # the CI smoke tier: 4 scenarios, <2min
+//
+// Durable scenarios run every replica over a segmented on-disk WAL
+// (internal/wal); -data-dir pins the WAL root to a directory you can
+// inspect afterwards (default: a fresh temp dir, removed after the run).
 //
 // Wall-clock measurements (settle times, probe arrival means, op counts)
 // are not part of the verdict; print them with -v.
@@ -48,7 +54,9 @@ func run(args []string, w io.Writer) (int, error) {
 		nodes    = fs.Int("nodes", 8, "replicas per cluster for -random")
 		shards   = fs.Int("shards", 1, "shard groups for -random (>1 adds reshard events)")
 		duration = fs.Duration("duration", 4*time.Second, "schedule span for -random")
-		quick    = fs.Bool("quick", false, "CI smoke tier: split-brain, rolling-restart and flaky-network at half scale, fixed seeds")
+		durable  = fs.Bool("durable", false, "for -random: run with on-disk WALs; crashed replicas recover from disk")
+		dataDir  = fs.String("data-dir", "", "root directory for durable replicas' WALs (default: a fresh temp dir per run, removed afterwards)")
+		quick    = fs.Bool("quick", false, "CI smoke tier: split-brain, rolling-restart, flaky-network and crash-recover-disk at half scale, fixed seeds")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		verbose  = fs.Bool("v", false, "print wall-clock observations alongside the verdict")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "hard cap per scenario run")
@@ -67,7 +75,7 @@ func run(args []string, w io.Writer) (int, error) {
 	var scenarios []chaos.Scenario
 	switch {
 	case *quick:
-		for i, name := range []string{"split-brain", "rolling-restart", "flaky-network"} {
+		for i, name := range []string{"split-brain", "rolling-restart", "flaky-network", "crash-recover-disk"} {
 			sc, err := chaos.Named(name, 42+int64(i), 0.5)
 			if err != nil {
 				return 2, err
@@ -79,6 +87,7 @@ func run(args []string, w io.Writer) (int, error) {
 			Nodes:    *nodes,
 			Shards:   *shards,
 			Duration: time.Duration(float64(*duration) * *scale),
+			Durable:  *durable,
 		}))
 	case *scenario != "":
 		sc, err := chaos.Named(*scenario, *seed, *scale)
@@ -88,6 +97,13 @@ func run(args []string, w io.Writer) (int, error) {
 		scenarios = append(scenarios, sc)
 	default:
 		return 2, fmt.Errorf("pick one of -scenario, -random, -quick or -list")
+	}
+	if *dataDir != "" {
+		for i := range scenarios {
+			if scenarios[i].Durable {
+				scenarios[i].DataDir = *dataDir
+			}
+		}
 	}
 
 	failed := 0

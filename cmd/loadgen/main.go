@@ -58,6 +58,7 @@ func run(args []string, w io.Writer) error {
 		advert        = fs.Duration("advert", 10*time.Millisecond, "demand advertisement interval")
 		seed          = fs.Int64("seed", 1, "deterministic seed")
 		timeout       = fs.Duration("timeout", 2*time.Minute, "post-load convergence timeout")
+		dataDir       = fs.String("data-dir", "", "enable the durable persistence plane: per-shard WALs under this directory (writes fsync before ack)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +100,7 @@ func run(args []string, w io.Writer) error {
 	// Determinism comes from Config.Seed, which derives distinct per-group
 	// replica seeds; a blanket runtime.WithSeed here would be overridden.
 	router, err := core.Sharded(sys, *shards,
-		shard.Config{Routing: route, Seed: *seed},
+		shard.Config{Routing: route, Seed: *seed, DataDir: *dataDir},
 		runtime.WithSessionInterval(*session),
 		runtime.WithAdvertInterval(*advert),
 	)
@@ -108,6 +109,9 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "sharded keyspace: %d shard(s) x %d replicas over %v (routing %v)\n",
 		*shards, *nodesPerShard, graph, route)
+	if *dataDir != "" {
+		fmt.Fprintf(w, "durability: on — per-shard WALs under %s, writes fsync before ack\n", *dataDir)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

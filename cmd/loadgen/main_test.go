@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,28 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		var b strings.Builder
 		if err := run(args, &b); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunDurableLoad(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "2", "-nodes-per-shard", "4",
+		"-ops", "800", "-workers", "4", "-keys", "128",
+		"-data-dir", dir,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "durability: on") {
+		t.Errorf("output missing durability banner:\n%s", b.String())
+	}
+	// The WAL directories exist per shard per replica.
+	for _, p := range []string{"shard0/n0", "shard1/n3"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Errorf("expected WAL dir %s: %v", p, err)
 		}
 	}
 }

@@ -15,6 +15,10 @@
 //	                     demand-dynamic / ablation baselines
 //	internal/vclock      timestamps and summary vectors
 //	internal/wlog        write logs with Bayou-style truncation
+//	internal/wal         durable persistence plane: segmented on-disk
+//	                     write-ahead log + snapshots behind wlog, with
+//	                     group fsync, watermark compaction and
+//	                     torn-tail-tolerant recovery
 //	internal/store       convergent replicated KV store
 //	internal/topology    line/ring/grid/BA/Waxman generators, power laws
 //	internal/demand      demand fields (static, valleys, dynamic) + tables
@@ -81,10 +85,43 @@
 //     draining a bounded send queue through a bufio.Writer with
 //     flush-on-idle: bursts of envelopes (session batches, group-commit
 //     fan-outs) share flushes and syscalls; a full queue blocks the sender
-//     (backpressure), and the shard router inherits all of the above.
+//     briefly (bounded backpressure) and then drops like a lossy link —
+//     unbounded blocking would deadlock two replicas flooding each other —
+//     and the shard router inherits all of the above.
+//
+// # Durable persistence plane
+//
+// With runtime.WithDurability(dir) (or shard.Config.DataDir) each replica
+// keeps a segmented on-disk write-ahead log plus a snapshot file under
+// dir/n<id> (internal/wal):
+//
+//   - Every mutation of the write log and store is journaled in order
+//     through the node.Journal hook. Client writes become durable before
+//     they become visible: the group-commit leader fsyncs the whole batch
+//     (ONE fsync per batch) while still holding the replica lock, before
+//     any ack and before any anti-entropy session can serve the entries.
+//
+//   - Peer-learned entries ride the WAL buffer and sync with the next
+//     batch or the periodic maintenance tick; losing that tail in a crash
+//     is safe (anti-entropy re-fetches it).
+//
+//   - Snapshots roll on a byte watermark and compact sealed segments;
+//     the persisted snapshot also pins the in-memory log's truncation
+//     floor (wlog.LimitTruncation), so compaction can never drop entries
+//     the disk cannot reproduce.
+//
+//   - Kill abandons the WAL unflushed (a SIGKILL simulation);
+//     Cluster.RestartFromDisk replays snapshot + surviving records —
+//     tolerating torn tails — and the replica rejoins propagation without
+//     a full peer bootstrap. Cold construction over an existing data dir
+//     recovers the same way. The chaos scenario "crash-recover-disk"
+//     verifies acked writes survive with zero at-risk classifications.
+//
+// ARCHITECTURE.md walks the full write/read paths and the recovery story.
 //
 // The benchmarks in bench_test.go regenerate each experiment at reduced
 // scale under `go test -bench`; cmd/experiments runs them at paper scale.
 // The client-plane benchmarks (clientplane_bench_test.go) measure this
-// surface under -cpu 4,8 parallelism.
+// surface under -cpu 4,8 parallelism; BenchmarkDurableGroupCommit prices
+// the fsync-before-ack write path.
 package repro

@@ -337,3 +337,72 @@ func TestEventStringFormats(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCrashRecoverDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos runs in -short mode")
+	}
+	sc, err := Named("crash-recover-disk", 21, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Durable {
+		t.Fatal("crash-recover-disk must be durable")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("invariants failed:\n%s%s", rep.Verdict(), rep.Observations())
+	}
+	// The durable scenario's headline claim: the at-risk classification is
+	// empty — every acked write truly survived the crashes.
+	if !strings.Contains(rep.Verdict(), "final/no-at-risk") {
+		t.Fatalf("verdict missing the no-at-risk check:\n%s", rep.Verdict())
+	}
+	if rep.AtRisk != 0 {
+		t.Fatalf("%d acked writes classified at-risk on a durable run", rep.AtRisk)
+	}
+}
+
+func TestGenerateDurable(t *testing.T) {
+	sc := Generate(9, GenConfig{Nodes: 6, Durable: true})
+	if !sc.Durable {
+		t.Fatal("generated scenario not durable")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sawDisk := false
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case EvRestart, EvRestartPreserve:
+			t.Fatalf("durable schedule contains %v", e.Kind)
+		case EvRestartDisk:
+			sawDisk = true
+		}
+	}
+	if !sawDisk {
+		t.Skip("schedule drew no restarts for this seed")
+	}
+}
+
+func TestRestartDiskRequiresDurable(t *testing.T) {
+	sc := Scenario{
+		Nodes: 4,
+		Events: []Event{
+			{Kind: EvKill, Nodes: []NodeID{0}},
+			{Kind: EvRestartDisk, Nodes: []NodeID{0}},
+		},
+	}
+	if err := sc.withDefaults().Validate(); err == nil {
+		t.Fatal("restart-disk validated without Durable")
+	}
+	sc.Durable = true
+	if err := sc.withDefaults().Validate(); err != nil {
+		t.Fatalf("durable restart-disk rejected: %v", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -170,6 +172,11 @@ type engine struct {
 	// Router mode.
 	router *shard.Router
 
+	// dataDir roots durable replicas' WALs; ownDataDir marks a temporary
+	// directory the engine created (and removes after the run).
+	dataDir    string
+	ownDataDir bool
+
 	dead     map[ackLoc]bool
 	prevVers map[ackLoc]map[string]verKey
 
@@ -199,6 +206,21 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 	rng := rand.New(rand.NewSource(e.sc.Seed))
 	runCtx, stopAll := context.WithCancel(ctx)
 	defer stopAll()
+	if e.sc.Durable {
+		e.dataDir = e.sc.DataDir
+		if e.dataDir == "" {
+			dir, err := os.MkdirTemp("", "chaos-wal-")
+			if err != nil {
+				return nil, fmt.Errorf("chaos: durable data dir: %w", err)
+			}
+			e.dataDir, e.ownDataDir = dir, true
+		}
+		defer func() {
+			if e.ownDataDir {
+				os.RemoveAll(e.dataDir)
+			}
+		}()
+	}
 	if e.sc.Shards > 1 {
 		if err := e.buildRouter(runCtx, rng); err != nil {
 			return nil, err
@@ -247,11 +269,15 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 		e.base = demand.Uniform(n, 1, 101, rng)
 	}
 	e.mfield = demand.NewMutable(e.base)
-	e.cluster = runtime.New(g, e.mfield,
+	opts := []runtime.Option{
 		runtime.WithSeed(e.sc.Seed),
 		runtime.WithSessionInterval(e.sc.SessionInterval),
 		runtime.WithAdvertInterval(e.sc.AdvertInterval),
-	)
+	}
+	if e.sc.Durable {
+		opts = append(opts, runtime.WithDurability(filepath.Join(e.dataDir, "cluster")))
+	}
+	e.cluster = runtime.New(g, e.mfield, opts...)
 	if err := e.cluster.Start(ctx); err != nil {
 		return err
 	}
@@ -264,13 +290,17 @@ func (e *engine) buildRouter(ctx context.Context, rng *rand.Rand) error {
 	for i := range specs {
 		specs[i] = e.groupSpec(fmt.Sprintf("shard%d", i), rng)
 	}
-	r, err := shard.NewRouter(specs, shard.Config{
+	cfg := shard.Config{
 		Seed: e.sc.Seed,
 		RuntimeOptions: []runtime.Option{
 			runtime.WithSessionInterval(e.sc.SessionInterval),
 			runtime.WithAdvertInterval(e.sc.AdvertInterval),
 		},
-	})
+	}
+	if e.sc.Durable {
+		cfg.DataDir = e.dataDir
+	}
+	r, err := shard.NewRouter(specs, cfg)
 	if err != nil {
 		return err
 	}
@@ -374,6 +404,15 @@ func (e *engine) apply(ctx context.Context, idx int, ev Event) error {
 	case EvRestartPreserve:
 		for _, id := range ev.Nodes {
 			if err := clusters[0].RestartPreserving(id); err != nil {
+				return err
+			}
+			delete(e.dead, ackLoc{shard: ev.Shard, node: id})
+		}
+	case EvRestartDisk:
+		// Disk recovery preserves every synced (= every acknowledged)
+		// write, so unlike EvRestart nothing is reclassified at-risk.
+		for _, id := range ev.Nodes {
+			if err := clusters[0].RestartFromDisk(id); err != nil {
 				return err
 			}
 			delete(e.dead, ackLoc{shard: ev.Shard, node: id})
@@ -497,6 +536,20 @@ func (e *engine) quiesce(ctx context.Context, label string, final bool) {
 			dres.Detail = fmt.Sprintf("%d acked keys missing, %d converged to never-acked values", d.missing, d.wrongValue)
 		}
 		e.rep.add(dres)
+		if e.sc.Durable && !e.sc.hasLossyEvents() {
+			// With real persistence the at-risk classification must stay
+			// empty: every acknowledged write was fsynced before its ack,
+			// so no crash in the schedule may have cost one. (Schedules
+			// with intentionally lossy events — empty-state restarts,
+			// reshards — keep their documented at-risk windows and skip
+			// this check.)
+			_, _, atRisk := e.tracker.counts()
+			ares := CheckResult{Name: label + "/no-at-risk", Pass: atRisk == 0}
+			if atRisk > 0 {
+				ares.Detail = fmt.Sprintf("%d acked writes were classified at-risk despite durability", atRisk)
+			}
+			e.rep.add(ares)
+		}
 	}
 	e.tracker.seal(e.dead)
 }

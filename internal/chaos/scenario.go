@@ -1,14 +1,17 @@
 // Package chaos is a seeded, deterministic fault-schedule engine for live
 // clusters. It composes the repository's fault primitives — transport
 // partitions/loss/latency (transport.Faults), replica crash/restart with and
-// without state loss (runtime.Cluster), live shard add/remove
-// (shard.Router), and demand-field flips (demand.Mutable) — into scripted
-// adversarial scenarios, applies background client traffic while the
-// schedule runs, and checks invariants at quiesce points:
+// without state loss (runtime.Cluster), SIGKILL-style crashes with recovery
+// from on-disk WALs (durable scenarios, runtime.RestartFromDisk), live
+// shard add/remove (shard.Router), and demand-field flips (demand.Mutable)
+// — into scripted adversarial scenarios, applies background client traffic
+// while the schedule runs, and checks invariants at quiesce points:
 //
 //  1. durability — every acknowledged write survives and converges after
 //     faults heal (writes whose only copy died with a crashed replica are
-//     classified at-risk, not required; see tracker.go),
+//     classified at-risk, not required; see tracker.go — on durable
+//     scenarios without deliberately lossy events the at-risk set must
+//     additionally be empty, because acks imply fsync),
 //  2. monotonicity — store versions never regress per key per replica
 //     across converged checkpoints,
 //  3. convergence — Converged holds after fault-free settling, with all
@@ -63,6 +66,11 @@ const (
 	// EvRestartPreserve restarts crashed replicas with their protocol state
 	// intact, as if recovering from durable storage.
 	EvRestartPreserve
+	// EvRestartDisk restarts crashed replicas from their on-disk WAL and
+	// snapshot (durable scenarios only): acknowledged writes survive the
+	// crash for real, so the durability invariant holds with nothing
+	// reclassified at-risk.
+	EvRestartDisk
 	// EvSetLoss sets the per-message drop probability to Rate.
 	EvSetLoss
 	// EvSetLatency sets base delivery latency and jitter.
@@ -98,6 +106,8 @@ func (k EventKind) String() string {
 		return "restart"
 	case EvRestartPreserve:
 		return "restart-preserve"
+	case EvRestartDisk:
+		return "restart-disk"
 	case EvSetLoss:
 		return "set-loss"
 	case EvSetLatency:
@@ -140,7 +150,7 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvPartition:
 		fmt.Fprintf(&b, " %v | %v", e.Nodes, e.Peers)
-	case EvKill, EvRestart, EvRestartPreserve:
+	case EvKill, EvRestart, EvRestartPreserve, EvRestartDisk:
 		fmt.Fprintf(&b, " %v", e.Nodes)
 	case EvSetLoss:
 		fmt.Fprintf(&b, " %g", e.Rate)
@@ -168,6 +178,18 @@ type Scenario struct {
 	// Topology picks the replica graph: "ring" (default), "complete", or
 	// "ba" (Barabási–Albert).
 	Topology string
+	// Durable runs the system with the durable persistence plane on
+	// (runtime.WithDurability per cluster): client writes are fsynced
+	// before their ack, EvKill becomes a SIGKILL-style crash that loses
+	// only unsynced state, and EvRestartDisk recovers replicas from disk.
+	// The durability invariant then demands zero at-risk writes at the
+	// final check. Durable affects execution only; the schedule stays a
+	// pure function of (name, seed, scale).
+	Durable bool
+	// DataDir roots the durable replicas' WALs; empty means a fresh
+	// temporary directory per run, removed afterwards. Only meaningful
+	// with Durable.
+	DataDir string
 	// Field fixes the per-replica demand (indexed by local id, applied to
 	// every group); nil draws Uniform(1,101) demands from Seed.
 	Field demand.Static
@@ -265,12 +287,15 @@ func (s Scenario) Validate() error {
 			if len(e.Nodes) == 0 || len(e.Peers) == 0 {
 				return fmt.Errorf("chaos: event %d: partition needs two non-empty sides", i)
 			}
-		case EvKill, EvRestart, EvRestartPreserve:
+		case EvKill, EvRestart, EvRestartPreserve, EvRestartDisk:
 			if len(e.Nodes) == 0 {
 				return fmt.Errorf("chaos: event %d: %v needs targets", i, e.Kind)
 			}
 			if sharded && e.Shard == "" {
 				return fmt.Errorf("chaos: event %d: %v needs a target shard in a sharded scenario", i, e.Kind)
+			}
+			if e.Kind == EvRestartDisk && !s.Durable {
+				return fmt.Errorf("chaos: event %d: %v needs a durable scenario", i, e.Kind)
 			}
 		case EvSetLoss:
 			if e.Rate < 0 || e.Rate >= 1 {
@@ -304,13 +329,31 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// hasLossyEvents reports whether the schedule contains events that are
+// *documented* to put acknowledged writes at risk even under durability:
+// empty-state restarts (deliberate state loss) and reshards (the handoff
+// window is non-linearizable against racing writes).
+func (s Scenario) hasLossyEvents() bool {
+	for _, e := range s.Events {
+		switch e.Kind {
+		case EvRestart, EvAddShard, EvRemoveShard:
+			return true
+		}
+	}
+	return false
+}
+
 // Schedule renders the full event schedule. The output is a deterministic
 // function of the scenario value — the reproducibility contract.
 func (s Scenario) Schedule() string {
 	s = s.withDefaults()
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s seed=%d nodes=%d shards=%d topo=%s events=%d\n",
-		s.Name, s.Seed, s.Nodes, s.Shards, s.Topology, len(s.Events))
+	durable := ""
+	if s.Durable {
+		durable = " durable=true"
+	}
+	fmt.Fprintf(&b, "scenario %s seed=%d nodes=%d shards=%d topo=%s%s events=%d\n",
+		s.Name, s.Seed, s.Nodes, s.Shards, s.Topology, durable, len(s.Events))
 	for i, e := range s.Events {
 		fmt.Fprintf(&b, "  %2d %s\n", i, e)
 	}

@@ -17,6 +17,7 @@ func Names() []string {
 		"flaky-network",
 		"reshard-under-fire",
 		"demand-inversion",
+		"crash-recover-disk",
 	}
 }
 
@@ -122,6 +123,33 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 				{At: at(3800), Kind: EvQuiesce},
 			},
 		}, nil
+	case "crash-recover-disk":
+		return Scenario{
+			Name: name,
+			Description: "durable replicas are SIGKILLed mid-load and recover from their on-disk WAL; " +
+				"acked writes must survive with zero at-risk",
+			Seed:     seed,
+			Nodes:    9,
+			Topology: "ring",
+			Durable:  true,
+			Events: []Event{
+				{At: at(300), Kind: EvKill, Nodes: []NodeID{1}},
+				{At: at(1000), Kind: EvRestartDisk, Nodes: []NodeID{1}},
+				{At: at(1300), Kind: EvQuiesce},
+				// Overlapping crashes: disk recovery needs no live-peer
+				// bootstrap, so simultaneous failures are fine.
+				{At: at(1600), Kind: EvKill, Nodes: []NodeID{2, 3}},
+				{At: at(2400), Kind: EvRestartDisk, Nodes: []NodeID{2, 3}},
+				{At: at(2600), Kind: EvQuiesce},
+				// Crash under partition pressure: the victim recovers from
+				// disk while the network is still split, then everything
+				// heals.
+				{At: at(2800), Kind: EvPartition, Nodes: []NodeID{0, 1, 2, 3}, Peers: []NodeID{4, 5, 6, 7, 8}},
+				{At: at(3100), Kind: EvKill, Nodes: []NodeID{5}},
+				{At: at(3700), Kind: EvRestartDisk, Nodes: []NodeID{5}},
+				{At: at(4000), Kind: EvHeal},
+			},
+		}, nil
 	case "demand-inversion":
 		return Scenario{
 			Name:        name,
@@ -152,6 +180,10 @@ type GenConfig struct {
 	Quiesces int
 	// Faults is the number of fault events between checkpoints. Default 4.
 	Faults int
+	// Durable generates a durable scenario: replicas run with on-disk WALs
+	// and crashed replicas recover via restart-disk instead of empty-state
+	// restarts.
+	Durable bool
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -236,13 +268,20 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		// content is stranded (see runtime.Restart).
 		kinds := make([]EventKind, len(locs))
 		for i := range kinds {
-			if rng.Intn(2) == 0 {
+			switch {
+			case cfg.Durable:
+				// Durable schedules always recover from disk; the draw is
+				// still consumed so durable and non-durable schedules stay
+				// aligned event-for-event.
+				rng.Intn(2)
+				kinds[i] = EvRestartDisk
+			case rng.Intn(2) == 0:
 				kinds[i] = EvRestartPreserve
-			} else {
+			default:
 				kinds[i] = EvRestart
 			}
 		}
-		for _, want := range []EventKind{EvRestartPreserve, EvRestart} {
+		for _, want := range []EventKind{EvRestartPreserve, EvRestartDisk, EvRestart} {
 			for i, loc := range locs {
 				if kinds[i] != want {
 					continue
@@ -263,6 +302,7 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		Nodes:       cfg.Nodes,
 		Shards:      cfg.Shards,
 		Topology:    "ring",
+		Durable:     cfg.Durable,
 		Events:      events,
 	}
 }
@@ -317,9 +357,15 @@ func randomFault(rng *rand.Rand, cfg GenConfig, shards []string, dead map[ackLoc
 			id := ids[rng.Intn(len(ids))]
 			// Empty-state restarts are only safe when this is the group's
 			// sole dead replica (see runtime.Restart); otherwise preserve.
+			// Durable schedules recover from disk, which is safe even with
+			// overlapping failures (the draw is still consumed to keep
+			// schedules seed-aligned).
 			kind := EvRestartPreserve
 			if len(ids) == 1 && rng.Intn(2) == 0 {
 				kind = EvRestart
+			}
+			if cfg.Durable {
+				kind = EvRestartDisk
 			}
 			delete(dead, ackLoc{shard: shard, node: id})
 			return Event{At: off, Kind: kind, Shard: shard, Nodes: []NodeID{id}}

@@ -59,6 +59,30 @@ type Config struct {
 	// MaxBatch bounds entries per UpdateBatch; 0 means unlimited. Large
 	// sessions split across batches, with Final set on the last.
 	MaxBatch int
+	// Journal, when non-nil, receives every state mutation for durable
+	// storage (see the Journal interface). Drivers that recover a replica
+	// from disk leave this nil, replay, then call AttachJournal, so replay
+	// never re-journals itself.
+	Journal Journal
+}
+
+// Journal is the durability hook: a sink that persists every mutation of
+// the replica's write log and store, in the order the replica applies them.
+// The node invokes it under whatever synchronisation the driver already
+// holds for the node itself (node methods are single-threaded per replica),
+// so implementations see mutations in a total order. Implementations buffer
+// internally; the driver decides when the journal must reach stable storage
+// (e.g. the runtime fsyncs once per group-committed client batch, before
+// acknowledging it).
+type Journal interface {
+	// JournalEntries records entries that just entered the write log, in
+	// insertion order: local client writes and entries gained from peers.
+	JournalEntries(entries []wlog.Entry)
+	// JournalAdopt records a full-state adoption: a protocol snapshot or
+	// peer bootstrap (summary non-nil) or a content-only absorption such as
+	// a shard handoff (summary nil). clock is the replica's Lamport clock
+	// after the adoption.
+	JournalAdopt(summary *vclock.Summary, items []store.Item, clock uint64)
 }
 
 // Stats counts protocol activity for one replica.
@@ -87,6 +111,7 @@ type Node struct {
 	st       *store.Store
 	table    *demand.Table
 	selector policy.Selector
+	journal  Journal
 	lamport  uint64
 
 	nextSession uint64
@@ -122,10 +147,17 @@ func New(cfg Config) *Node {
 		st:        store.New(),
 		table:     demand.NewTable(cfg.Neighbors),
 		selector:  cfg.Selector,
+		journal:   cfg.Journal,
 		initiated: make(map[uint64]NodeID),
 		accepted:  make(map[uint64]NodeID),
 	}
 }
+
+// AttachJournal installs (or replaces) the durability hook after
+// construction. Drivers recovering a replica from disk build the node with
+// a nil journal, Replay the recovered state, and attach the journal only
+// then — replayed mutations are already on disk and must not re-journal.
+func (n *Node) AttachJournal(j Journal) { n.journal = j }
 
 // ID returns the replica's identity.
 func (n *Node) ID() NodeID { return n.cfg.ID }
@@ -174,6 +206,9 @@ func (n *Node) Bootstrap(snap *vclock.Summary, items []store.Item, minClock uint
 	if minClock > n.lamport {
 		n.lamport = minClock
 	}
+	if n.journal != nil {
+		n.journal.JournalAdopt(snap, items, n.lamport)
+	}
 }
 
 // Store exposes the replica's content store (for client reads).
@@ -203,6 +238,9 @@ func (n *Node) ClientWrite(now float64, key string, value []byte) (wlog.Entry, [
 	n.lamport++
 	e := n.log.Append(n.cfg.ID, key, value, n.lamport)
 	n.st.Apply(e)
+	if n.journal != nil {
+		n.journal.JournalEntries([]wlog.Entry{e})
+	}
 	out := n.fastOffers(now, []wlog.Entry{e}, 0, n.cfg.ID)
 	return e, out
 }
@@ -240,6 +278,9 @@ func (n *Node) ClientWriteBatch(now float64, ops []WriteOp) ([]wlog.Entry, []pro
 	n.writeScratch = writes[:0]
 	for _, e := range entries {
 		n.st.Apply(e)
+	}
+	if n.journal != nil {
+		n.journal.JournalEntries(entries)
 	}
 	out := n.fastOffers(now, entries, 0, n.cfg.ID)
 	return entries, out
@@ -436,7 +477,35 @@ func (n *Node) absorb(entries []wlog.Entry) []wlog.Entry {
 		}
 		n.st.Apply(e)
 	}
+	if n.journal != nil && len(gained) > 0 {
+		n.journal.JournalEntries(gained)
+	}
 	return gained
+}
+
+// Replay folds recovered write-log entries into the replica — the disk
+// recovery path. Unlike absorb it triggers no fast offers (the entries are
+// old news to the network) and, because drivers attach the journal only
+// after replay, nothing is re-journaled. Entries are applied in (origin,
+// seq) order; those already covered are skipped. It returns how many
+// entries were new.
+func (n *Node) Replay(entries []wlog.Entry) int {
+	if len(entries) == 0 {
+		return 0
+	}
+	if !wlog.Sorted(entries) {
+		sorted := append([]wlog.Entry(nil), entries...)
+		wlog.SortByTS(sorted)
+		entries = sorted
+	}
+	gained, _ := n.log.AddBatch(entries)
+	for _, e := range gained {
+		if e.Clock > n.lamport {
+			n.lamport = e.Clock
+		}
+		n.st.Apply(e)
+	}
+	return len(gained)
 }
 
 // fastOffers implements step 13: offer newly gained writes (ids only) to the
@@ -547,6 +616,9 @@ func (n *Node) onSnapshot(now float64, from NodeID, m protocol.Snapshot) []proto
 			n.lamport = item.Clock
 		}
 	}
+	if n.journal != nil {
+		n.journal.JournalAdopt(m.Summary, m.Items, n.lamport)
+	}
 	delete(n.initiated, m.SessionID)
 	delete(n.accepted, m.SessionID)
 	return nil
@@ -564,6 +636,9 @@ func (n *Node) AbsorbItems(items []store.Item) {
 		if item.Clock > n.lamport {
 			n.lamport = item.Clock
 		}
+	}
+	if n.journal != nil {
+		n.journal.JournalAdopt(nil, items, n.lamport)
 	}
 }
 

@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+	"repro/internal/wlog"
+)
+
+// This file wires the durable persistence plane (internal/wal) into the
+// live cluster.
+//
+// With WithDurability(dir) every replica keeps a segmented write-ahead log
+// plus snapshot under dir/n<id>. The flow:
+//
+//   - Every mutation of the replica's write log and store is journaled
+//     through the node.Journal hook, under the replica lock, so the WAL
+//     sees mutations in exactly the order the replica applied them.
+//
+//   - Client writes become durable before they become visible: the
+//     group-commit leader fsyncs the batch (one fsync per batch, not per
+//     write) while still holding the replica lock, so no anti-entropy
+//     session can serve an entry that could still be lost in a crash, and
+//     every acknowledged write is on disk before its client unblocks.
+//
+//   - Entries learned from peers are journaled buffered and reach disk
+//     with the next batch fsync or the periodic maintenance sync; losing
+//     the tail in a crash is safe because anti-entropy re-fetches it (the
+//     recovered summary regresses only for *remote* origins, never for the
+//     replica's own writes).
+//
+//   - A maintenance ticker per replica syncs the buffer, and — when enough
+//     log has accumulated (wal.Options.SnapshotBytes) — captures a
+//     consistent (summary, store, clock) image under the replica lock,
+//     saves it as the new snapshot, and lets the WAL compact sealed
+//     segments the snapshot subsumes. The persisted snapshot also becomes
+//     the in-memory write log's truncation floor (wlog.LimitTruncation):
+//     in-memory compaction can never drop entries newer than what the
+//     snapshot persists, so disk recovery is always complete.
+//
+//   - Kill abandons the WAL without flushing (the SIGKILL simulation);
+//     RestartFromDisk reopens it, replays snapshot + surviving records
+//     into a fresh node, and the replica re-enters propagation without a
+//     full peer bootstrap. Stop closes WALs cleanly (flush + fsync).
+
+// WithDurability enables the durable persistence plane: every replica
+// keeps a segmented on-disk WAL and snapshot under dir/n<id>, client
+// writes are acknowledged only after their group-committed batch is
+// fsynced, and replicas recover their state from disk — at construction
+// (cold start over an existing dir) or via Cluster.RestartFromDisk after a
+// Kill. With durability off (the default) nothing touches disk.
+func WithDurability(dir string) Option {
+	return func(o *options) { o.durDir = dir }
+}
+
+// WithDurabilityTuning overrides the WAL geometry (segment size, snapshot
+// cadence) for durable clusters. Only meaningful alongside WithDurability.
+func WithDurabilityTuning(opts wal.Options) Option {
+	return func(o *options) { o.walOpts = opts }
+}
+
+// walMaintenanceInterval is how often each durable replica syncs its WAL
+// buffer (bounding the at-risk window for peer-learned entries) and checks
+// whether a snapshot is due.
+const walMaintenanceInterval = 250 * time.Millisecond
+
+// walDir returns replica id's WAL directory under the cluster data dir.
+func walDir(base string, id NodeID) string {
+	return filepath.Join(base, fmt.Sprintf("n%d", id))
+}
+
+// walJournal adapts a wal.Log to the node.Journal hook. Append errors are
+// sticky inside the wal and surface at the next Sync — the ack path — so
+// the hook itself stays error-free, as node requires.
+type walJournal struct{ w *wal.Log }
+
+func (j walJournal) JournalEntries(entries []wlog.Entry) { _ = j.w.Append(entries) }
+
+func (j walJournal) JournalAdopt(summary *vclock.Summary, items []store.Item, clock uint64) {
+	_ = j.w.AppendAdopt(summary, items, clock)
+}
+
+// openReplicaWAL opens (or recovers) replica id's WAL during cluster
+// construction. On success r.wal is set and the recovery is returned for
+// the caller to replay once the node exists. On failure the error is
+// recorded on the cluster and surfaced by Start.
+func (c *Cluster) openReplicaWAL(r *replica, id NodeID) *wal.Recovery {
+	if c.opts.durDir == "" || c.initErr != nil {
+		return nil
+	}
+	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOpts)
+	if err != nil {
+		c.initErr = fmt.Errorf("runtime: replica %v durability: %w", id, err)
+		return nil
+	}
+	r.wal = w
+	return rec
+}
+
+// finishReplicaDurability replays a recovery into the freshly built node
+// (journal still detached, so nothing is re-journaled), then attaches the
+// journal and pins the in-memory log's truncation floor to the persisted
+// snapshot.
+func (r *replica) finishReplicaDurability(rec *wal.Recovery) {
+	if r.wal == nil {
+		return
+	}
+	if !rec.Empty() {
+		replayRecovery(r.node, rec)
+	}
+	r.node.AttachJournal(walJournal{r.wal})
+	r.node.Log().LimitTruncation(rec.Snapshot)
+}
+
+// replayRecovery folds a WAL recovery into a fresh node, in disk order:
+// snapshot image first, then every surviving record.
+func replayRecovery(n *node.Node, rec *wal.Recovery) {
+	n.Bootstrap(rec.Snapshot, rec.Items, rec.Clock)
+	for _, step := range rec.Steps {
+		if step.Adopt != nil {
+			n.Bootstrap(step.Adopt.Summary, step.Adopt.Items, step.Adopt.Clock)
+			continue
+		}
+		n.Replay(step.Entries)
+	}
+}
+
+// RestartFromDisk brings a killed durable replica back from its on-disk
+// state: the WAL is reopened, the snapshot and every surviving record
+// replay into a fresh node under the same identity, and the replica
+// rejoins propagation owing its peers only the entries that arrived while
+// it was down — no full peer bootstrap. Acknowledged client writes were
+// fsynced before their ack and before any peer could see them, so they
+// always survive this path; peer-learned entries buffered but not yet
+// synced at the crash re-arrive through normal anti-entropy.
+//
+// It requires a durable, memory-backed cluster and a replica killed by
+// Kill (or found dead).
+func (c *Cluster) RestartFromDisk(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return fmt.Errorf("runtime: no replica %v", id)
+	}
+	if c.opts.durDir == "" {
+		return fmt.Errorf("runtime: replica %v has no durability (use WithDurability)", id)
+	}
+	if c.net == nil {
+		return fmt.Errorf("runtime: restart unsupported on TCP clusters")
+	}
+	c.mu.Lock()
+	started, stopped := c.started, c.stopped
+	ctx := c.ctx
+	c.mu.Unlock()
+	if !started || stopped {
+		return fmt.Errorf("runtime: cluster not running")
+	}
+	r := c.replicas[id]
+	// The whole revival — including wal.Open, which creates (and would
+	// truncate) the next active segment file — runs under r.mu after the
+	// dead-check, so a racing restart can never have this path touch the
+	// files of a replica that is already alive again.
+	r.mu.Lock()
+	if !r.dead {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: replica %v is alive", id)
+	}
+	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOpts)
+	if err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: replica %v recovery: %w", id, err)
+	}
+	nbrs := c.graph.NeighborsCopy(id)
+	n := node.New(node.Config{
+		ID:        id,
+		Neighbors: nbrs,
+		Selector:  c.opts.policy(id, nbrs),
+		FastPush:  c.opts.fastPush,
+		FanOut:    c.opts.fanOut,
+		Demand:    demandSource(&c.opts, r, c.field, id),
+	})
+	replayRecovery(n, rec)
+	n.AttachJournal(walJournal{w})
+	n.Log().LimitTruncation(rec.Snapshot)
+	// Content handed in via ApplySnapshot while this replica was down lives
+	// in no WAL record of ours; re-absorb (and journal) it now.
+	if items := c.absorbed.Snapshot(); len(items) > 0 {
+		n.AbsorbItems(items)
+	}
+	r.node = n
+	r.wal = w
+	r.ep = c.net.Attach(id)
+	r.dead = false
+	r.store.Store(r.node.Store())
+	r.mu.Unlock()
+	r.spawn(ctx, &c.wg)
+	return nil
+}
+
+// walMaintain is the durable replica's periodic housekeeping: sync the WAL
+// buffer, and when enough log has accumulated, capture a consistent state
+// image and roll it into a new snapshot (which compacts sealed segments
+// and advances the in-memory truncation floor).
+func (r *replica) walMaintain() {
+	w := r.wal
+	if w == nil {
+		return
+	}
+	_ = w.Sync()
+	if !w.SnapshotDue() {
+		return
+	}
+	r.mu.Lock()
+	if r.dead {
+		r.mu.Unlock()
+		return
+	}
+	// Everything journaled so far happened under this lock, so the record
+	// index and the state image are a consistent pair.
+	upTo := w.Records()
+	sum := r.node.Summary()
+	items := r.node.Store().Snapshot()
+	clk := r.node.Clock()
+	lg := r.node.Log()
+	r.mu.Unlock()
+	if err := w.SaveSnapshot(upTo, sum, items, clk); err != nil {
+		return
+	}
+	lg.LimitTruncation(sum)
+}

@@ -1,0 +1,86 @@
+package runtime_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+)
+
+// ExampleCluster runs a live replica group end to end: write at one
+// replica, watch the write propagate, read it back at another.
+func ExampleCluster() {
+	cluster := runtime.New(topology.Ring(4), demand.Static{5, 10, 15, 20},
+		runtime.WithSeed(1),
+		runtime.WithSessionInterval(10*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cluster.Start(ctx); err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+
+	// A client write at replica 0 returns the write's timestamp.
+	ts, err := cluster.Write(0, "greeting", []byte("hello"))
+	if err != nil {
+		panic(err)
+	}
+	// Watch blocks until every replica covers the write.
+	w := cluster.Watch(ts)
+	<-w.Done()
+
+	// Any replica now serves it.
+	v, ok, err := cluster.Read(3, "greeting")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("read at n3: %s (found=%v, id=%v)\n", v, ok, ts)
+	// Output:
+	// read at n3: hello (found=true, id=n0:1)
+}
+
+// ExampleWithDurability shows the durable persistence plane: a cluster
+// writes, shuts down, and a brand-new cluster over the same data
+// directory recovers the content from its on-disk WALs.
+func ExampleWithDurability() {
+	dir, err := os.MkdirTemp("", "repro-durable-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	build := func() *runtime.Cluster {
+		return runtime.New(topology.Ring(3), demand.Static{1, 2, 3},
+			runtime.WithSeed(1),
+			runtime.WithDurability(dir))
+	}
+
+	first := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := first.Start(ctx); err != nil {
+		panic(err)
+	}
+	// Acknowledged means fsynced: the ack returns only after the write's
+	// group-committed batch is on disk.
+	if _, err := first.Write(0, "durable-key", []byte("survives")); err != nil {
+		panic(err)
+	}
+	first.Stop()
+
+	// A fresh process over the same directory recovers at construction —
+	// reads serve even before Start.
+	second := build()
+	defer second.Stop()
+	v, ok, err := second.Read(0, "durable-key")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered: %s (found=%v)\n", v, ok)
+	// Output:
+	// recovered: survives (found=true)
+}

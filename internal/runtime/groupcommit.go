@@ -140,6 +140,16 @@ func (r *replica) drain(c *Cluster, n int) bool {
 // commitBatch folds one batch into the node under a single replica-lock
 // acquisition, completes every waiter, then fires watches once and sends the
 // merged fan-out.
+//
+// On a durable replica the batch is fsynced (once, for the whole batch)
+// while the replica lock is still held: the write-ahead records must reach
+// disk before any anti-entropy session can serve the new entries to a peer
+// and before any client sees its ack — otherwise a crash could lose entries
+// the outside world already observed, and the reborn identity would reissue
+// their timestamps. A sync FAILURE fail-stops the replica (see failStop):
+// the batch's entries are in the in-memory log but can never reach disk, so
+// letting the replica keep serving would leak them to peers and set up the
+// same reissued-timestamp divergence on the eventual restart.
 func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	r.mu.Lock()
 	if r.dead {
@@ -157,6 +167,16 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 		ops = append(ops, node.WriteOp{Key: req.key, Value: req.value})
 	}
 	entries, out := r.node.ClientWriteBatch(c.now(), ops)
+	if r.wal != nil {
+		if syncErr := r.wal.Sync(); syncErr != nil {
+			r.failStop(syncErr)
+			for _, req := range batch {
+				req.err = syncErr
+				req.done <- struct{}{}
+			}
+			return
+		}
+	}
 	// Drop the client value refs before stashing the scratch buffer.
 	for i := range ops {
 		ops[i].Value = nil
@@ -172,4 +192,36 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	}
 	c.checkWatches(id)
 	r.sendAllVia(ep, out)
+}
+
+// failStop crashes a durable replica whose WAL can no longer persist
+// writes (disk full, IO error): the store pointer is retracted so reads
+// fail, the endpoint closes so nothing already buffered escapes and peers
+// mark it unreachable, the run goroutine is cancelled AND waited for
+// (matching Kill — restart paths may run the moment dead is observed, and
+// the old incarnation must not still be touching r.ep/r.wal), and the WAL
+// is abandoned. The in-memory log may hold entries that never reached
+// disk — the whole point is that no peer ever sees them, so
+// RestartFromDisk later revives the identity from the synced prefix
+// without timestamp reuse. Called with r.mu held; returns with it
+// released.
+func (r *replica) failStop(cause error) {
+	r.dead = true
+	r.store.Store(nil)
+	id := r.node.ID()
+	cancel, done, ep, w := r.cancel, r.done, r.ep, r.wal
+	r.mu.Unlock()
+	ep.Close()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		// The run goroutine takes r.mu (released above) to finish any
+		// in-flight envelope, then exits on the cancelled context.
+		<-done
+	}
+	if w != nil {
+		w.Abandon()
+	}
+	r.cluster.opts.tracer.Warnf(id, "replica fail-stopped: %v", cause)
 }

@@ -7,6 +7,12 @@
 //
 // Replicas exchange envelopes over a transport.Memory network by default
 // (microsecond "links"), or over TCP endpoints supplied by the caller.
+//
+// The client-facing Read/Write plane is concurrent (lock-free reads,
+// group-committed writes; see doc.go at the repository root), and
+// WithDurability adds the durable persistence plane: per-replica on-disk
+// WALs with fsync-before-ack client writes and crash recovery via
+// RestartFromDisk (see durability.go).
 package runtime
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
 
 // NodeID aliases the replica identifier.
@@ -45,6 +52,8 @@ type options struct {
 	tracer         *trace.Ring
 	netCfg         transport.MemoryConfig
 	measuredTau    time.Duration // > 0 enables measured demand
+	durDir         string        // != "" enables the durable persistence plane
+	walOpts        wal.Options
 }
 
 func defaultOptions() options {
@@ -122,6 +131,10 @@ type Cluster struct {
 	// restarted replicas can re-absorb content that no write log records.
 	absorbed *store.Store
 
+	// initErr records a construction-time failure (e.g. an unreadable WAL
+	// directory); Start surfaces it.
+	initErr error
+
 	mu      sync.Mutex
 	watches []*Watch
 	started bool
@@ -158,6 +171,7 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
 			ep:      c.net.Attach(id),
 		}
+		rec := c.openReplicaWAL(r, id)
 		r.node = node.New(node.Config{
 			ID:        id,
 			Neighbors: nbrs,
@@ -166,11 +180,18 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
 		})
+		// A durable replica recovers its on-disk state (cold start) before
+		// the store is published to the lock-free read path.
+		r.finishReplicaDurability(rec)
 		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
 	}
 	return c
 }
+
+// DataDir returns the durable persistence plane's base directory, or ""
+// when durability is off.
+func (c *Cluster) DataDir() string { return c.opts.durDir }
 
 // demandSource returns the node's own-demand function: the configured field
 // by default, or the replica's request meter under WithMeasuredDemand. The
@@ -205,6 +226,9 @@ func (c *Cluster) Faults() transport.Faults {
 func (c *Cluster) Start(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.initErr != nil {
+		return c.initErr
+	}
 	if c.started {
 		return errors.New("runtime: cluster already started")
 	}
@@ -247,6 +271,13 @@ func (c *Cluster) Kill(id NodeID) error {
 	// Retract the lock-free read path's store pointer: reads at a dead
 	// replica must fail, and they never take the replica lock to find out.
 	r.store.Store(nil)
+	if r.wal != nil {
+		// SIGKILL semantics: the WAL is abandoned without flushing, so
+		// journaled-but-unsynced records die with the process image. Synced
+		// records — every acknowledged client write — survive for
+		// RestartFromDisk.
+		r.wal.Abandon()
+	}
 	r.mu.Unlock()
 	return nil
 }
@@ -323,6 +354,29 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 		r.mu.Unlock()
 		return fmt.Errorf("runtime: replica %v is alive", id)
 	}
+	// Durable replicas re-open their WAL for the new incarnation. An
+	// empty-state restart is a genuine state loss, so the old disk state is
+	// removed first; a preserving restart bridges RAM and disk with a
+	// full-state record. The destructive disk work happens only after the
+	// dead-check above, and under r.mu: a racing restart that loses must
+	// never wipe the winner's live on-disk state. (The dead replica's own
+	// WAL was abandoned by Kill, so nothing else writes these files.)
+	var reopened *wal.Log
+	if c.opts.durDir != "" {
+		dir := walDir(c.opts.durDir, id)
+		if !preserve {
+			if err := wal.Remove(dir); err != nil {
+				r.mu.Unlock()
+				return fmt.Errorf("runtime: replica %v state reset: %w", id, err)
+			}
+		}
+		var err error
+		reopened, _, err = wal.Open(dir, c.opts.walOpts)
+		if err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("runtime: replica %v durability: %w", id, err)
+		}
+	}
 	if !preserve {
 		// The identity's own write head and Lamport clock survive the
 		// crash (the incarnation counter every real deployment persists):
@@ -340,6 +394,10 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 			FanOut:    c.opts.fanOut,
 			Demand:    demandSource(&c.opts, r, c.field, id),
 		})
+		if reopened != nil {
+			// Attached before Bootstrap so the bootstrap image is journaled.
+			r.node.AttachJournal(walJournal{reopened})
+		}
 		if ownHead > bootSnap.Get(id) {
 			bootSnap.Advance(id, ownHead)
 		}
@@ -347,6 +405,27 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 		if items := c.absorbed.Snapshot(); len(items) > 0 {
 			r.node.AbsorbItems(items)
 		}
+	} else if reopened != nil {
+		// RAM state survived and is at least as fresh as the disk image
+		// (which may have lost its buffered tail to Abandon); a full-state
+		// record squashes the difference so recovery stays complete.
+		r.node.AttachJournal(walJournal{reopened})
+		_ = reopened.AppendAdopt(r.node.Summary(), r.node.Store().Snapshot(), r.node.Clock())
+	}
+	if reopened != nil {
+		// The journaled full-state record carries the identity's own write
+		// head; it must be on disk BEFORE the replica is published — a
+		// crash (or Kill) right after publication would otherwise leave a
+		// wiped directory whose next disk recovery reissues timestamps
+		// peers already saw. The fsync happens under r.mu, like the
+		// group-commit durability point, so nothing can observe the
+		// replica between publication and durability.
+		if err := reopened.Sync(); err != nil {
+			r.mu.Unlock()
+			reopened.Close()
+			return fmt.Errorf("runtime: replica %v durability: %w", id, err)
+		}
+		r.wal = reopened
 	}
 	r.ep = c.net.Attach(id)
 	r.dead = false
@@ -408,6 +487,16 @@ func (c *Cluster) Stop() {
 	c.mu.Unlock()
 	cancel()
 	c.wg.Wait()
+	// Clean shutdown flushes and closes every live WAL (abandoned WALs of
+	// killed replicas are left as the crash left them).
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		w := r.wal
+		r.mu.Unlock()
+		if w != nil {
+			_ = w.Close()
+		}
+	}
 	if c.net != nil {
 		c.net.Close()
 		return
@@ -527,6 +616,12 @@ func (c *Cluster) ApplySnapshot(items []store.Item) {
 		r.mu.Lock()
 		if !r.dead {
 			r.node.AbsorbItems(items)
+			if r.wal != nil {
+				// Handoff content exists in no write log anywhere, so the
+				// journaled absorption record is its only durable copy —
+				// sync it now rather than waiting for the next batch.
+				_ = r.wal.Sync()
+			}
 		}
 		r.mu.Unlock()
 	}
@@ -710,7 +805,12 @@ type replica struct {
 	ep      transport.Endpoint
 	rng     *rand.Rand
 	meter   *demandMeter // nil unless WithMeasuredDemand
-	mu      sync.Mutex
+	// wal is the durable persistence plane (nil unless WithDurability).
+	// Journaling happens through the node's journal hook under mu; Sync is
+	// internally locked, so the commit leader and the maintenance ticker
+	// may sync concurrently. Swapped on restart under mu.
+	wal *wal.Log
+	mu  sync.Mutex
 
 	// store is the lock-free read path's view of the node's content store:
 	// nil while the replica is dead, swapped on restart. The store itself is
@@ -765,6 +865,14 @@ func (r *replica) run(ctx context.Context) {
 	defer sessionTimer.Stop()
 	advertTicker := time.NewTicker(c.opts.advertInterval)
 	defer advertTicker.Stop()
+	// Durable replicas run a variant loop with a WAL-maintenance ticker.
+	// The split exists because selectgo scans every case on every inbound
+	// envelope — the protocol hot path — and non-durable replicas must not
+	// pay for a fifth case they can never take.
+	if r.wal != nil {
+		r.runDurable(ctx, sessionTimer, advertTicker)
+		return
+	}
 
 	for {
 		select {
@@ -780,6 +888,31 @@ func (r *replica) run(ctx context.Context) {
 			sessionTimer.Reset(r.expInterval())
 		case <-advertTicker.C:
 			r.advertise()
+		}
+	}
+}
+
+// runDurable is the run loop of a durable replica: identical to run plus
+// the periodic WAL maintenance tick (buffer sync, snapshot rollover).
+func (r *replica) runDurable(ctx context.Context, sessionTimer *time.Timer, advertTicker *time.Ticker) {
+	maint := time.NewTicker(walMaintenanceInterval)
+	defer maint.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.handle(env)
+		case <-sessionTimer.C:
+			r.session()
+			sessionTimer.Reset(r.expInterval())
+		case <-advertTicker.C:
+			r.advertise()
+		case <-maint.C:
+			r.walMaintain()
 		}
 	}
 }

@@ -56,6 +56,7 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
 			ep:      endpoints[i],
 		}
+		rec := c.openReplicaWAL(r, id)
 		r.node = node.New(node.Config{
 			ID:        id,
 			Neighbors: nbrs,
@@ -64,8 +65,15 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
 		})
+		r.finishReplicaDurability(rec)
 		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
+	}
+	if c.initErr != nil {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+		return nil, c.initErr
 	}
 	return c, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -22,6 +23,12 @@ type Config struct {
 	Routing RoutePolicy
 	// Seed makes replica RNGs and random routing deterministic.
 	Seed int64
+	// DataDir, when non-empty, enables the durable persistence plane for
+	// every group: group g's replicas keep their WALs and snapshots under
+	// DataDir/<group-name>/n<id> (runtime.WithDurability per group), so
+	// handoff snapshots and client writes survive crashes, and a router
+	// rebuilt over the same DataDir recovers every shard from disk.
+	DataDir string
 	// RuntimeOptions apply to every group's cluster (session interval,
 	// policy, fast push, network faults, ...).
 	RuntimeOptions []runtime.Option
@@ -70,6 +77,16 @@ type Router struct {
 	reshardMu sync.Mutex
 }
 
+// groupOptions returns the runtime options for one group's cluster,
+// appending per-group durability when DataDir is set.
+func (cfg Config) groupOptions(name string) []runtime.Option {
+	if cfg.DataDir == "" {
+		return cfg.RuntimeOptions
+	}
+	opts := append([]runtime.Option(nil), cfg.RuntimeOptions...)
+	return append(opts, runtime.WithDurability(filepath.Join(cfg.DataDir, name)))
+}
+
 // NewRouter assembles a router over the given shard groups. Use Carve to
 // derive specs from one shared topology, or hand-build specs for
 // heterogeneous shards. Call Start to launch the clusters.
@@ -86,7 +103,7 @@ func NewRouter(specs []GroupSpec, cfg Config) (*Router, error) {
 		if _, dup := r.groups[spec.Name]; dup {
 			return nil, fmt.Errorf("shard: duplicate group %q", spec.Name)
 		}
-		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.RuntimeOptions, &r.clock)
+		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.groupOptions(spec.Name), &r.clock)
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +342,7 @@ func (r *Router) AddShard(spec GroupSpec) error {
 		return fmt.Errorf("shard: group %q already present", spec.Name)
 	}
 	seed := r.cfg.Seed + int64(len(r.groups))*104729
-	g, err := newGroup(spec, seed, r.cfg.RuntimeOptions, &r.clock)
+	g, err := newGroup(spec, seed, r.cfg.groupOptions(spec.Name), &r.clock)
 	if err != nil {
 		r.mu.Unlock()
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/protocol"
 )
@@ -14,10 +15,28 @@ import (
 // exited (broken connection or endpoint close); the next Send redials.
 var errPeerConnClosed = errors.New("transport: peer connection closed")
 
+// errSendStalled reports a send dropped because the peer's queue stayed
+// full for sendStallTimeout: the peer (or the path to it) is not draining.
+// The connection itself stays up — delivery resumes as soon as the peer
+// recovers — so callers treat this like a lossy link, not a dead one.
+var errSendStalled = errors.New("transport: send queue stalled, envelope dropped")
+
 // sendQueueDepth bounds the per-peer send queue. A full queue blocks the
 // sender — backpressure, matching what a full kernel socket buffer did when
-// writes were synchronous — rather than dropping.
+// writes were synchronous — for up to sendStallTimeout, then drops.
 const sendQueueDepth = 512
+
+// sendStallTimeout bounds how long a send may block on a full queue.
+// Unbounded blocking deadlocks the protocol: each replica has ONE goroutine
+// that both drains its inbound queue and sends, so two replicas flooding
+// each other can block sending to one another, neither draining, with
+// every buffer between them full — a distributed buffer deadlock. Bounding
+// the wait converts that cycle into a transient lossy link, which the
+// anti-entropy protocol is built to tolerate (dropped session batches are
+// re-sent by the next session). The bound is far above the microseconds a
+// healthy writer needs to drain a burst, so it only fires on genuinely
+// stalled peers.
+const sendStallTimeout = time.Second
 
 // writerBufBytes sizes the per-peer bufio.Writer through which the writer
 // goroutine coalesces envelope frames into shared syscalls.
@@ -48,7 +67,8 @@ func newPeerConn(conn net.Conn) *peerConn {
 }
 
 // send enqueues env for the writer, blocking while the queue is full
-// (backpressure). It fails once the writer has exited; envelopes still
+// (backpressure) for at most sendStallTimeout before dropping with
+// errSendStalled. It fails once the writer has exited; envelopes still
 // queued at that point never arrive, which is within Send's asynchronous
 // delivery contract.
 func (p *peerConn) send(env protocol.Envelope) error {
@@ -63,6 +83,18 @@ func (p *peerConn) send(env protocol.Envelope) error {
 		return nil
 	case <-p.dead:
 		return errPeerConnClosed
+	default:
+	}
+	// Queue full: bounded backpressure, then drop to preserve liveness.
+	timer := time.NewTimer(sendStallTimeout)
+	defer timer.Stop()
+	select {
+	case p.q <- env:
+		return nil
+	case <-p.dead:
+		return errPeerConnClosed
+	case <-timer.C:
+		return errSendStalled
 	}
 }
 
@@ -215,7 +247,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 
 // Send implements Endpoint. Delivery is asynchronous: Send parks the
 // envelope in the peer's coalescing write queue and returns; a full queue
-// blocks (backpressure). An error means the envelope will never arrive. A
+// blocks (backpressure) for at most sendStallTimeout, then the envelope is
+// dropped with an error — the lossy-link degradation that keeps the
+// protocol's single per-replica goroutine from deadlocking against an
+// equally stalled peer. An error means the envelope will never arrive. A
 // connection that breaks after envelopes were queued loses them silently —
 // the *next* Send fails and redials, which is when the caller's
 // unreachability signal fires.
@@ -226,8 +261,12 @@ func (t *TCP) Send(env protocol.Envelope) error {
 		return wrapSendErr(err, env)
 	}
 	if err := pc.send(env); err != nil {
-		// Writer is gone: forget the connection so the next send redials.
-		t.dropConn(env.To, pc)
+		if !errors.Is(err, errSendStalled) {
+			// Writer is gone: forget the connection so the next send
+			// redials. (A stalled connection stays cached — its writer is
+			// alive and delivery resumes when the peer drains.)
+			t.dropConn(env.To, pc)
+		}
 		return wrapSendErr(err, env)
 	}
 	return nil

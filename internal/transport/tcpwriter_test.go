@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -87,8 +88,9 @@ func slowSink(t *testing.T) (addr string, stop func()) {
 }
 
 // TestTCPWriterBackpressure checks that a peer that stops reading causes
-// Send to block (backpressure, not drops or unbounded buffering) — and that
-// Close unblocks the stuck sender rather than deadlocking.
+// Send to stall (backpressure, not unbounded buffering: each send blocks
+// up to the stall timeout before dropping) — and that Close unblocks a
+// stuck sender rather than deadlocking.
 func TestTCPWriterBackpressure(t *testing.T) {
 	addr, stop := slowSink(t)
 	defer stop()
@@ -203,5 +205,61 @@ func TestTCPCloseMidFlush(t *testing.T) {
 	// Send after close fails cleanly.
 	if err := a.Send(advert(0, 1, 1)); err == nil {
 		t.Error("Send succeeded on a closed endpooint")
+	}
+}
+
+// TestTCPSendStallBounded pins the liveness half of backpressure: against a
+// peer that never drains, Send must not block forever — it returns an error
+// within the stall timeout (plus slack), because a replica's single
+// protocol goroutine blocking indefinitely on one peer deadlocks the pair
+// when the peer is symmetrically blocked on us.
+func TestTCPSendStallBounded(t *testing.T) {
+	addr, stop := slowSink(t)
+	defer stop()
+	a, err := ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer(1, addr)
+
+	big := protocol.Envelope{From: 0, To: 1, Msg: protocol.UpdateBatch{
+		SessionID: 1,
+		Entries:   []wlog.Entry{{TS: vclock.Timestamp{Node: 0, Seq: 1}, Key: "big", Value: make([]byte, 64<<10)}},
+		Final:     true,
+	}}
+	errc := make(chan error, 1)
+	go func() {
+		// Enough sends to fill queue + kernel buffers many times over; the
+		// first stalled one must error out instead of blocking forever.
+		for i := 0; i < sendQueueDepth*200; i++ {
+			if err := a.Send(big); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errSendStalled) {
+			t.Fatalf("expected errSendStalled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Send blocked indefinitely against a non-draining peer")
+	}
+	// The connection survives a stall: once the peer situation clears (here
+	// we just verify the writer is still alive), later sends can enqueue
+	// again as the writer drains.
+	a.mu.Lock()
+	pc := a.conns[1]
+	a.mu.Unlock()
+	if pc == nil {
+		t.Fatal("stalled connection was dropped")
+	}
+	select {
+	case <-pc.dead:
+		t.Fatal("stalled connection's writer exited")
+	default:
 	}
 }

@@ -1,0 +1,547 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+func entry(node int32, seq uint64, key, val string, clock uint64) wlog.Entry {
+	return wlog.Entry{
+		TS:    vclock.Timestamp{Node: vclock.NodeID(node), Seq: seq},
+		Key:   key,
+		Value: []byte(val),
+		Clock: clock,
+	}
+}
+
+// collectEntries flattens a recovery's entry steps.
+func collectEntries(rec *Recovery) []wlog.Entry {
+	var out []wlog.Entry
+	for _, s := range rec.Steps {
+		out = append(out, s.Entries...)
+	}
+	return out
+}
+
+func TestAppendSyncReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	want := []wlog.Entry{
+		entry(0, 1, "a", "1", 1),
+		entry(0, 2, "b", "2", 2),
+		entry(3, 1, "c", "3", 5),
+	}
+	if err := l.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collectEntries(rec2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TS != want[i].TS || got[i].Key != want[i].Key ||
+			string(got[i].Value) != string(want[i].Value) || got[i].Clock != want[i].Clock {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entry(1, 1, "k", "v", 1)
+	if err := l.Append([]wlog.Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	// Same entry again (a replayed offer) must not duplicate on disk.
+	if err := l.Append([]wlog.Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectEntries(rec); len(got) != 1 {
+		t.Fatalf("recovered %d entries, want 1 (dedupe)", len(got))
+	}
+}
+
+func TestAbandonLosesUnsyncedKeepsSynced(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := entry(0, 1, "durable", "yes", 1)
+	if err := l.Append([]wlog.Entry{durable}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered but never synced: the SIGKILL victim.
+	if err := l.Append([]wlog.Entry{entry(0, 2, "volatile", "no", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEntries(rec)
+	if len(got) != 1 || got[0].Key != "durable" {
+		t.Fatalf("recovered %v, want exactly the synced entry", got)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(0, 1, "ok", "1", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage half-frame to the segment: a crash mid-write.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) == 0 {
+		t.Fatal("no segment written")
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [8]byte
+	binary.LittleEndian.PutUint32(torn[0:4], 100) // claims 100 bytes, delivers none
+	f.Write(torn[:])
+	f.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEntries(rec)
+	if len(got) != 1 || got[0].Key != "ok" {
+		t.Fatalf("recovered %v, want the intact prefix", got)
+	}
+}
+
+func TestCorruptRecordEndsSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(0, 1, "a", "1", 1), entry(0, 2, "b", "2", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit of the second record: its CRC must reject it.
+	n := binary.LittleEndian.Uint32(raw[0:4])
+	second := 8 + int(n)
+	raw[second+8] ^= 0xff
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEntries(rec)
+	if len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("recovered %v, want only the record before the corruption", got)
+	}
+}
+
+func TestRotationAndStats(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if err := l.Append([]wlog.Entry{entry(0, i, "key", "0123456789abcdef", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("got %d segments, want rotation to have produced several", st.Segments)
+	}
+	if st.Records != 20 {
+		t.Fatalf("got %d records, want 20", st.Records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectEntries(rec); len(got) != 20 {
+		t.Fatalf("recovered %d entries across segments, want 20", len(got))
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := vclock.NewSummary()
+	for i := uint64(1); i <= 20; i++ {
+		e := entry(0, i, "key", "0123456789abcdef", i)
+		if err := l.Append([]wlog.Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		sum.Advance(0, i)
+	}
+	before := l.Stats()
+	items := []store.Item{{Key: "key", Value: []byte("0123456789abcdef"),
+		TS: vclock.Timestamp{Node: 0, Seq: 20}, Clock: 20}}
+	if err := l.SaveSnapshot(l.Records(), sum, items, 20); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("compaction kept %d segments (was %d)", after.Segments, before.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery now comes from the snapshot; entries are deduped against it.
+	_, rec, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Get(0) != 20 {
+		t.Fatalf("snapshot summary not recovered: %v", rec.Snapshot)
+	}
+	if len(rec.Items) != 1 || rec.Items[0].Key != "key" {
+		t.Fatalf("snapshot items not recovered: %v", rec.Items)
+	}
+	if rec.Clock != 20 {
+		t.Fatalf("clock %d, want 20", rec.Clock)
+	}
+}
+
+func TestAdoptRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := vclock.NewSummary()
+	sum.Advance(2, 7)
+	items := []store.Item{
+		{Key: "x", Value: []byte("vx"), TS: vclock.Timestamp{Node: 2, Seq: 7}, Clock: 9},
+		{Key: "y", Value: nil, TS: vclock.Timestamp{Node: 1, Seq: 3}, Clock: 4},
+	}
+	if err := l.AppendAdopt(sum, items, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Content-only absorption: nil summary.
+	if err := l.AppendAdopt(nil, items[:1], 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(rec.Steps))
+	}
+	a := rec.Steps[0].Adopt
+	if a == nil || a.Summary.Get(2) != 7 || len(a.Items) != 2 || a.Clock != 9 {
+		t.Fatalf("adopt step mangled: %+v", a)
+	}
+	if a.Items[0].Key != "x" || string(a.Items[0].Value) != "vx" || a.Items[0].Clock != 9 {
+		t.Fatalf("adopt item mangled: %+v", a.Items[0])
+	}
+	b := rec.Steps[1].Adopt
+	if b == nil || b.Summary != nil || len(b.Items) != 1 || b.Clock != 11 {
+		t.Fatalf("content-only adopt mangled: %+v", b)
+	}
+}
+
+func TestEntriesAfterAdoptSurvive(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := vclock.NewSummary()
+	sum.Advance(0, 5)
+	if err := l.AppendAdopt(sum, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Appends below the adopted coverage are deduped; above it, retained.
+	if err := l.Append([]wlog.Entry{entry(0, 4, "old", "x", 4), entry(0, 6, "new", "y", 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEntries(rec)
+	if len(got) != 1 || got[0].Key != "new" {
+		t.Fatalf("recovered %v, want only the entry above adopted coverage", got)
+	}
+}
+
+func TestClosedOperationsFail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(0, 1, "k", "v", 1)}); err != ErrClosed {
+		t.Fatalf("Append on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestSnapshotDue(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SnapshotBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.SnapshotDue() {
+		t.Fatal("fresh log reports snapshot due")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := l.Append([]wlog.Entry{entry(0, i, "key", "0123456789abcdef", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.SnapshotDue() {
+		t.Fatal("snapshot not due after exceeding SnapshotBytes")
+	}
+	sum := vclock.NewSummary()
+	sum.Advance(0, 4)
+	if err := l.SaveSnapshot(l.Records(), sum, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if l.SnapshotDue() {
+		t.Fatal("snapshot still due right after SaveSnapshot")
+	}
+}
+
+func TestStaleSnapshotCaptureIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	sum := vclock.NewSummary()
+	sum.Advance(0, 2)
+	if err := l.Append([]wlog.Entry{entry(0, 1, "a", "1", 1), entry(0, 2, "b", "2", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot(l.Records(), sum, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	older := vclock.NewSummary()
+	older.Advance(0, 1)
+	// A capture from before the saved snapshot must not regress the
+	// watermark.
+	if err := l.SaveSnapshot(1, older, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.SnapshotRecords != 2 {
+		t.Fatalf("snapshot watermark regressed to %d", st.SnapshotRecords)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "n0")
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(0, 1, "k", "v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("state survived Remove: %+v", rec)
+	}
+}
+
+// TestCrashAfterRotationKeepsSyncedRecords reproduces the empty-segment
+// filename-reuse hazard: a crash right after a rotation leaves a
+// zero-record segment whose name the next incarnation reuses for its
+// active segment. Recovery must not keep a stale sealed entry for that
+// path, or a later snapshot compaction unlinks the LIVE segment and
+// silently discards synced (acknowledged) records.
+func TestCrashAfterRotationKeepsSyncedRecords(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1: every record seals its segment, so the active
+	// segment is always freshly rotated and empty.
+	l, _, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(0, 1, "a", "1", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon() // crash with an empty just-rotated active segment on disk
+
+	l2, rec, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectEntries(rec); len(got) != 1 {
+		t.Fatalf("recovered %d entries, want 1", len(got))
+	}
+	// Write and sync a record, snapshot the OLD coverage (so compaction
+	// runs), then write another.
+	if err := l2.Append([]wlog.Entry{entry(0, 2, "b", "2", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	old := vclock.NewSummary()
+	old.Advance(0, 1)
+	if err := l2.SaveSnapshot(1, old, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]wlog.Entry{entry(0, 3, "c", "3", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2.Abandon()
+
+	_, rec3, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := map[uint64]bool{}
+	if rec3.Snapshot != nil {
+		rec3.Snapshot.ForEach(func(n vclock.NodeID, s uint64) {
+			for i := uint64(1); i <= s; i++ {
+				seqs[i] = true
+			}
+		})
+	}
+	for _, e := range collectEntries(rec3) {
+		seqs[e.TS.Seq] = true
+	}
+	for want := uint64(1); want <= 3; want++ {
+		if !seqs[want] {
+			t.Fatalf("synced (acked) record seq %d lost after crash recovery", want)
+		}
+	}
+}
+
+// TestSyncIdleIsNoOp pins the maintenance-tick economics: Sync with
+// nothing appended since the last sync must not touch the disk.
+func TestSyncIdleIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]wlog.Entry{entry(0, 1, "k", "v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Fatalf("idle syncs hit the disk: %d real syncs, want 1", got)
+	}
+	// New appends re-arm the durability point.
+	if err := l.Append([]wlog.Entry{entry(0, 2, "k", "v2", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 2 {
+		t.Fatalf("dirty sync skipped: %d real syncs, want 2", got)
+	}
+}

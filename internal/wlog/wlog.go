@@ -180,8 +180,13 @@ type Log struct {
 	// truncated[n] is the highest sequence from origin n discarded by
 	// truncation. 0 means nothing was truncated.
 	truncated map[vclock.NodeID]uint64
-	summary   vclock.Summary
-	bytes     int
+	// floor, when non-nil, is the persisted-snapshot watermark truncation
+	// may not cross: entries with sequences above it are not yet covered by
+	// any durable snapshot, so compacting them away would leave disk
+	// recovery (snapshot + retained log) incomplete. See LimitTruncation.
+	floor   *vclock.Summary
+	summary vclock.Summary
+	bytes   int
 }
 
 // New returns an empty log.
@@ -453,12 +458,42 @@ func (l *Log) retained() []Entry {
 	return out
 }
 
+// LimitTruncation sets (or, with nil, clears) the persisted-snapshot floor:
+// from now on TruncateCovered and TruncateKeepLast will never discard an
+// entry whose sequence exceeds the floor for its origin, no matter what
+// watermark the caller passes. The durable runtime pins the floor to the
+// summary of the replica's latest on-disk snapshot after every save, which
+// makes the invariant "everything the disk cannot reproduce is still in the
+// log" structural instead of a caller obligation. persisted is cloned;
+// origins absent from it (floor zero) cannot be truncated at all.
+func (l *Log) LimitTruncation(persisted *vclock.Summary) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if persisted == nil {
+		l.floor = nil
+		return
+	}
+	l.floor = persisted.Clone()
+}
+
+// clampToFloorLocked caps a truncation watermark for origin at the
+// persisted-snapshot floor, when one is set.
+func (l *Log) clampToFloorLocked(origin vclock.NodeID, cut uint64) uint64 {
+	if l.floor == nil {
+		return cut
+	}
+	if f := l.floor.Get(origin); cut > f {
+		return f
+	}
+	return cut
+}
+
 // TruncateCovered discards every entry covered by stable, a summary known to
 // be dominated by all replicas (so no partner can ever need the discarded
 // entries during normal anti-entropy). It returns the number of entries
 // discarded. Truncating beyond what is actually stable trades storage for
 // the risk of ErrTruncated sessions — exactly the Bayou trade-off the paper
-// discusses.
+// discusses. A persisted-snapshot floor (LimitTruncation) caps the cut.
 func (l *Log) TruncateCovered(stable *vclock.Summary) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -469,6 +504,7 @@ func (l *Log) TruncateCovered(stable *vclock.Summary) int {
 		if head := l.summary.Get(origin); cut > head {
 			cut = head
 		}
+		cut = l.clampToFloorLocked(origin, cut)
 		if cut <= base {
 			continue
 		}
@@ -497,7 +533,8 @@ func (l *Log) TruncatedThrough(origin vclock.NodeID) uint64 {
 // spectrum. Unlike TruncateCovered it needs no stability information, so it
 // can force ErrTruncated sessions (and therefore snapshot transfers) when a
 // partner lags more than keep writes behind. It returns the number of
-// entries discarded.
+// entries discarded. A persisted-snapshot floor (LimitTruncation) caps the
+// cut regardless of keep.
 func (l *Log) TruncateKeepLast(keep int) int {
 	if keep < 0 {
 		keep = 0
@@ -512,6 +549,7 @@ func (l *Log) TruncateKeepLast(keep int) int {
 		if uint64(keep) > head {
 			newFloor = 0
 		}
+		newFloor = l.clampToFloorLocked(origin, newFloor)
 		if newFloor <= floor {
 			continue
 		}

@@ -552,3 +552,59 @@ func TestTruncateKeepLast(t *testing.T) {
 		t.Errorf("summary = %d, want 10", got)
 	}
 }
+
+func TestLimitTruncationGuardsSnapshotFloor(t *testing.T) {
+	l := New()
+	for i := 1; i <= 10; i++ {
+		l.Append(1, "k", []byte("x"), uint64(i))
+	}
+	// Persisted snapshot covers n1 through 4: compaction may never drop
+	// entries 5..10, whatever watermark a caller asks for.
+	persisted := vclock.NewSummary()
+	persisted.Advance(1, 4)
+	l.LimitTruncation(persisted)
+
+	// TruncateKeepLast(0) would normally drop everything; the floor caps it.
+	if got := l.TruncateKeepLast(0); got != 4 {
+		t.Errorf("TruncateKeepLast(0) discarded %d, want 4 (floor-capped)", got)
+	}
+	if got := l.TruncatedThrough(1); got != 4 {
+		t.Errorf("truncation watermark %d crossed the persisted floor 4", got)
+	}
+	// TruncateCovered with a watermark past the floor is capped too.
+	beyond := vclock.NewSummary()
+	beyond.Advance(1, 9)
+	if got := l.TruncateCovered(beyond); got != 0 {
+		t.Errorf("TruncateCovered past the floor discarded %d, want 0", got)
+	}
+	for seq := uint64(5); seq <= 10; seq++ {
+		if _, ok := l.Get(vclock.Timestamp{Node: 1, Seq: seq}); !ok {
+			t.Fatalf("entry n1:%d newer than the persisted snapshot was dropped", seq)
+		}
+	}
+
+	// Raising the floor (a newer persisted snapshot) unlocks more.
+	persisted.Advance(1, 8)
+	l.LimitTruncation(persisted)
+	if got := l.TruncateCovered(beyond); got != 4 {
+		t.Errorf("after floor raise TruncateCovered discarded %d, want 4", got)
+	}
+	// Clearing the floor removes the guard entirely.
+	l.LimitTruncation(nil)
+	if got := l.TruncateKeepLast(0); got != 2 {
+		t.Errorf("after clearing floor discarded %d, want 2", got)
+	}
+}
+
+func TestLimitTruncationUnknownOriginFrozen(t *testing.T) {
+	l := New()
+	for i := 1; i <= 3; i++ {
+		l.Append(2, "k", []byte("x"), uint64(i))
+	}
+	// A floor that has never seen origin 2 pins it at zero: nothing from
+	// that origin is in any persisted snapshot yet.
+	l.LimitTruncation(vclock.NewSummary())
+	if got := l.TruncateKeepLast(0); got != 0 {
+		t.Errorf("unknown-origin truncation discarded %d, want 0", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Command doccheck fails when a package exports an undocumented
+// identifier: every exported type, function, method, const and var in the
+// packages given as arguments must carry a doc comment. It is the
+// vet-level documentation gate CI runs over internal/wal (and any other
+// package held to the same bar).
+//
+// Usage:
+//
+//	go run ./scripts/doccheck ./internal/wal [./internal/... ]
+//
+// Exit status 1 lists every undocumented exported identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir reports the number of undocumented exported identifiers in the
+// package at dir (test files excluded).
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !isTestFile(fi.Name())
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		// doc.New mutates the AST; it is only read here.
+		d := doc.New(pkg, dir, 0)
+		report := func(kind, name string, hasDoc bool) {
+			if !hasDoc && ast.IsExported(name) {
+				fmt.Fprintf(os.Stderr, "%s: %s %s is exported but undocumented\n", dir, kind, name)
+				bad++
+			}
+		}
+		if d.Doc == "" {
+			fmt.Fprintf(os.Stderr, "%s: package %s has no package comment\n", dir, d.Name)
+			bad++
+		}
+		for _, f := range d.Funcs {
+			report("func", f.Name, f.Doc != "")
+		}
+		for _, t := range d.Types {
+			report("type", t.Name, t.Doc != "")
+			for _, f := range t.Funcs {
+				report("func", f.Name, f.Doc != "")
+			}
+			for _, m := range t.Methods {
+				report("method", t.Name+"."+m.Name, m.Doc != "")
+			}
+			bad += checkValues(dir, t.Consts)
+			bad += checkValues(dir, t.Vars)
+			// Exported fields of exported structs need comments too.
+			bad += checkFields(dir, t)
+		}
+		bad += checkValues(dir, d.Consts)
+		bad += checkValues(dir, d.Vars)
+	}
+	return bad
+}
+
+// checkValues requires a doc comment on each value group declaring an
+// exported name (a group comment covers the whole group).
+func checkValues(dir string, values []*doc.Value) int {
+	bad := 0
+	for _, v := range values {
+		if v.Doc != "" {
+			continue
+		}
+		for _, name := range v.Names {
+			if ast.IsExported(name) {
+				fmt.Fprintf(os.Stderr, "%s: value %s is exported but undocumented\n", dir, name)
+				bad++
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// checkFields requires a doc or line comment on every exported field of an
+// exported struct type.
+func checkFields(dir string, t *doc.Type) int {
+	bad := 0
+	for _, spec := range t.Decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok || !ast.IsExported(ts.Name.Name) {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if field.Doc != nil || field.Comment != nil {
+				continue
+			}
+			for _, name := range field.Names {
+				if ast.IsExported(name.Name) {
+					fmt.Fprintf(os.Stderr, "%s: field %s.%s is exported but undocumented\n",
+						dir, ts.Name.Name, name.Name)
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// isTestFile reports whether name is a _test.go file.
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

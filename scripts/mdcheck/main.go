@@ -1,0 +1,151 @@
+// Command mdcheck is the repository's markdown link checker: it verifies
+// that every relative link in the given markdown files points at a file
+// (or directory) that exists, and that every intra-document anchor
+// (#heading) resolves to a heading in the target document. External links
+// (http/https/mailto) are intentionally not fetched — CI must not depend
+// on the network — only their syntax is accepted.
+//
+// Usage:
+//
+//	go run ./scripts/mdcheck README.md ARCHITECTURE.md ...
+//
+// Exit status 1 lists every broken link with file and line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax with a leading ! and are checked identically.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings; the anchor derives from the text.
+var headingRe = regexp.MustCompile("^#{1,6}\\s+(.*)$")
+
+// fenceRe matches code-fence delimiters; links inside fences are examples,
+// not navigation, and are skipped.
+var fenceRe = regexp.MustCompile("^(```|~~~)")
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		broken += checkFile(path)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of broken links in one markdown file.
+func checkFile(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	inFence := false
+	for i, line := range strings.Split(string(raw), "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if err := checkTarget(path, target); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s — %v\n", path, i+1, target, err)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// checkTarget validates one link target relative to the file that holds it.
+func checkTarget(from, target string) error {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return nil // external: syntax only, never fetched
+	}
+	file, anchor, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(from), file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Errorf("target does not exist")
+		}
+	}
+	if anchor == "" {
+		return nil
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return nil // anchors into non-markdown are out of scope
+	}
+	ok, err := hasAnchor(resolved, anchor)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no heading for anchor #%s", anchor)
+	}
+	return nil
+}
+
+// hasAnchor reports whether the markdown file has a heading whose GitHub
+// anchor equals anchor.
+func hasAnchor(path, anchor string) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			if slugify(m[1]) == strings.ToLower(anchor) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase, spaces
+// to hyphens, punctuation dropped (backticks included).
+func slugify(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z',
+			'0' <= r && r <= '9',
+			r > 127: // unicode letters survive
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
