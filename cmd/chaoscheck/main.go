@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func run(args []string, w io.Writer) (int, error) {
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		verbose  = fs.Bool("v", false, "print wall-clock observations alongside the verdict")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "hard cap per scenario run")
+		obsAddr  = fs.String("obs-addr", "", "serve /metrics, /statusz and /debug/pprof on this address while scenarios run; also enables the metrics-consistency check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -106,10 +108,29 @@ func run(args []string, w io.Writer) (int, error) {
 		}
 	}
 
+	// One server outlives the scenario loop; each scenario gets a fresh
+	// registry swapped in so families never mix across runs. The registry
+	// also arms the engine's metrics-consistency check.
+	var srv *obs.Server
+	if *obsAddr != "" {
+		var err error
+		if srv, err = obs.NewServer(*obsAddr, obs.NewRegistry()); err != nil {
+			return 2, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "observability: http://%s/metrics\n\n", srv.Addr())
+	}
+
 	failed := 0
 	for i, sc := range scenarios {
 		if i > 0 {
 			fmt.Fprintln(w)
+		}
+		if srv != nil {
+			sc.Obs = obs.NewRegistry()
+			srv.SetRegistry(sc.Obs)
+			name := sc.Name
+			srv.SetStatus(func() any { return map[string]any{"scenario": name} })
 		}
 		fmt.Fprint(w, sc.Schedule())
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

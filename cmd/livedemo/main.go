@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/demand"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/topology"
 )
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		weak    = fs.Bool("weak", false, "run the weak-consistency baseline instead")
 		session = fs.Duration("session", 40*time.Millisecond, "mean anti-entropy interval")
 		timeout = fs.Duration("timeout", 30*time.Second, "convergence timeout")
+		obsAddr = fs.String("obs-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,11 +59,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cluster := sys.Cluster(
+	copts := []runtime.Option{
 		runtime.WithSeed(*seed),
 		runtime.WithSessionInterval(*session),
-		runtime.WithAdvertInterval(*session/8),
-	)
+		runtime.WithAdvertInterval(*session / 8),
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		copts = append(copts, runtime.WithObs(obs.NewClusterObs(reg, *nodes)))
+		srv, err := obs.NewServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "observability: http://%s/metrics\n", srv.Addr())
+	}
+	cluster := sys.Cluster(copts...)
 	if err := cluster.Start(context.Background()); err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/shard"
 	"repro/internal/topology"
@@ -59,6 +60,8 @@ func run(args []string, w io.Writer) error {
 		seed          = fs.Int64("seed", 1, "deterministic seed")
 		timeout       = fs.Duration("timeout", 2*time.Minute, "post-load convergence timeout")
 		dataDir       = fs.String("data-dir", "", "enable the durable persistence plane: per-shard WALs under this directory (writes fsync before ack)")
+		obsAddr       = fs.String("obs-addr", "", "serve /metrics, /statusz, /tracez and /debug/pprof on this address (e.g. :9090; empty disables)")
+		report        = fs.Duration("report", 0, "print a one-line throughput/propagation summary at this interval (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,10 +100,16 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The observability plane is opt-in: a registry exists only when a flag
+	// needs it (-obs-addr to serve it, -report to read propagation lag).
+	var reg *obs.Registry
+	if *obsAddr != "" || *report > 0 {
+		reg = obs.NewRegistry()
+	}
 	// Determinism comes from Config.Seed, which derives distinct per-group
 	// replica seeds; a blanket runtime.WithSeed here would be overridden.
 	router, err := core.Sharded(sys, *shards,
-		shard.Config{Routing: route, Seed: *seed, DataDir: *dataDir},
+		shard.Config{Routing: route, Seed: *seed, DataDir: *dataDir, Obs: reg},
 		runtime.WithSessionInterval(*session),
 		runtime.WithAdvertInterval(*advert),
 	)
@@ -120,6 +129,24 @@ func run(args []string, w io.Writer) error {
 	}
 	defer router.Stop()
 
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.SetStatus(func() any {
+			return map[string]any{
+				"shards":           *shards,
+				"nodes_per_shard":  *nodesPerShard,
+				"routing":          route.String(),
+				"durable":          *dataDir != "",
+				"ops_acked_so_far": reg.Total("repro_client_writes_acked_total"),
+			}
+		})
+		fmt.Fprintf(w, "observability: http://%s/metrics (plus /statusz, /tracez, /debug/pprof)\n", srv.Addr())
+	}
+
 	cfg := workload.Config{
 		Workers:      *workers,
 		Ops:          *ops,
@@ -130,9 +157,14 @@ func run(args []string, w io.Writer) error {
 		ValueBytes:   *valueBytes,
 		Seed:         *seed,
 	}
+	var prog *workload.Progress
+	if *report > 0 {
+		prog = &workload.Progress{}
+		cfg.Progress = prog
+	}
 	fmt.Fprintf(w, "load: %d ops, %d workers, %.0f%% reads, %d keys (%v)\n\n",
 		cfg.Ops, cfg.Workers, cfg.ReadFraction*100, cfg.Keys, keyDist)
-	res := workload.Run(ctx, cfg, shard.Target{Router: router})
+	res := runLoad(ctx, w, cfg, shard.Target{Router: router}, prog, reg, *report)
 
 	tab := metrics.NewTable("metric", "value")
 	tab.AddRow("ops completed", res.Ops)
@@ -167,4 +199,51 @@ func run(args []string, w io.Writer) error {
 			name, digest, st.SessionsInitiated, st.FastEntriesGained)
 	}
 	return nil
+}
+
+// runLoad drives the workload, printing a one-line summary every interval
+// when interval > 0: ops completed in the interval, the interval rate, and
+// the cumulative propagation-lag quantiles from the registry.
+func runLoad(ctx context.Context, w io.Writer, cfg workload.Config, target workload.Target, prog *workload.Progress, reg *obs.Registry, interval time.Duration) workload.Result {
+	if interval <= 0 {
+		return workload.Run(ctx, cfg, target)
+	}
+	done := make(chan workload.Result, 1)
+	go func() { done <- workload.Run(ctx, cfg, target) }()
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	start := time.Now()
+	var lastOps int64
+	lastT := start
+	for {
+		select {
+		case res := <-done:
+			fmt.Fprintln(w)
+			return res
+		case now := <-tick.C:
+			reads, writes := prog.Reads.Load(), prog.Writes.Load()
+			errs := prog.Errors.Load()
+			ops := reads + writes
+			rate := float64(ops-lastOps) / now.Sub(lastT).Seconds()
+			line := fmt.Sprintf("[%5.1fs] %8.0f ops/s  (%d reads, %d writes, %d errs total)",
+				now.Sub(start).Seconds(), rate, reads, writes, errs)
+			if lag := propLag(reg); lag.Count > 0 {
+				line += fmt.Sprintf("  prop lag p50=%.2fms p99=%.2fms max=%.2fms",
+					lag.Quantile(0.50)*1e3, lag.Quantile(0.99)*1e3, lag.Max*1e3)
+			}
+			fmt.Fprintln(w, line)
+			lastOps, lastT = ops, now
+		}
+	}
+}
+
+// propLag merges the propagation-lag histograms of every shard into one
+// cluster-wide snapshot.
+func propLag(reg *obs.Registry) obs.HistSnapshot {
+	var merged obs.HistSnapshot
+	for _, h := range reg.Histograms("repro_prop_lag_seconds") {
+		merged.Merge(h.Snapshot())
+	}
+	return merged
 }

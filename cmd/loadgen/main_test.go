@@ -59,6 +59,49 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunObservedLoad(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "1", "-nodes-per-shard", "4",
+		"-ops", "1500", "-workers", "4", "-keys", "128",
+		"-obs-addr", "127.0.0.1:0", "-report", "1ms",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "observability: http://127.0.0.1:") {
+		t.Errorf("output missing observability banner:\n%s", out)
+	}
+	// With a 1ms interval the run is guaranteed to span at least one tick.
+	if !strings.Contains(out, "ops/s") {
+		t.Errorf("output missing periodic report lines:\n%s", out)
+	}
+	if !strings.Contains(out, "throughput (ops/sec)") {
+		t.Errorf("final summary missing after reports:\n%s", out)
+	}
+}
+
+func TestRunReportWithoutServer(t *testing.T) {
+	// -report alone still needs a registry (for prop-lag quantiles) but no
+	// listener; the run must work without -obs-addr.
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "1", "-nodes-per-shard", "4",
+		"-ops", "800", "-workers", "4", "-report", "1ms",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "observability: http://") {
+		t.Errorf("server banner printed without -obs-addr:\n%s", out)
+	}
+	if !strings.Contains(out, "ops/s") {
+		t.Errorf("output missing periodic report lines:\n%s", out)
+	}
+}
+
 func TestRunDurableLoad(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestNamedScenariosValidate(t *testing.T) {
@@ -404,5 +406,66 @@ func TestRestartDiskRequiresDurable(t *testing.T) {
 	sc.Durable = true
 	if err := sc.withDefaults().Validate(); err != nil {
 		t.Fatalf("durable restart-disk rejected: %v", err)
+	}
+}
+
+// TestMetricsConsistencyFaultFree is the satellite acceptance check: on a
+// fault-free schedule the /metrics acked-write counter must equal the
+// tracker's independent count exactly.
+func TestMetricsConsistencyFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos runs in -short mode")
+	}
+	sc := Scenario{
+		Name:  "obs-fault-free",
+		Seed:  21,
+		Nodes: 5,
+		Events: []Event{
+			{At: 200 * time.Millisecond, Kind: EvQuiesce},
+		},
+		Obs: obs.NewRegistry(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("fault-free obs scenario failed:\n%s%s", rep.Verdict(), rep.Observations())
+	}
+	if !strings.Contains(rep.Verdict(), "final/metrics-consistency") {
+		t.Fatalf("verdict missing the metrics-consistency check:\n%s", rep.Verdict())
+	}
+	// The scraped registry is live after the run: writes happened, so the
+	// headline counter cannot be zero.
+	if sc.Obs.Total("repro_client_writes_acked_total") == 0 {
+		t.Error("registry recorded no acked writes")
+	}
+}
+
+// TestMetricsConsistencyUnderFaults runs the same cross-check through a
+// schedule with partitions and retries: client-plane retries must not
+// double-count acks on either side of the comparison.
+func TestMetricsConsistencyUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos runs in -short mode")
+	}
+	sc, err := Named("split-brain", 33, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Obs = obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("split-brain obs scenario failed:\n%s%s", rep.Verdict(), rep.Observations())
+	}
+	if !strings.Contains(rep.Verdict(), "final/metrics-consistency") {
+		t.Fatalf("verdict missing the metrics-consistency check:\n%s", rep.Verdict())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/demand"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -180,6 +181,12 @@ type engine struct {
 	dead     map[ackLoc]bool
 	prevVers map[ackLoc]map[string]verKey
 
+	// probeWrites counts successful probe writes, which go straight to the
+	// cluster and bypass the tracker — the metrics-consistency check needs
+	// them to reconcile the scraped acked-write counter against the
+	// tracker's count. Only the single events goroutine touches it.
+	probeWrites int
+
 	// Written by loadLoop before it signals done; read only after.
 	loadOps, loadErrs int
 }
@@ -277,6 +284,9 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 	if e.sc.Durable {
 		opts = append(opts, runtime.WithDurability(filepath.Join(e.dataDir, "cluster")))
 	}
+	if e.sc.Obs != nil {
+		opts = append(opts, runtime.WithObs(obs.NewClusterObs(e.sc.Obs, n)))
+	}
 	e.cluster = runtime.New(g, e.mfield, opts...)
 	if err := e.cluster.Start(ctx); err != nil {
 		return err
@@ -300,6 +310,7 @@ func (e *engine) buildRouter(ctx context.Context, rng *rand.Rand) error {
 	if e.sc.Durable {
 		cfg.DataDir = e.dataDir
 	}
+	cfg.Obs = e.sc.Obs
 	r, err := shard.NewRouter(specs, cfg)
 	if err != nil {
 		return err
@@ -550,6 +561,28 @@ func (e *engine) quiesce(ctx context.Context, label string, final bool) {
 			}
 			e.rep.add(ares)
 		}
+		if e.sc.Obs != nil {
+			// The observability plane's acked-write counter must agree with
+			// the tracker's independent count (plus probe writes, which
+			// bypass the tracker). Both sides count exactly the successful
+			// Cluster.Write acks, so the equality holds under kills,
+			// partitions and reshards alike — traffic is paused here, so
+			// neither side is moving.
+			acked, _, _ := e.tracker.counts()
+			obsAcked := int(e.sc.Obs.Total("repro_client_writes_acked_total"))
+			want := acked + e.probeWrites
+			cres := CheckResult{
+				Name: label + "/metrics-consistency",
+				Pass: obsAcked == want,
+				Obs:  fmt.Sprintf("%d acked writes in /metrics", obsAcked),
+			}
+			if obsAcked != want {
+				cres.Obs = ""
+				cres.Detail = fmt.Sprintf("metrics counted %d acked writes, expected %d (%d tracked + %d probes)",
+					obsAcked, want, acked, e.probeWrites)
+			}
+			e.rep.add(cres)
+		}
 	}
 	e.tracker.seal(e.dead)
 }
@@ -717,6 +750,7 @@ func (e *engine) probe(ctx context.Context, label string) CheckResult {
 		if err != nil {
 			return CheckResult{Name: name, Pass: false, Detail: "probe write failed"}
 		}
+		e.probeWrites++
 		w := e.cluster.Watch(ts)
 		select {
 		case <-w.Done():

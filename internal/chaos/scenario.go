@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/demand"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -208,6 +209,13 @@ type Scenario struct {
 	QuiesceTimeout time.Duration
 	// Probes is the number of probe writes per EvProbe (default 8).
 	Probes int
+	// Obs, when non-nil, wires the observability plane into the system
+	// under test (runtime.WithObs per cluster, shard.Config.Obs in router
+	// mode) and adds a metrics-consistency check at the final quiesce: the
+	// acked-write counter scraped from the registry must equal the
+	// tracker's independent count. Like Durable it affects execution only —
+	// the schedule stays a pure function of (name, seed, scale).
+	Obs *obs.Registry
 }
 
 func (s Scenario) withDefaults() Scenario {

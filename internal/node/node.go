@@ -64,6 +64,11 @@ type Config struct {
 	// from disk leave this nil, replay, then call AttachJournal, so replay
 	// never re-journals itself.
 	Journal Journal
+	// Observer, when non-nil, receives replication lifecycle events for
+	// measurement (see the Observer interface). Unlike Journal it is safe
+	// to pass at construction even for recovered replicas: the recovery
+	// paths (Bootstrap, Replay) never fire it.
+	Observer Observer
 }
 
 // Journal is the durability hook: a sink that persists every mutation of
@@ -85,6 +90,24 @@ type Journal interface {
 	JournalAdopt(summary *vclock.Summary, items []store.Item, clock uint64)
 }
 
+// Observer is the measurement hook: it sees entries the moment they enter
+// the write log through live traffic — local client writes when committed,
+// remote entries when absorbed — so an observability layer can stamp
+// writes at their origin and measure propagation lag at every replica. The
+// node invokes it under the driver's existing synchronisation (node
+// methods are single-threaded per replica); implementations must be cheap
+// and must not call back into the node. Recovery paths (Bootstrap, Replay)
+// and content-level absorption (AbsorbItems) never fire it: replayed
+// entries are old news, and handoff items carry no per-entry identity.
+type Observer interface {
+	// ObserveCommitted reports local client writes that just committed, in
+	// log order.
+	ObserveCommitted(entries []wlog.Entry)
+	// ObserveAbsorbed reports entries just gained from peers (anti-entropy
+	// batches, fast-update payloads, never duplicates), in log order.
+	ObserveAbsorbed(entries []wlog.Entry)
+}
+
 // Stats counts protocol activity for one replica.
 type Stats struct {
 	SessionsInitiated  uint64
@@ -102,6 +125,9 @@ type Stats struct {
 	MessagesHandled    uint64
 	SnapshotsSent      uint64 // full-state transfers sent (truncation recovery)
 	SnapshotsReceived  uint64
+	ClientWrites       uint64 // local client writes committed
+	EntriesAbsorbed    uint64 // entries gained from peers (new, non-duplicate)
+	DuplicateDrops     uint64 // received entries already covered (re-delivery)
 }
 
 // Node is one replica.
@@ -112,6 +138,7 @@ type Node struct {
 	table    *demand.Table
 	selector policy.Selector
 	journal  Journal
+	observer Observer
 	lamport  uint64
 
 	nextSession uint64
@@ -148,6 +175,7 @@ func New(cfg Config) *Node {
 		table:     demand.NewTable(cfg.Neighbors),
 		selector:  cfg.Selector,
 		journal:   cfg.Journal,
+		observer:  cfg.Observer,
 		initiated: make(map[uint64]NodeID),
 		accepted:  make(map[uint64]NodeID),
 	}
@@ -241,6 +269,10 @@ func (n *Node) ClientWrite(now float64, key string, value []byte) (wlog.Entry, [
 	if n.journal != nil {
 		n.journal.JournalEntries([]wlog.Entry{e})
 	}
+	n.stats.ClientWrites++
+	if n.observer != nil {
+		n.observer.ObserveCommitted([]wlog.Entry{e})
+	}
 	out := n.fastOffers(now, []wlog.Entry{e}, 0, n.cfg.ID)
 	return e, out
 }
@@ -281,6 +313,10 @@ func (n *Node) ClientWriteBatch(now float64, ops []WriteOp) ([]wlog.Entry, []pro
 	}
 	if n.journal != nil {
 		n.journal.JournalEntries(entries)
+	}
+	n.stats.ClientWrites += uint64(len(entries))
+	if n.observer != nil {
+		n.observer.ObserveCommitted(entries)
 	}
 	out := n.fastOffers(now, entries, 0, n.cfg.ID)
 	return entries, out
@@ -471,6 +507,8 @@ func (n *Node) absorb(entries []wlog.Entry) []wlog.Entry {
 	}
 	gained, gaps := n.log.AddBatch(entries)
 	n.stats.GapDrops += uint64(gaps)
+	n.stats.EntriesAbsorbed += uint64(len(gained))
+	n.stats.DuplicateDrops += uint64(len(entries) - len(gained) - gaps)
 	for _, e := range gained {
 		if e.Clock > n.lamport {
 			n.lamport = e.Clock
@@ -479,6 +517,9 @@ func (n *Node) absorb(entries []wlog.Entry) []wlog.Entry {
 	}
 	if n.journal != nil && len(gained) > 0 {
 		n.journal.JournalEntries(gained)
+	}
+	if n.observer != nil && len(gained) > 0 {
+		n.observer.ObserveAbsorbed(gained)
 	}
 	return gained
 }

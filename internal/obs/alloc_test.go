@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHotPathZeroAllocs pins the instrument hot paths at zero allocations
+// per op — the contract that lets them sit inside the group-commit leader
+// and the absorb path without moving the benchmarks.
+func TestHotPathZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("allocs_counter_total", "help")
+	g := reg.Gauge("allocs_gauge", "help")
+	h := reg.Histogram("allocs_hist", "help", LatencyBuckets)
+	tr := NewPropTracer(reg, 4)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.002) }},
+		{"PropTracer.Stamp", func() { tr.Stamp(1, 42, tr.Now()) }},
+		{"PropTracer.Observe", func() { tr.Observe(1, 2, 42, tr.Now()) }},
+	}
+	for _, tc := range cases {
+		if got := testing.AllocsPerRun(200, tc.fn); got != 0 {
+			t.Errorf("%s allocates %v objects per op, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestConcurrentInstrumentHammer drives every instrument from many
+// goroutines; with -race it is the data-race check for the striped paths.
+func TestConcurrentInstrumentHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer2_total", "help")
+	g := reg.Gauge("hammer2_gauge", "help")
+	h := reg.Histogram("hammer2_hist", "help", LatencyBuckets)
+	tr := NewPropTracer(reg, 4)
+
+	const goroutines, iters = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-6)
+				seq := uint64(w*iters + i + 1)
+				now := tr.Now()
+				tr.Stamp(0, seq, now)
+				tr.Observe(0, 1, seq, now)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := g.Value(); got != goroutines*iters {
+		t.Errorf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := h.Snapshot().Count; got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	// Every Stamp/Observe pair either measured a lag or detected an
+	// overwrite — no sample may vanish.
+	lag := reg.Total("repro_prop_lag_seconds")
+	miss := reg.Total("repro_prop_misses_total")
+	if lag+miss != goroutines*iters {
+		t.Errorf("lag %v + misses %v != %d observations", lag, miss, goroutines*iters)
+	}
+}

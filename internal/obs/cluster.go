@@ -1,0 +1,74 @@
+package obs
+
+// ClusterObs bundles the instruments one live cluster feeds on its hot
+// paths: the propagation tracer plus the group-commit and durability
+// instruments the runtime's commit leader updates inline. Everything else
+// the cluster exposes (node protocol counters, store read counters, WAL
+// stats, transport queues) is registered as polled CounterFunc/GaugeFunc
+// series by the runtime at construction and costs nothing between scrapes.
+//
+// Build one per cluster with NewClusterObs and hand it to
+// runtime.WithObs; a shard router builds one per group with a shard label
+// so per-shard series stay distinct on a shared Registry.
+type ClusterObs struct {
+	// Reg is the registry every series lives on.
+	Reg *Registry
+	// Labels are the base labels applied to every series of this cluster
+	// (e.g. shard="shard3").
+	Labels []Label
+	// Prop measures origin→replica propagation lag.
+	Prop *PropTracer
+
+	// WritesAcked counts client writes acknowledged (durably committed
+	// when the persistence plane is on).
+	WritesAcked *Counter
+	// WriteBatches counts group-commit batches.
+	WriteBatches *Counter
+	// WriteErrors counts client writes rejected (dead replica, failed
+	// fsync).
+	WriteErrors *Counter
+	// BatchSize observes writes per group-commit batch.
+	BatchSize *Histogram
+	// CommitSeconds observes group-commit latency (lock + node fold +
+	// fsync + waiter completion).
+	CommitSeconds *Histogram
+	// FsyncSeconds observes WAL fsync latency (commit path and
+	// maintenance ticks).
+	FsyncSeconds *Histogram
+	// LeaderPromotions counts group-commit leader stints promoted to a
+	// background committer after exhausting their batch budget.
+	LeaderPromotions *Counter
+}
+
+// NewClusterObs registers a cluster's hot-path instruments on reg for a
+// cluster of n replicas, all carrying the given base labels.
+func NewClusterObs(reg *Registry, n int, labels ...Label) *ClusterObs {
+	return &ClusterObs{
+		Reg:    reg,
+		Labels: append([]Label(nil), labels...),
+		Prop:   NewPropTracer(reg, n, labels...),
+		WritesAcked: reg.Counter("repro_client_writes_acked_total",
+			"Client writes acknowledged by the group-commit leader.", labels...),
+		WriteBatches: reg.Counter("repro_commit_batches_total",
+			"Group-commit batches folded into a replica.", labels...),
+		WriteErrors: reg.Counter("repro_client_write_errors_total",
+			"Client writes rejected (replica down or durability failure).", labels...),
+		BatchSize: reg.Histogram("repro_commit_batch_size",
+			"Client writes per group-commit batch.", SizeBuckets, labels...),
+		CommitSeconds: reg.Histogram("repro_commit_seconds",
+			"Group-commit latency from batch pickup to acknowledgement.", LatencyBuckets, labels...),
+		FsyncSeconds: reg.Histogram("repro_wal_fsync_seconds",
+			"WAL fsync latency observed by the commit leader and maintenance ticker.", LatencyBuckets, labels...),
+		LeaderPromotions: reg.Counter("repro_commit_leader_promotions_total",
+			"Group-commit leader stints promoted to a background committer.", labels...),
+	}
+}
+
+// With returns the base labels extended with extra — the helper the runtime
+// uses to derive per-replica label sets.
+func (c *ClusterObs) With(extra ...Label) []Label {
+	out := make([]Label, 0, len(c.Labels)+len(extra))
+	out = append(out, c.Labels...)
+	out = append(out, extra...)
+	return out
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// histCell is one stripe of a Histogram: its own bucket array plus
+// count/sum/max, padded so adjacent stripes never share a cache line.
+type histCell struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits, CAS-maxed
+	_      [16]byte
+}
+
+// Histogram is a fixed-bucket striped histogram of float64 observations.
+// Observe is lock-free and allocation-free; bucket boundaries are fixed at
+// construction. The zero value is unusable; use NewHistogram or
+// Registry.Histogram.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	cells  [nStripes]histCell
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds (the +Inf bucket is implicit). Registry.Histogram is the usual
+// entry point; NewHistogram exists for instruments that are not exported,
+// such as per-pair propagation histograms below the cardinality cap.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.cells {
+		h.cells[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	c := &h.cells[stripe()]
+	c.counts[h.bucketIdx(v)].Add(1)
+	c.count.Add(1)
+	addFloatBits(&c.sum, v)
+	maxFloatBits(&c.max, v)
+}
+
+// bucketIdx returns the bucket index for v via binary search (manual, so
+// the hot path stays allocation- and interface-free).
+func (h *Histogram) bucketIdx(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// addFloatBits CAS-adds v into a float64-bits atomic.
+func addFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// maxFloatBits CAS-raises a float64-bits atomic to at least v (v >= 0).
+func maxFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time merge of a histogram's stripes.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds (+Inf implicit).
+	Bounds []float64
+	// Counts holds per-bucket (not cumulative) observation counts;
+	// len(Counts) == len(Bounds)+1, the last being the +Inf bucket.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Max is the largest observed value (0 when Count is 0).
+	Max float64
+}
+
+// Snapshot merges the stripes into one HistSnapshot. Under concurrent
+// observation the totals are approximate at the margin (each stripe is read
+// atomically but stripes are read in sequence), which is the standard
+// monitoring trade.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := range c.counts {
+			s.Counts[b] += c.counts[b].Load()
+		}
+		s.Count += c.count.Load()
+		s.Sum += math.Float64frombits(c.sum.Load())
+		if m := math.Float64frombits(c.max.Load()); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// Merge folds other into s (bounds must match; Merge panics otherwise).
+// Use it to aggregate one family's quantiles across label dimensions.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	if len(s.Bounds) == 0 {
+		s.Bounds = other.Bounds
+		s.Counts = append([]uint64(nil), other.Counts...)
+		s.Count, s.Sum, s.Max = other.Count, other.Sum, other.Max
+		return
+	}
+	if len(other.Bounds) != len(s.Bounds) {
+		panic("obs: merging histograms with different bounds")
+	}
+	for i := range other.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// inside the owning bucket; observations in the +Inf bucket report Max.
+// Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			if i == len(s.Bounds) {
+				return s.Max
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - cum) / float64(n)
+			// Interpolation can overshoot the largest real observation when
+			// the owning bucket is sparsely filled; clamp to the tracked max.
+			return math.Min(lower+frac*(s.Bounds[i]-lower), s.Max)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// ExpBuckets returns n strictly ascending bucket bounds starting at start
+// and multiplying by factor — the usual latency-bucket ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 50µs to ~1.6s — commit, fsync and propagation
+// latencies on a healthy cluster land mid-ladder.
+var LatencyBuckets = ExpBuckets(50e-6, 2, 15)
+
+// SizeBuckets spans 1 to 1024 doubling — group-commit batch sizes.
+var SizeBuckets = ExpBuckets(1, 2, 11)

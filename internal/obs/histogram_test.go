@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 1, 1, 1} // one per bucket including +Inf
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], n)
+		}
+	}
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 555.5 {
+		t.Errorf("Sum = %v, want 555.5", s.Sum)
+	}
+	if s.Max != 500 {
+		t.Errorf("Max = %v, want 500", s.Max)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(1) // le="1" is inclusive per the exposition format
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Errorf("observation at the bound landed in bucket %v, want bucket 0", s.Counts)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(3)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 || s.Sum != 5 || s.Max != 3 {
+		t.Errorf("merged = {count %d, sum %v, max %v}, want {3, 5, 3}", s.Count, s.Sum, s.Max)
+	}
+
+	var zero HistSnapshot
+	zero.Merge(a.Snapshot())
+	if zero.Count != 1 {
+		t.Errorf("merge into zero snapshot: count %d, want 1", zero.Count)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched bounds did not panic")
+		}
+	}()
+	mismatch := NewHistogram([]float64{1}).Snapshot()
+	s.Merge(mismatch)
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i % 100))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 20 || q > 80 {
+		t.Errorf("p50 = %v, want roughly 50 (bucketed)", q)
+	}
+	if q := s.Quantile(0.99); q > s.Max {
+		t.Errorf("p99 = %v exceeds max %v — clamp failed", q, s.Max)
+	}
+	if q := s.Quantile(1); q != s.Max {
+		t.Errorf("p100 = %v, want max %v", q, s.Max)
+	}
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterValue(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+}
+
+func TestGaugeSetAddValue(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("ops_total", "help", L("shard", "s0"))
+	b := reg.Counter("ops_total", "help", L("shard", "s0"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	// Label order must not split a series.
+	h1 := reg.Histogram("lat", "help", []float64{1, 2}, L("a", "1"), L("b", "2"))
+	h2 := reg.Histogram("lat", "help", []float64{1, 2}, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Error("label order split one series into two")
+	}
+	// Different labels do create a separate series.
+	if c := reg.Counter("ops_total", "help", L("shard", "s1")); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("m", "help")
+}
+
+func TestFuncReRegistrationReplacesFn(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("depth", "help", func() float64 { return 1 })
+	reg.GaugeFunc("depth", "help", func() float64 { return 7 })
+	if got := reg.Total("depth"); got != 7 {
+		t.Fatalf("Total after re-registration = %v, want 7 (new fn)", got)
+	}
+}
+
+func TestTotalSumsSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("w_total", "help", L("shard", "s0")).Add(3)
+	reg.Counter("w_total", "help", L("shard", "s1")).Add(4)
+	if got := reg.Total("w_total"); got != 7 {
+		t.Fatalf("Total = %v, want 7", got)
+	}
+	if got := reg.Total("nonexistent"); got != 0 {
+		t.Fatalf("Total(unknown) = %v, want 0", got)
+	}
+}
+
+func TestHistogramsReturnsFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lag", "help", []float64{1}, L("shard", "s0")).Observe(0.5)
+	reg.Histogram("lag", "help", []float64{1}, L("shard", "s1")).Observe(0.7)
+	hs := reg.Histograms("lag")
+	if len(hs) != 2 {
+		t.Fatalf("Histograms returned %d series, want 2", len(hs))
+	}
+	var merged HistSnapshot
+	for _, h := range hs {
+		merged.Merge(h.Snapshot())
+	}
+	if merged.Count != 2 {
+		t.Fatalf("merged count = %d, want 2", merged.Count)
+	}
+	if reg.Histograms("w_total") != nil {
+		t.Error("Histograms on a non-histogram family should be nil")
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repro_writes_total", "Writes acked.", L("shard", "s0")).Add(5)
+	reg.Gauge("repro_depth", "Queue depth.").Set(2)
+	reg.GaugeFunc("repro_live", "Live replicas.", func() float64 { return 3 })
+	h := reg.Histogram("repro_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP repro_writes_total Writes acked.",
+		"# TYPE repro_writes_total counter",
+		`repro_writes_total{shard="s0"} 5`,
+		"# TYPE repro_depth gauge",
+		"repro_depth 2",
+		"repro_live 3",
+		"# TYPE repro_lat_seconds histogram",
+		`repro_lat_seconds_bucket{le="0.1"} 1`,
+		`repro_lat_seconds_bucket{le="1"} 2`,
+		`repro_lat_seconds_bucket{le="+Inf"} 3`,
+		"repro_lat_seconds_sum 5.55",
+		"repro_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total", "help", L("path", `a\b"c`)).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m_total{path="a\\b\"c"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series line %q missing:\n%s", want, b.String())
+	}
+}
+
+func TestConcurrentRegistrationAndWrites(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				reg.Counter("hammer_total", "help").Inc()
+				reg.Histogram("hammer_lat", "help", []float64{1, 2, 4}).Observe(float64(i % 5))
+			}
+		}()
+	}
+	// Concurrent scrapes must not block or corrupt the writers.
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := reg.Counter("hammer_total", "help").Value(); got != 8*2000 {
+		t.Fatalf("counter = %d after concurrent adds, want %d", got, 8*2000)
+	}
+	if got := reg.Histogram("hammer_lat", "help", nil).Snapshot().Count; got != 8*2000 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*2000)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// propRingSize is the per-origin stamp ring capacity (power of two). A
+// stamp survives until its origin has issued propRingSize newer writes;
+// entries absorbed later than that are counted as missed lookups rather
+// than reported with a bogus latency.
+const propRingSize = 4096
+
+// pairHistogramLimit caps the replica count for which per-pair lag
+// histograms are materialised: n² series at 24 replicas is fine, at 200 it
+// is an exposition bomb. Above the cap only the aggregate histogram is
+// kept.
+const pairHistogramLimit = 32
+
+// propRing records, per origin, the local monotonic stamp time of that
+// origin's recent writes, indexed by sequence number modulo the ring size.
+// Writers store stamp-then-seq; readers load seq, stamp, seq again, so a
+// slot overwritten mid-read is detected and discarded instead of producing
+// a wrong latency.
+type propRing struct {
+	seq []atomic.Uint64
+	at  []atomic.Int64 // nanoseconds since the tracer epoch
+}
+
+// PropTracer measures origin→replica propagation latency on the live
+// cluster: each client write is stamped at its origin when committed, and
+// every replica that later absorbs the entry observes now−stamp into lag
+// histograms — the paper's Figs. 5/6 propagation-delay curves, measured
+// instead of simulated.
+//
+// Stamp and Observe are lock-free and allocation-free; both sit on
+// replicated hot paths (the group-commit leader and the absorb path).
+type PropTracer struct {
+	epoch time.Time
+	rings []propRing
+	// pairs[origin][dst] holds the per-pair lag histogram, nil above
+	// pairHistogramLimit replicas (aggregate only).
+	pairs [][]*Histogram
+	// all aggregates lag across every (origin, dst) pair.
+	all *Histogram
+
+	stamped  *Counter
+	observed *Counter
+	missed   *Counter
+}
+
+// PropBuckets are the propagation-lag bucket bounds: 100µs to ~1.7 minutes,
+// wide enough for WAN-emulation scenarios.
+var PropBuckets = ExpBuckets(100e-6, 2, 20)
+
+// NewPropTracer builds a tracer for n replicas, registering its histograms
+// and counters on reg with the given base labels. Pair histograms carry
+// origin/dst labels; they are omitted (aggregate only) when n exceeds
+// pairHistogramLimit.
+func NewPropTracer(reg *Registry, n int, labels ...Label) *PropTracer {
+	t := &PropTracer{
+		epoch: time.Now(),
+		rings: make([]propRing, n),
+		all: reg.Histogram("repro_prop_lag_seconds",
+			"Origin-to-replica propagation lag of client writes, all replica pairs.",
+			PropBuckets, labels...),
+		stamped: reg.Counter("repro_prop_stamps_total",
+			"Client writes stamped at their origin for propagation tracing.", labels...),
+		observed: reg.Counter("repro_prop_observations_total",
+			"Propagation-lag samples recorded as replicas absorbed traced writes.", labels...),
+		missed: reg.Counter("repro_prop_misses_total",
+			"Absorbed entries whose origin stamp was already overwritten or never taken.", labels...),
+	}
+	for i := range t.rings {
+		t.rings[i].seq = make([]atomic.Uint64, propRingSize)
+		t.rings[i].at = make([]atomic.Int64, propRingSize)
+	}
+	if n <= pairHistogramLimit {
+		t.pairs = make([][]*Histogram, n)
+		for o := 0; o < n; o++ {
+			t.pairs[o] = make([]*Histogram, n)
+			for d := 0; d < n; d++ {
+				if o == d {
+					continue
+				}
+				pl := make([]Label, 0, len(labels)+2)
+				pl = append(pl, labels...)
+				pl = append(pl, Label{Key: "origin", Value: vclock.NodeID(o).String()},
+					Label{Key: "dst", Value: vclock.NodeID(d).String()})
+				t.pairs[o][d] = reg.Histogram("repro_prop_pair_lag_seconds",
+					"Origin-to-replica propagation lag of client writes, per replica pair.",
+					PropBuckets, pl...)
+			}
+		}
+	}
+	return t
+}
+
+// Now returns the tracer's clock: nanoseconds since its epoch. Callers on
+// batch paths read it once per batch and pass it to Stamp/Observe.
+func (t *PropTracer) Now() int64 { return int64(time.Since(t.epoch)) }
+
+// Stamp records that origin committed its seq-th write at local time now
+// (from Now). Call it at the origin, before any replication can deliver
+// the write elsewhere — the runtime stamps under the replica lock inside
+// the group commit, which precedes the fan-out.
+func (t *PropTracer) Stamp(origin vclock.NodeID, seq uint64, now int64) {
+	if int(origin) < 0 || int(origin) >= len(t.rings) {
+		return
+	}
+	r := &t.rings[origin]
+	idx := seq & (propRingSize - 1)
+	// Stamp first, then publish the seq: a reader that sees the new seq is
+	// guaranteed to read the new stamp (Go atomics are sequentially
+	// consistent).
+	r.at[idx].Store(now)
+	r.seq[idx].Store(seq)
+	t.stamped.Inc()
+}
+
+// Observe records that replica dst absorbed origin's seq-th write at local
+// time now. Lag is observed into the aggregate and per-pair histograms;
+// stamps already overwritten (or writes that predate the tracer) count as
+// misses.
+func (t *PropTracer) Observe(origin, dst vclock.NodeID, seq uint64, now int64) {
+	if int(origin) < 0 || int(origin) >= len(t.rings) {
+		return
+	}
+	r := &t.rings[origin]
+	idx := seq & (propRingSize - 1)
+	if r.seq[idx].Load() != seq {
+		t.missed.Inc()
+		return
+	}
+	at := r.at[idx].Load()
+	if r.seq[idx].Load() != seq || now < at {
+		// The slot was overwritten between the two seq loads (or clock
+		// skew produced a negative lag): discard rather than mis-measure.
+		t.missed.Inc()
+		return
+	}
+	lag := float64(now-at) / float64(time.Second)
+	t.all.Observe(lag)
+	if t.pairs != nil && int(dst) >= 0 && int(dst) < len(t.pairs[origin]) {
+		if h := t.pairs[origin][dst]; h != nil {
+			h.Observe(lag)
+		}
+	}
+	t.observed.Inc()
+}
+
+// LagSnapshot merges the aggregate lag histogram (p50/p99/max live here).
+func (t *PropTracer) LagSnapshot() HistSnapshot { return t.all.Snapshot() }

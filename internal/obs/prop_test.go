@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestPropStampObserve(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, 3)
+	now := tr.Now()
+	tr.Stamp(0, 1, now)
+	tr.Observe(0, 1, 1, now+1e6) // 1ms later at replica 1
+	tr.Observe(0, 2, 1, now+2e6) // 2ms later at replica 2
+
+	s := tr.LagSnapshot()
+	if s.Count != 2 {
+		t.Fatalf("aggregate lag count = %d, want 2", s.Count)
+	}
+	if s.Max < 0.0019 || s.Max > 0.0021 {
+		t.Errorf("max lag = %v s, want ~0.002", s.Max)
+	}
+	if got := reg.Total("repro_prop_stamps_total"); got != 1 {
+		t.Errorf("stamps = %v, want 1", got)
+	}
+	if got := reg.Total("repro_prop_observations_total"); got != 2 {
+		t.Errorf("observations = %v, want 2", got)
+	}
+	// Per-pair histograms exist below the cardinality cap.
+	pair := reg.Histograms("repro_prop_pair_lag_seconds")
+	if len(pair) != 3*2 {
+		t.Errorf("pair series = %d, want 6 (n²−n)", len(pair))
+	}
+}
+
+func TestPropOverwrittenStampCountsAsMiss(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, 2)
+	now := tr.Now()
+	tr.Stamp(0, 1, now)
+	// Overwrite slot 1's ring entry: seq 1+propRingSize maps to the same slot.
+	tr.Stamp(0, 1+propRingSize, now+5)
+	tr.Observe(0, 1, 1, now+10)
+	if got := reg.Total("repro_prop_misses_total"); got != 1 {
+		t.Errorf("misses = %v, want 1 (stamp overwritten)", got)
+	}
+	if tr.LagSnapshot().Count != 0 {
+		t.Error("overwritten stamp produced a lag sample")
+	}
+}
+
+func TestPropNeverStampedCountsAsMiss(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, 2)
+	tr.Observe(0, 1, 7, tr.Now())
+	if got := reg.Total("repro_prop_misses_total"); got != 1 {
+		t.Errorf("misses = %v, want 1 (write predates tracer)", got)
+	}
+}
+
+func TestPropNegativeLagCountsAsMiss(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, 2)
+	now := tr.Now()
+	tr.Stamp(0, 1, now+1000)
+	tr.Observe(0, 1, 1, now) // observation "before" the stamp
+	if got := reg.Total("repro_prop_misses_total"); got != 1 {
+		t.Errorf("misses = %v, want 1 (negative lag)", got)
+	}
+}
+
+func TestPropOutOfRangeOriginIgnored(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, 2)
+	tr.Stamp(vclock.NodeID(99), 1, tr.Now())
+	tr.Observe(vclock.NodeID(99), 0, 1, tr.Now())
+	if got := reg.Total("repro_prop_stamps_total"); got != 0 {
+		t.Errorf("out-of-range origin stamped: %v", got)
+	}
+}
+
+func TestPropPairHistogramsOmittedAboveLimit(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPropTracer(reg, pairHistogramLimit+1)
+	now := tr.Now()
+	tr.Stamp(0, 1, now)
+	tr.Observe(0, 1, 1, now+100)
+	if tr.LagSnapshot().Count != 1 {
+		t.Error("aggregate histogram must still record above the pair cap")
+	}
+	if got := reg.Histograms("repro_prop_pair_lag_seconds"); got != nil {
+		t.Errorf("pair histograms registered above the cap: %d series", len(got))
+	}
+}

@@ -181,6 +181,7 @@ func (c *Cluster) RestartFromDisk(id NodeID) error {
 		FastPush:  c.opts.fastPush,
 		FanOut:    c.opts.fanOut,
 		Demand:    demandSource(&c.opts, r, c.field, id),
+		Observer:  nodeObserver(&c.opts, id),
 	})
 	replayRecovery(n, rec)
 	n.AttachJournal(walJournal{w})
@@ -209,7 +210,13 @@ func (r *replica) walMaintain() {
 	if w == nil {
 		return
 	}
-	_ = w.Sync()
+	if co := r.cluster.opts.obs; co != nil {
+		start := time.Now()
+		_ = w.Sync()
+		co.FsyncSeconds.Observe(time.Since(start).Seconds())
+	} else {
+		_ = w.Sync()
+	}
 	if !w.SnapshotDue() {
 		return
 	}

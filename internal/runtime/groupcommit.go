@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/node"
 	"repro/internal/vclock"
@@ -117,6 +118,9 @@ func (r *replica) commitLoop(c *Cluster) {
 	if r.drain(c, maxLeaderStint) {
 		return
 	}
+	if co := c.opts.obs; co != nil {
+		co.LeaderPromotions.Inc()
+	}
 	go r.drain(c, math.MaxInt)
 }
 
@@ -151,11 +155,19 @@ func (r *replica) drain(c *Cluster, n int) bool {
 // letting the replica keep serving would leak them to peers and set up the
 // same reissued-timestamp divergence on the eventual restart.
 func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
+	co := c.opts.obs
+	var commitStart time.Time
+	if co != nil {
+		commitStart = time.Now()
+	}
 	r.mu.Lock()
 	if r.dead {
 		id := r.node.ID()
 		r.mu.Unlock()
 		err := fmt.Errorf("runtime: replica %v is down", id)
+		if co != nil {
+			co.WriteErrors.Add(uint64(len(batch)))
+		}
 		for _, req := range batch {
 			req.err = err
 			req.done <- struct{}{}
@@ -168,8 +180,19 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	}
 	entries, out := r.node.ClientWriteBatch(c.now(), ops)
 	if r.wal != nil {
-		if syncErr := r.wal.Sync(); syncErr != nil {
+		var fsyncStart time.Time
+		if co != nil {
+			fsyncStart = time.Now()
+		}
+		syncErr := r.wal.Sync()
+		if co != nil {
+			co.FsyncSeconds.Observe(time.Since(fsyncStart).Seconds())
+		}
+		if syncErr != nil {
 			r.failStop(syncErr)
+			if co != nil {
+				co.WriteErrors.Add(uint64(len(batch)))
+			}
 			for _, req := range batch {
 				req.err = syncErr
 				req.done <- struct{}{}
@@ -189,6 +212,12 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	for i, req := range batch {
 		req.ts = entries[i].TS
 		req.done <- struct{}{}
+	}
+	if co != nil {
+		co.WritesAcked.Add(uint64(len(batch)))
+		co.WriteBatches.Inc()
+		co.BatchSize.Observe(float64(len(batch)))
+		co.CommitSeconds.Observe(time.Since(commitStart).Seconds())
 	}
 	c.checkWatches(id)
 	r.sendAllVia(ep, out)

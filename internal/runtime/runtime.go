@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/demand"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/protocol"
 	"repro/internal/store"
@@ -54,6 +55,7 @@ type options struct {
 	measuredTau    time.Duration // > 0 enables measured demand
 	durDir         string        // != "" enables the durable persistence plane
 	walOpts        wal.Options
+	obs            *obs.ClusterObs // non-nil enables the observability plane
 }
 
 func defaultOptions() options {
@@ -179,6 +181,7 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 			FastPush:  o.fastPush,
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
+			Observer:  nodeObserver(&o, id),
 		})
 		// A durable replica recovers its on-disk state (cold start) before
 		// the store is published to the lock-free read path.
@@ -186,6 +189,7 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
 	}
+	c.registerObs()
 	return c
 }
 
@@ -393,6 +397,7 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 			FastPush:  c.opts.fastPush,
 			FanOut:    c.opts.fanOut,
 			Demand:    demandSource(&c.opts, r, c.field, id),
+			Observer:  nodeObserver(&c.opts, id),
 		})
 		if reopened != nil {
 			// Attached before Bootstrap so the bootstrap image is journaled.

@@ -64,6 +64,7 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 			FastPush:  o.fastPush,
 			FanOut:    o.fanOut,
 			Demand:    demandSource(&o, r, field, id),
+			Observer:  nodeObserver(&o, id),
 		})
 		r.finishReplicaDurability(rec)
 		r.store.Store(r.node.Store())
@@ -75,5 +76,6 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 		}
 		return nil, c.initErr
 	}
+	c.registerObs()
 	return c, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/demand"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/topology"
@@ -68,6 +69,14 @@ type Group struct {
 
 	mu  sync.Mutex // guards rng (RouteRandom only)
 	rng *rand.Rand
+
+	// Per-shard routed-op instruments, set by the router when it carries an
+	// observability registry (nil otherwise — the op path nil-checks).
+	obsWrites   *obs.Counter
+	obsReads    *obs.Counter
+	obsWriteErr *obs.Counter
+	obsReadErr  *obs.Counter
+	obsHandoff  *obs.Counter
 }
 
 // coarseClock is a wall clock updated by a background ticker (see
@@ -259,4 +268,7 @@ func addStats(a *node.Stats, b node.Stats) {
 	a.MessagesHandled += b.MessagesHandled
 	a.SnapshotsSent += b.SnapshotsSent
 	a.SnapshotsReceived += b.SnapshotsReceived
+	a.ClientWrites += b.ClientWrites
+	a.EntriesAbsorbed += b.EntriesAbsorbed
+	a.DuplicateDrops += b.DuplicateDrops
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/vclock"
@@ -32,6 +33,11 @@ type Config struct {
 	// RuntimeOptions apply to every group's cluster (session interval,
 	// policy, fast push, network faults, ...).
 	RuntimeOptions []runtime.Option
+	// Obs, when non-nil, enables the observability plane: every group's
+	// cluster feeds the registry (with a shard=<name> label distinguishing
+	// its series), and the router adds per-shard routed-op and handoff
+	// counters on top.
+	Obs *obs.Registry
 }
 
 // Receipt identifies a routed write: which shard accepted it, at which
@@ -78,13 +84,42 @@ type Router struct {
 }
 
 // groupOptions returns the runtime options for one group's cluster,
-// appending per-group durability when DataDir is set.
-func (cfg Config) groupOptions(name string) []runtime.Option {
-	if cfg.DataDir == "" {
+// appending per-group durability when DataDir is set and the per-group
+// observability bundle when Obs is set.
+func (cfg Config) groupOptions(spec GroupSpec) []runtime.Option {
+	if cfg.DataDir == "" && cfg.Obs == nil {
 		return cfg.RuntimeOptions
 	}
 	opts := append([]runtime.Option(nil), cfg.RuntimeOptions...)
-	return append(opts, runtime.WithDurability(filepath.Join(cfg.DataDir, name)))
+	if cfg.DataDir != "" {
+		opts = append(opts, runtime.WithDurability(filepath.Join(cfg.DataDir, spec.Name)))
+	}
+	if cfg.Obs != nil {
+		co := obs.NewClusterObs(cfg.Obs, spec.Graph.N(), obs.L("shard", spec.Name))
+		opts = append(opts, runtime.WithObs(co))
+	}
+	return opts
+}
+
+// registerGroupObs attaches the router-level per-shard counters to a fresh
+// group. Registration is idempotent, so a router rebuilt on a shared
+// registry (or a shard re-added) re-attaches to its series.
+func (r *Router) registerGroupObs(g *Group) {
+	reg := r.cfg.Obs
+	if reg == nil {
+		return
+	}
+	shard := obs.L("shard", g.name)
+	g.obsWrites = reg.Counter("repro_shard_ops_total",
+		"Client operations routed to the shard, by op.", shard, obs.L("op", "write"))
+	g.obsReads = reg.Counter("repro_shard_ops_total",
+		"Client operations routed to the shard, by op.", shard, obs.L("op", "read"))
+	g.obsWriteErr = reg.Counter("repro_shard_op_errors_total",
+		"Routed client operations that failed at the shard, by op.", shard, obs.L("op", "write"))
+	g.obsReadErr = reg.Counter("repro_shard_op_errors_total",
+		"Routed client operations that failed at the shard, by op.", shard, obs.L("op", "read"))
+	g.obsHandoff = reg.Counter("repro_shard_handoff_keys_total",
+		"Keys the shard received through resharding handoffs.", shard)
 }
 
 // NewRouter assembles a router over the given shard groups. Use Carve to
@@ -103,13 +138,14 @@ func NewRouter(specs []GroupSpec, cfg Config) (*Router, error) {
 		if _, dup := r.groups[spec.Name]; dup {
 			return nil, fmt.Errorf("shard: duplicate group %q", spec.Name)
 		}
-		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.groupOptions(spec.Name), &r.clock)
+		g, err := newGroup(spec, cfg.Seed+int64(i)*104729, cfg.groupOptions(spec), &r.clock)
 		if err != nil {
 			return nil, err
 		}
 		if err := r.ring.Add(spec.Name); err != nil {
 			return nil, err
 		}
+		r.registerGroupObs(g)
 		r.groups[spec.Name] = g
 	}
 	return r, nil
@@ -208,7 +244,13 @@ func (r *Router) Write(key string, value []byte) (Receipt, error) {
 	id := g.pick(r.cfg.Routing)
 	ts, err := g.cluster.Write(id, key, value)
 	if err != nil {
+		if g.obsWriteErr != nil {
+			g.obsWriteErr.Inc()
+		}
 		return Receipt{}, fmt.Errorf("shard: write to %s: %w", g.name, err)
+	}
+	if g.obsWrites != nil {
+		g.obsWrites.Inc()
 	}
 	return Receipt{Shard: g.name, Node: id, TS: ts}, nil
 }
@@ -221,7 +263,14 @@ func (r *Router) Read(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return g.cluster.Read(g.pick(r.cfg.Routing), key)
+	v, ok, err := g.cluster.Read(g.pick(r.cfg.Routing), key)
+	switch {
+	case err != nil && g.obsReadErr != nil:
+		g.obsReadErr.Inc()
+	case err == nil && g.obsReads != nil:
+		g.obsReads.Inc()
+	}
+	return v, ok, err
 }
 
 // Watch observes a routed write propagating across its owning group (a
@@ -342,11 +391,12 @@ func (r *Router) AddShard(spec GroupSpec) error {
 		return fmt.Errorf("shard: group %q already present", spec.Name)
 	}
 	seed := r.cfg.Seed + int64(len(r.groups))*104729
-	g, err := newGroup(spec, seed, r.cfg.groupOptions(spec.Name), &r.clock)
+	g, err := newGroup(spec, seed, r.cfg.groupOptions(spec), &r.clock)
 	if err != nil {
 		r.mu.Unlock()
 		return err
 	}
+	r.registerGroupObs(g)
 	if r.started && !r.stopped {
 		if err := g.cluster.Start(r.ctx); err != nil {
 			r.mu.Unlock()
@@ -384,6 +434,9 @@ func (r *Router) AddShard(spec GroupSpec) error {
 	}
 	if len(moved) > 0 {
 		g.cluster.ApplySnapshot(moved)
+		if g.obsHandoff != nil {
+			g.obsHandoff.Add(uint64(len(moved)))
+		}
 	}
 
 	// Flip routing: register the group, then its ring points.
@@ -459,6 +512,9 @@ func (r *Router) RemoveShard(name string) error {
 	for owner, items := range perOwner {
 		if dst := r.groups[owner]; dst != nil {
 			dst.cluster.ApplySnapshot(items)
+			if dst.obsHandoff != nil {
+				dst.obsHandoff.Add(uint64(len(items)))
+			}
 		}
 	}
 	r.mu.RUnlock()

@@ -61,6 +61,9 @@ type Ring struct {
 	full   bool
 	min    Level
 	count  uint64
+	// overwrites counts events silently dropped by ring wraparound: once
+	// the ring is full, every Emit evicts the oldest retained event.
+	overwrites uint64
 }
 
 // NewRing creates a ring holding up to capacity events at or above min.
@@ -79,6 +82,9 @@ func (r *Ring) Emit(level Level, node vclock.NodeID, format string, args ...any)
 	ev := Event{At: time.Now(), Level: level, Node: node, Msg: fmt.Sprintf(format, args...)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.full {
+		r.overwrites++
+	}
 	r.events[r.next] = ev
 	r.next++
 	r.count++
@@ -116,6 +122,18 @@ func (r *Ring) Count() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.count
+}
+
+// Overwrites returns how many events were silently dropped to ring
+// wraparound — a nonzero value means Snapshot/Dump show a truncated
+// history and the ring should be sized up (or the level filter raised).
+func (r *Ring) Overwrites() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwrites
 }
 
 // Snapshot returns retained events oldest-first.

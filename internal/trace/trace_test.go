@@ -53,11 +53,38 @@ func TestRingWrapsOldestFirst(t *testing.T) {
 	}
 }
 
+func TestOverwritesCountsEvictions(t *testing.T) {
+	r := NewRing(3, LevelDebug)
+	for i := 0; i < 2; i++ {
+		r.Infof(0, "fits-%d", i)
+	}
+	if r.Overwrites() != 0 {
+		t.Errorf("Overwrites before wrap = %d, want 0", r.Overwrites())
+	}
+	for i := 0; i < 5; i++ {
+		r.Infof(0, "wraps-%d", i)
+	}
+	// 7 emitted into 3 slots: 4 evicted.
+	if r.Overwrites() != 4 {
+		t.Errorf("Overwrites = %d, want 4", r.Overwrites())
+	}
+	// Filtered events never enter the ring, so they cannot overwrite.
+	f := NewRing(1, LevelWarn)
+	f.Infof(0, "filtered")
+	f.Infof(0, "filtered")
+	if f.Overwrites() != 0 {
+		t.Errorf("filtered events counted as overwrites: %d", f.Overwrites())
+	}
+}
+
 func TestNilRingDiscards(t *testing.T) {
 	var r *Ring
 	r.Infof(1, "into the void") // must not panic
 	if r.Count() != 0 {
 		t.Error("nil ring should count 0")
+	}
+	if r.Overwrites() != 0 {
+		t.Error("nil ring should report 0 overwrites")
 	}
 	if r.Snapshot() != nil {
 		t.Error("nil ring snapshot should be nil")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -55,14 +56,27 @@ type peerConn struct {
 	stop chan struct{} // closed by close(): stop writing, shut the conn
 	dead chan struct{} // closed by the writer on exit: senders must redial
 	once sync.Once
+
+	// ctrs is the owning endpoint's shared counter block (never nil).
+	ctrs *tcpCounters
 }
 
-func newPeerConn(conn net.Conn) *peerConn {
+// tcpCounters aggregates transport activity across an endpoint's peer
+// connections, updated with plain atomics so the send and writer hot paths
+// pay one uncontended add each.
+type tcpCounters struct {
+	sends      atomic.Uint64 // envelopes accepted into a send queue
+	flushes    atomic.Uint64 // coalesced writer flushes
+	stallDrops atomic.Uint64 // envelopes dropped after a stalled backpressure wait
+}
+
+func newPeerConn(conn net.Conn, ctrs *tcpCounters) *peerConn {
 	return &peerConn{
 		conn: conn,
 		q:    make(chan protocol.Envelope, sendQueueDepth),
 		stop: make(chan struct{}),
 		dead: make(chan struct{}),
+		ctrs: ctrs,
 	}
 }
 
@@ -80,6 +94,7 @@ func (p *peerConn) send(env protocol.Envelope) error {
 	}
 	select {
 	case p.q <- env:
+		p.ctrs.sends.Add(1)
 		return nil
 	case <-p.dead:
 		return errPeerConnClosed
@@ -90,10 +105,12 @@ func (p *peerConn) send(env protocol.Envelope) error {
 	defer timer.Stop()
 	select {
 	case p.q <- env:
+		p.ctrs.sends.Add(1)
 		return nil
 	case <-p.dead:
 		return errPeerConnClosed
 	case <-timer.C:
+		p.ctrs.stallDrops.Add(1)
 		return errSendStalled
 	}
 }
@@ -120,6 +137,7 @@ func (p *peerConn) writeLoop(wg *sync.WaitGroup) {
 		select {
 		case <-p.stop:
 			bw.Flush() // best effort; queued envelopes are dropped
+			p.ctrs.flushes.Add(1)
 			return
 		case env := <-p.q:
 			if !p.drain(bw, env) {
@@ -142,8 +160,10 @@ func (p *peerConn) drain(bw *bufio.Writer, env protocol.Envelope) bool {
 			continue
 		case <-p.stop:
 			bw.Flush()
+			p.ctrs.flushes.Add(1)
 			return false
 		default:
+			p.ctrs.flushes.Add(1)
 			return bw.Flush() == nil
 		}
 	}
@@ -168,6 +188,8 @@ type TCP struct {
 	recv chan protocol.Envelope
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	ctrs tcpCounters
 }
 
 // ListenTCP starts a TCP endpoint for node id on addr (use "127.0.0.1:0"
@@ -302,7 +324,7 @@ func (t *TCP) connTo(id NodeID) (*peerConn, error) {
 		conn.Close()
 		return existing, nil
 	}
-	pc := newPeerConn(conn)
+	pc := newPeerConn(conn, &t.ctrs)
 	t.conns[id] = pc
 	t.wg.Add(1)
 	go pc.writeLoop(&t.wg)
@@ -317,6 +339,30 @@ func (t *TCP) dropConn(id NodeID, pc *peerConn) {
 	}
 	pc.close()
 }
+
+// QueueDepth returns the number of envelopes currently parked in this
+// endpoint's per-peer send queues — the transport's backpressure signal,
+// polled by the observability plane at scrape time.
+func (t *TCP) QueueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := 0
+	for _, pc := range t.conns {
+		depth += len(pc.q)
+	}
+	return depth
+}
+
+// Sends returns the total envelopes accepted into send queues.
+func (t *TCP) Sends() uint64 { return t.ctrs.sends.Load() }
+
+// Flushes returns the total coalesced writer flushes — envelopes per flush
+// (Sends/Flushes) is the write-combining win.
+func (t *TCP) Flushes() uint64 { return t.ctrs.flushes.Load() }
+
+// StallDrops returns the envelopes dropped after a full send queue stalled
+// past its backpressure timeout.
+func (t *TCP) StallDrops() uint64 { return t.ctrs.stallDrops.Load() }
 
 // Recv implements Endpoint.
 func (t *TCP) Recv() <-chan protocol.Envelope { return t.recv }

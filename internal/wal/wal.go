@@ -141,6 +141,10 @@ type Stats struct {
 	SnapshotRecords uint64
 	// Syncs counts explicit Sync calls that reached the disk.
 	Syncs uint64
+	// SnapshotBytes is the total bytes written as snapshot images (frame
+	// headers included) over the log's lifetime — the cost of the snapshot
+	// cadence, distinct from DiskBytes which the rename overwrites.
+	SnapshotBytes int64
 }
 
 // record kinds (payload first byte).
@@ -191,6 +195,7 @@ type Log struct {
 	records       uint64
 	snapRec       uint64
 	bytesSinceSnp int64
+	snapBytes     int64
 	syncs         uint64
 	// dirty is set when a record is buffered into the active segment and
 	// cleared when the segment is synced, so the periodic maintenance Sync
@@ -559,6 +564,7 @@ func (l *Log) SaveSnapshot(upToRec uint64, summary *vclock.Summary, items []stor
 	syncDir(l.dir)
 	l.snapRec = upToRec
 	l.bytesSinceSnp = 0
+	l.snapBytes += int64(len(payload) + len(frame))
 	l.compactLocked()
 	return nil
 }
@@ -619,6 +625,7 @@ func (l *Log) Stats() Stats {
 		Records:         l.records,
 		SnapshotRecords: l.snapRec,
 		Syncs:           l.syncs,
+		SnapshotBytes:   l.snapBytes,
 	}
 	for _, seg := range l.sealed {
 		s.DiskBytes += seg.bytes

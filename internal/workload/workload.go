@@ -71,6 +71,20 @@ type Config struct {
 	ValueBytes int
 	// Seed makes the op stream deterministic (default 1).
 	Seed int64
+	// Progress, when non-nil, receives live op counts as workers complete
+	// operations — the hook periodic reporters read mid-run, when Result is
+	// not available yet.
+	Progress *Progress
+}
+
+// Progress is a live, concurrently updated view of a running workload: op
+// counts advance as workers complete operations. Readers use the atomic
+// fields directly; deltas between reads give interval rates.
+type Progress struct {
+	// Reads and Writes count completed (successful) ops.
+	Reads, Writes atomic.Int64
+	// Errors counts ops the target rejected.
+	Errors atomic.Int64
 }
 
 func (c Config) withDefaults() Config {
@@ -214,17 +228,29 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 		if rng.Float64() < cfg.ReadFraction {
 			if _, _, err := target.Read(key); err != nil {
 				res.errors++
+				if cfg.Progress != nil {
+					cfg.Progress.Errors.Add(1)
+				}
 				continue
 			}
 			res.readLat.Add(float64(time.Since(begin)) / float64(time.Millisecond))
 			res.reads++
+			if cfg.Progress != nil {
+				cfg.Progress.Reads.Add(1)
+			}
 		} else {
 			if err := target.Write(key, value); err != nil {
 				res.errors++
+				if cfg.Progress != nil {
+					cfg.Progress.Errors.Add(1)
+				}
 				continue
 			}
 			res.writeLat.Add(float64(time.Since(begin)) / float64(time.Millisecond))
 			res.writes++
+			if cfg.Progress != nil {
+				cfg.Progress.Writes.Add(1)
+			}
 		}
 	}
 	return res

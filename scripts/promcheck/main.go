@@ -1,0 +1,256 @@
+// Command promcheck scrapes a Prometheus text-exposition endpoint and fails
+// unless the payload is well-formed and carries the required metric
+// families. It is the CI gate behind the observability plane's /metrics
+// endpoint: a malformed exposition line, a family whose samples precede its
+// TYPE header, or a missing required family all exit non-zero.
+//
+// Usage:
+//
+//	go run ./scripts/promcheck -url http://127.0.0.1:9090/metrics \
+//	    -require repro_prop_lag_seconds,repro_commit_batch_size
+//
+// The scrape retries (default 40 x 250ms) so CI can launch the serving
+// process and promcheck concurrently. Exit status: 0 ok, 1 validation or
+// fetch failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "metrics endpoint to scrape (required)")
+		require  = flag.String("require", "", "comma-separated metric families that must be present with at least one sample")
+		retries  = flag.Int("retries", 40, "fetch attempts before giving up")
+		interval = flag.Duration("interval", 250*time.Millisecond, "delay between fetch attempts")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "usage: promcheck -url <metrics-url> [-require fam1,fam2,...]")
+		os.Exit(2)
+	}
+
+	body, ctype, err := fetch(*url, *retries, *interval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	bad := 0
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		fmt.Fprintf(os.Stderr, "promcheck: unexpected Content-Type %q (want text/plain; version=0.0.4)\n", ctype)
+		bad++
+	}
+	families, errs := validate(body)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "promcheck: %s\n", e)
+	}
+	bad += len(errs)
+	if *require != "" {
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if families[fam] == 0 {
+				fmt.Fprintf(os.Stderr, "promcheck: required family %s missing (or has no samples)\n", fam)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: FAIL — %d problem(s) at %s\n", bad, *url)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok — %d families, all required present at %s\n", len(families), *url)
+}
+
+// fetch GETs url, retrying on connection errors so the target process may
+// still be starting; a non-200 status is terminal.
+func fetch(url string, retries int, interval time.Duration) (string, string, error) {
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", "", fmt.Errorf("GET %s: status %s", url, resp.Status)
+		}
+		return string(body), resp.Header.Get("Content-Type"), nil
+	}
+	return "", "", fmt.Errorf("GET %s: no response after %d attempts: %v", url, retries, lastErr)
+}
+
+// validate checks text-format 0.0.4 well-formedness line by line and
+// returns the per-family sample counts keyed by declared family name.
+// Histogram families also count their _bucket/_sum/_count series.
+func validate(body string) (map[string]int, []string) {
+	families := make(map[string]int) // TYPE-declared name -> sample count
+	types := make(map[string]string) // family -> prom type
+	var errs []string
+	lineNo := 0
+	for _, line := range strings.Split(body, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) == 0 || !metricName.MatchString(parts[0]) {
+				errs = append(errs, fmt.Sprintf("line %d: malformed HELP: %s", lineNo, line))
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !metricName.MatchString(parts[0]) ||
+				!validPromType(parts[1]) {
+				errs = append(errs, fmt.Sprintf("line %d: malformed TYPE: %s", lineNo, line))
+				continue
+			}
+			if _, dup := types[parts[0]]; dup {
+				errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, parts[0]))
+			}
+			types[parts[0]] = parts[1]
+			families[parts[0]] += 0
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment: legal, ignored.
+		default:
+			fam, err := checkSample(line)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("line %d: %v", lineNo, err))
+				continue
+			}
+			base := baseFamily(fam, types)
+			if base == "" {
+				errs = append(errs, fmt.Sprintf("line %d: sample %s precedes its TYPE header", lineNo, fam))
+				continue
+			}
+			families[base]++
+		}
+	}
+	return families, errs
+}
+
+// validPromType reports whether t is a legal exposition metric type.
+func validPromType(t string) bool {
+	switch t {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return true
+	}
+	return false
+}
+
+// baseFamily resolves a sample name to its declared family, accepting the
+// _bucket/_sum/_count suffixes of histogram and summary families.
+func baseFamily(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t := types[base]; t == "histogram" || t == "summary" {
+			return base
+		}
+	}
+	return ""
+}
+
+// checkSample validates one sample line and returns its metric name.
+func checkSample(line string) (string, error) {
+	rest := line
+	name := rest
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", fmt.Errorf("sample without value: %s", line)
+	}
+	if !metricName.MatchString(name) {
+		return "", fmt.Errorf("bad metric name in sample: %s", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated label set: %s", line)
+		}
+		if err := checkLabels(rest[1:end]); err != nil {
+			return "", fmt.Errorf("%v in sample: %s", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("want 'value [timestamp]' after name: %s", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return "", fmt.Errorf("bad sample value %q: %s", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q: %s", fields[1], line)
+		}
+	}
+	return name, nil
+}
+
+// checkLabels validates the inside of a {...} label set: comma-separated
+// name="escaped value" pairs.
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 || !metricName.MatchString(s[:eq]) {
+			return fmt.Errorf("bad label name")
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("label value not quoted")
+		}
+		s = s[1:]
+		// Scan to the closing quote, honouring backslash escapes.
+		closed := false
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value")
+		}
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return fmt.Errorf("junk after label value")
+		}
+	}
+	return nil
+}
