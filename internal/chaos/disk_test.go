@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for the storage fault-injection half of the chaos plane: disk event
+// validation and rendering, plus live runs of the disk scenarios proving the
+// degradation policy end to end — fail-stop on dying/full disks, degrade on
+// slow ones, zero at-risk acked writes throughout.
+
+func TestDiskEventsValidate(t *testing.T) {
+	durable := Scenario{Nodes: 4, Topology: "ring", Seed: 1, Durable: true}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"disk-slow without durable", func(s *Scenario) {
+			s.Durable = false
+			s.Events = []Event{{Kind: EvDiskSlow, Latency: time.Millisecond}}
+		}},
+		{"power-cut without durable", func(s *Scenario) {
+			s.Durable = false
+			s.Events = []Event{{Kind: EvPowerCut, Nodes: []NodeID{0}}}
+		}},
+		{"disk-die on sharded", func(s *Scenario) {
+			s.Shards = 2
+			s.Events = []Event{{Kind: EvDiskDie, Nodes: []NodeID{0}}}
+		}},
+		{"disk-die without targets", func(s *Scenario) {
+			s.Events = []Event{{Kind: EvDiskDie}}
+		}},
+		{"disk-full without targets", func(s *Scenario) {
+			s.Events = []Event{{Kind: EvDiskFull, Budget: 64}}
+		}},
+		{"power-cut without targets", func(s *Scenario) {
+			s.Events = []Event{{Kind: EvPowerCut}}
+		}},
+		{"negative budget", func(s *Scenario) {
+			s.Events = []Event{{Kind: EvDiskFull, Nodes: []NodeID{0}, Budget: -1}}
+		}},
+		{"disk target out of range", func(s *Scenario) {
+			s.Events = []Event{{Kind: EvDiskDie, Nodes: []NodeID{9}}}
+		}},
+	}
+	for _, tc := range cases {
+		sc := durable
+		tc.mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid scenario", tc.name)
+		}
+	}
+
+	// The legal shapes: cluster-wide slow/heal need no targets, the rest do.
+	sc := durable
+	sc.Events = []Event{
+		{Kind: EvDiskSlow, Latency: time.Millisecond, Ramp: time.Millisecond, Jitter: 5 * time.Millisecond},
+		{Kind: EvDiskDie, Nodes: []NodeID{1}, Count: 2},
+		{Kind: EvDiskFull, Nodes: []NodeID{2}, Budget: 1 << 10},
+		{Kind: EvDiskHeal},
+		{Kind: EvPowerCut, Nodes: []NodeID{3}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("valid disk schedule rejected: %v", err)
+	}
+}
+
+// TestDiskEventsAreNotLossy pins the headline property: disk faults never
+// excuse a lost ack, so schedules built from them keep the no-at-risk check
+// armed.
+func TestDiskEventsAreNotLossy(t *testing.T) {
+	for _, name := range []string{"slow-disk", "dying-disk", "disk-full", "power-cut-matrix"} {
+		sc, err := Named(name, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Durable {
+			t.Errorf("%s is not durable", name)
+		}
+		if sc.hasLossyEvents() {
+			t.Errorf("%s counts as lossy — the no-at-risk check would be skipped", name)
+		}
+	}
+}
+
+func TestEventStringDiskFormats(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{At: 200 * time.Millisecond, Kind: EvDiskSlow, Latency: time.Millisecond,
+			Ramp: 500 * time.Microsecond, Jitter: 10 * time.Millisecond},
+			"+200ms    disk-slow 1ms ramp 500µs cap 10ms all"},
+		{Event{At: time.Second, Kind: EvDiskSlow, Nodes: []NodeID{2}, Latency: 5 * time.Millisecond,
+			Ramp: time.Millisecond, Jitter: 25 * time.Millisecond},
+			"+1s       disk-slow 5ms ramp 1ms cap 25ms [n2]"},
+		{Event{At: time.Second, Kind: EvDiskDie, Nodes: []NodeID{3}}, "+1s       disk-die permanent [n3]"},
+		{Event{At: time.Second, Kind: EvDiskDie, Nodes: []NodeID{6}, Count: 4}, "+1s       disk-die next 4 [n6]"},
+		{Event{At: time.Second, Kind: EvDiskFull, Nodes: []NodeID{2}, Budget: 8192},
+			"+1s       disk-full budget 8192 [n2]"},
+		{Event{At: time.Second, Kind: EvDiskHeal}, "+1s       disk-heal all"},
+		{Event{At: time.Second, Kind: EvDiskHeal, Nodes: []NodeID{5}}, "+1s       disk-heal [n5]"},
+		{Event{At: 2 * time.Second, Kind: EvPowerCut, Nodes: []NodeID{0, 4}}, "+2s       power-cut [n0 n4]"},
+	}
+	for _, tc := range cases {
+		if got := tc.ev.String(); got != tc.want {
+			t.Errorf("Event.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestRunDiskScenarios runs every storage-fault scenario live at reduced
+// scale: all invariants must hold, and — because acks imply fsync and disk
+// faults are never an excuse — the at-risk classification must be empty.
+func TestRunDiskScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos runs in -short mode")
+	}
+	cases := []struct {
+		name  string
+		seed  int64
+		scale float64
+	}{
+		{"slow-disk", 31, 0.4},
+		{"dying-disk", 32, 0.4},
+		{"disk-full", 33, 0.4},
+		{"power-cut-matrix", 34, 0.4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sc, err := Named(tc.name, tc.seed, tc.scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+			defer cancel()
+			rep, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !rep.Passed() {
+				t.Fatalf("invariants failed:\n%s%s", rep.Verdict(), rep.Observations())
+			}
+			if !strings.Contains(rep.Verdict(), "final/no-at-risk") {
+				t.Fatalf("verdict missing the no-at-risk check:\n%s", rep.Verdict())
+			}
+			if rep.AtRisk != 0 {
+				t.Fatalf("%d acked writes classified at-risk under disk faults", rep.AtRisk)
+			}
+		})
+	}
+}

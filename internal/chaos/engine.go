@@ -17,6 +17,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/vfs"
 	"repro/internal/workload"
 )
 
@@ -169,6 +170,10 @@ type engine struct {
 	mfield  *demand.Mutable
 	base    demand.Static
 	flipped bool
+	// ffs is the storage fault injector under every durable single-cluster
+	// WAL; disk events (EvDiskSlow, EvDiskDie, EvDiskFull, EvDiskHeal,
+	// EvPowerCut) arm it. Fault-free it is a pure passthrough.
+	ffs *vfs.FaultFS
 
 	// Router mode.
 	router *shard.Router
@@ -282,7 +287,10 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 		runtime.WithAdvertInterval(e.sc.AdvertInterval),
 	}
 	if e.sc.Durable {
-		opts = append(opts, runtime.WithDurability(filepath.Join(e.dataDir, "cluster")))
+		e.ffs = vfs.NewFaultFS(vfs.OS, e.sc.Seed)
+		opts = append(opts,
+			runtime.WithDurability(filepath.Join(e.dataDir, "cluster")),
+			runtime.WithDurabilityFS(e.ffs))
 	}
 	if e.sc.Obs != nil {
 		opts = append(opts, runtime.WithObs(obs.NewClusterObs(e.sc.Obs, n)))
@@ -423,7 +431,7 @@ func (e *engine) apply(ctx context.Context, idx int, ev Event) error {
 		// Disk recovery preserves every synced (= every acknowledged)
 		// write, so unlike EvRestart nothing is reclassified at-risk.
 		for _, id := range ev.Nodes {
-			if err := clusters[0].RestartFromDisk(id); err != nil {
+			if err := e.restartFromDisk(ctx, clusters[0], id); err != nil {
 				return err
 			}
 			delete(e.dead, ackLoc{shard: ev.Shard, node: id})
@@ -468,8 +476,74 @@ func (e *engine) apply(ctx context.Context, idx int, ev Event) error {
 		e.quiesce(ctx, fmt.Sprintf("e%d", idx), false)
 	case EvProbe:
 		e.rep.add(e.probe(ctx, fmt.Sprintf("e%d", idx)))
+	case EvDiskSlow:
+		for _, scope := range diskScopes(ev.Nodes) {
+			e.ffs.SetSyncDelay(scope, ev.Latency, ev.Ramp, ev.Jitter)
+		}
+	case EvDiskDie:
+		for _, scope := range diskScopes(ev.Nodes) {
+			if ev.Count > 0 {
+				e.ffs.FailNextSyncs(scope, ev.Count)
+			} else {
+				e.ffs.FailSyncs(scope)
+				e.ffs.FailWrites(scope)
+			}
+		}
+	case EvDiskFull:
+		for _, scope := range diskScopes(ev.Nodes) {
+			e.ffs.SetByteBudget(scope, ev.Budget)
+		}
+	case EvDiskHeal:
+		if len(ev.Nodes) == 0 {
+			e.ffs.HealAll()
+		} else {
+			for _, scope := range diskScopes(ev.Nodes) {
+				e.ffs.Heal(scope)
+			}
+		}
+	case EvPowerCut:
+		// The machines lose power first (SIGKILL-equivalent from the
+		// replica's view), then the unsynced suffix of their WAL bytes
+		// evaporates. Victims are tracked dead exactly like EvKill; revival
+		// is EvRestartDisk.
+		for _, id := range ev.Nodes {
+			if err := clusters[0].Kill(id); err != nil {
+				return err
+			}
+			e.dead[ackLoc{shard: ev.Shard, node: id}] = true
+		}
+		for _, scope := range diskScopes(ev.Nodes) {
+			e.ffs.Cut(scope)
+		}
 	}
 	return nil
+}
+
+// diskScopes resolves a disk event's FaultFS scopes: one per targeted
+// replica's WAL directory (runtime shapes them as <base>/n<id>/...), or the
+// whole tree when Nodes is empty.
+func diskScopes(nodes []NodeID) []string {
+	if len(nodes) == 0 {
+		return []string{""}
+	}
+	out := make([]string, len(nodes))
+	for i, id := range nodes {
+		out[i] = fmt.Sprintf("%cn%d%c", filepath.Separator, id, filepath.Separator)
+	}
+	return out
+}
+
+// restartFromDisk revives one replica from its WAL. Disk-death fail-stops
+// land asynchronously (the maintenance sync trips the sticky error some
+// milliseconds after the fault is armed), so if the victim is still up the
+// engine waits out its collapse first; Kill-style schedules find it already
+// dead and don't wait.
+func (e *engine) restartFromDisk(ctx context.Context, c *runtime.Cluster, id NodeID) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Alive(id) && time.Now().Before(deadline) && ctx.Err() == nil {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c.RestartFromDisk(id)
 }
 
 // clearFaults returns every network to a fault-free state (partitions

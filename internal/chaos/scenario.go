@@ -2,8 +2,10 @@
 // clusters. It composes the repository's fault primitives — transport
 // partitions/loss/latency (transport.Faults), replica crash/restart with and
 // without state loss (runtime.Cluster), SIGKILL-style crashes with recovery
-// from on-disk WALs (durable scenarios, runtime.RestartFromDisk), live
-// shard add/remove (shard.Router), and demand-field flips (demand.Mutable)
+// from on-disk WALs (durable scenarios, runtime.RestartFromDisk), injected
+// storage faults on those WALs (vfs.FaultFS: slow, dying and full disks,
+// power cuts that evaporate unsynced bytes), live shard add/remove
+// (shard.Router), and demand-field flips (demand.Mutable)
 // — into scripted adversarial scenarios, applies background client traffic
 // while the schedule runs, and checks invariants at quiesce points:
 //
@@ -92,6 +94,29 @@ const (
 	// are injected at the lowest-demand replica and per-replica arrival
 	// times are compared across demand ranks (single-cluster only).
 	EvProbe
+	// EvDiskSlow stalls every fsync on the targeted replicas' WAL disks
+	// (empty Nodes = the whole cluster): each sync takes Latency, growing by
+	// Ramp per sync up to the Jitter cap. The degradation policy demands
+	// slower acks, not fail-stops. Durable single-cluster scenarios only.
+	EvDiskSlow
+	// EvDiskDie makes the targeted replicas' WAL disks return I/O errors —
+	// permanently, or on the next Count syncs when Count > 0. Either way the
+	// first failed sync fail-stops the replica (sync errors are sticky:
+	// durability is in doubt). Durable single-cluster scenarios only.
+	EvDiskDie
+	// EvDiskFull exhausts the targeted replicas' WAL disks after Budget more
+	// bytes: the write that crosses the budget is torn at the boundary and
+	// returns ENOSPC, fail-stopping the replica. Durable single-cluster
+	// scenarios only.
+	EvDiskFull
+	// EvDiskHeal clears every injected disk fault on the targeted replicas
+	// (empty Nodes = everywhere) — the disk is replaced or space is freed.
+	EvDiskHeal
+	// EvPowerCut kills the replicas in Nodes AND drops an injector-chosen
+	// suffix of each one's unsynced WAL bytes, possibly mid-record — a crash
+	// where the page cache never reached the platter. Revive with
+	// EvRestartDisk; acked (= synced) writes must all survive.
+	EvPowerCut
 )
 
 // String names the kind.
@@ -123,6 +148,16 @@ func (k EventKind) String() string {
 		return "quiesce"
 	case EvProbe:
 		return "probe"
+	case EvDiskSlow:
+		return "disk-slow"
+	case EvDiskDie:
+		return "disk-die"
+	case EvDiskFull:
+		return "disk-full"
+	case EvDiskHeal:
+		return "disk-heal"
+	case EvPowerCut:
+		return "power-cut"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -134,11 +169,14 @@ type Event struct {
 	At      time.Duration
 	Kind    EventKind
 	Shard   string        // target group for node-level events in router scenarios; spec name for add/remove
-	Nodes   []NodeID      // kill/restart targets, or partition side A
+	Nodes   []NodeID      // kill/restart/disk-fault targets, or partition side A
 	Peers   []NodeID      // partition side B
 	Rate    float64       // loss probability for EvSetLoss
-	Latency time.Duration // base delay for EvSetLatency
-	Jitter  time.Duration // jitter bound for EvSetLatency
+	Latency time.Duration // base delay for EvSetLatency; base fsync stall for EvDiskSlow
+	Jitter  time.Duration // jitter bound for EvSetLatency; fsync stall cap for EvDiskSlow
+	Ramp    time.Duration // per-sync stall growth for EvDiskSlow
+	Count   int           // EvDiskDie: fail the next Count syncs (0 = permanently)
+	Budget  int64         // EvDiskFull: bytes accepted before ENOSPC
 }
 
 // String renders the event deterministically (schedule contract).
@@ -157,8 +195,31 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " %g", e.Rate)
 	case EvSetLatency:
 		fmt.Fprintf(&b, " %v jitter %v", e.Latency, e.Jitter)
+	case EvDiskSlow:
+		fmt.Fprintf(&b, " %v ramp %v cap %v %s", e.Latency, e.Ramp, e.Jitter, diskTargets(e.Nodes))
+	case EvDiskDie:
+		if e.Count > 0 {
+			fmt.Fprintf(&b, " next %d %v", e.Count, e.Nodes)
+		} else {
+			fmt.Fprintf(&b, " permanent %v", e.Nodes)
+		}
+	case EvDiskFull:
+		fmt.Fprintf(&b, " budget %d %v", e.Budget, e.Nodes)
+	case EvDiskHeal:
+		fmt.Fprintf(&b, " %s", diskTargets(e.Nodes))
+	case EvPowerCut:
+		fmt.Fprintf(&b, " %v", e.Nodes)
 	}
 	return b.String()
+}
+
+// diskTargets renders a disk-fault target list, where empty means the whole
+// cluster.
+func diskTargets(nodes []NodeID) string {
+	if len(nodes) == 0 {
+		return "all"
+	}
+	return fmt.Sprintf("%v", nodes)
 }
 
 // Scenario is one reproducible chaos run: a system shape, a fault schedule,
@@ -312,6 +373,22 @@ func (s Scenario) Validate() error {
 		case EvDemandFlip, EvProbe:
 			if sharded {
 				return fmt.Errorf("chaos: event %d: %v is single-cluster only", i, e.Kind)
+			}
+		case EvDiskSlow, EvDiskDie, EvDiskFull, EvDiskHeal, EvPowerCut:
+			if !s.Durable {
+				return fmt.Errorf("chaos: event %d: %v needs a durable scenario", i, e.Kind)
+			}
+			if sharded {
+				return fmt.Errorf("chaos: event %d: %v is single-cluster only", i, e.Kind)
+			}
+			switch e.Kind {
+			case EvDiskDie, EvDiskFull, EvPowerCut:
+				if len(e.Nodes) == 0 {
+					return fmt.Errorf("chaos: event %d: %v needs targets", i, e.Kind)
+				}
+			}
+			if e.Kind == EvDiskFull && e.Budget < 0 {
+				return fmt.Errorf("chaos: event %d: disk-full budget %d is negative", i, e.Budget)
 			}
 		case EvAddShard, EvRemoveShard:
 			if !sharded {

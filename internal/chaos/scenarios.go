@@ -18,6 +18,10 @@ func Names() []string {
 		"reshard-under-fire",
 		"demand-inversion",
 		"crash-recover-disk",
+		"slow-disk",
+		"dying-disk",
+		"disk-full",
+		"power-cut-matrix",
 	}
 }
 
@@ -148,6 +152,98 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 				{At: at(3100), Kind: EvKill, Nodes: []NodeID{5}},
 				{At: at(3700), Kind: EvRestartDisk, Nodes: []NodeID{5}},
 				{At: at(4000), Kind: EvHeal},
+			},
+		}, nil
+	case "slow-disk":
+		return Scenario{
+			Name: name,
+			Description: "fsync latency ramps up cluster-wide and spikes on one replica; acks slow " +
+				"down but nothing fail-stops and nothing acked is lost",
+			Seed:     seed,
+			Nodes:    8,
+			Topology: "ring",
+			Durable:  true,
+			Events: []Event{
+				// Mild cluster-wide degradation: every sync a little slower
+				// than the last, capped well below ack timeouts.
+				{At: at(200), Kind: EvDiskSlow, Latency: 500 * time.Microsecond,
+					Ramp: 100 * time.Microsecond, Jitter: 4 * time.Millisecond},
+				// One replica's device is much worse — the cluster must keep
+				// converging around its stalls.
+				{At: at(800), Kind: EvDiskSlow, Nodes: []NodeID{2}, Latency: 5 * time.Millisecond,
+					Ramp: time.Millisecond, Jitter: 25 * time.Millisecond},
+				{At: at(1600), Kind: EvQuiesce},
+				{At: at(1800), Kind: EvDiskHeal},
+				// The formerly slow replica crashes; recovery must replay the
+				// prefix synced through all that stalling.
+				{At: at(2000), Kind: EvKill, Nodes: []NodeID{2}},
+				{At: at(2600), Kind: EvRestartDisk, Nodes: []NodeID{2}},
+			},
+		}, nil
+	case "dying-disk":
+		return Scenario{
+			Name: name,
+			Description: "disks start returning I/O errors mid-load; victims fail-stop before acking " +
+				"anything unsynced and revive once the disk is replaced",
+			Seed:     seed,
+			Nodes:    9,
+			Topology: "ring",
+			Durable:  true,
+			Events: []Event{
+				// Permanent controller death: the replica fail-stops on its
+				// next sync and stays down until the disk is swapped.
+				{At: at(400), Kind: EvDiskDie, Nodes: []NodeID{3}},
+				{At: at(1400), Kind: EvDiskHeal, Nodes: []NodeID{3}},
+				{At: at(1600), Kind: EvRestartDisk, Nodes: []NodeID{3}},
+				{At: at(1900), Kind: EvQuiesce},
+				// Transient hiccup: a single failed sync still fail-stops
+				// (sync errors are sticky — durability is in doubt), but the
+				// device self-heals, so recovery needs no disk-heal first.
+				{At: at(2200), Kind: EvDiskDie, Nodes: []NodeID{6}, Count: 1},
+				{At: at(2900), Kind: EvRestartDisk, Nodes: []NodeID{6}},
+			},
+		}, nil
+	case "disk-full":
+		return Scenario{
+			Name: name,
+			Description: "replicas run out of disk mid-load and fail-stop on ENOSPC rather than ack " +
+				"writes the device never accepted, then recover once space is freed",
+			Seed:     seed,
+			Nodes:    8,
+			Topology: "ring",
+			Durable:  true,
+			Events: []Event{
+				// ~8 KiB of headroom left: a few more batches fit, then the
+				// crossing write is torn at the boundary and rejected.
+				{At: at(400), Kind: EvDiskFull, Nodes: []NodeID{2}, Budget: 8 << 10},
+				{At: at(1400), Kind: EvDiskHeal, Nodes: []NodeID{2}},
+				{At: at(1600), Kind: EvRestartDisk, Nodes: []NodeID{2}},
+				{At: at(1900), Kind: EvQuiesce},
+				// A second device fills with zero headroom: the very next
+				// flushed write dies.
+				{At: at(2200), Kind: EvDiskFull, Nodes: []NodeID{5}, Budget: 0},
+				{At: at(2700), Kind: EvDiskHeal, Nodes: []NodeID{5}},
+				{At: at(2900), Kind: EvRestartDisk, Nodes: []NodeID{5}},
+			},
+		}, nil
+	case "power-cut-matrix":
+		return Scenario{
+			Name: name,
+			Description: "power cuts of growing width — one, two, then three replicas lose power at " +
+				"once, each cut evaporating unsynced WAL tails; every acked write must survive",
+			Seed:     seed,
+			Nodes:    9,
+			Topology: "ring",
+			Durable:  true,
+			Events: []Event{
+				{At: at(300), Kind: EvPowerCut, Nodes: []NodeID{1}},
+				{At: at(900), Kind: EvRestartDisk, Nodes: []NodeID{1}},
+				{At: at(1200), Kind: EvQuiesce},
+				{At: at(1500), Kind: EvPowerCut, Nodes: []NodeID{2, 3}},
+				{At: at(2100), Kind: EvRestartDisk, Nodes: []NodeID{2, 3}},
+				{At: at(2400), Kind: EvQuiesce},
+				{At: at(2700), Kind: EvPowerCut, Nodes: []NodeID{0, 4, 5}},
+				{At: at(3300), Kind: EvRestartDisk, Nodes: []NodeID{0, 4, 5}},
 			},
 		}, nil
 	case "demand-inversion":

@@ -8,6 +8,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/store"
 	"repro/internal/vclock"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 	"repro/internal/wlog"
 )
@@ -64,6 +65,23 @@ func WithDurabilityTuning(opts wal.Options) Option {
 	return func(o *options) { o.walOpts = opts }
 }
 
+// WithDurabilityFS runs every replica's WAL on fsys instead of the real
+// filesystem. The chaos harness and tests inject a vfs.FaultFS here to
+// model slow, lying, and dying disks; production clusters omit it (vfs.OS).
+//
+// The degradation policy under injected (or real) disk faults:
+//
+//   - Slow disk (fsync stalls): acks slow down — durable-before-visible is
+//     never relaxed — and the stall surfaces as repro_wal_sync_stall_seconds.
+//   - Failed sync, batch path: the group-commit leader fail-stops the
+//     replica before any ack or fan-out (see commitBatch).
+//   - Failed sync, maintenance path: the WAL error is sticky, so the
+//     replica fail-stops immediately rather than waiting for the next
+//     client batch to trip over it (see walMaintain).
+func WithDurabilityFS(fsys vfs.FS) Option {
+	return func(o *options) { o.walFS = fsys }
+}
+
 // walMaintenanceInterval is how often each durable replica syncs its WAL
 // buffer (bounding the at-risk window for peer-learned entries) and checks
 // whether a snapshot is due.
@@ -93,7 +111,7 @@ func (c *Cluster) openReplicaWAL(r *replica, id NodeID) *wal.Recovery {
 	if c.opts.durDir == "" || c.initErr != nil {
 		return nil
 	}
-	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOpts)
+	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOptions())
 	if err != nil {
 		c.initErr = fmt.Errorf("runtime: replica %v durability: %w", id, err)
 		return nil
@@ -168,7 +186,7 @@ func (c *Cluster) RestartFromDisk(id NodeID) error {
 		r.mu.Unlock()
 		return fmt.Errorf("runtime: replica %v is alive", id)
 	}
-	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOpts)
+	w, rec, err := wal.Open(walDir(c.opts.durDir, id), c.opts.walOptions())
 	if err != nil {
 		r.mu.Unlock()
 		return fmt.Errorf("runtime: replica %v recovery: %w", id, err)
@@ -210,12 +228,28 @@ func (r *replica) walMaintain() {
 	if w == nil {
 		return
 	}
-	if co := r.cluster.opts.obs; co != nil {
-		start := time.Now()
-		_ = w.Sync()
+	co := r.cluster.opts.obs
+	start := time.Now()
+	err := w.Sync()
+	if co != nil {
 		co.FsyncSeconds.Observe(time.Since(start).Seconds())
-	} else {
-		_ = w.Sync()
+	}
+	if err != nil {
+		// The WAL error is sticky: nothing this replica buffers can ever
+		// reach disk again, so fail-stop now instead of letting the next
+		// client batch trip over it. walMaintain runs ON the replica's run
+		// goroutine and failStop joins that goroutine, so the crash must be
+		// delivered from outside it. The dead-check re-runs under r.mu in
+		// case a batch-path fail-stop (or Kill) won the race.
+		go func() {
+			r.mu.Lock()
+			if r.dead {
+				r.mu.Unlock()
+				return
+			}
+			r.failStop(err)
+		}()
+		return
 	}
 	if !w.SnapshotDue() {
 		return

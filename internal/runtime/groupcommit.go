@@ -1,12 +1,15 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -252,5 +255,23 @@ func (r *replica) failStop(cause error) {
 	if w != nil {
 		w.Abandon()
 	}
+	if co := r.cluster.opts.obs; co != nil {
+		co.Reg.Counter("repro_replica_failstop_total", failStopHelp,
+			co.With(obs.L("replica", id.String()), obs.L("reason", failStopReason(cause)))...).Inc()
+	}
 	r.cluster.opts.tracer.Warnf(id, "replica fail-stopped: %v", cause)
+}
+
+// failStopHelp is shared between the eager family registration (obs.go) and
+// the fail-stop increment so both resolve to the same series.
+const failStopHelp = "Durable replicas fail-stopped because their WAL could no longer persist writes, by reason."
+
+// failStopReason buckets a fail-stop cause for the metric's reason label:
+// operators react differently to a full disk (free space, restart) than to
+// a dying one (replace it).
+func failStopReason(err error) string {
+	if errors.Is(err, syscall.ENOSPC) {
+		return "disk-full"
+	}
+	return "io-error"
 }

@@ -299,6 +299,8 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 		SnapshotRecords uint64
 		Syncs           uint64
 		SnapshotBytes   int64
+		DirSyncErrs     uint64
+		LastSync        time.Duration
 	}, ok bool) {
 		r.mu.Lock()
 		w := r.wal
@@ -313,6 +315,8 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 		st.SnapshotRecords = s.SnapshotRecords
 		st.Syncs = s.Syncs
 		st.SnapshotBytes = s.SnapshotBytes
+		st.DirSyncErrs = s.DirSyncErrs
+		st.LastSync = s.LastSync
 		return st, true
 	}
 	reg.GaugeFunc("repro_wal_segments",
@@ -333,4 +337,16 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 	reg.CounterFunc("repro_wal_snapshot_bytes_total",
 		"Bytes written as WAL snapshot images this incarnation.",
 		func() float64 { st, _ := walStats(); return float64(st.SnapshotBytes) }, lbl...)
+	reg.CounterFunc("repro_wal_dir_sync_errors_total",
+		"WAL directory-fsync failures on platforms that support directory fsync.",
+		func() float64 { st, _ := walStats(); return float64(st.DirSyncErrs) }, lbl...)
+	reg.GaugeFunc("repro_wal_sync_stall_seconds",
+		"Duration of the replica's most recent disk-reaching WAL fsync — the stall signal of a degrading disk.",
+		func() float64 { st, _ := walStats(); return st.LastSync.Seconds() }, lbl...)
+	// Pre-register the fail-stop family so /metrics shows the zero series
+	// before (ideally: instead of) any replica actually dying.
+	for _, reason := range []string{"io-error", "disk-full"} {
+		reg.Counter("repro_replica_failstop_total", failStopHelp,
+			append(append([]obs.Label(nil), lbl...), obs.L("reason", reason))...)
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -55,7 +56,19 @@ type options struct {
 	measuredTau    time.Duration // > 0 enables measured demand
 	durDir         string        // != "" enables the durable persistence plane
 	walOpts        wal.Options
+	walFS          vfs.FS          // nil = the real filesystem (vfs.OS)
 	obs            *obs.ClusterObs // non-nil enables the observability plane
+}
+
+// walOptions is the effective WAL configuration: the tuned geometry plus
+// the injected filesystem, if any. Every wal.Open in the runtime goes
+// through this so fault-injected clusters never touch the real disk path.
+func (o *options) walOptions() wal.Options {
+	opts := o.walOpts
+	if o.walFS != nil {
+		opts.FS = o.walFS
+	}
+	return opts
 }
 
 func defaultOptions() options {
@@ -369,13 +382,13 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 	if c.opts.durDir != "" {
 		dir := walDir(c.opts.durDir, id)
 		if !preserve {
-			if err := wal.Remove(dir); err != nil {
+			if err := wal.Remove(c.opts.walFS, dir); err != nil {
 				r.mu.Unlock()
 				return fmt.Errorf("runtime: replica %v state reset: %w", id, err)
 			}
 		}
 		var err error
-		reopened, _, err = wal.Open(dir, c.opts.walOpts)
+		reopened, _, err = wal.Open(dir, c.opts.walOptions())
 		if err != nil {
 			r.mu.Unlock()
 			return fmt.Errorf("runtime: replica %v durability: %w", id, err)

@@ -1,0 +1,15 @@
+//go:build !windows
+
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// dirSyncUnsupported classifies a directory-fsync failure as a platform
+// limitation rather than a disk fault: some filesystems reject fsync on a
+// directory fd with EINVAL or ENOTSUP even though data-file fsync works.
+func dirSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

@@ -1,0 +1,7 @@
+//go:build windows
+
+package vfs
+
+// dirSyncUnsupported: Windows has no directory fsync; every failure of the
+// attempt is a platform limitation, not a disk fault.
+func dirSyncUnsupported(error) bool { return true }

@@ -1,0 +1,126 @@
+// Package vfs is the storage fault-injection plane's foundation: a small
+// filesystem abstraction covering exactly the operations the durable
+// persistence plane (internal/wal) performs, a passthrough OsFS, and a
+// deterministic seeded FaultFS (fault.go) that models slow, lying, and
+// dying disks — fsync latency ramps, transient and permanent IO errors,
+// ENOSPC after a byte budget, torn writes, and power-cut simulation.
+//
+// The WAL takes an FS through wal.Options (and the runtime through
+// runtime.WithDurabilityFS); production paths use OS, tests and chaos
+// scenarios swap in a FaultFS. The interface is deliberately narrow — it
+// abstracts the WAL's disk contract, not a general filesystem — so every
+// method corresponds to an operation whose failure mode the durability
+// story must survive.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is an open file handle: sequential writes, an explicit durability
+// point (Sync), and Close. Reads go through FS.ReadFile — the WAL never
+// reads through a writable handle.
+type File interface {
+	// Write appends len(p) bytes, returning how many were written. A short
+	// write (n < len(p)) always carries an error — a torn write on a faulty
+	// disk, ENOSPC on a full one.
+	Write(p []byte) (n int, err error)
+	// Sync flushes the file to stable storage — the durability point. On a
+	// real disk this is fsync(2); on a FaultFS it is where latency ramps
+	// and injected failures strike.
+	Sync() error
+	// Close releases the handle WITHOUT syncing: bytes written but never
+	// synced may not survive a power cut, exactly as with os.File.
+	Close() error
+}
+
+// FS abstracts the filesystem operations the write-ahead log performs.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// OpenFile opens name with the given flags (the WAL uses
+	// O_CREATE|O_WRONLY|O_TRUNC for fresh segments and snapshots).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (the snapshot
+	// tmp+rename protocol).
+	Rename(oldpath, newpath string) error
+	// Remove deletes one file (segment compaction).
+	Remove(name string) error
+	// RemoveAll deletes a whole directory tree (replica state loss).
+	RemoveAll(path string) error
+	// Glob lists paths matching pattern, in lexical order.
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory so entry creation, rename and removal are
+	// durable. Implementations return ErrDirSyncUnsupported (or an error
+	// wrapping it) on platforms whose filesystems reject directory fsync;
+	// any other error is a real durability failure the caller must handle.
+	SyncDir(dir string) error
+	// Truncate cuts name to size bytes — how a power cut discards the
+	// written-but-unsynced suffix of a file.
+	Truncate(name string, size int64) error
+}
+
+// ErrDirSyncUnsupported reports that the platform (or filesystem) does not
+// support fsync on directories. Callers treat it as "nothing to do", not as
+// a durability failure.
+var ErrDirSyncUnsupported = fs.ErrInvalid
+
+// OsFS is the passthrough FS over the real filesystem via package os.
+type OsFS struct{}
+
+// OS is the default filesystem every durable component uses when no FS is
+// injected.
+var OS FS = OsFS{}
+
+// MkdirAll implements FS.
+func (OsFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// OpenFile implements FS.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveAll implements FS.
+func (OsFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Glob implements FS.
+func (OsFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// SyncDir implements FS: open the directory and fsync it. Platforms whose
+// filesystems reject directory fsync surface ErrDirSyncUnsupported.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if dirSyncUnsupported(serr) {
+			return ErrDirSyncUnsupported
+		}
+		return serr
+	}
+	return cerr
+}
+
+// Truncate implements FS.
+func (OsFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

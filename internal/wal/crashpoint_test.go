@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/wlog"
+)
+
+// This file is the exhaustive crash-point checker: it records an append
+// schedule of over a thousand writes, then — for EVERY sync boundary in
+// that schedule — replays the schedule up to the boundary on a fresh
+// FaultFS, appends the next batch unsynced, cuts power (an injector-chosen
+// suffix of the unsynced bytes evaporates, possibly mid-record), and
+// asserts recovery returns an exact prefix of the append order that covers
+// every synced ("acked") write. One violation in either direction is fatal:
+// a lost synced write breaks the durability contract behind every client
+// ack, and a recovered phantom or reordering breaks replay idempotence.
+
+// crashSchedule is a recorded append schedule: batches of entries with a
+// sync boundary after each batch. Built deterministically from a seed so
+// every crash point replays byte-identical history.
+type crashSchedule struct {
+	batches [][]wlog.Entry
+}
+
+// buildCrashSchedule records numAppends single-origin entries carved into
+// variable-size batches (batch length cycles through a coprime-ish pattern
+// so boundaries land at many different byte offsets), each batch followed
+// by a sync boundary. Values are 200–400 bytes so batches overflow the
+// WAL's 64 KiB buffer at irregular points and a cut always has real
+// unsynced bytes to bite.
+func buildCrashSchedule(seed int64, numAppends int) crashSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sc crashSchedule
+	var batch []wlog.Entry
+	seq, size := uint64(0), 0
+	for int(seq) < numAppends {
+		seq++
+		val := make([]byte, 200+rng.Intn(201))
+		rng.Read(val)
+		e := wlog.Entry{Key: fmt.Sprintf("k%05d", seq), Value: val, Clock: seq}
+		e.TS.Node = 1
+		e.TS.Seq = seq
+		batch = append(batch, e)
+		if size = (size + 1) % 13; len(batch) > size {
+			sc.batches = append(sc.batches, batch)
+			batch = nil
+		}
+	}
+	if len(batch) > 0 {
+		sc.batches = append(sc.batches, batch)
+	}
+	return sc
+}
+
+// appendsThrough counts scheduled entries in batches [0, b].
+func (sc crashSchedule) appendsThrough(b int) int {
+	n := 0
+	for i := 0; i <= b; i++ {
+		n += len(sc.batches[i])
+	}
+	return n
+}
+
+// entries flattens the first n scheduled entries.
+func (sc crashSchedule) entries(n int) []wlog.Entry {
+	out := make([]wlog.Entry, 0, n)
+	for _, b := range sc.batches {
+		for _, e := range b {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestCrashPointEverySyncBoundary is the exhaustive checker. For a
+// >=1000-append schedule it cuts power at every one of its sync
+// boundaries and proves recovery yields the exact synced prefix — zero
+// at-risk acked writes, zero phantoms, zero reordering.
+func TestCrashPointEverySyncBoundary(t *testing.T) {
+	const numAppends = 1100
+	sc := buildCrashSchedule(7, numAppends)
+	if got := sc.appendsThrough(len(sc.batches) - 1); got != numAppends {
+		t.Fatalf("schedule holds %d appends, want %d", got, numAppends)
+	}
+	t.Logf("schedule: %d appends, %d sync boundaries", numAppends, len(sc.batches))
+
+	// Segments (256 KiB) deliberately outgrow the WAL's 64 KiB write buffer:
+	// within a segment the buffer auto-flushes unsynced bytes to the
+	// filesystem, so the cut has a real torn tail to bite, at arbitrary —
+	// often mid-record — byte offsets.
+	const segBytes = 256 << 10
+	var totalDropped int64
+	root := t.TempDir()
+	for b := 0; b < len(sc.batches); b++ {
+		b := b
+		t.Run(fmt.Sprintf("boundary-%03d", b), func(t *testing.T) {
+			ffs := vfs.NewFaultFS(vfs.OS, int64(1000+b))
+			dir := filepath.Join(root, fmt.Sprintf("cut%03d", b))
+			l, rec, err := Open(dir, Options{SegmentBytes: segBytes, FS: ffs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rec.Empty() {
+				t.Fatal("fresh dir not empty")
+			}
+			// Replay the recorded schedule through boundary b: every batch
+			// appended, every boundary at or before b synced ("acked").
+			for i := 0; i <= b; i++ {
+				if err := l.Append(sc.batches[i]); err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+				if err := l.Sync(); err != nil {
+					t.Fatalf("sync %d: %v", i, err)
+				}
+			}
+			// Every remaining batch lands in the buffer/page cache, never
+			// synced: at-risk by construction, fair game for the cut.
+			for i := b + 1; i < len(sc.batches); i++ {
+				if err := l.Append(sc.batches[i]); err != nil {
+					t.Fatalf("unsynced tail: %v", err)
+				}
+			}
+			synced := sc.appendsThrough(b)
+
+			// Power fails: the process image vanishes (Abandon) and an
+			// injector-chosen suffix of unsynced bytes never hit the platter.
+			l.Abandon()
+			_, dropped := ffs.Cut("")
+			totalDropped += dropped
+
+			l2, rec2, err := Open(dir, Options{SegmentBytes: segBytes, FS: ffs})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer l2.Close()
+			var got []wlog.Entry
+			for _, step := range rec2.Steps {
+				if step.Adopt != nil {
+					t.Fatal("phantom adopt record recovered")
+				}
+				got = append(got, step.Entries...)
+			}
+			if len(got) < synced {
+				t.Fatalf("AT-RISK ACKED WRITES: recovered %d entries, %d were synced", len(got), synced)
+			}
+			if len(got) > numAppends {
+				t.Fatalf("recovered %d entries, schedule only had %d", len(got), numAppends)
+			}
+			want := sc.entries(len(got))
+			for i := range got {
+				w, g := want[i], got[i]
+				if g.TS != w.TS || g.Key != w.Key || g.Clock != w.Clock || string(g.Value) != string(w.Value) {
+					t.Fatalf("recovered entry %d diverges from append order: got ts=%v key=%q, want ts=%v key=%q",
+						i, g.TS, g.Key, w.TS, w.Key)
+				}
+			}
+		})
+	}
+	// Sanity: a checker whose cuts never destroy anything proves nothing.
+	if totalDropped == 0 {
+		t.Fatal("no cut dropped any bytes — the harness has lost its teeth")
+	}
+	t.Logf("cuts dropped %d bytes total", totalDropped)
+}

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/wlog"
+)
+
+// TestDirSyncErrorCountedAndReturned pins the syncDir contract: a real
+// directory-fsync failure is counted in Stats and returned (sticky), not
+// silently swallowed — an unsynced rename is a snapshot that may not exist
+// after a crash.
+func TestDirSyncErrorCountedAndReturned(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS, 3)
+	l, _, err := Open(t.TempDir(), Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(1, 1, "k", "v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNextDirSyncs("", 1)
+	err = l.SaveSnapshot(l.Records(), nil, nil, 1)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("SaveSnapshot swallowed the dir-sync failure: %v", err)
+	}
+	if got := l.Stats().DirSyncErrs; got != 1 {
+		t.Fatalf("DirSyncErrs = %d, want 1", got)
+	}
+	// The failure is sticky: durability state is in doubt, nothing more may
+	// be acked through this log.
+	if err := l.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("log kept going after a dir-sync failure: %v", err)
+	}
+}
+
+// TestDirSyncUnsupportedIsNotAnError pins the other half: platforms whose
+// filesystems reject directory fsync (ErrDirSyncUnsupported) are a no-op,
+// not a failure and not a counted error.
+func TestDirSyncUnsupportedIsNotAnError(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{FS: unsupportedDirSyncFS{vfs.OS}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]wlog.Entry{entry(1, 1, "k", "v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot(l.Records(), nil, nil, 1); err != nil {
+		t.Fatalf("unsupported dir sync treated as failure: %v", err)
+	}
+	if got := l.Stats().DirSyncErrs; got != 0 {
+		t.Fatalf("DirSyncErrs = %d, want 0", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// unsupportedDirSyncFS mimics a filesystem without directory fsync.
+type unsupportedDirSyncFS struct{ vfs.FS }
+
+func (unsupportedDirSyncFS) SyncDir(string) error { return vfs.ErrDirSyncUnsupported }

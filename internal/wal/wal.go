@@ -59,9 +59,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/store"
 	"repro/internal/vclock"
+	"repro/internal/vfs"
 	"repro/internal/wlog"
 )
 
@@ -74,6 +76,9 @@ type Options struct {
 	// snapshot before SnapshotDue reports true (the runtime's cue to capture
 	// replica state and call SaveSnapshot). Default 8 MiB.
 	SnapshotBytes int64
+	// FS is the filesystem the log runs on. Default vfs.OS; tests and chaos
+	// scenarios inject a vfs.FaultFS to model slow, lying, and dying disks.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotBytes <= 0 {
 		o.SnapshotBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS
 	}
 	return o
 }
@@ -145,6 +153,13 @@ type Stats struct {
 	// headers included) over the log's lifetime — the cost of the snapshot
 	// cadence, distinct from DiskBytes which the rename overwrites.
 	SnapshotBytes int64
+	// DirSyncErrs counts directory-fsync failures on platforms that support
+	// directory fsync. Non-zero means entry creation/rename durability is in
+	// doubt — the log also fail-stops on the triggering operation.
+	DirSyncErrs uint64
+	// LastSync is how long the most recent disk-reaching Sync took — the
+	// fsync stall signal a degrading disk shows first.
+	LastSync time.Duration
 }
 
 // record kinds (payload first byte).
@@ -179,9 +194,10 @@ type segmentInfo struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu        sync.Mutex
-	active    *os.File
+	active    vfs.File
 	bw        *bufio.Writer
 	activeSeg segmentInfo
 	sealed    []segmentInfo
@@ -197,6 +213,8 @@ type Log struct {
 	bytesSinceSnp int64
 	snapBytes     int64
 	syncs         uint64
+	dirSyncErrs   uint64
+	lastSync      time.Duration
 	// dirty is set when a record is buffered into the active segment and
 	// cleared when the segment is synced, so the periodic maintenance Sync
 	// is a no-op on idle replicas instead of an fsync every tick.
@@ -212,10 +230,10 @@ type Log struct {
 // replay into the replica. A fresh directory yields an empty Recovery.
 func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
 	rec := &Recovery{}
 
 	if err := l.loadSnapshot(rec); err != nil {
@@ -247,7 +265,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 // tmp+rename protocol makes corruption here mean outside interference, and
 // the log's job is to salvage what it can.
 func (l *Log) loadSnapshot(rec *Recovery) error {
-	raw, err := os.ReadFile(filepath.Join(l.dir, snapshotName))
+	raw, err := l.fs.ReadFile(filepath.Join(l.dir, snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -278,7 +296,7 @@ func (l *Log) loadSnapshot(rec *Recovery) error {
 // scanSegments replays every segment file in index order, appending
 // surviving records to rec.Steps and restoring the record index.
 func (l *Log) scanSegments(rec *Recovery) error {
-	names, err := filepath.Glob(filepath.Join(l.dir, segPrefix+"*"+segSuffix))
+	names, err := l.fs.Glob(filepath.Join(l.dir, segPrefix+"*"+segSuffix))
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -297,7 +315,7 @@ func (l *Log) scanSegments(rec *Recovery) error {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].firstRec < segs[j].firstRec })
 	for _, s := range segs {
-		raw, err := os.ReadFile(s.path)
+		raw, err := l.fs.ReadFile(s.path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -319,7 +337,7 @@ func (l *Log) scanSegments(rec *Recovery) error {
 			// stale sealed entry for the same path would later let
 			// compaction unlink the LIVE segment — silently discarding
 			// synced records.
-			os.Remove(s.path)
+			l.fs.Remove(s.path)
 			continue
 		}
 		info.lastRec = idx
@@ -361,15 +379,14 @@ func appendStep(rec *Recovery, payload []byte) {
 func (l *Log) openSegment() error {
 	first := l.records + 1
 	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.active = f
 	l.bw = bufio.NewWriterSize(f, 64<<10)
 	l.activeSeg = segmentInfo{path: path, firstRec: first}
-	syncDir(l.dir)
-	return nil
+	return l.syncDirLocked()
 }
 
 // Append journals entries that just entered the replica's write log.
@@ -488,12 +505,14 @@ func (l *Log) Sync() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.bw.Flush(); err != nil {
 		return l.fail(err)
 	}
 	if err := l.active.Sync(); err != nil {
 		return l.fail(err)
 	}
+	l.lastSync = time.Since(start)
 	l.dirty = false
 	l.syncs++
 	return nil
@@ -541,7 +560,7 @@ func (l *Log) SaveSnapshot(upToRec uint64, summary *vclock.Summary, items []stor
 		return nil // an older capture raced a newer snapshot; keep the newer
 	}
 	tmp := filepath.Join(l.dir, snapshotTmp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return l.fail(err)
 	}
@@ -558,10 +577,12 @@ func (l *Log) SaveSnapshot(upToRec uint64, summary *vclock.Summary, items []stor
 	if werr != nil {
 		return l.fail(werr)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
 		return l.fail(err)
 	}
-	syncDir(l.dir)
+	if err := l.syncDirLocked(); err != nil {
+		return l.fail(err)
+	}
 	l.snapRec = upToRec
 	l.bytesSinceSnp = 0
 	l.snapBytes += int64(len(payload) + len(frame))
@@ -577,7 +598,7 @@ func (l *Log) compactLocked() {
 	kept := l.sealed[:0]
 	for _, seg := range l.sealed {
 		if seg.lastRec <= l.snapRec && seg.path != l.activeSeg.path {
-			os.Remove(seg.path)
+			l.fs.Remove(seg.path)
 			continue
 		}
 		kept = append(kept, seg)
@@ -626,6 +647,8 @@ func (l *Log) Stats() Stats {
 		SnapshotRecords: l.snapRec,
 		Syncs:           l.syncs,
 		SnapshotBytes:   l.snapBytes,
+		DirSyncErrs:     l.dirSyncErrs,
+		LastSync:        l.lastSync,
 	}
 	for _, seg := range l.sealed {
 		s.DiskBytes += seg.bytes
@@ -655,14 +678,18 @@ func (l *Log) errTo(err error) error {
 	return nil
 }
 
-// syncDir fsyncs a directory so entry creation/rename/removal is durable.
-// Errors are ignored: not every platform supports directory fsync, and the
-// data files themselves are already synced.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDirLocked fsyncs the log directory so entry creation/rename/removal
+// is durable. On platforms (or filesystems) without directory fsync there
+// is nothing to do and nothing wrong; a real failure is counted and
+// returned — silently continuing would let an acked snapshot rename or
+// segment creation evaporate in a crash.
+func (l *Log) syncDirLocked() error {
+	err := l.fs.SyncDir(l.dir)
+	if err == nil || errors.Is(err, vfs.ErrDirSyncUnsupported) {
+		return nil
 	}
+	l.dirSyncErrs++
+	return fmt.Errorf("wal: dir sync: %w", err)
 }
 
 // readFrame decodes one framed record from raw, returning the payload and
@@ -864,10 +891,14 @@ func minU32(a, b uint32) uint32 {
 	return b
 }
 
-// Remove deletes a replica's entire WAL directory — the state-loss path
-// (an empty-state restart must not resurrect old disk state).
-func Remove(dir string) error {
-	return os.RemoveAll(dir)
+// Remove deletes a replica's entire WAL directory on fsys — the state-loss
+// path (an empty-state restart must not resurrect old disk state). Pass the
+// same FS the log ran on so injected filesystems drop their tracking too.
+func Remove(fsys vfs.FS, dir string) error {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	return fsys.RemoveAll(dir)
 }
 
 var _ io.Closer = (*Log)(nil)

@@ -427,7 +427,7 @@ func TestRemove(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := Remove(dir); err != nil {
+	if err := Remove(nil, dir); err != nil {
 		t.Fatal(err)
 	}
 	_, rec, err := Open(dir, Options{})
