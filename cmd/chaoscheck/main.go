@@ -59,7 +59,7 @@ func run(args []string, w io.Writer) (int, error) {
 		durable  = fs.Bool("durable", false, "for -random: run with on-disk WALs; crashed replicas recover from disk")
 		dataDir  = fs.String("data-dir", "", "root directory for durable replicas' WALs (default: a fresh temp dir per run, removed afterwards)")
 		quick    = fs.Bool("quick", false, "CI smoke tier: split-brain, rolling-restart, flaky-network and crash-recover-disk at half scale, fixed seeds")
-		quickDsk = fs.Bool("quick-disk", false, "CI storage-fault smoke tier: slow-disk, dying-disk, disk-full and power-cut-matrix at half scale, fixed seeds")
+		quickDsk = fs.Bool("quick-disk", false, "CI storage-fault smoke tier: slow-disk, dying-disk, disk-full, power-cut-matrix and power-cut-pipeline at half scale, fixed seeds")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		verbose  = fs.Bool("v", false, "print wall-clock observations alongside the verdict")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "hard cap per scenario run")
@@ -87,7 +87,7 @@ func run(args []string, w io.Writer) (int, error) {
 			scenarios = append(scenarios, sc)
 		}
 	case *quickDsk:
-		for i, name := range []string{"slow-disk", "dying-disk", "disk-full", "power-cut-matrix"} {
+		for i, name := range []string{"slow-disk", "dying-disk", "disk-full", "power-cut-matrix", "power-cut-pipeline"} {
 			sc, err := chaos.Named(name, 42+int64(i), 0.5)
 			if err != nil {
 				return 2, err

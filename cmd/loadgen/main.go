@@ -29,6 +29,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/shard"
 	"repro/internal/topology"
+	"repro/internal/wal"
 	"repro/internal/workload"
 
 	"repro/internal/demand"
@@ -60,6 +61,9 @@ func run(args []string, w io.Writer) error {
 		seed          = fs.Int64("seed", 1, "deterministic seed")
 		timeout       = fs.Duration("timeout", 2*time.Minute, "post-load convergence timeout")
 		dataDir       = fs.String("data-dir", "", "enable the durable persistence plane: per-shard WALs under this directory (writes fsync before ack)")
+		fsyncCoalesce = fs.Duration("fsync-coalesce", 0, "with -data-dir: fsync-coalescing window for the pipelined sync stage (0 = sync as soon as the disk is free)")
+		preallocate   = fs.Bool("wal-preallocate", true, "with -data-dir: preallocate WAL segments to their full size at creation")
+		odsync        = fs.Bool("odsync", false, "with -data-dir: open WAL segments O_DSYNC so every write is synchronous (the coalescing window is then moot)")
 		obsAddr       = fs.String("obs-addr", "", "serve /metrics, /statusz, /tracez and /debug/pprof on this address (e.g. :9090; empty disables)")
 		report        = fs.Duration("report", 0, "print a one-line throughput/propagation summary at this interval (0 disables)")
 	)
@@ -108,10 +112,20 @@ func run(args []string, w io.Writer) error {
 	}
 	// Determinism comes from Config.Seed, which derives distinct per-group
 	// replica seeds; a blanket runtime.WithSeed here would be overridden.
-	router, err := core.Sharded(sys, *shards,
-		shard.Config{Routing: route, Seed: *seed, DataDir: *dataDir, Obs: reg},
+	rtOpts := []runtime.Option{
 		runtime.WithSessionInterval(*session),
 		runtime.WithAdvertInterval(*advert),
+	}
+	if *dataDir != "" {
+		rtOpts = append(rtOpts, runtime.WithDurabilityTuning(wal.Options{
+			Preallocate:    *preallocate,
+			CoalesceWindow: *fsyncCoalesce,
+			ODSync:         *odsync,
+		}))
+	}
+	router, err := core.Sharded(sys, *shards,
+		shard.Config{Routing: route, Seed: *seed, DataDir: *dataDir, Obs: reg},
+		rtOpts...,
 	)
 	if err != nil {
 		return err

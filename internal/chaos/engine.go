@@ -291,6 +291,9 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 		opts = append(opts,
 			runtime.WithDurability(filepath.Join(e.dataDir, "cluster")),
 			runtime.WithDurabilityFS(e.ffs))
+		if e.sc.WALTuning != nil {
+			opts = append(opts, runtime.WithDurabilityTuning(*e.sc.WALTuning))
+		}
 	}
 	if e.sc.Obs != nil {
 		opts = append(opts, runtime.WithObs(obs.NewClusterObs(e.sc.Obs, n)))

@@ -46,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -277,6 +278,14 @@ type Scenario struct {
 	// tracker's independent count. Like Durable it affects execution only —
 	// the schedule stays a pure function of (name, seed, scale).
 	Obs *obs.Registry
+	// WALTuning, when non-nil, overrides the durable replicas' WAL
+	// configuration (runtime.WithDurabilityTuning) — scenarios use it to
+	// stress the pipelined sync stage under specific knobs, e.g. an fsync
+	// coalescing window that keeps more batches in flight when power is
+	// cut. It replaces the runtime's defaults wholesale. Execution-only,
+	// like Durable and Obs; only meaningful on durable single-cluster
+	// scenarios.
+	WALTuning *wal.Options
 }
 
 func (s Scenario) withDefaults() Scenario {

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/demand"
+	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 // Names returns the built-in scenario names in a fixed order.
@@ -22,6 +24,7 @@ func Names() []string {
 		"dying-disk",
 		"disk-full",
 		"power-cut-matrix",
+		"power-cut-pipeline",
 	}
 }
 
@@ -244,6 +247,41 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 				{At: at(2400), Kind: EvQuiesce},
 				{At: at(2700), Kind: EvPowerCut, Nodes: []NodeID{0, 4, 5}},
 				{At: at(3300), Kind: EvRestartDisk, Nodes: []NodeID{0, 4, 5}},
+			},
+		}, nil
+	case "power-cut-pipeline":
+		return Scenario{
+			Name: name,
+			Description: "power cuts strike while the pipelined sync stage holds batches in flight " +
+				"behind a coalescing window and fsync stalls; every acked write must survive the " +
+				"evaporated unsynced tails",
+			Seed:     seed,
+			Nodes:    8,
+			Topology: "ring",
+			Durable:  true,
+			// A coalescing window plus preallocation keeps the pipeline deep:
+			// more committed-but-unsynced batches in flight at any instant,
+			// so each cut has the largest possible at-risk tail to evaporate.
+			WALTuning: &wal.Options{Preallocate: true, CoalesceWindow: 500 * time.Microsecond},
+			// All writes: maximal pressure on the ack-release stage.
+			Load: workload.Config{ReadFraction: -1},
+			Events: []Event{
+				// Stall every fsync so batches pile up behind the sync stage,
+				// then cut power mid-flight — exactly the window where the
+				// unsynced tail is largest and ordered ack release is doing
+				// real work.
+				{At: at(200), Kind: EvDiskSlow, Latency: 2 * time.Millisecond, Jitter: 8 * time.Millisecond},
+				{At: at(700), Kind: EvPowerCut, Nodes: []NodeID{1, 2}},
+				{At: at(1300), Kind: EvRestartDisk, Nodes: []NodeID{1, 2}},
+				{At: at(1500), Kind: EvDiskHeal},
+				{At: at(1700), Kind: EvQuiesce},
+				// Second round: one replica's device degrades much harder, and
+				// power fails while its pipeline is at its deepest.
+				{At: at(2000), Kind: EvDiskSlow, Nodes: []NodeID{4}, Latency: 5 * time.Millisecond,
+					Ramp: time.Millisecond, Jitter: 20 * time.Millisecond},
+				{At: at(2500), Kind: EvPowerCut, Nodes: []NodeID{4}},
+				{At: at(3100), Kind: EvRestartDisk, Nodes: []NodeID{4}},
+				{At: at(3300), Kind: EvDiskHeal},
 			},
 		}, nil
 	case "demand-inversion":

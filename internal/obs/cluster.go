@@ -38,6 +38,14 @@ type ClusterObs struct {
 	// LeaderPromotions counts group-commit leader stints promoted to a
 	// background committer after exhausting their batch budget.
 	LeaderPromotions *Counter
+	// AckReleaseSeconds observes the pipelined commit protocol's third
+	// stage: latency from a batch's publication (hand-off to the ack
+	// worker) to its ordered ack release after the covering sync.
+	AckReleaseSeconds *Histogram
+	// CoalescedSyncs counts batches whose covering sync had already
+	// completed when their release was dequeued — the fsyncs the pipeline
+	// shared across batches instead of paying per batch.
+	CoalescedSyncs *Counter
 }
 
 // NewClusterObs registers a cluster's hot-path instruments on reg for a
@@ -61,6 +69,10 @@ func NewClusterObs(reg *Registry, n int, labels ...Label) *ClusterObs {
 			"WAL fsync latency observed by the commit leader and maintenance ticker.", LatencyBuckets, labels...),
 		LeaderPromotions: reg.Counter("repro_commit_leader_promotions_total",
 			"Group-commit leader stints promoted to a background committer.", labels...),
+		AckReleaseSeconds: reg.Histogram("repro_commit_ack_release_seconds",
+			"Latency from batch publication to ordered ack release (pipelined durability wait).", LatencyBuckets, labels...),
+		CoalescedSyncs: reg.Counter("repro_wal_coalesced_syncs_total",
+			"Group-commit batches released under a sync shared with an earlier batch.", labels...),
 	}
 }
 

@@ -1,0 +1,228 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// This file implements the third stage of the pipelined durable commit
+// protocol: ordered ack release.
+//
+// The group-commit leader (groupcommit.go) appends and publishes a batch
+// under the replica lock, then hands the batch to this stage instead of
+// fsyncing inline. The WAL's background sync stage (wal.StartPipeline)
+// retires the fsync outside the lock, and the per-replica ack worker below
+// releases client acks strictly in batch order once each batch's covering
+// sync completes (wal.WaitDurable). The replica lock is free during the
+// disk wait, so the next batches append and publish while earlier ones are
+// still syncing — multiple batches in flight, one fsync shared by all of
+// them when the disk is the bottleneck.
+//
+// Invariants the stage preserves:
+//
+//   - Durable before visible, per session: no client ack and no commit
+//     fan-out escapes before the batch's covering sync completes.
+//   - Order: acks release in exactly the order batches committed; batch
+//     N+1's acks never precede batch N's.
+//   - Fail-stop: if a covering sync fails, NO ack it covers escapes — the
+//     worker fails the batch's waiters and fail-stops the replica, exactly
+//     like an inline sync failure did.
+
+// ackRelease is one committed batch waiting for its covering sync: the
+// parked writers to complete, the fan-out to send, and the WAL record the
+// durability watermark must reach first. It captures the wal and endpoint
+// of the incarnation that committed it, so a concurrent Kill/restart
+// swapping r.wal or r.ep cannot redirect a stale release.
+type ackRelease struct {
+	batch []*writeReq
+	out   []protocol.Envelope
+	rec   uint64
+	wal   *wal.Log
+	ep    transport.Endpoint
+	id    NodeID
+	// start is the commit pickup time (CommitSeconds); enq the hand-off to
+	// this stage (AckReleaseSeconds). Zero when observability is off.
+	start time.Time
+	enq   time.Time
+}
+
+// ackQueue is the per-replica FIFO between the commit leader and the ack
+// worker. Releases enter in commit order (the leader is exclusive) and
+// leave in the same order. Lock ordering: r.mu may be held while taking
+// q.mu (the leader pushes under the replica lock); never the reverse.
+type ackQueue struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	pending []ackRelease
+	head    int
+	running bool
+	closing bool
+	done    chan struct{}
+}
+
+// start launches the worker. Called from Cluster.Start for durable
+// replicas; before it runs (or after stop), the leader's push fails and
+// commits fall back to the inline sync path.
+func (q *ackQueue) start(r *replica) {
+	q.mu.Lock()
+	if q.running {
+		q.mu.Unlock()
+		return
+	}
+	q.cond.L = &q.mu
+	q.running = true
+	q.closing = false
+	q.done = make(chan struct{})
+	q.mu.Unlock()
+	go r.ackWorker()
+}
+
+// stop drains the queue — every pending release still completes, so no
+// client is left parked — then retires the worker.
+func (q *ackQueue) stop() {
+	q.mu.Lock()
+	if !q.running {
+		q.mu.Unlock()
+		return
+	}
+	q.closing = true
+	q.cond.Broadcast()
+	done := q.done
+	q.mu.Unlock()
+	<-done
+	q.mu.Lock()
+	q.running = false
+	q.mu.Unlock()
+}
+
+// push enqueues a release, reporting false when no worker will serve it
+// (not started, or stopping) — the caller must then release inline.
+func (q *ackQueue) push(rel ackRelease) bool {
+	q.mu.Lock()
+	if !q.running || q.closing {
+		q.mu.Unlock()
+		return false
+	}
+	q.pending = append(q.pending, rel)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return true
+}
+
+// depth returns the number of batches awaiting their covering sync — the
+// pipeline's in-flight depth (scrape-time only).
+func (q *ackQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) - q.head
+}
+
+// take blocks for the next release in order, reporting ok=false when the
+// queue is stopping and drained.
+func (q *ackQueue) take() (ackRelease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pending)-q.head == 0 && !q.closing {
+		q.cond.Wait()
+	}
+	if len(q.pending)-q.head == 0 {
+		return ackRelease{}, false
+	}
+	rel := q.pending[q.head]
+	q.pending[q.head] = ackRelease{}
+	q.head++
+	if q.head == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.head = 0
+	}
+	return rel, true
+}
+
+// ackWorker is the replica's ack-release goroutine: one per durable
+// replica, alive from Start to Stop, draining releases in commit order.
+func (r *replica) ackWorker() {
+	q := &r.ackq
+	defer close(q.done)
+	for {
+		rel, ok := q.take()
+		if !ok {
+			return
+		}
+		r.release(rel)
+	}
+}
+
+// release completes one batch: wait for the covering sync, then ack,
+// observe, fire watches, and send the batch's fan-out — the exact
+// post-sync tail the leader used to run inline, now off the replica lock.
+func (r *replica) release(rel ackRelease) {
+	c := r.cluster
+	co := c.opts.obs
+	coalesced := rel.wal.Durable() >= rel.rec
+	if err := rel.wal.WaitDurable(rel.rec); err != nil {
+		// The covering sync failed (or the WAL died first): no ack it
+		// covers may escape. Fail-stop the replica FIRST — unless a Kill
+		// or another fail-stop already retired this incarnation, in which
+		// case the verdict is theirs — and only then fail the waiting
+		// clients, so a client that observes the error finds the replica
+		// already fully stopped, exactly as with an inline sync failure.
+		r.mu.Lock()
+		if r.dead || r.wal != rel.wal {
+			r.mu.Unlock()
+		} else {
+			r.failStop(err)
+		}
+		if co != nil {
+			co.WriteErrors.Add(uint64(len(rel.batch)))
+		}
+		for _, req := range rel.batch {
+			req.err = err
+			req.done <- struct{}{}
+		}
+		r.wq.recycle(rel.batch)
+		return
+	}
+	for _, req := range rel.batch {
+		req.done <- struct{}{}
+	}
+	if co != nil {
+		co.WritesAcked.Add(uint64(len(rel.batch)))
+		co.WriteBatches.Inc()
+		co.BatchSize.Observe(float64(len(rel.batch)))
+		co.CommitSeconds.Observe(time.Since(rel.start).Seconds())
+		co.AckReleaseSeconds.Observe(time.Since(rel.enq).Seconds())
+		if coalesced {
+			co.CoalescedSyncs.Inc()
+		}
+	}
+	c.checkWatches(rel.id)
+	r.sendAllVia(rel.ep, rel.out)
+	r.wq.recycle(rel.batch)
+}
+
+// carriesEntries reports whether any envelope carries write-log entries or
+// store content — the envelopes the durability gate must hold until the
+// records behind them are on disk. Offers and summaries carry only ids and
+// version vectors; a crash after they escape is harmless (the peer simply
+// never receives the payload and re-learns through anti-entropy).
+func carriesEntries(envs []protocol.Envelope) bool {
+	for _, env := range envs {
+		switch m := env.Msg.(type) {
+		case protocol.UpdateBatch:
+			if len(m.Entries) > 0 {
+				return true
+			}
+		case protocol.FastPayload:
+			if len(m.Entries) > 0 {
+				return true
+			}
+		case protocol.Snapshot:
+			return true
+		}
+	}
+	return false
+}

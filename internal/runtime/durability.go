@@ -59,8 +59,12 @@ func WithDurability(dir string) Option {
 	return func(o *options) { o.durDir = dir }
 }
 
-// WithDurabilityTuning overrides the WAL geometry (segment size, snapshot
-// cadence) for durable clusters. Only meaningful alongside WithDurability.
+// WithDurabilityTuning overrides the WAL configuration for durable
+// clusters: geometry (segment size, snapshot cadence) and the pipelined
+// sync stage's knobs (segment preallocation, fsync-coalescing window,
+// O_DSYNC). It replaces the runtime's defaults wholesale — including the
+// default-on segment preallocation — so pass exactly the configuration you
+// want. Only meaningful alongside WithDurability.
 func WithDurabilityTuning(opts wal.Options) Option {
 	return func(o *options) { o.walOpts = opts }
 }
@@ -116,6 +120,7 @@ func (c *Cluster) openReplicaWAL(r *replica, id NodeID) *wal.Recovery {
 		c.initErr = fmt.Errorf("runtime: replica %v durability: %w", id, err)
 		return nil
 	}
+	w.StartPipeline()
 	r.wal = w
 	return rec
 }
@@ -191,6 +196,7 @@ func (c *Cluster) RestartFromDisk(id NodeID) error {
 		r.mu.Unlock()
 		return fmt.Errorf("runtime: replica %v recovery: %w", id, err)
 	}
+	w.StartPipeline()
 	nbrs := c.graph.NeighborsCopy(id)
 	n := node.New(node.Config{
 		ID:        id,
@@ -228,13 +234,7 @@ func (r *replica) walMaintain() {
 	if w == nil {
 		return
 	}
-	co := r.cluster.opts.obs
-	start := time.Now()
-	err := w.Sync()
-	if co != nil {
-		co.FsyncSeconds.Observe(time.Since(start).Seconds())
-	}
-	if err != nil {
+	if err := w.Sync(); err != nil {
 		// The WAL error is sticky: nothing this replica buffers can ever
 		// reach disk again, so fail-stop now instead of letting the next
 		// client batch trip over it. walMaintain runs ON the replica's run

@@ -139,24 +139,32 @@ func (r *replica) drain(c *Cluster, n int) bool {
 			return true
 		}
 		r.commitBatch(c, batch)
-		r.wq.recycle(batch)
 	}
 	return false
 }
 
 // commitBatch folds one batch into the node under a single replica-lock
-// acquisition, completes every waiter, then fires watches once and sends the
-// merged fan-out.
+// acquisition, then makes it durable and visible in one of two ways:
 //
-// On a durable replica the batch is fsynced (once, for the whole batch)
-// while the replica lock is still held: the write-ahead records must reach
-// disk before any anti-entropy session can serve the new entries to a peer
-// and before any client sees its ack — otherwise a crash could lose entries
-// the outside world already observed, and the reborn identity would reissue
-// their timestamps. A sync FAILURE fail-stops the replica (see failStop):
-// the batch's entries are in the in-memory log but can never reach disk, so
-// letting the replica keep serving would leak them to peers and set up the
-// same reissued-timestamp divergence on the eventual restart.
+// Pipelined (durable replica, ack worker running — the steady state): the
+// leader captures the batch's covering WAL record and hands the completed
+// batch to the replica's ack worker (ackrelease.go) BEFORE releasing the
+// replica lock, so releases enter the FIFO in commit order. The fsync
+// retires in the WAL's background sync stage, the replica lock is free
+// while the disk works, and the worker releases acks and fan-out only
+// after the covering sync completes — durable before visible, preserved
+// per session, with multiple batches in flight.
+//
+// Inline (no durability, or no worker — before Start, after Stop): the
+// batch is fsynced (once, for the whole batch) while the replica lock is
+// still held, exactly the pre-pipeline protocol.
+//
+// Either way a sync FAILURE fail-stops the replica (see failStop): the
+// batch's entries are in the in-memory log but can never reach disk, so
+// letting the replica keep serving would leak them to peers and set up a
+// reissued-timestamp divergence on the eventual restart. Entry-carrying
+// anti-entropy traffic cannot outrun the pipeline: the run loop's egress
+// gate (handle) holds such envelopes until the WAL watermark covers them.
 func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	co := c.opts.obs
 	var commitStart time.Time
@@ -175,6 +183,7 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 			req.err = err
 			req.done <- struct{}{}
 		}
+		r.wq.recycle(batch)
 		return
 	}
 	ops := r.opsScratch[:0]
@@ -182,26 +191,8 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 		ops = append(ops, node.WriteOp{Key: req.key, Value: req.value})
 	}
 	entries, out := r.node.ClientWriteBatch(c.now(), ops)
-	if r.wal != nil {
-		var fsyncStart time.Time
-		if co != nil {
-			fsyncStart = time.Now()
-		}
-		syncErr := r.wal.Sync()
-		if co != nil {
-			co.FsyncSeconds.Observe(time.Since(fsyncStart).Seconds())
-		}
-		if syncErr != nil {
-			r.failStop(syncErr)
-			if co != nil {
-				co.WriteErrors.Add(uint64(len(batch)))
-			}
-			for _, req := range batch {
-				req.err = syncErr
-				req.done <- struct{}{}
-			}
-			return
-		}
+	for i, req := range batch {
+		req.ts = entries[i].TS
 	}
 	// Drop the client value refs before stashing the scratch buffer.
 	for i := range ops {
@@ -210,10 +201,58 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	r.opsScratch = ops[:0]
 	id := r.node.ID()
 	ep := r.ep
+	if r.wal != nil {
+		// A dead log (sticky error, or closed by a crash simulation)
+		// rejects journal appends without advancing Records, so the
+		// watermark below would be vacuously durable. Health-check first:
+		// the batch's entries are in memory but can never reach disk —
+		// the fail-stop case, exactly as if the inline sync had failed.
+		if err := r.wal.Err(); err != nil {
+			r.failStop(err)
+			if co != nil {
+				co.WriteErrors.Add(uint64(len(batch)))
+			}
+			for _, req := range batch {
+				req.err = err
+				req.done <- struct{}{}
+			}
+			r.wq.recycle(batch)
+			return
+		}
+		rel := ackRelease{
+			batch: batch,
+			out:   out,
+			rec:   r.wal.Records(),
+			wal:   r.wal,
+			ep:    ep,
+			id:    id,
+		}
+		if co != nil {
+			rel.start = commitStart
+			rel.enq = time.Now()
+		}
+		if r.ackq.push(rel) {
+			r.mu.Unlock()
+			return
+		}
+		// No worker to serve the release: sync inline under the lock, the
+		// pre-pipeline protocol.
+		if syncErr := r.wal.Sync(); syncErr != nil {
+			r.failStop(syncErr)
+			if co != nil {
+				co.WriteErrors.Add(uint64(len(batch)))
+			}
+			for _, req := range batch {
+				req.err = syncErr
+				req.done <- struct{}{}
+			}
+			r.wq.recycle(batch)
+			return
+		}
+	}
 	r.mu.Unlock()
 
-	for i, req := range batch {
-		req.ts = entries[i].TS
+	for _, req := range batch {
 		req.done <- struct{}{}
 	}
 	if co != nil {
@@ -224,6 +263,7 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	}
 	c.checkWatches(id)
 	r.sendAllVia(ep, out)
+	r.wq.recycle(batch)
 }
 
 // failStop crashes a durable replica whose WAL can no longer persist

@@ -296,8 +296,10 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 		Segments        int
 		DiskBytes       int64
 		Records         uint64
+		DurableRecords  uint64
 		SnapshotRecords uint64
 		Syncs           uint64
+		PipelineSyncs   uint64
 		SnapshotBytes   int64
 		DirSyncErrs     uint64
 		LastSync        time.Duration
@@ -312,8 +314,10 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 		st.Segments = s.Segments
 		st.DiskBytes = s.DiskBytes
 		st.Records = s.Records
+		st.DurableRecords = s.DurableRecords
 		st.SnapshotRecords = s.SnapshotRecords
 		st.Syncs = s.Syncs
+		st.PipelineSyncs = s.PipelineSyncs
 		st.SnapshotBytes = s.SnapshotBytes
 		st.DirSyncErrs = s.DirSyncErrs
 		st.LastSync = s.LastSync
@@ -328,6 +332,15 @@ func (c *Cluster) registerWALObs(r *replica, lbl []obs.Label) {
 	reg.CounterFunc("repro_wal_records_total",
 		"Records appended to the WAL this incarnation.",
 		func() float64 { st, _ := walStats(); return float64(st.Records) }, lbl...)
+	reg.GaugeFunc("repro_wal_durable_records",
+		"WAL durability watermark: records covered by a completed sync.",
+		func() float64 { st, _ := walStats(); return float64(st.DurableRecords) }, lbl...)
+	reg.CounterFunc("repro_wal_pipeline_syncs_total",
+		"Syncs retired by the WAL's background sync stage this incarnation.",
+		func() float64 { st, _ := walStats(); return float64(st.PipelineSyncs) }, lbl...)
+	reg.GaugeFunc("repro_commit_inflight_batches",
+		"Committed batches whose covering sync has not yet released their acks.",
+		func() float64 { return float64(r.ackq.depth()) }, lbl...)
 	reg.GaugeFunc("repro_wal_snapshot_records",
 		"Records covered by the newest on-disk snapshot.",
 		func() float64 { st, _ := walStats(); return float64(st.SnapshotRecords) }, lbl...)

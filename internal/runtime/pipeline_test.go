@@ -1,0 +1,211 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// Tests for the pipelined durable commit protocol at the cluster level:
+// ordered ack release across in-flight batches, and fail-stop before any
+// ack covered by a failed sync can escape. The wal-level pipeline tests
+// (internal/wal/pipeline_test.go) prove the sync stage; these prove the
+// replica's ack-release stage on top of it.
+
+// TestPipelineOrderedAckRelease pins the ordering invariant: with batch
+// N's covering sync stalled on a slow disk, batch N+1's ack must not be
+// released before batch N's — acks leave in exactly commit order, even
+// though the replica lock is free and batch N+1 commits while N still
+// waits on the disk.
+func TestPipelineOrderedAckRelease(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 16)
+	reg := obs.NewRegistry()
+	c := durableCluster(t, 2, dir, WithDurabilityFS(ffs), WithObs(obs.NewClusterObs(reg, 2)))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Warm up so segment creation is off the measured path.
+	if _, err := c.Write(0, "warm", []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+
+	const stall = 60 * time.Millisecond
+	ffs.SetSyncDelay(replicaScope(0), stall, 0, 0)
+
+	var firstAcked atomic.Bool
+	var orderViolated atomic.Bool
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.Write(0, "first", []byte("batch-N"))
+		firstAcked.Store(true)
+		firstDone <- err
+	}()
+	// Let the first write commit and park on its stalled sync, so the
+	// second write forms its own later batch.
+	time.Sleep(15 * time.Millisecond)
+	secondStart := time.Now()
+	if _, err := c.Write(0, "second", []byte("batch-N+1")); err != nil {
+		t.Fatalf("second write failed: %v", err)
+	}
+	if !firstAcked.Load() {
+		orderViolated.Store(true)
+	}
+	secondTook := time.Since(secondStart)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if orderViolated.Load() {
+		t.Fatal("batch N+1 acked before batch N — ack release is out of order")
+	}
+	// The second batch needed its own covering sync, serialized after the
+	// first one's; with a 60ms stall per fsync its ack cannot have
+	// released before the first sync completed.
+	if secondTook < stall {
+		t.Fatalf("second ack released in %v — before batch N's %v sync stall completed", secondTook, stall)
+	}
+	if v, ok, err := c.Read(0, "first"); err != nil || !ok || string(v) != "batch-N" {
+		t.Fatalf("first write not visible after ack: %q %v %v", v, ok, err)
+	}
+	if v, ok, err := c.Read(0, "second"); err != nil || !ok || string(v) != "batch-N+1" {
+		t.Fatalf("second write not visible after ack: %q %v %v", v, ok, err)
+	}
+	if got := reg.Total("repro_replica_failstop_total"); got != 0 {
+		t.Fatalf("slow disk fail-stopped a replica (%v fail-stops)", got)
+	}
+	if got := reg.Total("repro_wal_pipeline_syncs_total"); got < 1 {
+		t.Fatalf("repro_wal_pipeline_syncs_total = %v — the background sync stage never ran", got)
+	}
+}
+
+// TestPipelineFailStopBeforeCoveredAckEscapes pins the fail-stop
+// invariant under a backed-up pipeline: the disk stalls, several batches
+// pile up in flight, then the disk dies mid-stream. Every write whose
+// covering sync failed must return an error — never an ack — and the
+// client observing that error must find the replica already fully
+// stopped. After a power cut and disk recovery, exactly the acked writes
+// are readable.
+func TestPipelineFailStopBeforeCoveredAckEscapes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 17)
+	reg := obs.NewRegistry()
+	c := durableCluster(t, 2, dir, WithDurabilityFS(ffs), WithObs(obs.NewClusterObs(reg, 2)))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	if _, err := c.Write(0, "good", []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Back up the pipeline, stagger writes into it, then kill the disk
+	// while batches are still in flight.
+	ffs.SetSyncDelay(replicaScope(0), 40*time.Millisecond, 0, 0)
+	const writers = 8
+	type result struct {
+		key          string
+		err          error
+		deadOnReturn bool
+	}
+	results := make([]result, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 5 * time.Millisecond)
+			key := fmt.Sprintf("inflight%02d", i)
+			_, err := c.Write(0, key, []byte("pipelined"))
+			dead := false
+			if err != nil {
+				// The error must find the replica already fail-stopped:
+				// store retracted, reads failing.
+				_, _, rerr := c.Read(0, "good")
+				dead = rerr != nil
+			}
+			results[i] = result{key: key, err: err, deadOnReturn: dead}
+		}()
+	}
+	time.Sleep(12 * time.Millisecond)
+	ffs.FailSyncs(replicaScope(0))
+	wg.Wait()
+
+	var failed int
+	for _, res := range results {
+		if res.err == nil {
+			continue
+		}
+		failed++
+		if !res.deadOnReturn {
+			t.Fatalf("write %s errored but the replica was still serving reads — ack escaped before fail-stop", res.key)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no write failed despite the disk dying mid-pipeline")
+	}
+	if got := reg.Total("repro_replica_failstop_total"); got != 1 {
+		t.Fatalf("repro_replica_failstop_total = %v, want exactly 1", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `reason="io-error"`) {
+		t.Fatal("fail-stop not labelled reason=io-error")
+	}
+
+	// The egress gate must have held every non-durable entry: a write that
+	// errored was never covered by a completed sync, so it may not have
+	// leaked to the peer replica through fan-out or anti-entropy.
+	for _, res := range results {
+		if res.err == nil {
+			continue
+		}
+		if _, ok, err := c.Read(1, res.key); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			t.Fatalf("non-durable write %s leaked to a peer before the fail-stop", res.key)
+		}
+	}
+
+	// Power cut on the dead disk, then replace it: recovery must serve
+	// every acked write (errored writes are indeterminate — the cut drops
+	// an arbitrary suffix of the unsynced tail, so they may or may not
+	// replay, but their clients were told "error", never "ack").
+	ffs.Cut(replicaScope(0))
+	ffs.Heal(replicaScope(0))
+	if err := c.RestartFromDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Read(0, "good"); err != nil || !ok || string(v) != "synced" {
+		t.Fatalf("acked write lost: %q %v %v", v, ok, err)
+	}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		v, ok, err := c.Read(0, res.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != "pipelined" {
+			t.Fatalf("acked write %s lost to the fail-stop: ok=%v v=%q", res.key, ok, v)
+		}
+	}
+}

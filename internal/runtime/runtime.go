@@ -62,11 +62,19 @@ type options struct {
 
 // walOptions is the effective WAL configuration: the tuned geometry plus
 // the injected filesystem, if any. Every wal.Open in the runtime goes
-// through this so fault-injected clusters never touch the real disk path.
+// through this so fault-injected clusters never touch the real disk path,
+// and every open WAL reports its sync latency into the observability
+// plane's fsync histogram (inline syncs and pipelined sync-stage flushes
+// alike).
 func (o *options) walOptions() wal.Options {
 	opts := o.walOpts
 	if o.walFS != nil {
 		opts.FS = o.walFS
+	}
+	if co := o.obs; co != nil {
+		opts.OnSync = func(took time.Duration) {
+			co.FsyncSeconds.Observe(took.Seconds())
+		}
 	}
 	return opts
 }
@@ -79,6 +87,11 @@ func defaultOptions() options {
 		fastPush:       true,
 		fanOut:         1,
 		seed:           1,
+		// Durable clusters preallocate WAL segments by default so the
+		// pipelined sync stage's fdatasync skips the per-sync inode size
+		// update. WithDurabilityTuning replaces walOpts wholesale, so
+		// explicit tuning retains full control (including turning it off).
+		walOpts: wal.Options{Preallocate: true},
 	}
 }
 
@@ -253,6 +266,9 @@ func (c *Cluster) Start(ctx context.Context) error {
 	c.start = time.Now()
 	c.ctx, c.cancel = context.WithCancel(ctx)
 	for _, r := range c.replicas {
+		if c.opts.durDir != "" {
+			r.ackq.start(r)
+		}
 		r.spawn(c.ctx, &c.wg)
 	}
 	return nil
@@ -393,6 +409,7 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 			r.mu.Unlock()
 			return fmt.Errorf("runtime: replica %v durability: %w", id, err)
 		}
+		reopened.StartPipeline()
 	}
 	if !preserve {
 		// The identity's own write head and Lamport clock survive the
@@ -505,6 +522,12 @@ func (c *Cluster) Stop() {
 	c.mu.Unlock()
 	cancel()
 	c.wg.Wait()
+	// Drain every ack worker before touching the WALs: pending releases
+	// complete (their covering syncs retire in the WAL sync stage, which is
+	// still running), so no client is left parked and no ack is dropped.
+	for _, r := range c.replicas {
+		r.ackq.stop()
+	}
 	// Clean shutdown flushes and closes every live WAL (abandoned WALs of
 	// killed replicas are left as the crash left them).
 	for _, r := range c.replicas {
@@ -608,7 +631,10 @@ func (c *Cluster) Digest(id NodeID) uint64 {
 }
 
 // Snapshot exports replica id's full store contents — the unit of
-// content-level transfer between replica groups (shard handoff).
+// content-level transfer between replica groups (shard handoff). On a
+// durable replica the export waits for the WAL watermark to cover the
+// image first: handed-off content must never include a write whose
+// covering sync could still fail.
 func (c *Cluster) Snapshot(id NodeID) ([]store.Item, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return nil, fmt.Errorf("runtime: no replica %v", id)
@@ -616,7 +642,17 @@ func (c *Cluster) Snapshot(id NodeID) ([]store.Item, error) {
 	r := c.replicas[id]
 	r.mu.Lock()
 	st := r.node.Store()
+	w := r.wal
+	var rec uint64
+	if w != nil {
+		rec = w.Records()
+	}
 	r.mu.Unlock()
+	if w != nil {
+		if err := w.WaitDurable(rec); err != nil {
+			return nil, fmt.Errorf("runtime: replica %v snapshot durability: %w", id, err)
+		}
+	}
 	return st.Snapshot(), nil
 }
 
@@ -842,6 +878,11 @@ type replica struct {
 	wq         writeQueue
 	opsScratch []node.WriteOp
 
+	// ackq is the pipelined commit protocol's ordered ack-release stage
+	// (durable clusters only; see ackrelease.go). Its worker runs from
+	// Start to Stop; outside that window commits sync inline.
+	ackq ackQueue
+
 	// Lifecycle, guarded by mu: cancel/done belong to the current
 	// incarnation's goroutine; dead marks a killed replica.
 	cancel context.CancelFunc
@@ -851,14 +892,28 @@ type replica struct {
 
 // exportState captures a consistent (summary, store image) pair from a
 // live replica — the bootstrap source for a peer's crash recovery. It
-// reports ok=false for dead replicas.
+// reports ok=false for dead replicas, and for durable replicas whose
+// captured image cannot be made durable: the image may hold own-origin
+// writes whose covering sync is still in flight, and handing those to a
+// peer before they are on disk is exactly the leak the pipelined commit
+// protocol gates everywhere else.
 func (r *replica) exportState() (*vclock.Summary, []store.Item, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.dead {
+		r.mu.Unlock()
 		return nil, nil, false
 	}
-	return r.node.Summary(), r.node.Store().Snapshot(), true
+	sum, items := r.node.Summary(), r.node.Store().Snapshot()
+	w := r.wal
+	var rec uint64
+	if w != nil {
+		rec = w.Records()
+	}
+	r.mu.Unlock()
+	if w != nil && w.WaitDurable(rec) != nil {
+		return nil, nil, false
+	}
+	return sum, items, true
 }
 
 // spawn launches (or relaunches) the replica goroutine.
@@ -956,7 +1011,28 @@ func (r *replica) handle(env protocol.Envelope) {
 	r.mu.Lock()
 	out := r.node.HandleMessage(c.now(), env)
 	id := r.node.ID()
+	var w *wal.Log
+	var rec uint64
+	if r.wal != nil && carriesEntries(out) {
+		// Egress gate of the pipelined commit protocol: entry-carrying
+		// envelopes must not escape before every record journaled so far is
+		// on disk — with the inline-sync protocol the batch fsync under this
+		// lock guaranteed that; with the pipeline, recently committed
+		// batches may still be in flight. The watermark is captured under
+		// the lock the entries were read under.
+		w, rec = r.wal, r.wal.Records()
+	}
 	r.mu.Unlock()
+	if w != nil {
+		if err := w.WaitDurable(rec); err != nil {
+			// The records behind these entries can never reach disk; the
+			// ack worker (or maintenance tick) is fail-stopping the replica.
+			// Dropping the envelopes keeps the unsyncable entries off the
+			// network — the exact leak fail-stop exists to prevent.
+			c.opts.tracer.Warnf(id, "dropped %d envelopes (durability gate): %v", len(out), err)
+			return
+		}
+	}
 	c.opts.tracer.Debugf(id, "handled %v (+%d out)", env, len(out))
 	c.checkWatches(id)
 	r.sendAll(out)

@@ -334,7 +334,17 @@ func (f *faultFile) Write(p []byte) (int, error) {
 // failures. Only a sync that truly reached the inner file advances the
 // file's durable watermark — a failed sync leaves every unsynced byte
 // exposed to Cut, exactly like a real fsync failure.
-func (f *faultFile) Sync() error {
+func (f *faultFile) Sync() error { return f.syncThrough((File).Sync) }
+
+// DataSync implements DataSyncer: the fdatasync fast path goes through
+// exactly the same fault machinery as Sync — latency ramps, injected
+// errors, and the durable-watermark advance — so chaos scenarios exercise
+// the pipelined sync stage with no blind spots.
+func (f *faultFile) DataSync() error { return f.syncThrough(DataSync) }
+
+// syncThrough runs one durability point against the inner file via sink,
+// applying injected delays and failures first.
+func (f *faultFile) syncThrough(sink func(File) error) error {
 	f.fs.mu.Lock()
 	if f.dead {
 		f.fs.mu.Unlock()
@@ -366,7 +376,7 @@ func (f *faultFile) Sync() error {
 	if serr != nil {
 		return serr
 	}
-	if err := f.inner.Sync(); err != nil {
+	if err := sink(f.inner); err != nil {
 		return err
 	}
 	f.fs.mu.Lock()

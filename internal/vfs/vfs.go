@@ -36,6 +36,26 @@ type File interface {
 	Close() error
 }
 
+// DataSyncer is the optional fast durability point a File may implement:
+// flush the file's data — plus whatever metadata is needed to read that
+// data back, such as the size — without forcing a full metadata fsync.
+// On Linux this is fdatasync(2); callers fall back to Sync when the
+// interface is absent. DataSync provides exactly the same crash-durability
+// guarantee for file CONTENTS as Sync.
+type DataSyncer interface {
+	// DataSync flushes data and read-critical metadata to stable storage.
+	DataSync() error
+}
+
+// DataSync flushes f through its fdatasync fast path when it has one, and
+// through a full Sync otherwise — the helper every sync stage should call.
+func DataSync(f File) error {
+	if ds, ok := f.(DataSyncer); ok {
+		return ds.DataSync()
+	}
+	return f.Sync()
+}
+
 // FS abstracts the filesystem operations the write-ahead log performs.
 // Implementations must be safe for concurrent use.
 type FS interface {
@@ -86,8 +106,15 @@ func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f, nil
+	return osFile{f}, nil
 }
+
+// osFile wraps *os.File so OS-backed files expose the DataSyncer fast path
+// (fdatasync on Linux) alongside the plain File contract.
+type osFile struct{ *os.File }
+
+// DataSync implements DataSyncer via fdatasync where the platform has it.
+func (f osFile) DataSync() error { return datasync(f.File) }
 
 // ReadFile implements FS.
 func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }

@@ -1,0 +1,293 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/wlog"
+)
+
+// Tests for the pipelined sync stage: StartPipeline / WaitDurable /
+// Durable semantics, segment preallocation recovery, and a crash-point
+// sweep of the pipelined path mirroring the inline checker.
+
+func TestPipelineWaitDurable(t *testing.T) {
+	l, rec, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatal("fresh dir recovered state")
+	}
+	l.StartPipeline()
+	for i := 1; i <= 10; i++ {
+		if err := l.Append([]wlog.Entry{entry(1, uint64(i), fmt.Sprintf("k%d", i), "v", uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := l.Records()
+	if target != 10 {
+		t.Fatalf("Records = %d, want 10", target)
+	}
+	if err := l.WaitDurable(target); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.Durable(); d < target {
+		t.Fatalf("Durable = %d after WaitDurable(%d)", d, target)
+	}
+	st := l.Stats()
+	if st.DurableRecords < 10 {
+		t.Fatalf("Stats.DurableRecords = %d, want >= 10", st.DurableRecords)
+	}
+	if st.PipelineSyncs == 0 {
+		t.Fatal("Stats.PipelineSyncs = 0 — the sync stage never retired a sync")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The records must actually be on disk.
+	_, rec2, err := Open(l.dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(collectEntries(rec2)); got != 10 {
+		t.Fatalf("recovered %d entries, want 10", got)
+	}
+}
+
+// TestWaitDurableInlineFallback pins that WaitDurable works without
+// StartPipeline: it issues the covering sync itself.
+func TestWaitDurableInlineFallback(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]wlog.Entry{entry(1, 1, "a", "1", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Durable() != l.Records() {
+		t.Fatalf("Durable = %d, Records = %d", l.Durable(), l.Records())
+	}
+}
+
+// TestPipelineStickyErrorFailsWaiters pins the fail-stop half of the
+// protocol: once the sync stage hits a disk error, WaitDurable fails for
+// every uncovered record — but still succeeds for records a completed
+// sync already covers (an ack whose covering sync completed stays valid).
+func TestPipelineStickyErrorFailsWaiters(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS, 21)
+	l, _, err := Open(t.TempDir(), Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline()
+	if err := l.Append([]wlog.Entry{entry(1, 1, "good", "v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	covered := l.Records()
+	if err := l.WaitDurable(covered); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncs("")
+	if err := l.Append([]wlog.Entry{entry(1, 2, "doomed", "v", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(l.Records()); err == nil {
+		t.Fatal("WaitDurable succeeded although the covering sync failed")
+	}
+	if err := l.WaitDurable(covered); err != nil {
+		t.Fatalf("already-durable record invalidated by a later sync failure: %v", err)
+	}
+	l.Abandon()
+	if err := l.WaitDurable(covered); err != nil {
+		t.Fatalf("already-durable record invalidated by Abandon: %v", err)
+	}
+}
+
+// TestWaitDurableAfterAbandon pins that Abandon fails uncovered waiters
+// instead of leaving them parked.
+func TestWaitDurableAfterAbandon(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline()
+	// Stall the pipeline by abandoning before any sync can be guaranteed;
+	// a waiter arriving afterwards must fail fast, not hang.
+	l.Abandon()
+	if err := l.Append([]wlog.Entry{entry(1, 1, "late", "v", 1)}); err == nil {
+		t.Fatal("Append succeeded on an abandoned log")
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(l.Records() + 1) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("WaitDurable(uncovered) returned nil on an abandoned log")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable hung on an abandoned log")
+	}
+}
+
+// TestPreallocatedSegmentRecovery pins recovery over preallocated
+// segments: the zero-filled tail beyond the written bytes must read as a
+// clean end of log (CRC32C of an empty payload is 0, so a length-0 frame
+// would otherwise parse as an endless run of valid empty records), across
+// segment rotation and an unclean shutdown.
+func TestPreallocatedSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Preallocate: true, SegmentBytes: 8 << 10}
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline()
+	const n = 64 // ~300B per entry: spans several 8 KiB segments
+	for i := 1; i <= n; i++ {
+		e := entry(1, uint64(i), fmt.Sprintf("key%04d", i), string(make([]byte, 256)), uint64(i))
+		if err := l.Append([]wlog.Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WaitDurable(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	// Unclean shutdown: the active segment keeps its preallocated tail.
+	l.Abandon()
+
+	l2, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery over preallocated segments: %v", err)
+	}
+	defer l2.Close()
+	got := collectEntries(rec)
+	if len(got) != n {
+		t.Fatalf("recovered %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.TS.Seq != uint64(i+1) {
+			t.Fatalf("entry %d out of order: seq %d", i, e.TS.Seq)
+		}
+	}
+}
+
+// TestCrashPointEveryPipelinedBoundary is the crash-point checker run
+// against the pipelined path with preallocated segments: acks are
+// WaitDurable returns instead of inline Sync calls, power cuts strike
+// after every acked boundary, and recovery must still yield an exact
+// prefix of the append order covering every acked write. The inline
+// checker (crashpoint_test.go) stays byte-identical to the seed; this one
+// proves the new write path meets the same contract.
+func TestCrashPointEveryPipelinedBoundary(t *testing.T) {
+	const numAppends = 400
+	sc := buildCrashSchedule(11, numAppends)
+	const segBytes = 64 << 10
+	var totalDropped int64
+	root := t.TempDir()
+	for b := 0; b < len(sc.batches); b++ {
+		b := b
+		t.Run(fmt.Sprintf("boundary-%03d", b), func(t *testing.T) {
+			ffs := vfs.NewFaultFS(vfs.OS, int64(3000+b))
+			dir := filepath.Join(root, fmt.Sprintf("cut%03d", b))
+			opts := Options{SegmentBytes: segBytes, FS: ffs, Preallocate: true}
+			l, rec, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rec.Empty() {
+				t.Fatal("fresh dir not empty")
+			}
+			l.StartPipeline()
+			for i := 0; i <= b; i++ {
+				if err := l.Append(sc.batches[i]); err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+			}
+			// The ack for boundary b: every record through it is covered by
+			// a completed pipelined sync.
+			if err := l.WaitDurable(l.Records()); err != nil {
+				t.Fatalf("WaitDurable at boundary %d: %v", b, err)
+			}
+			// The disk stops syncing: tail batches may still be written (the
+			// background sync stage flushes them) but can never become
+			// durable — at-risk bytes by construction. Appends start failing
+			// once the sync stage's sticky error fires; how much tail landed
+			// is injector timing, which the prefix assertions absorb.
+			ffs.FailSyncs("")
+			for i := b + 1; i < len(sc.batches); i++ {
+				if err := l.Append(sc.batches[i]); err != nil {
+					break
+				}
+			}
+			synced := sc.appendsThrough(b)
+
+			l.Abandon()
+			_, dropped := ffs.Cut("")
+			totalDropped += dropped
+			ffs.Heal("") // the replacement disk syncs again
+
+			l2, rec2, err := Open(dir, opts)
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer l2.Close()
+			var got []wlog.Entry
+			for _, step := range rec2.Steps {
+				if step.Adopt != nil {
+					t.Fatal("phantom adopt record recovered")
+				}
+				got = append(got, step.Entries...)
+			}
+			if len(got) < synced {
+				t.Fatalf("AT-RISK ACKED WRITES: recovered %d entries, %d were acked", len(got), synced)
+			}
+			if len(got) > numAppends {
+				t.Fatalf("recovered %d entries, schedule only had %d", len(got), numAppends)
+			}
+			want := sc.entries(len(got))
+			for i := range got {
+				w, g := want[i], got[i]
+				if g.TS != w.TS || g.Key != w.Key || g.Clock != w.Clock || string(g.Value) != string(w.Value) {
+					t.Fatalf("recovered entry %d diverges: got ts=%v key=%q, want ts=%v key=%q",
+						i, g.TS, g.Key, w.TS, w.Key)
+				}
+			}
+		})
+	}
+	if totalDropped == 0 {
+		t.Fatal("no cut dropped any bytes — the harness has lost its teeth")
+	}
+	t.Logf("cuts dropped %d bytes total", totalDropped)
+}
+
+// TestPipelineCoalesceWindow pins that a coalescing window delays but
+// never starves durability, and that back-to-back appends inside the
+// window share syncs.
+func TestPipelineCoalesceWindow(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{CoalesceWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.StartPipeline()
+	for i := 1; i <= 20; i++ {
+		if err := l.Append([]wlog.Entry{entry(1, uint64(i), fmt.Sprintf("k%d", i), "v", uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WaitDurable(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Syncs >= 20 {
+		t.Fatalf("20 appends inside a coalescing window cost %d syncs — nothing coalesced", st.Syncs)
+	}
+}

@@ -6,11 +6,13 @@
 // entries gained through anti-entropy or fast push, and full-state
 // adoptions (protocol snapshots, peer bootstraps, shard handoffs) — is
 // appended to the active segment through a buffered writer. Appends do not
-// sync; durability comes from explicit Sync calls, which the runtime's
-// group-commit leader issues once per committed batch before acknowledging
-// the batch's clients (one fsync per batch, not per write). Entries learned
-// from peers ride along in the buffer and reach disk with the next batch
-// sync or the periodic maintenance sync; losing them in a crash is safe
+// sync; durability comes either from explicit Sync calls or, with
+// StartPipeline, from the background sync stage: appends publish
+// immediately, syncs retire outside the appenders' critical path, and
+// WaitDurable reports when a record's covering sync has completed — the
+// watermark the runtime's group-commit leader releases client acks
+// against, in batch order. Entries learned from peers ride along in the
+// buffer and reach disk with the next sync; losing them in a crash is safe
 // because anti-entropy re-fetches them.
 //
 // # On-disk format
@@ -79,6 +81,28 @@ type Options struct {
 	// FS is the filesystem the log runs on. Default vfs.OS; tests and chaos
 	// scenarios inject a vfs.FaultFS to model slow, lying, and dying disks.
 	FS vfs.FS
+	// Preallocate extends each fresh segment to SegmentBytes up front (and
+	// trims the unused tail when the segment seals). Appends then never grow
+	// the file, so the sync stage's fdatasync skips the file-size metadata
+	// update a growing file pays on every fsync. Recovery treats the
+	// zero-filled tail as a torn end of log.
+	Preallocate bool
+	// CoalesceWindow is how long the pipelined sync stage waits after
+	// noticing unsynced records before issuing the sync, so records appended
+	// close together share one disk flush. Zero (the default) syncs as soon
+	// as the previous sync completes — back-to-back batches still coalesce
+	// behind the in-flight flush, with no added latency.
+	CoalesceWindow time.Duration
+	// ODSync opens segments with the platform's O_DSYNC flag where it
+	// exists: every write reaches stable storage synchronously, making the
+	// explicit sync at the durability point nearly free. A latency/bandwidth
+	// trade — buffered spills block on the disk — kept for measurement.
+	ODSync bool
+	// OnSync, when non-nil, observes the duration of every disk-reaching
+	// sync (explicit Sync calls and pipelined sync-stage flushes). Called
+	// with the log's internal lock held, so it must be fast (a histogram
+	// observation, not IO) and must not call back into the Log.
+	OnSync func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +184,13 @@ type Stats struct {
 	// LastSync is how long the most recent disk-reaching Sync took — the
 	// fsync stall signal a degrading disk shows first.
 	LastSync time.Duration
+	// DurableRecords is the index of the newest record covered by a
+	// completed sync — the pipelined durability watermark. Records -
+	// DurableRecords is the in-flight (appended, not yet durable) depth.
+	DurableRecords uint64
+	// PipelineSyncs counts syncs issued by the background sync stage
+	// (StartPipeline), a subset of Syncs.
+	PipelineSyncs uint64
 }
 
 // record kinds (payload first byte).
@@ -215,12 +246,30 @@ type Log struct {
 	syncs         uint64
 	dirSyncErrs   uint64
 	lastSync      time.Duration
+	// durable is the pipelined durability watermark: every record with
+	// index <= durable is on stable storage. Advanced by completed syncs
+	// (inline or pipelined); WaitDurable blocks on it.
+	durable uint64
+	// pipeSyncs counts syncs issued by the background sync stage.
+	pipeSyncs uint64
 	// dirty is set when a record is buffered into the active segment and
 	// cleared when the segment is synced, so the periodic maintenance Sync
 	// is a no-op on idle replicas instead of an fsync every tick.
 	dirty  bool
 	closed bool
 	err    error // first unrecoverable IO error; sticky
+
+	// pipelined is set by StartPipeline; syncerDone closes when the sync
+	// stage goroutine exits. syncerIdle gates the per-append wakeup signal
+	// so the hot path pays a futex only when the syncer is actually parked.
+	pipelined  bool
+	syncerIdle bool
+	syncerDone chan struct{}
+	// work wakes the sync stage when records need syncing; synced wakes
+	// WaitDurable callers when the durability watermark advances (or the
+	// log dies).
+	work   sync.Cond
+	synced sync.Cond
 
 	scratch []byte // reusable record encode buffer
 }
@@ -234,6 +283,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, fs: opts.FS}
+	l.work.L = &l.mu
+	l.synced.L = &l.mu
 	rec := &Recovery{}
 
 	if err := l.loadSnapshot(rec); err != nil {
@@ -257,6 +308,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	if err := l.openSegment(); err != nil {
 		return nil, nil, err
 	}
+	// Everything recovery returned is on stable storage by definition.
+	l.durable = l.records
 	return l, rec, nil
 }
 
@@ -379,9 +432,21 @@ func appendStep(rec *Recovery, payload []byte) {
 func (l *Log) openSegment() error {
 	first := l.records + 1
 	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix))
-	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	flag := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if l.opts.ODSync {
+		flag |= vfs.ODSync
+	}
+	f, err := l.fs.OpenFile(path, flag, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if l.opts.Preallocate {
+		// Extend to the full segment size now so appends never change the
+		// file size and fdatasync skips the inode update. Recovery rejects
+		// the zero-filled tail (a zero length field is never a record), and
+		// seal trims it. Failure is not a durability problem — the segment
+		// just grows the slow way — so it is deliberately not sticky.
+		_ = l.fs.Truncate(path, l.opts.SegmentBytes)
 	}
 	l.active = f
 	l.bw = bufio.NewWriterSize(f, 64<<10)
@@ -456,6 +521,10 @@ func (l *Log) writeRecordLocked(payload []byte) error {
 	l.activeSeg.bytes += n
 	l.bytesSinceSnp += n
 	l.dirty = true
+	if l.syncerIdle {
+		l.syncerIdle = false
+		l.work.Signal()
+	}
 	if l.activeSeg.bytes >= l.opts.SegmentBytes {
 		return l.rotateLocked()
 	}
@@ -474,6 +543,8 @@ func (l *Log) rotateLocked() error {
 }
 
 // sealActiveLocked flushes and syncs the active segment and closes it.
+// Sealing is a durability point for every record the segment holds, so the
+// durable watermark advances through the segment's last record.
 func (l *Log) sealActiveLocked() error {
 	if err := l.bw.Flush(); err != nil {
 		return l.fail(err)
@@ -484,15 +555,25 @@ func (l *Log) sealActiveLocked() error {
 	if err := l.active.Close(); err != nil {
 		return l.fail(err)
 	}
+	if l.opts.Preallocate {
+		// Trim the preallocated zero tail so sealed segments hold exactly
+		// their records. Best-effort: an untrimmed tail only wastes disk.
+		_ = l.fs.Truncate(l.activeSeg.path, l.activeSeg.bytes)
+	}
 	l.dirty = false
+	if l.activeSeg.lastRec > l.durable {
+		l.durable = l.activeSeg.lastRec
+		l.synced.Broadcast()
+	}
 	return nil
 }
 
 // Sync flushes buffered records and fsyncs the active segment — the
-// durability point. The runtime's group-commit leader calls it once per
-// committed batch, before acknowledging the batch's clients. With nothing
-// appended since the last sync it is a no-op, so periodic maintenance
-// syncs cost nothing on idle replicas.
+// inline durability point. Callers that enabled the pipelined sync stage
+// (StartPipeline) normally use WaitDurable instead; Sync remains for
+// maintenance ticks and drivers without a pipeline. With nothing appended
+// since the last sync it is a no-op, so periodic maintenance syncs cost
+// nothing on idle replicas.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -505,17 +586,171 @@ func (l *Log) Sync() error {
 	if !l.dirty {
 		return nil
 	}
+	return l.syncLocked()
+}
+
+// syncLocked flushes and fsyncs the active segment under l.mu, advancing
+// the durable watermark. The inline (non-pipelined) sync path.
+func (l *Log) syncLocked() error {
+	target := l.records
 	start := time.Now()
 	if err := l.bw.Flush(); err != nil {
 		return l.fail(err)
 	}
-	if err := l.active.Sync(); err != nil {
+	if err := vfs.DataSync(l.active); err != nil {
 		return l.fail(err)
 	}
-	l.lastSync = time.Since(start)
-	l.dirty = false
-	l.syncs++
+	l.finishSyncLocked(target, time.Since(start))
 	return nil
+}
+
+// finishSyncLocked records a completed sync that covers every record up to
+// target: stats, the durable watermark, and the waiter wakeup.
+func (l *Log) finishSyncLocked(target uint64, took time.Duration) {
+	l.lastSync = took
+	l.dirty = l.records > target // bytes may have landed during an unlocked sync
+	l.syncs++
+	if target > l.durable {
+		l.durable = target
+		l.synced.Broadcast()
+	}
+	if l.opts.OnSync != nil {
+		l.opts.OnSync(took)
+	}
+}
+
+// Durable returns the durability watermark: the index of the newest record
+// a completed sync covers. Records() - Durable() is the pipeline's
+// in-flight depth.
+func (l *Log) Durable() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Err returns the log's health: the sticky write error once one has fired,
+// ErrClosed after Close or Abandon, nil while the log accepts appends. The
+// group-commit leader checks it after journaling a batch — a dead log
+// rejects appends without advancing Records, so the durability watermark
+// the leader captured would be vacuously satisfied and WaitDurable alone
+// would let an unjournaled batch ack.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// WaitDurable blocks until every record with index <= rec is on stable
+// storage, the log's sticky error fires, or the log closes. With the
+// pipelined sync stage running the wait ends when a covering sync
+// completes; without it, WaitDurable issues the sync inline. It returns
+// nil even on a closed log when rec was already durable — an ack whose
+// covering sync completed is valid no matter what happened afterwards.
+func (l *Log) WaitDurable(rec uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if rec <= l.durable {
+			return nil
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !l.pipelined {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		l.synced.Wait()
+	}
+}
+
+// StartPipeline launches the background sync stage: a per-log goroutine
+// that flushes and fsyncs newly appended records outside the appenders'
+// critical path, advancing the durability watermark WaitDurable blocks on.
+// This is the pipelined group-commit protocol's second stage — appends
+// publish under the caller's locks, syncs retire in the background, and
+// acks release in order as the watermark passes them. Idempotent; the
+// goroutine exits when the log closes or its sticky error fires.
+func (l *Log) StartPipeline() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pipelined || l.closed || l.err != nil {
+		return
+	}
+	l.pipelined = true
+	l.syncerDone = make(chan struct{})
+	go l.syncLoop()
+}
+
+// syncLoop is the pipelined sync stage. Each round: wait for unsynced
+// records, optionally linger CoalesceWindow so near-simultaneous appends
+// share the flush, then flush under the lock and fsync OUTSIDE it — the
+// one disk wait in the hot path, paid without blocking appenders — and
+// advance the durable watermark. A segment sealed mid-fsync is already
+// durable through its own seal sync, so losing that race is success.
+func (l *Log) syncLoop() {
+	defer close(l.syncerDone)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for !l.closed && l.err == nil && l.durable >= l.records && !l.dirty {
+			l.syncerIdle = true
+			l.work.Wait()
+		}
+		l.syncerIdle = false
+		if l.closed || l.err != nil {
+			return
+		}
+		if w := l.opts.CoalesceWindow; w > 0 {
+			l.mu.Unlock()
+			time.Sleep(w)
+			l.mu.Lock()
+			if l.closed || l.err != nil {
+				return
+			}
+		}
+		target := l.records
+		seg := l.activeSeg.firstRec
+		if err := l.bw.Flush(); err != nil {
+			l.fail(err)
+			l.synced.Broadcast()
+			return
+		}
+		f := l.active
+		start := time.Now()
+		l.mu.Unlock()
+		err := vfs.DataSync(f)
+		took := time.Since(start)
+		l.mu.Lock()
+		if err != nil {
+			if l.closed {
+				// Close/Abandon raced the fsync; they own the verdict.
+				return
+			}
+			if l.activeSeg.firstRec == seg && l.err == nil {
+				l.fail(err)
+				l.synced.Broadcast()
+				return
+			}
+			// The segment rotated under the fsync: its seal already synced
+			// every record we were covering, so the error is just a stale
+			// handle. The seal advanced the watermark; fall through.
+			continue
+		}
+		l.pipeSyncs++
+		l.finishSyncLocked(target, took)
+	}
 }
 
 // Records returns the index of the newest appended record. Capture it under
@@ -607,34 +842,57 @@ func (l *Log) compactLocked() {
 }
 
 // Close flushes, syncs and closes the log — a clean shutdown. Records
-// buffered but never synced become durable here.
+// buffered but never synced become durable here. The pipelined sync stage
+// (if running) is stopped and joined; WaitDurable callers wake with the
+// final verdict.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	var err error
 	if l.err != nil {
 		l.active.Close()
-		return l.err
+		err = l.err
+	} else if err = l.sealActiveLocked(); err == nil {
+		// The final seal made everything durable.
+		if l.records > l.durable {
+			l.durable = l.records
+		}
 	}
-	return l.sealActiveLocked()
+	l.work.Broadcast()
+	l.synced.Broadcast()
+	done := l.syncerDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return err
 }
 
 // Abandon closes the log WITHOUT flushing its user-space buffer — the
 // SIGKILL simulation. Records appended since the last Sync (or buffer
 // spill) are lost, exactly as a process crash would lose them; records
 // synced before the crash survive. The chaos harness uses this to give the
-// acked-write durability invariant real teeth.
+// acked-write durability invariant real teeth. The pipelined sync stage is
+// joined; WaitDurable callers past the watermark get ErrClosed.
 func (l *Log) Abandon() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return
 	}
 	l.closed = true
 	l.active.Close()
+	l.work.Broadcast()
+	l.synced.Broadcast()
+	done := l.syncerDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
 }
 
 // Stats returns a point-in-time observation of the log.
@@ -649,6 +907,8 @@ func (l *Log) Stats() Stats {
 		SnapshotBytes:   l.snapBytes,
 		DirSyncErrs:     l.dirSyncErrs,
 		LastSync:        l.lastSync,
+		DurableRecords:  l.durable,
+		PipelineSyncs:   l.pipeSyncs,
 	}
 	for _, seg := range l.sealed {
 		s.DiskBytes += seg.bytes
@@ -705,6 +965,13 @@ func readFrame(raw []byte) (payload, rest []byte, ok bool) {
 	}
 	n := binary.LittleEndian.Uint32(raw[0:4])
 	crc := binary.LittleEndian.Uint32(raw[4:8])
+	if n == 0 {
+		// A real record payload is never empty (it always carries a kind
+		// byte), but the zero-filled tail of a preallocated segment decodes
+		// as length 0 with a "valid" CRC32C (the empty checksum is 0).
+		// Reject it as the torn end of the log.
+		return nil, nil, false
+	}
 	if uint64(n) > uint64(len(raw)-8) {
 		return nil, nil, false
 	}

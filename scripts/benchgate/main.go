@@ -1,0 +1,328 @@
+// Command benchgate enforces the repo's perf trajectory: it compares a
+// fresh benchjson snapshot against a frozen BENCH_<pr>.json baseline and
+// fails (exit 1) when any baseline benchmark regressed beyond its
+// tolerance — CI's regression gate, turning the committed snapshots from
+// passive artifacts into an enforced floor.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -current bench-results/<run>.json
+//	go run ./scripts/benchgate -baseline BENCH_7.json -current BENCH_8.json \
+//	    -tolerance 'default=0.5,DurableGroupCommit=0.4'
+//
+// With -baseline omitted, the gate picks the highest-numbered
+// BENCH_<n>.json in -dir (default ".") that is not the -current file.
+//
+// Comparison semantics, chosen to survive cross-machine noise:
+//
+//   - Benchmark names are matched with their -<GOMAXPROCS> suffix stripped
+//     ("DurableGroupCommit-8" and "DurableGroupCommit-4" are the same
+//     benchmark), so a baseline frozen at -cpu 8 gates a CI runner with
+//     fewer cores.
+//   - Each side is reduced to its best run: highest ops/sec when the
+//     benchmark reports that metric, otherwise lowest ns/op. Best-vs-best
+//     compares machine capability, not scheduler luck.
+//   - A benchmark fails when it is worse than the baseline's best by more
+//     than its tolerance fraction (0.4 = up to 40% worse is tolerated), or
+//     when it vanished from the current run entirely — a silently deleted
+//     headline benchmark must not pass the gate.
+//
+// Tolerances are deliberately generous: the gate exists to catch
+// order-of-magnitude cliffs (an accidental inline fsync, a lock reheld),
+// not single-digit noise between runner generations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run mirrors scripts/benchjson: one benchmark execution.
+type Run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Benchmark mirrors scripts/benchjson: the runs of one printed name.
+type Benchmark struct {
+	Name string `json:"name"`
+	Runs []Run  `json:"runs"`
+}
+
+// Snapshot mirrors scripts/benchjson: the BENCH_<pr>.json layout.
+type Snapshot struct {
+	Commit     string       `json:"commit,omitempty"`
+	Date       string       `json:"date"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+// cpuSuffix matches the -<GOMAXPROCS> suffix go test appends to benchmark
+// names (absent when GOMAXPROCS is 1).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// baseName strips the GOMAXPROCS suffix so snapshots taken at different
+// -cpu values compare benchmark-to-benchmark.
+func baseName(name string) string {
+	return cpuSuffix.ReplaceAllString(name, "")
+}
+
+// best reduces a snapshot to each benchmark's best observed performance,
+// keyed by suffix-stripped name: the highest ops/sec (preferred when any
+// run reports it) and the lowest ns/op.
+type best struct {
+	opsPerSec float64 // 0 = never reported
+	nsPerOp   float64 // 0 = never reported
+}
+
+func reduce(s *Snapshot) map[string]best {
+	out := make(map[string]best)
+	for _, b := range s.Benchmarks {
+		key := baseName(b.Name)
+		cur := out[key]
+		for _, r := range b.Runs {
+			if v, ok := r.Metrics["ops/sec"]; ok && v > cur.opsPerSec {
+				cur.opsPerSec = v
+			}
+			if v, ok := r.Metrics["ns/op"]; ok && v > 0 && (cur.nsPerOp == 0 || v < cur.nsPerOp) {
+				cur.nsPerOp = v
+			}
+		}
+		out[key] = cur
+	}
+	return out
+}
+
+// tolerances maps suffix-stripped benchmark names to their allowed
+// fractional regression; def applies to names without an entry.
+type tolerances struct {
+	def   float64
+	byKey map[string]float64
+}
+
+func (t tolerances) forBench(name string) float64 {
+	if v, ok := t.byKey[name]; ok {
+		return v
+	}
+	return t.def
+}
+
+// parseTolerances parses 'default=0.5,Name=0.4,...'. Every value must be a
+// fraction in [0,1).
+func parseTolerances(spec string) (tolerances, error) {
+	t := tolerances{def: 0.5, byKey: make(map[string]float64)}
+	if spec == "" {
+		return t, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return t, fmt.Errorf("benchgate: tolerance %q is not name=fraction", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f >= 1 {
+			return t, fmt.Errorf("benchgate: tolerance %q needs a fraction in [0,1)", part)
+		}
+		if k == "default" {
+			t.def = f
+		} else {
+			t.byKey[baseName(k)] = f
+		}
+	}
+	return t, nil
+}
+
+// verdict is one benchmark's gate outcome.
+type verdict struct {
+	Name      string
+	Metric    string  // "ops/sec" or "ns/op"
+	Baseline  float64 // best baseline value
+	Current   float64 // best current value (0 when missing)
+	WorseBy   float64 // fractional regression (negative = improved)
+	Tolerance float64
+	Failed    bool
+	Missing   bool
+}
+
+// gate compares current against baseline benchmark-by-benchmark. Only
+// benchmarks present in the baseline are gated (new benchmarks have no
+// floor yet); a baseline benchmark missing from current fails.
+func gate(baseline, current *Snapshot, tol tolerances) []verdict {
+	base := reduce(baseline)
+	cur := reduce(current)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []verdict
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		v := verdict{Name: name, Tolerance: tol.forBench(name)}
+		switch {
+		case c.opsPerSec == 0 && c.nsPerOp == 0:
+			v.Missing, v.Failed = true, true
+			if b.opsPerSec > 0 {
+				v.Metric, v.Baseline = "ops/sec", b.opsPerSec
+			} else {
+				v.Metric, v.Baseline = "ns/op", b.nsPerOp
+			}
+		case b.opsPerSec > 0 && c.opsPerSec > 0:
+			// Throughput: higher is better.
+			v.Metric, v.Baseline, v.Current = "ops/sec", b.opsPerSec, c.opsPerSec
+			v.WorseBy = 1 - c.opsPerSec/b.opsPerSec
+		case b.nsPerOp > 0 && c.nsPerOp > 0:
+			// Latency: lower is better.
+			v.Metric, v.Baseline, v.Current = "ns/op", b.nsPerOp, c.nsPerOp
+			v.WorseBy = 1 - b.nsPerOp/c.nsPerOp
+		default:
+			// Metric shape changed (ops/sec appeared or vanished); fall back
+			// to whatever both sides still share — ns/op is always printed.
+			v.Metric, v.Baseline, v.Current = "ns/op", b.nsPerOp, c.nsPerOp
+			if b.nsPerOp > 0 && c.nsPerOp > 0 {
+				v.WorseBy = 1 - b.nsPerOp/c.nsPerOp
+			}
+		}
+		if !v.Missing && v.WorseBy > v.Tolerance {
+			v.Failed = true
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// benchNumber extracts <n> from a BENCH_<n>.json basename, or -1.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func benchNumber(path string) int {
+	m := benchFile.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return -1
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
+
+// latestBaseline finds the highest-numbered BENCH_<n>.json under dir,
+// skipping the current snapshot's own path (numeric order, so BENCH_10
+// beats BENCH_9).
+func latestBaseline(dir, current string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	bestN, bestPath := -1, ""
+	curAbs, _ := filepath.Abs(current)
+	for _, e := range entries {
+		n := benchNumber(e.Name())
+		if n < 0 {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if abs, _ := filepath.Abs(p); abs == curAbs {
+			continue
+		}
+		if n > bestN {
+			bestN, bestPath = n, p
+		}
+	}
+	if bestPath == "" {
+		return "", fmt.Errorf("benchgate: no BENCH_<n>.json baseline in %s", dir)
+	}
+	return bestPath, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// report renders the verdicts and returns whether any failed.
+func report(w io.Writer, baselinePath, currentPath string, verdicts []verdict) bool {
+	fmt.Fprintf(w, "benchgate: %s vs baseline %s\n", currentPath, baselinePath)
+	failed := false
+	for _, v := range verdicts {
+		status := "ok"
+		switch {
+		case v.Missing:
+			status, failed = "FAIL (missing from current run)", true
+		case v.Failed:
+			status, failed = "FAIL", true
+		}
+		if v.Missing {
+			fmt.Fprintf(w, "  %-28s %10.4g %-8s -> (absent)            tol %.0f%%  %s\n",
+				v.Name, v.Baseline, v.Metric, v.Tolerance*100, status)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %10.4g %-8s -> %10.4g  worse-by %6.1f%%  tol %.0f%%  %s\n",
+			v.Name, v.Baseline, v.Metric, v.Current, v.WorseBy*100, v.Tolerance*100, status)
+	}
+	return failed
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		baseline  = fs.String("baseline", "", "baseline snapshot (default: highest-numbered BENCH_<n>.json in -dir, excluding -current)")
+		current   = fs.String("current", "", "fresh benchjson snapshot to gate (required)")
+		dir       = fs.String("dir", ".", "directory searched for the baseline when -baseline is empty")
+		tolerance = fs.String("tolerance", "", "per-benchmark regression tolerances: 'default=0.5,Name=0.4'")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *current == "" {
+		return 2, fmt.Errorf("-current is required")
+	}
+	tol, err := parseTolerances(*tolerance)
+	if err != nil {
+		return 2, err
+	}
+	basePath := *baseline
+	if basePath == "" {
+		if basePath, err = latestBaseline(*dir, *current); err != nil {
+			return 2, err
+		}
+	}
+	baseSnap, err := readSnapshot(basePath)
+	if err != nil {
+		return 2, err
+	}
+	curSnap, err := readSnapshot(*current)
+	if err != nil {
+		return 2, err
+	}
+	if report(w, basePath, *current, gate(baseSnap, curSnap, tol)) {
+		return 1, nil
+	}
+	return 0, nil
+}

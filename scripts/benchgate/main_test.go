@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snap builds a one-run-per-benchmark snapshot from name -> metrics.
+func snap(benches map[string]map[string]float64) *Snapshot {
+	s := &Snapshot{}
+	// Deterministic order is irrelevant to gate (it sorts), so a plain
+	// range is fine.
+	for name, metrics := range benches {
+		s.Benchmarks = append(s.Benchmarks, &Benchmark{
+			Name: name,
+			Runs: []Run{{Iterations: 100, Metrics: metrics}},
+		})
+	}
+	return s
+}
+
+func mustParseTol(t *testing.T, spec string) tolerances {
+	t.Helper()
+	tol, err := parseTolerances(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tol
+}
+
+// TestGateFailsOnSeededRegression is the CI contract demanded by the
+// issue: a seeded throughput regression beyond tolerance must fail the
+// gate. Baseline 100k ops/s, current 40k (60% worse), tolerance 50%.
+func TestGateFailsOnSeededRegression(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 100_000, "ns/op": 10_000},
+	})
+	current := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 40_000, "ns/op": 25_000},
+	})
+	verdicts := gate(baseline, current, mustParseTol(t, "default=0.5"))
+	if len(verdicts) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(verdicts))
+	}
+	v := verdicts[0]
+	if !v.Failed {
+		t.Fatalf("60%% regression passed a 50%% tolerance gate: %+v", v)
+	}
+	if v.Metric != "ops/sec" {
+		t.Fatalf("gate compared %s, want ops/sec", v.Metric)
+	}
+	if v.WorseBy < 0.59 || v.WorseBy > 0.61 {
+		t.Fatalf("WorseBy = %v, want ~0.6", v.WorseBy)
+	}
+}
+
+// TestGatePassesWithinTolerance pins the complement: a regression inside
+// the tolerance band, and an improvement, both pass.
+func TestGatePassesWithinTolerance(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 100_000},
+		"SummaryMerge":         {"ns/op": 1_000},
+	})
+	current := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 70_000}, // 30% worse, tolerated
+		"SummaryMerge":         {"ns/op": 900},      // improved
+	})
+	for _, v := range gate(baseline, current, mustParseTol(t, "default=0.5")) {
+		if v.Failed {
+			t.Fatalf("in-tolerance benchmark failed the gate: %+v", v)
+		}
+	}
+}
+
+// TestGatePerBenchmarkTolerance pins that a named tolerance overrides the
+// default: the same 30% regression passes at default=0.5 but fails the
+// headline benchmark's own 0.2.
+func TestGatePerBenchmarkTolerance(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8":  {"ops/sec": 100_000},
+		"GroupCommitThroughput": {"ops/sec": 100_000},
+	})
+	current := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8":  {"ops/sec": 70_000},
+		"GroupCommitThroughput": {"ops/sec": 70_000},
+	})
+	verdicts := gate(baseline, current, mustParseTol(t, "default=0.5,DurableGroupCommit=0.2"))
+	byName := make(map[string]verdict)
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	if !byName["DurableGroupCommit"].Failed {
+		t.Fatal("30% regression passed the headline's 20% tolerance")
+	}
+	if byName["GroupCommitThroughput"].Failed {
+		t.Fatal("30% regression failed the 50% default tolerance")
+	}
+}
+
+// TestGateMatchesAcrossCPUSuffixes pins cross-machine matching: a baseline
+// frozen at -cpu 8 gates a run at -cpu 4 (and the best variant wins when a
+// snapshot carries several).
+func TestGateMatchesAcrossCPUSuffixes(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 100_000},
+	})
+	current := &Snapshot{Benchmarks: []*Benchmark{
+		{Name: "DurableGroupCommit-4", Runs: []Run{{Metrics: map[string]float64{"ops/sec": 60_000}}}},
+		{Name: "DurableGroupCommit-2", Runs: []Run{{Metrics: map[string]float64{"ops/sec": 90_000}}}},
+	}}
+	verdicts := gate(baseline, current, mustParseTol(t, "default=0.3"))
+	if len(verdicts) != 1 {
+		t.Fatalf("suffixed variants did not merge: %d verdicts", len(verdicts))
+	}
+	if v := verdicts[0]; v.Failed || v.Current != 90_000 {
+		t.Fatalf("best variant not selected: %+v", v)
+	}
+}
+
+// TestGateFailsOnMissingBenchmark pins that deleting a gated benchmark is
+// itself a failure, not a silent pass.
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 100_000},
+	})
+	current := snap(map[string]map[string]float64{
+		"SomethingElse": {"ns/op": 1},
+	})
+	verdicts := gate(baseline, current, mustParseTol(t, ""))
+	if len(verdicts) != 1 || !verdicts[0].Failed || !verdicts[0].Missing {
+		t.Fatalf("missing benchmark did not fail the gate: %+v", verdicts)
+	}
+}
+
+// TestGateNsPerOpFallback pins the latency comparison for benchmarks that
+// never report ops/sec: higher ns/op is worse.
+func TestGateNsPerOpFallback(t *testing.T) {
+	baseline := snap(map[string]map[string]float64{"SummaryMerge": {"ns/op": 1_000}})
+	worse := snap(map[string]map[string]float64{"SummaryMerge": {"ns/op": 4_000}})
+	verdicts := gate(baseline, worse, mustParseTol(t, "default=0.5"))
+	if len(verdicts) != 1 || !verdicts[0].Failed {
+		t.Fatalf("4x ns/op regression passed: %+v", verdicts)
+	}
+	if verdicts[0].Metric != "ns/op" {
+		t.Fatalf("compared %s, want ns/op", verdicts[0].Metric)
+	}
+}
+
+func TestParseTolerances(t *testing.T) {
+	tol, err := parseTolerances("default=0.4,DurableGroupCommit-8=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.def != 0.4 {
+		t.Fatalf("default = %v, want 0.4", tol.def)
+	}
+	// Suffix-stripped on parse, so specs may name either form.
+	if got := tol.forBench("DurableGroupCommit"); got != 0.2 {
+		t.Fatalf("DurableGroupCommit tolerance = %v, want 0.2", got)
+	}
+	if got := tol.forBench("Other"); got != 0.4 {
+		t.Fatalf("fallback tolerance = %v, want 0.4", got)
+	}
+	for _, bad := range []string{"default", "x=1.5", "x=-0.1", "x=nope"} {
+		if _, err := parseTolerances(bad); err == nil {
+			t.Fatalf("parseTolerances(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+// TestLatestBaseline pins numeric (not lexical) discovery and exclusion of
+// the current snapshot.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_4.json", "BENCH_9.json", "BENCH_10.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir, filepath.Join(dir, "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_9.json" {
+		t.Fatalf("latestBaseline = %s, want BENCH_9.json (numeric order, current excluded)", got)
+	}
+	if _, err := latestBaseline(t.TempDir(), ""); err == nil {
+		t.Fatal("empty dir produced a baseline")
+	}
+}
+
+// TestRunEndToEnd drives the command through run(): exit 1 with a seeded
+// regression, exit 0 once the regression is repaired, auto-discovered
+// baseline either way.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s *Snapshot) string {
+		t.Helper()
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("BENCH_7.json", snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 100_000},
+	}))
+	bad := write("BENCH_8.json", snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 10_000},
+	}))
+
+	var out bytes.Buffer
+	code, err := run([]string{"-dir", dir, "-current", bad, "-tolerance", "default=0.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit = %d on a 90%% regression, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report does not mark the failure:\n%s", out.String())
+	}
+
+	good := write("BENCH_8.json", snap(map[string]map[string]float64{
+		"DurableGroupCommit-8": {"ops/sec": 500_000},
+	}))
+	out.Reset()
+	code, err = run([]string{"-dir", dir, "-current", good, "-tolerance", "default=0.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d on an improvement, want 0\n%s", code, out.String())
+	}
+}
