@@ -66,6 +66,9 @@ func run(args []string, w io.Writer) error {
 		odsync        = fs.Bool("odsync", false, "with -data-dir: open WAL segments O_DSYNC so every write is synchronous (the coalescing window is then moot)")
 		obsAddr       = fs.String("obs-addr", "", "serve /metrics, /statusz, /tracez and /debug/pprof on this address (e.g. :9090; empty disables)")
 		report        = fs.Duration("report", 0, "print a one-line throughput/propagation summary at this interval (0 disables)")
+		openLoop      = fs.Bool("open-loop", false, "open-loop arrivals: ops are due on a fixed schedule regardless of how the target copes, and latency is measured from the scheduled arrival (coordinated-omission corrected)")
+		arrivalRate   = fs.Float64("arrival-rate", 1000, "with -open-loop: offered load in ops/sec across all workers")
+		retryBudget   = fs.Int("retry-budget", 0, "retries allowed per op after the target sheds it under overload (0 disables; non-overload errors never retry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,20 +173,31 @@ func run(args []string, w io.Writer) error {
 		ZipfS:        *zipfS,
 		ValueBytes:   *valueBytes,
 		Seed:         *seed,
+		OpenLoop:     *openLoop,
+		ArrivalRate:  *arrivalRate,
+		RetryBudget:  *retryBudget,
 	}
 	var prog *workload.Progress
 	if *report > 0 {
 		prog = &workload.Progress{}
 		cfg.Progress = prog
 	}
-	fmt.Fprintf(w, "load: %d ops, %d workers, %.0f%% reads, %d keys (%v)\n\n",
-		cfg.Ops, cfg.Workers, cfg.ReadFraction*100, cfg.Keys, keyDist)
+	if *openLoop {
+		fmt.Fprintf(w, "load: %d ops open-loop at %.0f ops/s, %d workers, %.0f%% reads, %d keys (%v), retry budget %d\n\n",
+			cfg.Ops, cfg.ArrivalRate, cfg.Workers, cfg.ReadFraction*100, cfg.Keys, keyDist, cfg.RetryBudget)
+	} else {
+		fmt.Fprintf(w, "load: %d ops, %d workers, %.0f%% reads, %d keys (%v)\n\n",
+			cfg.Ops, cfg.Workers, cfg.ReadFraction*100, cfg.Keys, keyDist)
+	}
 	res := runLoad(ctx, w, cfg, shard.Target{Router: router}, prog, reg, *report)
 
 	tab := metrics.NewTable("metric", "value")
 	tab.AddRow("ops completed", res.Ops)
 	tab.AddRow("reads / writes", fmt.Sprintf("%d / %d", res.Reads, res.Writes))
 	tab.AddRow("errors", res.Errors)
+	if res.Sheds > 0 || res.Retries > 0 {
+		tab.AddRow("sheds / retries", fmt.Sprintf("%d / %d", res.Sheds, res.Retries))
+	}
 	tab.AddRow("elapsed", res.Elapsed.Round(time.Millisecond).String())
 	tab.AddRow("throughput (ops/sec)", res.OpsPerSec())
 	tab.AddRow("read p50 (ms)", res.ReadLatency.Median())

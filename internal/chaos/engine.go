@@ -192,6 +192,19 @@ type engine struct {
 	// tracker's count. Only the single events goroutine touches it.
 	probeWrites int
 
+	// Overload mode (sc.Admission != nil). bursting selects which workload
+	// loadLoop's next round runs; roundCancel interrupts the in-flight
+	// round so burst transitions take effect promptly. The marks bracket
+	// the burst for the goodput-recovery gate: acked-write counts and times
+	// at burst start / burst stop (events goroutine only).
+	bursting    atomic.Bool
+	roundCancel atomic.Pointer[context.CancelFunc]
+	burstMark   struct {
+		started, stopped      bool
+		startAcked, stopAcked int
+		startAt, stopAt       time.Time
+	}
+
 	// Written by loadLoop before it signals done; read only after.
 	loadOps, loadErrs int
 }
@@ -204,6 +217,12 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if sc.Admission != nil && sc.Obs == nil {
+		// The overload gates scrape shed counters and sojourn histograms, so
+		// an admission-armed scenario always runs with the observability
+		// plane wired in (execution-only; the schedule is unaffected).
+		sc.Obs = obs.NewRegistry()
 	}
 	e := &engine{
 		sc:       sc,
@@ -298,6 +317,9 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 	if e.sc.Obs != nil {
 		opts = append(opts, runtime.WithObs(obs.NewClusterObs(e.sc.Obs, n)))
 	}
+	if e.sc.Admission != nil {
+		opts = append(opts, runtime.WithAdmission(*e.sc.Admission))
+	}
 	e.cluster = runtime.New(g, e.mfield, opts...)
 	if err := e.cluster.Start(ctx); err != nil {
 		return err
@@ -317,6 +339,9 @@ func (e *engine) buildRouter(ctx context.Context, rng *rand.Rand) error {
 			runtime.WithSessionInterval(e.sc.SessionInterval),
 			runtime.WithAdvertInterval(e.sc.AdvertInterval),
 		},
+	}
+	if e.sc.Admission != nil {
+		cfg.RuntimeOptions = append(cfg.RuntimeOptions, runtime.WithAdmission(*e.sc.Admission))
 	}
 	if e.sc.Durable {
 		cfg.DataDir = e.dataDir
@@ -344,11 +369,21 @@ func (e *engine) groupSpec(name string, rng *rand.Rand) shard.GroupSpec {
 	return shard.GroupSpec{Name: name, Graph: buildGraph(e.sc.Topology, k, rng), Field: field}
 }
 
-// loadLoop applies background traffic in rounds until cancelled.
+// loadLoop applies background traffic in rounds until cancelled. Each
+// round runs the normal Load — or the Burst workload while an EvBurst is
+// in effect — under a per-round context the events goroutine can cancel,
+// so burst transitions don't wait out a long normal round.
 func (e *engine) loadLoop(ctx context.Context, done chan struct{}) {
 	defer close(done)
 	for ctx.Err() == nil {
-		res := workload.Run(ctx, e.sc.Load, e.tracker)
+		roundCtx, cancel := context.WithCancel(ctx)
+		e.roundCancel.Store(&cancel)
+		cfg := e.sc.Load
+		if e.bursting.Load() && e.sc.Burst != nil {
+			cfg = *e.sc.Burst
+		}
+		res := workload.Run(roundCtx, cfg, e.tracker)
+		cancel()
 		e.loadOps += res.Ops
 		e.loadErrs += res.Errors
 		if res.Ops == 0 {
@@ -358,6 +393,14 @@ func (e *engine) loadLoop(ctx context.Context, done chan struct{}) {
 			case <-time.After(5 * time.Millisecond):
 			}
 		}
+	}
+}
+
+// interruptRound cancels loadLoop's in-flight workload round (if any) so
+// the next round picks up the new burst state immediately.
+func (e *engine) interruptRound() {
+	if cancel := e.roundCancel.Load(); cancel != nil {
+		(*cancel)()
 	}
 }
 
@@ -518,6 +561,20 @@ func (e *engine) apply(ctx context.Context, idx int, ev Event) error {
 		for _, scope := range diskScopes(ev.Nodes) {
 			e.ffs.Cut(scope)
 		}
+	case EvBurst:
+		if !e.burstMark.started {
+			acked, _, _ := e.tracker.counts()
+			e.burstMark.started = true
+			e.burstMark.startAcked, e.burstMark.startAt = acked, time.Now()
+		}
+		e.bursting.Store(true)
+		e.interruptRound()
+	case EvBurstStop:
+		e.bursting.Store(false)
+		e.interruptRound()
+		acked, _, _ := e.tracker.counts()
+		e.burstMark.stopped = true
+		e.burstMark.stopAcked, e.burstMark.stopAt = acked, time.Now()
 	}
 	return nil
 }
@@ -566,11 +623,93 @@ func (e *engine) clearFaults() {
 // including durability. Replicas still dead stay dead — their unreplicated
 // acks are reclassified at-risk first.
 func (e *engine) finalChecks(ctx context.Context) {
+	// Capture the recovery end mark before quiesce pauses traffic: the
+	// goodput-recovery gate rates the burst-stop → here window, which is
+	// live load time only.
+	var endAcked int
+	var endAt time.Time
+	if e.sc.Admission != nil && e.burstMark.stopped {
+		endAcked, _, _ = e.tracker.counts()
+		endAt = time.Now()
+	}
 	e.clearFaults()
 	for loc := range e.dead {
 		e.tracker.markLost(loc)
 	}
 	e.quiesce(ctx, "final", true)
+	if e.sc.Admission != nil {
+		e.overloadChecks(endAcked, endAt)
+	}
+}
+
+// overloadChecks verifies the admission plane's contract after an
+// overload scenario: shedding visibly engaged, combining-queue sojourn
+// stayed bounded, and goodput recovered once the burst ended. Runs only
+// when sc.Admission is set (and therefore sc.Obs is wired).
+func (e *engine) overloadChecks(endAcked int, endAt time.Time) {
+	shed := int(e.sc.Obs.Total("repro_admission_shed_total"))
+	sres := CheckResult{
+		Name: "final/overload-shedding",
+		Pass: shed > 0,
+		Obs:  fmt.Sprintf("%d writes shed", shed),
+	}
+	if shed == 0 {
+		sres.Obs = ""
+		sres.Detail = "admission plane never shed a write despite the overload schedule"
+	}
+	e.rep.add(sres)
+
+	// Sojourn bound: the controller's whole point is that queue delay stays
+	// near Target even at 10x offered load. The bound is generous — an
+	// unbounded queue under a flood overshoots it by orders of magnitude.
+	const sojournBound = 500 * time.Millisecond
+	var merged obs.HistSnapshot
+	for _, h := range e.sc.Obs.Histograms("repro_commit_queue_sojourn_seconds") {
+		merged.Merge(h.Snapshot())
+	}
+	p99 := time.Duration(merged.Quantile(0.99) * float64(time.Second))
+	bres := CheckResult{
+		Name: "final/bounded-sojourn",
+		Pass: merged.Count > 0 && p99 <= sojournBound,
+		Obs: fmt.Sprintf("sojourn p50=%v p99=%v over %d batches",
+			time.Duration(merged.Quantile(0.50)*float64(time.Second)).Round(time.Microsecond),
+			p99.Round(time.Microsecond), merged.Count),
+	}
+	if !bres.Pass {
+		bres.Obs = ""
+		if merged.Count == 0 {
+			bres.Detail = "no batch sojourns observed"
+		} else {
+			bres.Detail = fmt.Sprintf("sojourn p99 %v exceeds %v", p99.Round(time.Millisecond), sojournBound)
+		}
+	}
+	e.rep.add(bres)
+
+	if !e.burstMark.started || !e.burstMark.stopped {
+		return
+	}
+	// Goodput recovery: the acked-write rate after the burst ends must come
+	// back to a healthy fraction of the pre-burst rate — shedding is
+	// graceful only if the system actually recovers when the flood stops.
+	preWin := e.burstMark.startAt.Sub(e.start)
+	recWin := endAt.Sub(e.burstMark.stopAt)
+	gres := CheckResult{Name: "final/goodput-recovery"}
+	if preWin <= 0 || recWin <= 0 || e.burstMark.startAcked == 0 {
+		gres.Detail = "no measurable pre-burst or recovery window"
+		e.rep.add(gres)
+		return
+	}
+	preRate := float64(e.burstMark.startAcked) / preWin.Seconds()
+	recRate := float64(endAcked-e.burstMark.stopAcked) / recWin.Seconds()
+	gres.Pass = recRate >= 0.3*preRate
+	gres.Obs = fmt.Sprintf("pre-burst %.0f acked writes/s, post-burst %.0f over %v",
+		preRate, recRate, recWin.Round(time.Millisecond))
+	if !gres.Pass {
+		gres.Obs = ""
+		gres.Detail = fmt.Sprintf("post-burst goodput %.0f writes/s never recovered toward the pre-burst %.0f",
+			recRate, preRate)
+	}
+	e.rep.add(gres)
 }
 
 // quiesce pauses traffic, waits for convergence, and checks invariants.

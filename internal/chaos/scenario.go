@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/demand"
 	"repro/internal/obs"
+	"repro/internal/runtime"
 	"repro/internal/topology"
 	"repro/internal/vclock"
 	"repro/internal/wal"
@@ -118,6 +119,16 @@ const (
 	// where the page cache never reached the platter. Revive with
 	// EvRestartDisk; acked (= synced) writes must all survive.
 	EvPowerCut
+	// EvBurst switches the background traffic to the scenario's Burst
+	// workload (typically open-loop at a rate far past capacity — a flash
+	// crowd), interrupting the in-flight normal round so the flood starts
+	// promptly. Requires Scenario.Burst. Not a lossy event: shed writes are
+	// rejected before any ack, so the durability invariants stay armed.
+	EvBurst
+	// EvBurstStop returns the background traffic to the normal Load and
+	// marks the start of the recovery window the goodput-recovery gate
+	// measures.
+	EvBurstStop
 )
 
 // String names the kind.
@@ -159,6 +170,10 @@ func (k EventKind) String() string {
 		return "disk-heal"
 	case EvPowerCut:
 		return "power-cut"
+	case EvBurst:
+		return "burst"
+	case EvBurstStop:
+		return "burst-stop"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -286,6 +301,18 @@ type Scenario struct {
 	// like Durable and Obs; only meaningful on durable single-cluster
 	// scenarios.
 	WALTuning *wal.Options
+	// Admission, when non-nil, arms the replicas' admission plane
+	// (runtime.WithAdmission per cluster) and adds the overload gates at
+	// the final check: shedding visibly engaged, combining-queue sojourn
+	// p99 bounded, and goodput recovered after the burst. The engine wires
+	// an observability registry automatically (the gates scrape it) when
+	// Obs is nil. Execution-only, like Durable and Obs.
+	Admission *runtime.AdmissionConfig
+	// Burst is the workload EvBurst switches the background traffic to —
+	// typically open-loop at a rate far past capacity. Unset fields default
+	// to a 256-worker all-write open-loop flood over the Load keyspace.
+	// Execution-only; EvBurst events require it.
+	Burst *workload.Config
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -337,6 +364,34 @@ func (s Scenario) withDefaults() Scenario {
 		s.Load.ValueBytes = 32
 	}
 	s.Load.Seed = s.Seed
+	if s.Burst != nil {
+		b := *s.Burst
+		if b.Workers <= 0 {
+			b.Workers = 256
+		}
+		if b.Ops <= 0 {
+			b.Ops = 8000
+		}
+		if b.Keys <= 0 {
+			b.Keys = s.Load.Keys
+		}
+		switch {
+		case b.ReadFraction < 0:
+			b.ReadFraction = 0 // explicit all-write request, like Load
+		case b.ReadFraction > 1:
+			b.ReadFraction = 1
+		}
+		if b.ValueBytes <= 0 {
+			b.ValueBytes = s.Load.ValueBytes
+		}
+		if b.ArrivalRate <= 0 {
+			b.ArrivalRate = 50000
+		}
+		// A distinct seed keeps the burst's key stream decorrelated from the
+		// normal load's without touching the scenario's reproducibility.
+		b.Seed = s.Seed ^ 0x9e3779b9
+		s.Burst = &b
+	}
 	return s
 }
 
@@ -405,6 +460,10 @@ func (s Scenario) Validate() error {
 			}
 			if e.Shard == "" {
 				return fmt.Errorf("chaos: event %d: %v needs a shard name", i, e.Kind)
+			}
+		case EvBurst, EvBurstStop:
+			if s.Burst == nil {
+				return fmt.Errorf("chaos: event %d: %v needs Scenario.Burst", i, e.Kind)
 			}
 		}
 		if e.Shard != "" && !sharded {

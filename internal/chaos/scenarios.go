@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/demand"
+	"repro/internal/runtime"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -25,6 +26,9 @@ func Names() []string {
 		"disk-full",
 		"power-cut-matrix",
 		"power-cut-pipeline",
+		"flash-crowd",
+		"hot-shard-skew",
+		"slow-disk-backlog",
 	}
 }
 
@@ -284,6 +288,8 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 				{At: at(3300), Kind: EvDiskHeal},
 			},
 		}, nil
+	case "flash-crowd", "hot-shard-skew", "slow-disk-backlog":
+		return overloadScenario(name, seed, at)
 	case "demand-inversion":
 		return Scenario{
 			Name:        name,
@@ -300,6 +306,115 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 		}, nil
 	}
 	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+}
+
+// overloadScenario builds the admission-plane scenarios: a flood of
+// open-loop write traffic far past capacity, with the admission controller
+// armed so the flood is shed — visibly, before the WAL — instead of
+// queueing without bound. Every one ends with the overload gates
+// (shedding engaged, sojourn p99 bounded, goodput recovered) on top of the
+// usual convergence/durability invariants; none of the events is lossy,
+// so the zero-at-risk check stays armed on the durable ones.
+func overloadScenario(name string, seed int64, at func(ms int) time.Duration) (Scenario, error) {
+	// A tight queue bound against a several-hundred-worker flood makes
+	// shedding deterministic: the instantaneous arrival concurrency alone
+	// overruns the queue between leader drains. CoDel and the parked-write
+	// deadline then keep the sojourn of whatever is admitted near Target.
+	admission := &runtime.AdmissionConfig{
+		MaxQueueDepth: 32,
+		Target:        2 * time.Millisecond,
+		Interval:      25 * time.Millisecond,
+		WriteDeadline: 75 * time.Millisecond,
+	}
+	// The flood: all writes, open-loop at a rate no configuration here can
+	// serve, from enough workers to overrun the queue bound many times
+	// over. The payload is sized so the offered load is disk-bandwidth
+	// bound (50k/s x 1KiB = 50MB/s of WAL appends): the overload is then a
+	// property of the schedule, not of how fast the host's fsync happens
+	// to be. A small retry budget exercises the client-side backoff path
+	// under real shedding.
+	flood := &workload.Config{
+		OpenLoop:     true,
+		ArrivalRate:  50000,
+		Workers:      384,
+		ReadFraction: -1,
+		ValueBytes:   1024,
+		RetryBudget:  1,
+	}
+	switch name {
+	case "flash-crowd":
+		return Scenario{
+			Name: name,
+			Description: "a 10x open-loop write flood hits a durable cluster; the admission plane " +
+				"sheds it before the WAL, sojourn stays bounded, and goodput recovers when the crowd leaves",
+			Seed:      seed,
+			Nodes:     8,
+			Topology:  "ring",
+			Durable:   true,
+			Admission: admission,
+			Burst:     flood,
+			Events: []Event{
+				{At: at(500), Kind: EvBurst},
+				{At: at(2000), Kind: EvBurstStop},
+				// Spacer: a no-op fault event holds the schedule open so the
+				// recovery window after the burst is long enough to rate.
+				{At: at(3200), Kind: EvSetLoss, Rate: 0},
+			},
+		}, nil
+	case "hot-shard-skew":
+		return Scenario{
+			Name: name,
+			Description: "an extremely skewed flood concentrates on one shard of a durable keyspace; " +
+				"the hot group sheds and the router routes around saturated replicas while cold shards stay healthy",
+			Seed:      seed,
+			Nodes:     4,
+			Shards:    3,
+			Topology:  "ring",
+			Durable:   true,
+			Admission: admission,
+			// Sharpen the skew well past the default so one shard takes the
+			// brunt of the flood (10:1-style hot/cold split).
+			Load: workload.Config{ZipfS: 3},
+			// The skewed flood carries double-weight payloads: the hot
+			// group's disks are bandwidth-saturated by schedule, not by
+			// host-timing luck, while the cold shards see almost none of it.
+			Burst: &workload.Config{
+				OpenLoop:     true,
+				ArrivalRate:  50000,
+				Workers:      384,
+				ReadFraction: -1,
+				ValueBytes:   2048,
+				RetryBudget:  1,
+				ZipfS:        4,
+			},
+			Events: []Event{
+				{At: at(500), Kind: EvBurst},
+				{At: at(2500), Kind: EvBurstStop},
+				{At: at(3700), Kind: EvSetLoss, Rate: 0},
+			},
+		}, nil
+	case "slow-disk-backlog":
+		return Scenario{
+			Name: name,
+			Description: "fsyncs stall cluster-wide while a write flood arrives; acks crawl, the " +
+				"admission plane sheds the backlog before the WAL, and goodput recovers once the disks heal",
+			Seed:      seed,
+			Nodes:     8,
+			Topology:  "ring",
+			Durable:   true,
+			Admission: admission,
+			Burst:     flood,
+			Events: []Event{
+				{At: at(300), Kind: EvDiskSlow, Latency: 3 * time.Millisecond,
+					Ramp: 200 * time.Microsecond, Jitter: 12 * time.Millisecond},
+				{At: at(600), Kind: EvBurst},
+				{At: at(1800), Kind: EvBurstStop},
+				{At: at(2000), Kind: EvDiskHeal},
+				{At: at(3200), Kind: EvSetLoss, Rate: 0},
+			},
+		}, nil
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown overload scenario %q", name)
 }
 
 // GenConfig shapes a randomly generated scenario.

@@ -46,6 +46,20 @@ type ClusterObs struct {
 	// completed when their release was dequeued — the fsyncs the pipeline
 	// shared across batches instead of paying per batch.
 	CoalescedSyncs *Counter
+	// ShedQueueFull counts client writes shed because the combining queue
+	// hit its hard bound. Shed writes (all three reasons) are rejected
+	// before the node or WAL sees them, so none appear in WritesAcked.
+	ShedQueueFull *Counter
+	// ShedSojourn counts writes shed by the CoDel controller on sustained
+	// above-target sojourn.
+	ShedSojourn *Counter
+	// ShedDeadline counts writes whose deadline lapsed while parked.
+	ShedDeadline *Counter
+	// SojournSeconds observes, per acked batch, how long the batch head
+	// (the oldest write) waited from arrival to ack — queue wait plus
+	// commit plus the covering sync, the admission controller's
+	// congestion signal.
+	SojournSeconds *Histogram
 }
 
 // NewClusterObs registers a cluster's hot-path instruments on reg for a
@@ -73,8 +87,19 @@ func NewClusterObs(reg *Registry, n int, labels ...Label) *ClusterObs {
 			"Latency from batch publication to ordered ack release (pipelined durability wait).", LatencyBuckets, labels...),
 		CoalescedSyncs: reg.Counter("repro_wal_coalesced_syncs_total",
 			"Group-commit batches released under a sync shared with an earlier batch.", labels...),
+		ShedQueueFull: reg.Counter("repro_admission_shed_total", shedHelp,
+			append(append([]Label(nil), labels...), L("reason", "queue-full"))...),
+		ShedSojourn: reg.Counter("repro_admission_shed_total", shedHelp,
+			append(append([]Label(nil), labels...), L("reason", "sojourn"))...),
+		ShedDeadline: reg.Counter("repro_admission_shed_total", shedHelp,
+			append(append([]Label(nil), labels...), L("reason", "deadline"))...),
+		SojournSeconds: reg.Histogram("repro_commit_queue_sojourn_seconds",
+			"Arrival-to-ack sojourn of each acked batch's oldest write.", LatencyBuckets, labels...),
 	}
 }
+
+// shedHelp is the shared help string of the shed-by-reason counter family.
+const shedHelp = "Client writes shed by the admission plane before reaching the node or WAL, by reason."
 
 // With returns the base labels extended with extra — the helper the runtime
 // uses to derive per-replica label sets.

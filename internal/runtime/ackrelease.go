@@ -176,16 +176,24 @@ func (r *replica) release(rel ackRelease) {
 		} else {
 			r.failStop(err)
 		}
+		// When a fail-stop (ours or a concurrent one) retired the replica,
+		// reject with the typed fail-stop error so clients learn the
+		// reason; an administrative Kill keeps the raw sync error.
+		rejection := err
+		if r.failCause.Load() != nil {
+			rejection = r.deadError()
+		}
 		if co != nil {
 			co.WriteErrors.Add(uint64(len(rel.batch)))
 		}
 		for _, req := range rel.batch {
-			req.err = err
+			req.err = rejection
 			req.done <- struct{}{}
 		}
 		r.wq.recycle(rel.batch)
 		return
 	}
+	r.observeSojourn(co, rel.batch[0].arrival)
 	for _, req := range rel.batch {
 		req.done <- struct{}{}
 	}
@@ -198,6 +206,7 @@ func (r *replica) release(rel ackRelease) {
 		if coalesced {
 			co.CoalescedSyncs.Inc()
 		}
+		c.goodput.RecordN(time.Now(), len(rel.batch))
 	}
 	c.checkWatches(rel.id)
 	r.sendAllVia(rel.ep, rel.out)

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"sync"
 	"syscall"
@@ -34,6 +33,14 @@ type writeReq struct {
 	key   string
 	value []byte
 
+	// arrival stamps when the write entered the queue (UnixNano); the ack
+	// points derive the batch head's sojourn — the admission controller's
+	// congestion signal — from it. deadline is arrival+WriteDeadline when
+	// deadlines are configured (0 otherwise): a request parked past it is
+	// shed by the leader before it reaches the node or the WAL.
+	arrival  int64
+	deadline int64
+
 	// Filled by the commit leader before signalling done.
 	ts  vclock.Timestamp
 	err error
@@ -56,18 +63,26 @@ type writeQueue struct {
 	leader  bool
 }
 
-// enqueue parks req and reports whether the caller must become the commit
-// leader (true exactly when no leader was installed).
-func (q *writeQueue) enqueue(req *writeReq) (leader bool) {
+// enqueue parks req, honouring the admission plane's hard bound: ok is
+// false (and req is NOT parked) when max writes are already pending. On
+// success, leader reports whether the caller must become the commit
+// leader (true exactly when no leader was installed). The bound check
+// rides the queue mutex the enqueue already takes, so it is exact and
+// costs nothing extra.
+func (q *writeQueue) enqueue(req *writeReq, max int) (leader, ok bool) {
 	q.mu.Lock()
+	if len(q.pending) >= max {
+		q.mu.Unlock()
+		return false, false
+	}
 	q.pending = append(q.pending, req)
 	if !q.leader {
 		q.leader = true
 		q.mu.Unlock()
-		return true
+		return true, true
 	}
 	q.mu.Unlock()
-	return false
+	return false, true
 }
 
 // take returns the next batch to commit, or nil when the queue is empty — in
@@ -167,15 +182,20 @@ func (r *replica) drain(c *Cluster, n int) bool {
 // gate (handle) holds such envelopes until the WAL watermark covers them.
 func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	co := c.opts.obs
+	a := &r.adm
 	var commitStart time.Time
-	if co != nil {
+	if co != nil || a.cfg.Target > 0 || a.cfg.WriteDeadline > 0 {
 		commitStart = time.Now()
+	}
+	if a.cfg.WriteDeadline > 0 {
+		if batch = r.expireBatch(batch, commitStart.UnixNano()); len(batch) == 0 {
+			return
+		}
 	}
 	r.mu.Lock()
 	if r.dead {
-		id := r.node.ID()
 		r.mu.Unlock()
-		err := fmt.Errorf("runtime: replica %v is down", id)
+		err := r.deadError()
 		if co != nil {
 			co.WriteErrors.Add(uint64(len(batch)))
 		}
@@ -209,11 +229,12 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 		// the fail-stop case, exactly as if the inline sync had failed.
 		if err := r.wal.Err(); err != nil {
 			r.failStop(err)
+			rejection := r.deadError()
 			if co != nil {
 				co.WriteErrors.Add(uint64(len(batch)))
 			}
 			for _, req := range batch {
-				req.err = err
+				req.err = rejection
 				req.done <- struct{}{}
 			}
 			r.wq.recycle(batch)
@@ -239,11 +260,12 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 		// pre-pipeline protocol.
 		if syncErr := r.wal.Sync(); syncErr != nil {
 			r.failStop(syncErr)
+			rejection := r.deadError()
 			if co != nil {
 				co.WriteErrors.Add(uint64(len(batch)))
 			}
 			for _, req := range batch {
-				req.err = syncErr
+				req.err = rejection
 				req.done <- struct{}{}
 			}
 			r.wq.recycle(batch)
@@ -252,6 +274,7 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	}
 	r.mu.Unlock()
 
+	r.observeSojourn(co, batch[0].arrival)
 	for _, req := range batch {
 		req.done <- struct{}{}
 	}
@@ -260,10 +283,60 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 		co.WriteBatches.Inc()
 		co.BatchSize.Observe(float64(len(batch)))
 		co.CommitSeconds.Observe(time.Since(commitStart).Seconds())
+		c.goodput.RecordN(time.Now(), len(batch))
 	}
 	c.checkWatches(id)
 	r.sendAllVia(ep, out)
 	r.wq.recycle(batch)
+}
+
+// observeSojourn feeds one acked batch's head sojourn — arrival to ack,
+// the queue wait plus commit plus the covering sync — into the admission
+// controller and the sojourn histogram. Sojourn is measured at the ack
+// point, not at commit pickup, because the pipelined commit drains the
+// combining queue at memory speed: under a flood or a slow disk the
+// backlog stands between commit and durable ack, and pickup-time sojourn
+// would report an idle queue while clients wait unboundedly. Must be
+// called BEFORE the batch's done channels fire: a completed request
+// returns to the pool immediately.
+func (r *replica) observeSojourn(co *obs.ClusterObs, arrival int64) {
+	a := &r.adm
+	if a.cfg.Target <= 0 && co == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	sojourn := time.Duration(now - arrival)
+	a.observe(now, sojourn)
+	if co != nil {
+		co.SojournSeconds.Observe(sojourn.Seconds())
+	}
+}
+
+// expireBatch sheds every request whose deadline lapsed while parked,
+// completing it with a deadline OverloadError BEFORE any of the batch
+// reaches the node or the WAL — an expired write is visibly rejected,
+// never partially applied. It returns the live remainder in arrival
+// order (so ops still align with the entries ClientWriteBatch returns)
+// and recycles the buffer itself when nothing survives.
+func (r *replica) expireBatch(batch []*writeReq, now int64) []*writeReq {
+	live := batch[:0]
+	for _, req := range batch {
+		if req.deadline != 0 && now > req.deadline {
+			req.err = r.shed(ShedDeadline)
+			req.done <- struct{}{}
+			continue
+		}
+		live = append(live, req)
+	}
+	// The in-place filter leaves stale refs past len(live); clear them so
+	// recycle's spare buffer never pins pooled requests.
+	for i := len(live); i < len(batch); i++ {
+		batch[i] = nil
+	}
+	if len(live) == 0 {
+		r.wq.recycle(live)
+	}
+	return live
 }
 
 // failStop crashes a durable replica whose WAL can no longer persist
@@ -279,6 +352,10 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 // released.
 func (r *replica) failStop(cause error) {
 	r.dead = true
+	// Publish the cause before any client can observe the dead state, so
+	// every subsequent rejection carries the fail-stop reason (clients
+	// distinguish shed-and-retry from gone-for-good).
+	r.failCause.Store(&failStopInfo{reason: failStopReason(cause), cause: cause})
 	r.store.Store(nil)
 	id := r.node.ID()
 	cancel, done, ep, w := r.cancel, r.done, r.ep, r.wal

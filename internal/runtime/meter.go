@@ -78,7 +78,12 @@ func unpackMeter(s uint64) (ms uint32, acc float32) {
 
 // Record notes one client request at time now. Safe for concurrent use;
 // never blocks on a mutex.
-func (m *demandMeter) Record(now time.Time) {
+func (m *demandMeter) Record(now time.Time) { m.RecordN(now, 1) }
+
+// RecordN folds n simultaneous requests in at time now — the group-commit
+// leader's bulk form (one CAS for a whole acked batch instead of one per
+// write).
+func (m *demandMeter) RecordN(now time.Time, n int) {
 	ms := m.quantumMs(now)
 	for {
 		old := m.state.Load()
@@ -100,8 +105,8 @@ func (m *demandMeter) Record(now time.Time) {
 			newMs = ms
 		}
 		// Otherwise (same quantum, or bounded backwards skew): fold the
-		// request in undecayed at the existing reference.
-		if m.state.CompareAndSwap(old, packMeter(newMs, acc+1)) {
+		// requests in undecayed at the existing reference.
+		if m.state.CompareAndSwap(old, packMeter(newMs, acc+float32(n))) {
 			return
 		}
 	}

@@ -95,6 +95,9 @@ func (c *Cluster) registerObs() {
 			}
 			return time.Since(c.start).Seconds()
 		}, co.Labels...)
+	reg.GaugeFunc("repro_goodput_writes_per_second",
+		"Exponentially decayed rate of client writes acknowledged cluster-wide (1s window) — goodput, excluding shed and failed writes.",
+		func() float64 { return c.goodput.Rate(time.Now()) }, co.Labels...)
 	if tr := c.opts.tracer; tr != nil {
 		reg.CounterFunc("repro_trace_events_total",
 			"Events emitted into the trace ring (including overwritten).",
@@ -244,6 +247,14 @@ func (c *Cluster) registerReplicaObs(id NodeID) {
 	reg.GaugeFunc("repro_commit_queue_depth",
 		"Client writes parked in the group-commit combining queue.",
 		func() float64 { return float64(r.wq.depth()) }, lbl...)
+	reg.GaugeFunc("repro_replica_overloaded",
+		"1 while the replica's admission controller is shedding on sustained queue sojourn.",
+		func() float64 {
+			if r.adm.overloaded.Load() {
+				return 1
+			}
+			return 0
+		}, lbl...)
 
 	if c.opts.durDir != "" {
 		c.registerWALObs(r, lbl)

@@ -58,6 +58,8 @@ type options struct {
 	walOpts        wal.Options
 	walFS          vfs.FS          // nil = the real filesystem (vfs.OS)
 	obs            *obs.ClusterObs // non-nil enables the observability plane
+	admission      AdmissionConfig // always normalised; see WithAdmission
+	tcpOpts        []transport.TCPOption
 }
 
 // walOptions is the effective WAL configuration: the tuned geometry plus
@@ -92,7 +94,19 @@ func defaultOptions() options {
 		// update. WithDurabilityTuning replaces walOpts wholesale, so
 		// explicit tuning retains full control (including turning it off).
 		walOpts: wal.Options{Preallocate: true},
+		// The combining queue is always bounded, but the sojourn
+		// controller and write deadlines are opt-in (WithAdmission):
+		// closed-loop callers cannot outrun the bound, so defaults shed
+		// nothing.
+		admission: AdmissionConfig{Target: -1}.normalized(),
 	}
+}
+
+// WithTCPOptions forwards transport options (send-stall timeout, stall
+// observer) to the TCP endpoints a NewTCP cluster listens on. Ignored by
+// memory-backed clusters.
+func WithTCPOptions(topts ...transport.TCPOption) Option {
+	return func(o *options) { o.tcpOpts = append(o.tcpOpts, topts...) }
 }
 
 // WithSessionInterval sets the mean anti-entropy interval per replica
@@ -159,6 +173,11 @@ type Cluster struct {
 	// restarted replicas can re-absorb content that no write log records.
 	absorbed *store.Store
 
+	// goodput meters acknowledged client writes per second cluster-wide
+	// (exponentially decayed) for the observability plane's goodput
+	// gauge. Nil when observability is off.
+	goodput *demandMeter
+
 	// initErr records a construction-time failure (e.g. an unreadable WAL
 	// directory); Start surfaces it.
 	initErr error
@@ -191,13 +210,18 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 		net:      transport.NewMemory(o.netCfg),
 		absorbed: store.New(),
 	}
+	if o.obs != nil {
+		c.goodput = newDemandMeter(time.Second)
+	}
 	for i := 0; i < g.N(); i++ {
 		id := NodeID(i)
 		nbrs := g.NeighborsCopy(id)
 		r := &replica{
 			cluster: c,
+			id:      id,
 			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
 			ep:      c.net.Attach(id),
+			adm:     admission{cfg: o.admission},
 		}
 		rec := c.openReplicaWAL(r, id)
 		r.node = node.New(node.Config{
@@ -464,6 +488,8 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 	}
 	r.ep = c.net.Attach(id)
 	r.dead = false
+	// A restarted incarnation starts with a clean bill of health.
+	r.failCause.Store(nil)
 	// Re-publish the (possibly fresh) store to the lock-free read path only
 	// once the replica is consistent again.
 	r.store.Store(r.node.Store())
@@ -559,18 +585,39 @@ func (c *Cluster) now() float64 { return time.Since(c.start).Seconds() }
 // under one lock acquisition, with one merged fast-offer fan-out for the
 // batch (see groupcommit.go). A batch behaves exactly like the same writes
 // issued back-to-back; only the locking and fan-out are amortised.
+//
+// Writes may be shed by the admission plane (bounded queue, CoDel-style
+// sojourn controller, per-write deadline — see admission.go): a shed
+// write returns an *OverloadError matching ErrOverload, always BEFORE the
+// write reaches the node or the WAL, so it is visibly rejected and never
+// partially applied.
 func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
 		return vclock.Timestamp{}, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
+	now := time.Now()
+	if r.adm.shouldShed(now.UnixNano()) {
+		return vclock.Timestamp{}, r.shed(ShedSojourn)
+	}
 	if r.meter != nil {
-		r.meter.Record(time.Now())
+		r.meter.Record(now)
 	}
 	req := writeReqPool.Get().(*writeReq)
 	req.key, req.value = key, value
 	req.ts, req.err = vclock.Timestamp{}, nil
-	if r.wq.enqueue(req) {
+	req.arrival = now.UnixNano()
+	req.deadline = 0
+	if d := r.adm.cfg.WriteDeadline; d > 0 {
+		req.deadline = req.arrival + int64(d)
+	}
+	leader, ok := r.wq.enqueue(req, r.adm.cfg.MaxQueueDepth)
+	if !ok {
+		req.key, req.value = "", nil
+		writeReqPool.Put(req)
+		return vclock.Timestamp{}, r.shed(ShedQueueFull)
+	}
+	if leader {
 		r.commitLoop(c)
 	}
 	<-req.done
@@ -596,7 +643,7 @@ func (c *Cluster) Read(id NodeID, key string) ([]byte, bool, error) {
 	r := c.replicas[id]
 	st := r.store.Load()
 	if st == nil {
-		return nil, false, fmt.Errorf("runtime: replica %v is down", id)
+		return nil, false, r.deadError()
 	}
 	if r.meter != nil {
 		r.meter.Record(time.Now())
@@ -855,10 +902,22 @@ func (c *Cluster) checkWatches(id NodeID) {
 // rewritten, so the lock-free paths may load it freely.
 type replica struct {
 	cluster *Cluster
-	node    *node.Node
-	ep      transport.Endpoint
-	rng     *rand.Rand
-	meter   *demandMeter // nil unless WithMeasuredDemand
+	// id is the replica's identity — immutable after construction, so
+	// lock-free paths (admission shed errors, health probes) may read it
+	// without touching r.node, whose pointer swaps on restart.
+	id    NodeID
+	node  *node.Node
+	ep    transport.Endpoint
+	rng   *rand.Rand
+	meter *demandMeter // nil unless WithMeasuredDemand
+	// adm is the overload-admission state (bounded queue + CoDel-style
+	// controller; see admission.go). All-atomic: consulted by the write
+	// fast path and fed by the commit leader, lock-free on both sides.
+	adm admission
+	// failCause records why the replica fail-stopped (nil otherwise), so
+	// dead-replica error paths and health probes can report the reason
+	// without the replica lock. Set by failStop, cleared by restart.
+	failCause atomic.Pointer[failStopInfo]
 	// wal is the durable persistence plane (nil unless WithDurability).
 	// Journaling happens through the node's journal hook under mu; Sync is
 	// internally locked, so the commit leader and the maintenance ticker

@@ -3,9 +3,11 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/demand"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -31,9 +33,23 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 		absorbed: store.New(),
 		// net stays nil for TCP clusters; Stop closes endpoints directly.
 	}
+	topts := o.tcpOpts
+	if co := o.obs; co != nil {
+		c.goodput = newDemandMeter(time.Second)
+		// Stalled sends feed the stall-duration histogram whether the
+		// envelope squeezed in late or was dropped: the wait itself is the
+		// backpressure signal a saturated peer emits.
+		stallSeconds := co.Reg.Histogram("repro_tcp_send_stall_seconds",
+			"Time sends spent blocked on a full TCP peer queue before enqueueing late or dropping.",
+			obs.LatencyBuckets, co.Labels...)
+		topts = append(append([]transport.TCPOption(nil), topts...),
+			transport.WithStallObserver(func(wait time.Duration, dropped bool) {
+				stallSeconds.Observe(wait.Seconds())
+			}))
+	}
 	endpoints := make([]*transport.TCP, g.N())
 	for i := 0; i < g.N(); i++ {
-		ep, err := transport.ListenTCP(NodeID(i), addrHost+":0")
+		ep, err := transport.ListenTCP(NodeID(i), addrHost+":0", topts...)
 		if err != nil {
 			for _, prev := range endpoints[:i] {
 				prev.Close()
@@ -53,8 +69,10 @@ func NewTCP(g *topology.Graph, field demand.Field, addrHost string, opts ...Opti
 		nbrs := g.NeighborsCopy(id)
 		r := &replica{
 			cluster: c,
+			id:      id,
 			rng:     rand.New(rand.NewSource(o.seed + int64(i)*7919)),
 			ep:      endpoints[i],
+			adm:     admission{cfg: o.admission},
 		}
 		rec := c.openReplicaWAL(r, id)
 		r.node = node.New(node.Config{

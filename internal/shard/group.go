@@ -172,24 +172,79 @@ func (g *Group) pick(p RoutePolicy) NodeID {
 }
 
 // argDemand returns the live replica with extreme demand (max when highest,
-// else min). Dead replicas are skipped so routing survives faults. It runs
-// on every routed op, so liveness uses the cluster's lock-free Serving
-// probe, not Alive (which takes the replica lock).
+// else min). Dead replicas are skipped so routing survives faults, and
+// replicas whose admission controller is currently shedding are avoided so
+// new ops reroute around saturation — unless every live replica is
+// shedding, in which case load spreads across them as before (rerouting
+// everything onto one "least bad" replica would only deepen its queue).
+// It runs on every routed op, so both probes are the cluster's lock-free
+// ones (Serving, Overloaded), not Alive (which takes the replica lock).
 func (g *Group) argDemand(highest bool) NodeID {
 	now := g.now()
-	best, bestD := NodeID(0), 0.0
-	found := false
+	started := g.started()
+	best := NodeID(-1)
+	bestD := 0.0
+	fallback, fallbackD := NodeID(0), 0.0
+	haveFallback := false
 	for i := 0; i < g.cluster.N(); i++ {
 		id := NodeID(i)
-		if !g.cluster.Serving(id) && g.started() {
+		if started && !g.cluster.Serving(id) {
 			continue
 		}
 		d := g.field.At(id, now)
-		if !found || (highest && d > bestD) || (!highest && d < bestD) {
-			best, bestD, found = id, d, true
+		if !haveFallback || (highest && d > fallbackD) || (!highest && d < fallbackD) {
+			fallback, fallbackD, haveFallback = id, d, true
+		}
+		if g.cluster.Overloaded(id) {
+			continue
+		}
+		if best < 0 || (highest && d > bestD) || (!highest && d < bestD) {
+			best, bestD = id, d
 		}
 	}
-	return best
+	if best >= 0 {
+		return best
+	}
+	return fallback
+}
+
+// Health snapshots the group's per-replica client-plane health.
+func (g *Group) Health() GroupHealth {
+	h := GroupHealth{Replicas: make([]runtime.ReplicaHealth, g.cluster.N())}
+	for i := range h.Replicas {
+		rh := g.cluster.Health(NodeID(i))
+		h.Replicas[i] = rh
+		if rh.Serving {
+			h.Serving++
+		}
+		if rh.Overloaded {
+			h.Overloaded++
+		}
+		h.QueueDepth += rh.QueueDepth
+		h.Shed += rh.Shed
+	}
+	return h
+}
+
+// GroupHealth aggregates one shard group's client-plane health — the
+// router's reroute/fast-fail signal.
+type GroupHealth struct {
+	// Replicas holds each replica's health snapshot, indexed by NodeID.
+	Replicas []runtime.ReplicaHealth
+	// Serving counts replicas currently accepting client operations;
+	// Overloaded those currently shedding.
+	Serving, Overloaded int
+	// QueueDepth is the parked client writes summed across replicas; Shed
+	// the writes shed since construction, all replicas and reasons.
+	QueueDepth int
+	Shed       uint64
+}
+
+// Saturated reports whether every serving replica of the group is
+// currently shedding — the group as a whole is past its capacity, so
+// callers should back off rather than hunt for a healthy replica in it.
+func (h GroupHealth) Saturated() bool {
+	return h.Serving > 0 && h.Overloaded == h.Serving
 }
 
 func (g *Group) started() bool {

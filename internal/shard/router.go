@@ -345,6 +345,25 @@ func (r *Router) Stats() node.Stats {
 	return total
 }
 
+// Health snapshots every shard's client-plane health, keyed by shard
+// name — queue depths, overload state, shed totals and fail-stop reasons
+// per replica (see GroupHealth). Routing already consumes the same
+// signals per op (saturated and dead replicas are skipped by pick);
+// Health exposes them to operators, rebalancers and tests.
+func (r *Router) Health() map[string]GroupHealth {
+	r.mu.RLock()
+	groups := make([]*Group, 0, len(r.groups))
+	for _, g := range r.groups {
+		groups = append(groups, g)
+	}
+	r.mu.RUnlock()
+	out := make(map[string]GroupHealth, len(groups))
+	for _, g := range groups {
+		out[g.name] = g.Health()
+	}
+	return out
+}
+
 // GroupStats returns per-shard protocol counters keyed by shard name.
 func (r *Router) GroupStats() map[string]node.Stats {
 	r.mu.RLock()

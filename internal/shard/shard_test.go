@@ -467,3 +467,62 @@ func TestRouterErrors(t *testing.T) {
 		t.Error("nil group topology accepted")
 	}
 }
+
+// TestGroupHealthSaturated pins the group-saturation predicate the router
+// and chaos gates rely on: a group is saturated only when EVERY serving
+// replica is shedding — one healthy replica means reroute, not back off.
+func TestGroupHealthSaturated(t *testing.T) {
+	cases := []struct {
+		serving, overloaded int
+		want                bool
+	}{
+		{3, 0, false},
+		{3, 2, false},
+		{3, 3, true},
+		{1, 1, true},
+		{0, 0, false}, // a fully dead group is down, not saturated
+	}
+	for _, c := range cases {
+		h := GroupHealth{Serving: c.serving, Overloaded: c.overloaded}
+		if got := h.Saturated(); got != c.want {
+			t.Errorf("Saturated() with %d/%d overloaded/serving = %v, want %v",
+				c.overloaded, c.serving, got, c.want)
+		}
+	}
+}
+
+// TestRouterHealthSnapshot checks the Health plumbing end to end: every
+// group reports one snapshot per replica, all serving and none shedding
+// on a healthy router, and the admission plane's counters surface through
+// it when armed.
+func TestRouterHealthSnapshot(t *testing.T) {
+	router := startRouter(t, carved(t, 12, 3), Config{Seed: 21, RuntimeOptions: []runtime.Option{
+		runtime.WithAdmission(runtime.AdmissionConfig{}),
+	}})
+	for i := 0; i < 32; i++ {
+		if _, err := router.Write(fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	health := router.Health()
+	if len(health) != len(router.Shards()) {
+		t.Fatalf("Health reports %d groups, want %d", len(health), len(router.Shards()))
+	}
+	for name, h := range health {
+		if len(h.Replicas) == 0 {
+			t.Fatalf("%s: empty health snapshot", name)
+		}
+		if h.Serving != len(h.Replicas) {
+			t.Errorf("%s: %d/%d replicas serving on a healthy router", name, h.Serving, len(h.Replicas))
+		}
+		if h.Overloaded != 0 || h.Shed != 0 || h.Saturated() {
+			t.Errorf("%s: healthy group reports overloaded=%d shed=%d saturated=%v",
+				name, h.Overloaded, h.Shed, h.Saturated())
+		}
+		for i, rh := range h.Replicas {
+			if !rh.Serving {
+				t.Errorf("%s: replica %d not serving", name, i)
+			}
+		}
+	}
+}

@@ -17,27 +17,57 @@ import (
 var errPeerConnClosed = errors.New("transport: peer connection closed")
 
 // errSendStalled reports a send dropped because the peer's queue stayed
-// full for sendStallTimeout: the peer (or the path to it) is not draining.
-// The connection itself stays up — delivery resumes as soon as the peer
-// recovers — so callers treat this like a lossy link, not a dead one.
+// full past the endpoint's stall timeout: the peer (or the path to it) is
+// not draining. The connection itself stays up — delivery resumes as soon
+// as the peer recovers — so callers treat this like a lossy link, not a
+// dead one.
 var errSendStalled = errors.New("transport: send queue stalled, envelope dropped")
 
 // sendQueueDepth bounds the per-peer send queue. A full queue blocks the
 // sender — backpressure, matching what a full kernel socket buffer did when
-// writes were synchronous — for up to sendStallTimeout, then drops.
+// writes were synchronous — up to the endpoint's stall timeout, then drops.
 const sendQueueDepth = 512
 
-// sendStallTimeout bounds how long a send may block on a full queue.
-// Unbounded blocking deadlocks the protocol: each replica has ONE goroutine
-// that both drains its inbound queue and sends, so two replicas flooding
-// each other can block sending to one another, neither draining, with
-// every buffer between them full — a distributed buffer deadlock. Bounding
-// the wait converts that cycle into a transient lossy link, which the
-// anti-entropy protocol is built to tolerate (dropped session batches are
-// re-sent by the next session). The bound is far above the microseconds a
-// healthy writer needs to drain a burst, so it only fires on genuinely
-// stalled peers.
-const sendStallTimeout = time.Second
+// defaultSendStallTimeout bounds how long a Send may block on a full queue
+// when WithSendStallTimeout is not given. Unbounded blocking deadlocks the
+// protocol: each replica has ONE goroutine that both drains its inbound
+// queue and sends, so two replicas flooding each other can block sending
+// to one another, neither draining, with every buffer between them full —
+// a distributed buffer deadlock. Bounding the wait converts that cycle
+// into a transient lossy link, which the anti-entropy protocol is built to
+// tolerate (dropped session batches are re-sent by the next session). The
+// default is far above the microseconds a healthy writer needs to drain a
+// burst, so it only fires on genuinely stalled peers.
+const defaultSendStallTimeout = time.Second
+
+// TCPOption tunes a TCP endpoint at ListenTCP time.
+type TCPOption func(*tcpOptions)
+
+type tcpOptions struct {
+	stallTimeout time.Duration
+	onStall      func(wait time.Duration, dropped bool)
+}
+
+// WithSendStallTimeout bounds how long one Send may spend on a stalled
+// peer — dial time and full-queue backpressure combined — before the
+// envelope is dropped with an error. Non-positive values keep the default
+// (1s).
+func WithSendStallTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d > 0 {
+			o.stallTimeout = d
+		}
+	}
+}
+
+// WithStallObserver registers a hook invoked whenever a send hits a full
+// peer queue and has to wait: wait is the time spent stalled, dropped
+// whether the envelope was ultimately dropped (true) or squeezed in before
+// the deadline (false). The hook runs on the sending goroutine — keep it
+// allocation-free (e.g. a histogram observe).
+func WithStallObserver(f func(wait time.Duration, dropped bool)) TCPOption {
+	return func(o *tcpOptions) { o.onStall = f }
+}
 
 // writerBufBytes sizes the per-peer bufio.Writer through which the writer
 // goroutine coalesces envelope frames into shared syscalls.
@@ -57,8 +87,10 @@ type peerConn struct {
 	dead chan struct{} // closed by the writer on exit: senders must redial
 	once sync.Once
 
-	// ctrs is the owning endpoint's shared counter block (never nil).
+	// ctrs is the owning endpoint's shared counter block (never nil);
+	// opts the owning endpoint's options (stall observer).
 	ctrs *tcpCounters
+	opts *tcpOptions
 }
 
 // tcpCounters aggregates transport activity across an endpoint's peer
@@ -70,22 +102,24 @@ type tcpCounters struct {
 	stallDrops atomic.Uint64 // envelopes dropped after a stalled backpressure wait
 }
 
-func newPeerConn(conn net.Conn, ctrs *tcpCounters) *peerConn {
+func newPeerConn(conn net.Conn, ctrs *tcpCounters, opts *tcpOptions) *peerConn {
 	return &peerConn{
 		conn: conn,
 		q:    make(chan protocol.Envelope, sendQueueDepth),
 		stop: make(chan struct{}),
 		dead: make(chan struct{}),
 		ctrs: ctrs,
+		opts: opts,
 	}
 }
 
 // send enqueues env for the writer, blocking while the queue is full
-// (backpressure) for at most sendStallTimeout before dropping with
-// errSendStalled. It fails once the writer has exited; envelopes still
-// queued at that point never arrive, which is within Send's asynchronous
-// delivery contract.
-func (p *peerConn) send(env protocol.Envelope) error {
+// (backpressure) until deadline — fixed once at Send entry, so time
+// already burnt dialing or racing the fast path counts against the same
+// budget — before dropping with errSendStalled. It fails once the writer
+// has exited; envelopes still queued at that point never arrive, which is
+// within Send's asynchronous delivery contract.
+func (p *peerConn) send(env protocol.Envelope, deadline time.Time) error {
 	// Fast path: the queue has room and the writer is alive.
 	select {
 	case <-p.dead:
@@ -101,16 +135,31 @@ func (p *peerConn) send(env protocol.Envelope) error {
 	default:
 	}
 	// Queue full: bounded backpressure, then drop to preserve liveness.
-	timer := time.NewTimer(sendStallTimeout)
+	begin := time.Now()
+	wait := deadline.Sub(begin)
+	if wait <= 0 {
+		p.ctrs.stallDrops.Add(1)
+		if f := p.opts.onStall; f != nil {
+			f(0, true)
+		}
+		return errSendStalled
+	}
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case p.q <- env:
 		p.ctrs.sends.Add(1)
+		if f := p.opts.onStall; f != nil {
+			f(time.Since(begin), false)
+		}
 		return nil
 	case <-p.dead:
 		return errPeerConnClosed
 	case <-timer.C:
 		p.ctrs.stallDrops.Add(1)
+		if f := p.opts.onStall; f != nil {
+			f(time.Since(begin), true)
+		}
 		return errSendStalled
 	}
 }
@@ -190,11 +239,12 @@ type TCP struct {
 	wg   sync.WaitGroup
 
 	ctrs tcpCounters
+	opts tcpOptions
 }
 
 // ListenTCP starts a TCP endpoint for node id on addr (use "127.0.0.1:0"
-// to pick a free port; see Addr).
-func ListenTCP(id NodeID, addr string) (*TCP, error) {
+// to pick a free port; see Addr), tuned by opts.
+func ListenTCP(id NodeID, addr string, opts ...TCPOption) (*TCP, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -207,6 +257,10 @@ func ListenTCP(id NodeID, addr string) (*TCP, error) {
 		accepted: make(map[net.Conn]struct{}),
 		recv:     make(chan protocol.Envelope, 256),
 		done:     make(chan struct{}),
+		opts:     tcpOptions{stallTimeout: defaultSendStallTimeout},
+	}
+	for _, opt := range opts {
+		opt(&t.opts)
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -269,20 +323,22 @@ func (t *TCP) readLoop(conn net.Conn) {
 
 // Send implements Endpoint. Delivery is asynchronous: Send parks the
 // envelope in the peer's coalescing write queue and returns; a full queue
-// blocks (backpressure) for at most sendStallTimeout, then the envelope is
-// dropped with an error — the lossy-link degradation that keeps the
-// protocol's single per-replica goroutine from deadlocking against an
-// equally stalled peer. An error means the envelope will never arrive. A
-// connection that breaks after envelopes were queued loses them silently —
-// the *next* Send fails and redials, which is when the caller's
-// unreachability signal fires.
+// blocks (backpressure) until the endpoint's stall timeout — a deadline
+// fixed at Send entry, covering dial time and queue wait together — then
+// the envelope is dropped with an error — the lossy-link degradation that
+// keeps the protocol's single per-replica goroutine from deadlocking
+// against an equally stalled peer. An error means the envelope will never
+// arrive. A connection that breaks after envelopes were queued loses them
+// silently — the *next* Send fails and redials, which is when the
+// caller's unreachability signal fires.
 func (t *TCP) Send(env protocol.Envelope) error {
 	env.From = t.id
+	deadline := time.Now().Add(t.opts.stallTimeout)
 	pc, err := t.connTo(env.To)
 	if err != nil {
 		return wrapSendErr(err, env)
 	}
-	if err := pc.send(env); err != nil {
+	if err := pc.send(env, deadline); err != nil {
 		if !errors.Is(err, errSendStalled) {
 			// Writer is gone: forget the connection so the next send
 			// redials. (A stalled connection stays cached — its writer is
@@ -324,7 +380,7 @@ func (t *TCP) connTo(id NodeID) (*peerConn, error) {
 		conn.Close()
 		return existing, nil
 	}
-	pc := newPeerConn(conn, &t.ctrs)
+	pc := newPeerConn(conn, &t.ctrs, &t.opts)
 	t.conns[id] = pc
 	t.wg.Add(1)
 	go pc.writeLoop(&t.wg)

@@ -1,9 +1,25 @@
 // Package workload drives a replicated keyspace with synthetic client
 // traffic and measures what the ROADMAP's production framing cares about:
-// throughput and tail latency. The generator is closed-loop — a fixed pool
-// of workers each issue one op, wait for it, record its latency, and issue
-// the next — so measured latency includes every queueing effect the serving
-// path has, and offered load adapts to what the target sustains.
+// throughput and tail latency. The default generator is closed-loop — a
+// fixed pool of workers each issue one op, wait for it, record its
+// latency, and issue the next — so measured latency includes every
+// queueing effect the serving path has, and offered load adapts to what
+// the target sustains.
+//
+// Closed-loop load can never demonstrate overload: when the target slows,
+// the workers slow with it, so offered load self-throttles to capacity.
+// Config.OpenLoop switches to open-loop arrivals — ops are due on a fixed
+// schedule (ArrivalRate per second) regardless of how the target is
+// coping, and a worker that falls behind issues late ops back-to-back
+// rather than silently thinning the schedule. Latency is then measured
+// from each op's *scheduled* arrival, so queueing delay the target caused
+// is charged to it (the standard correction for coordinated omission).
+//
+// Config.RetryBudget adds a client-side retry policy: ops the target shed
+// (rejections exposing a RetryAfterHint, e.g. the runtime's ErrOverload)
+// are retried with jittered exponential backoff — floored at the server's
+// hint — up to the budget. Failures without a hint (dead replica,
+// fail-stop) are never retried: the server said gone, not busy.
 //
 // Key popularity follows either a uniform or a Zipf distribution; the Zipf
 // default mirrors the paper's demand model (a few very hot items, a long
@@ -12,6 +28,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -71,6 +88,26 @@ type Config struct {
 	ValueBytes int
 	// Seed makes the op stream deterministic (default 1).
 	Seed int64
+	// OpenLoop switches from closed-loop to open-loop arrivals: ops are due
+	// on a fixed schedule of ArrivalRate per second, shared across workers,
+	// and latency is measured from the scheduled arrival rather than the
+	// moment a worker got around to issuing — so queueing delay caused by a
+	// slow target is charged to the target (coordinated-omission
+	// correction). Workers that fall behind issue late ops back-to-back
+	// until they catch up; the schedule never thins.
+	OpenLoop bool
+	// ArrivalRate is the open-loop offered load in ops/sec (default 1000;
+	// ignored unless OpenLoop).
+	ArrivalRate float64
+	// RetryBudget is the number of times one op may be retried after the
+	// target sheds it (a rejection exposing a RetryAfterHint, e.g. the
+	// runtime's ErrOverload). 0 — the default — disables retries; errors
+	// without a hint are never retried regardless.
+	RetryBudget int
+	// RetryBase is the first retry's backoff; later attempts double it,
+	// each with ±50% jitter, and the server's retry-after hint acts as a
+	// floor (default 2ms).
+	RetryBase time.Duration
 	// Progress, when non-nil, receives live op counts as workers complete
 	// operations — the hook periodic reporters read mid-run, when Result is
 	// not available yet.
@@ -85,6 +122,10 @@ type Progress struct {
 	Reads, Writes atomic.Int64
 	// Errors counts ops the target rejected.
 	Errors atomic.Int64
+	// Sheds counts rejections that carried a retry-after hint (the target
+	// shed the op under overload); every shed also counts as an error
+	// unless a retry later succeeded. Retries counts retry attempts issued.
+	Sheds, Retries atomic.Int64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.ArrivalRate <= 0 {
+		c.ArrivalRate = 1000
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -119,6 +166,9 @@ type Result struct {
 	Ops, Reads, Writes int
 	// Errors counts ops the target rejected.
 	Errors int
+	// Sheds counts rejections carrying a retry-after hint; Retries counts
+	// retry attempts issued under Config.RetryBudget.
+	Sheds, Retries int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// ReadLatency and WriteLatency hold per-op latencies in milliseconds.
@@ -172,7 +222,7 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(ctx, cfg, target, int64(w), keys, &issued)
+			results[w] = runWorker(ctx, cfg, target, int64(w), keys, &issued, start)
 		}(w)
 	}
 	wg.Wait()
@@ -186,6 +236,8 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 		out.Reads += r.reads
 		out.Writes += r.writes
 		out.Errors += r.errors
+		out.Sheds += r.sheds
+		out.Retries += r.retries
 		out.ReadLatency.Merge(r.readLat)
 		out.WriteLatency.Merge(r.writeLat)
 	}
@@ -195,12 +247,69 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 
 type workerResult struct {
 	reads, writes, errors int
+	sheds, retries        int
 	readLat, writeLat     *metrics.Sample
 }
 
-// runWorker is one closed-loop client: draw a key, issue the op, wait,
-// record, repeat until the shared budget is gone.
-func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []string, issued *atomic.Int64) workerResult {
+// retryHinter matches rejections whose source suggests when to retry —
+// structurally, so the workload package needs no dependency on the runtime
+// that produces them (runtime.OverloadError implements it).
+type retryHinter interface {
+	RetryAfterHint() time.Duration
+	error
+}
+
+// shedHint reports whether err is a shed (overload rejection) and the
+// server's suggested wait when it is.
+func shedHint(err error) (time.Duration, bool) {
+	var h retryHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint(), true
+	}
+	return 0, false
+}
+
+// writeRetrying issues one write, retrying shed rejections with jittered
+// exponential backoff floored at the server's hint, up to cfg.RetryBudget
+// attempts. It returns the final error and the shed/retry counts the
+// attempt sequence produced.
+func writeRetrying(ctx context.Context, cfg Config, target Target, rng *rand.Rand, key string, value []byte) (err error, sheds, retries int) {
+	backoff := cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		err = target.Write(key, value)
+		hint, shed := (time.Duration)(0), false
+		if err != nil {
+			hint, shed = shedHint(err)
+		}
+		if err == nil || !shed {
+			return err, sheds, retries
+		}
+		sheds++
+		if attempt >= cfg.RetryBudget {
+			return err, sheds, retries
+		}
+		wait := backoff
+		if hint > wait {
+			wait = hint
+		}
+		// ±50% jitter so synchronized shed victims don't re-arrive as a
+		// thundering herd exactly one backoff later.
+		wait = wait/2 + time.Duration(rng.Int63n(int64(wait)))
+		backoff *= 2
+		retries++
+		select {
+		case <-ctx.Done():
+			return err, sheds, retries
+		case <-time.After(wait):
+		}
+	}
+}
+
+// runWorker is one client goroutine: draw a key, issue the op, wait,
+// record, repeat until the shared budget is gone. Closed-loop workers
+// issue back-to-back; open-loop workers pace each op to its slot on the
+// shared arrival schedule and measure latency from that scheduled arrival.
+func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []string, issued *atomic.Int64, start time.Time) workerResult {
 	rng := rand.New(rand.NewSource(cfg.Seed + id*6364136223846793005))
 	var zipf *rand.Zipf
 	if cfg.Dist == Zipf {
@@ -208,14 +317,38 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 	}
 	value := make([]byte, cfg.ValueBytes)
 	rng.Read(value)
+	interval := time.Duration(0)
+	if cfg.OpenLoop {
+		interval = time.Duration(float64(time.Second) / cfg.ArrivalRate)
+	}
 
 	res := workerResult{
 		readLat:  metrics.NewSample(cfg.Ops / cfg.Workers),
 		writeLat: metrics.NewSample(cfg.Ops / cfg.Workers),
 	}
-	for issued.Add(1) <= int64(cfg.Ops) {
+	for {
+		slot := issued.Add(1) - 1
+		if slot >= int64(cfg.Ops) {
+			break
+		}
 		if ctx.Err() != nil {
 			break
+		}
+		begin := time.Now()
+		if cfg.OpenLoop {
+			// The op is due at its slot on the global schedule. Early:
+			// sleep until due. Late: issue immediately — the op still
+			// carries its scheduled arrival as the latency origin, so time
+			// spent stuck behind a slow target counts against the target.
+			due := start.Add(time.Duration(slot) * interval)
+			if wait := due.Sub(begin); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return res
+				case <-time.After(wait):
+				}
+			}
+			begin = due
 		}
 		var k int
 		if zipf != nil {
@@ -224,7 +357,6 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 			k = rng.Intn(cfg.Keys)
 		}
 		key := keys[k]
-		begin := time.Now()
 		if rng.Float64() < cfg.ReadFraction {
 			if _, _, err := target.Read(key); err != nil {
 				res.errors++
@@ -239,7 +371,14 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 				cfg.Progress.Reads.Add(1)
 			}
 		} else {
-			if err := target.Write(key, value); err != nil {
+			err, sheds, retries := writeRetrying(ctx, cfg, target, rng, key, value)
+			res.sheds += sheds
+			res.retries += retries
+			if cfg.Progress != nil {
+				cfg.Progress.Sheds.Add(int64(sheds))
+				cfg.Progress.Retries.Add(int64(retries))
+			}
+			if err != nil {
 				res.errors++
 				if cfg.Progress != nil {
 					cfg.Progress.Errors.Add(1)

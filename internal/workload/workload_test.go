@@ -166,3 +166,132 @@ func TestResultString(t *testing.T) {
 		t.Errorf("implausible elapsed %v", res.Elapsed)
 	}
 }
+
+// shedTarget rejects the first budget-1 attempts of every write with an
+// overload error carrying a retry-after hint, then admits. Reads always
+// succeed.
+type shedTarget struct {
+	mu       sync.Mutex
+	rejects  int // writes still to reject, counted down across ops
+	hint     time.Duration
+	attempts int
+	admitted int
+}
+
+type fakeOverload struct{ hint time.Duration }
+
+func (e *fakeOverload) Error() string                 { return "overloaded" }
+func (e *fakeOverload) RetryAfterHint() time.Duration { return e.hint }
+
+func (s *shedTarget) Write(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts++
+	if s.rejects > 0 {
+		s.rejects--
+		return &fakeOverload{hint: s.hint}
+	}
+	s.admitted++
+	return nil
+}
+
+func (s *shedTarget) Read(key string) ([]byte, bool, error) { return nil, false, nil }
+
+// TestOpenLoopPacing checks the open-loop schedule: ops are due at a
+// fixed rate regardless of worker count, so the run's elapsed time is
+// pinned by the arrival schedule, not by how fast the target answers.
+func TestOpenLoopPacing(t *testing.T) {
+	target := newFakeTarget()
+	cfg := Config{
+		Workers: 8, Ops: 200, ReadFraction: 0.5, Keys: 64, Seed: 7,
+		OpenLoop: true, ArrivalRate: 1000, // 200 ops at 1k/s = 200ms
+	}
+	start := time.Now()
+	res := Run(context.Background(), cfg, target)
+	elapsed := time.Since(start)
+	if res.Ops != 200 {
+		t.Fatalf("completed %d ops, want 200", res.Ops)
+	}
+	if elapsed < 150*time.Millisecond {
+		t.Errorf("open-loop run finished in %v; the 200ms arrival schedule was not honoured", elapsed)
+	}
+	if res.Errors != 0 || res.Sheds != 0 || res.Retries != 0 {
+		t.Errorf("clean target produced errors=%d sheds=%d retries=%d", res.Errors, res.Sheds, res.Retries)
+	}
+}
+
+// TestOpenLoopDeterministicOpStream pins the open-loop key/op sequence to
+// the seed: pacing changes timing, never the operation stream.
+func TestOpenLoopDeterministicOpStream(t *testing.T) {
+	run := func() (int, int) {
+		target := newFakeTarget()
+		res := Run(context.Background(), Config{
+			Workers: 1, Ops: 300, ReadFraction: 0.5, Keys: 32, Seed: 9,
+			OpenLoop: true, ArrivalRate: 1e6,
+		}, target)
+		return res.Reads, res.Writes
+	}
+	r1, w1 := run()
+	r2, w2 := run()
+	if r1 != r2 || w1 != w2 {
+		t.Fatalf("two open-loop runs with one seed diverged: %d/%d vs %d/%d reads/writes", r1, w1, r2, w2)
+	}
+}
+
+// TestRetryBudgetRecovers checks the retry policy end to end: a shed
+// write with budget left is retried after the server's hint and counts as
+// one completed op (not an error) once admitted, with sheds and retries
+// both reported.
+func TestRetryBudgetRecovers(t *testing.T) {
+	target := &shedTarget{rejects: 1, hint: time.Millisecond}
+	cfg := Config{Workers: 1, Ops: 10, ReadFraction: 0, Keys: 8, Seed: 3, RetryBudget: 2}
+	res := Run(context.Background(), cfg, target)
+	if res.Errors != 0 {
+		t.Fatalf("retried writes still surfaced %d errors", res.Errors)
+	}
+	if res.Writes != 10 {
+		t.Fatalf("completed %d writes, want 10", res.Writes)
+	}
+	if res.Sheds != 1 || res.Retries != 1 {
+		t.Errorf("sheds=%d retries=%d, want 1/1 — one rejection, one successful retry", res.Sheds, res.Retries)
+	}
+	if target.admitted != 10 {
+		t.Errorf("target admitted %d writes, want 10", target.admitted)
+	}
+}
+
+// TestRetryBudgetExhausted counts a write that stays shed past its budget
+// as one error, with every attempt recorded as a shed.
+func TestRetryBudgetExhausted(t *testing.T) {
+	target := &shedTarget{rejects: 1 << 30, hint: time.Microsecond}
+	cfg := Config{Workers: 1, Ops: 5, ReadFraction: 0, Keys: 8, Seed: 3, RetryBudget: 2}
+	res := Run(context.Background(), cfg, target)
+	if res.Errors != 5 {
+		t.Fatalf("got %d errors, want all 5 writes to fail after budget exhaustion", res.Errors)
+	}
+	if res.Sheds != 15 {
+		t.Errorf("sheds=%d, want 15 (3 attempts per write, all shed)", res.Sheds)
+	}
+	if res.Retries != 10 {
+		t.Errorf("retries=%d, want 10 (2 retries per write)", res.Retries)
+	}
+}
+
+// TestNonOverloadErrorsNeverRetry pins the policy's scope: only errors
+// carrying a retry-after hint are retried; a plain failure is terminal
+// even with budget available.
+func TestNonOverloadErrorsNeverRetry(t *testing.T) {
+	target := newFakeTarget()
+	target.fail = true
+	cfg := Config{Workers: 1, Ops: 5, ReadFraction: 0, Keys: 8, Seed: 3, RetryBudget: 5}
+	res := Run(context.Background(), cfg, target)
+	if res.Errors != 5 {
+		t.Fatalf("got %d errors, want 5", res.Errors)
+	}
+	if res.Sheds != 0 || res.Retries != 0 {
+		t.Errorf("plain failures recorded sheds=%d retries=%d, want 0/0", res.Sheds, res.Retries)
+	}
+	if target.writes != 0 {
+		t.Errorf("failing target admitted %d writes", target.writes)
+	}
+}
