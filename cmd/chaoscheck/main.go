@@ -16,6 +16,7 @@
 //	go run ./cmd/chaoscheck -quick           # the CI smoke tier: 4 scenarios, <2min
 //	go run ./cmd/chaoscheck -quick-disk      # the storage-fault smoke tier: slow/dying/full disks + power cuts
 //	go run ./cmd/chaoscheck -quick-overload  # the overload smoke tier: flash crowds shed by the admission plane
+//	go run ./cmd/chaoscheck -quick-sessions  # the consistency smoke tier: session guarantees under partition, crash-recovery and floods
 //
 // Durable scenarios run every replica over a segmented on-disk WAL
 // (internal/wal); -data-dir pins the WAL root to a directory you can
@@ -62,6 +63,7 @@ func run(args []string, w io.Writer) (int, error) {
 		quick    = fs.Bool("quick", false, "CI smoke tier: split-brain, rolling-restart, flaky-network and crash-recover-disk at half scale, fixed seeds")
 		quickDsk = fs.Bool("quick-disk", false, "CI storage-fault smoke tier: slow-disk, dying-disk, disk-full, power-cut-matrix and power-cut-pipeline at half scale, fixed seeds")
 		quickOvl = fs.Bool("quick-overload", false, "CI overload smoke tier: flash-crowd, hot-shard-skew and slow-disk-backlog at half scale, fixed seeds")
+		quickSes = fs.Bool("quick-sessions", false, "CI consistency smoke tier: the session-armed scenarios (split-brain, crash-recover-disk, flash-crowd) at half scale, fixed seeds")
 		list     = fs.Bool("list", false, "list built-in scenarios and exit")
 		verbose  = fs.Bool("v", false, "print wall-clock observations alongside the verdict")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "hard cap per scenario run")
@@ -104,6 +106,14 @@ func run(args []string, w io.Writer) (int, error) {
 			}
 			scenarios = append(scenarios, sc)
 		}
+	case *quickSes:
+		for i, name := range []string{"split-brain", "crash-recover-disk", "flash-crowd"} {
+			sc, err := chaos.Named(name, 42+int64(i), 0.5)
+			if err != nil {
+				return 2, err
+			}
+			scenarios = append(scenarios, sc)
+		}
 	case *random:
 		scenarios = append(scenarios, chaos.Generate(*seed, chaos.GenConfig{
 			Nodes:    *nodes,
@@ -118,7 +128,7 @@ func run(args []string, w io.Writer) (int, error) {
 		}
 		scenarios = append(scenarios, sc)
 	default:
-		return 2, fmt.Errorf("pick one of -scenario, -random, -quick, -quick-disk, -quick-overload or -list")
+		return 2, fmt.Errorf("pick one of -scenario, -random, -quick, -quick-disk, -quick-overload, -quick-sessions or -list")
 	}
 	if *dataDir != "" {
 		for i := range scenarios {

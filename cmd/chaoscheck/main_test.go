@@ -60,6 +60,11 @@ func TestScenarioRunReproducible(t *testing.T) {
 	if !strings.Contains(outputs[0], "verdict: PASS") {
 		t.Errorf("output missing pass verdict:\n%s", outputs[0])
 	}
+	// split-brain is session-armed: the freshness contract's gate is part
+	// of the verdict (the -quick-sessions tier runs on this).
+	if !strings.Contains(outputs[0], "final/session-guarantees") {
+		t.Errorf("output missing session gate:\n%s", outputs[0])
+	}
 }
 
 // TestCrashRecoverDiskCLI drives the durable scenario through the CLI with
@@ -79,7 +84,7 @@ func TestCrashRecoverDiskCLI(t *testing.T) {
 		t.Fatalf("code=%d err=%v\n%s", code, err, buf.String())
 	}
 	out := buf.String()
-	for _, want := range []string{"durable=true", "restart-disk", "final/no-at-risk", "verdict: PASS"} {
+	for _, want := range []string{"durable=true", "restart-disk", "final/no-at-risk", "final/session-guarantees", "verdict: PASS"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

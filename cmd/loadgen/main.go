@@ -68,13 +68,22 @@ func run(args []string, w io.Writer) error {
 		report        = fs.Duration("report", 0, "print a one-line throughput/propagation summary at this interval (0 disables)")
 		openLoop      = fs.Bool("open-loop", false, "open-loop arrivals: ops are due on a fixed schedule regardless of how the target copes, and latency is measured from the scheduled arrival (coordinated-omission corrected)")
 		arrivalRate   = fs.Float64("arrival-rate", 1000, "with -open-loop: offered load in ops/sec across all workers")
-		retryBudget   = fs.Int("retry-budget", 0, "retries allowed per op after the target sheds it under overload (0 disables; non-overload errors never retry)")
+		retryBudget   = fs.Int("retry-budget", 0, "retries allowed per op after the target sheds it under overload or when a leveled read cannot be served fresh in time (0 disables; non-retryable errors never retry)")
+		sessReads     = fs.Float64("session-reads", 0, "fraction of reads at session level (read-your-writes + monotonic reads; each worker drives its own session)")
+		boundReads    = fs.Float64("bounded-reads", 0, "fraction of reads at bounded-staleness level (served only within -max-lag writes of the session's watermark)")
+		strongReads   = fs.Float64("strong-reads", 0, "fraction of reads at strong level (converged read of the touched key)")
+		maxLag        = fs.Uint64("max-lag", 64, "staleness bound for bounded-level reads, in writes behind the session watermark")
+		freshWait     = fs.Duration("fresh-deadline", 0, "deadline for a leveled read's freshness wait before it sheds not-fresh (0 = the runtime default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards <= 0 || *nodesPerShard <= 0 {
 		return fmt.Errorf("need positive -shards and -nodes-per-shard")
+	}
+	if *sessReads < 0 || *boundReads < 0 || *strongReads < 0 ||
+		*sessReads+*boundReads+*strongReads > 1 {
+		return fmt.Errorf("-session-reads, -bounded-reads and -strong-reads must be non-negative fractions summing to at most 1")
 	}
 	var keyDist workload.KeyDist
 	switch *dist {
@@ -176,7 +185,11 @@ func run(args []string, w io.Writer) error {
 		OpenLoop:     *openLoop,
 		ArrivalRate:  *arrivalRate,
 		RetryBudget:  *retryBudget,
+		SessionReads: *sessReads,
+		BoundedReads: *boundReads,
+		StrongReads:  *strongReads,
 	}
+	leveled := *sessReads > 0 || *boundReads > 0 || *strongReads > 0
 	var prog *workload.Progress
 	if *report > 0 {
 		prog = &workload.Progress{}
@@ -189,7 +202,13 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "load: %d ops, %d workers, %.0f%% reads, %d keys (%v)\n\n",
 			cfg.Ops, cfg.Workers, cfg.ReadFraction*100, cfg.Keys, keyDist)
 	}
-	res := runLoad(ctx, w, cfg, shard.Target{Router: router}, prog, reg, *report)
+	var target workload.Target = shard.Target{Router: router}
+	if leveled {
+		fmt.Fprintf(w, "consistency mix: %.0f%% session / %.0f%% bounded (max lag %d) / %.0f%% strong reads, remainder eventual\n\n",
+			*sessReads*100, *boundReads*100, *maxLag, *strongReads*100)
+		target = sessionTarget{router: router, maxLag: *maxLag, deadline: *freshWait}
+	}
+	res := runLoad(ctx, w, cfg, target, prog, reg, *report)
 
 	tab := metrics.NewTable("metric", "value")
 	tab.AddRow("ops completed", res.Ops)
@@ -202,6 +221,19 @@ func run(args []string, w io.Writer) error {
 	tab.AddRow("throughput (ops/sec)", res.OpsPerSec())
 	tab.AddRow("read p50 (ms)", res.ReadLatency.Median())
 	tab.AddRow("read p99 (ms)", res.ReadLatency.Percentile(99))
+	if leveled {
+		// Per-level percentiles: a session read that waits for coverage and
+		// an eventual read that serves immediately are different operations;
+		// lumping them smears the mix's latency story.
+		for lvl := 0; lvl < workload.NumLevels; lvl++ {
+			s := res.ReadLatencyAt(workload.Level(lvl))
+			if s.N() == 0 {
+				continue
+			}
+			tab.AddRow(fmt.Sprintf("  %s p50 (ms)", workload.Level(lvl)), s.Median())
+			tab.AddRow(fmt.Sprintf("  %s p99 (ms)", workload.Level(lvl)), s.Percentile(99))
+		}
+	}
 	tab.AddRow("write p50 (ms)", res.WriteLatency.Median())
 	tab.AddRow("write p99 (ms)", res.WriteLatency.Percentile(99))
 	if err := tab.Render(w); err != nil {
@@ -264,6 +296,50 @@ func runLoad(ctx context.Context, w io.Writer, cfg workload.Config, target workl
 			lastOps, lastT = ops, now
 		}
 	}
+}
+
+// sessionTarget adapts the router as a workload.SessionTarget: each worker
+// asking for leveled reads drives its own router session, with the bounded
+// staleness and freshness deadline taken from the flags.
+type sessionTarget struct {
+	router   *shard.Router
+	maxLag   uint64
+	deadline time.Duration
+}
+
+func (t sessionTarget) Write(key string, value []byte) error {
+	_, err := t.router.Write(key, value)
+	return err
+}
+
+func (t sessionTarget) Read(key string) ([]byte, bool, error) { return t.router.Read(key) }
+
+func (t sessionTarget) NewSession() workload.Session {
+	s := t.router.NewSession()
+	s.MaxLag = t.maxLag
+	s.Deadline = t.deadline
+	return routerSession{s: s}
+}
+
+// routerSession maps the workload's consistency levels onto the runtime's.
+type routerSession struct{ s *shard.Session }
+
+func (rs routerSession) Write(key string, value []byte) error {
+	_, err := rs.s.Write(key, value)
+	return err
+}
+
+func (rs routerSession) Read(key string, lvl workload.Level) ([]byte, bool, error) {
+	rl := runtime.LevelEventual
+	switch lvl {
+	case workload.LevelSession:
+		rl = runtime.LevelSession
+	case workload.LevelBounded:
+		rl = runtime.LevelBounded
+	case workload.LevelStrong:
+		rl = runtime.LevelStrong
+	}
+	return rs.s.ReadLevel(key, rl)
 }
 
 // propLag merges the propagation-lag histograms of every shard into one

@@ -46,11 +46,44 @@ func TestRunSingleShard(t *testing.T) {
 	}
 }
 
+func TestRunConsistencyMix(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-shards", "2", "-nodes-per-shard", "4",
+		"-ops", "1500", "-workers", "4", "-keys", "256",
+		"-session-reads", "0.3", "-bounded-reads", "0.1", "-strong-reads", "0.05",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The mix banner and the per-level percentile split both render — the
+	// lumped-aggregate rows alone are the regression this guards against.
+	for _, want := range []string{
+		"consistency mix: 30% session",
+		"read p50 (ms)",
+		"eventual p50 (ms)",
+		"session p50 (ms)",
+		"session p99 (ms)",
+		"converged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "errors                1") {
+		t.Errorf("mixed run errored:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-shards", "0"},
 		{"-dist", "bogus"},
 		{"-routing", "bogus"},
+		{"-session-reads", "1.5"},
+		{"-bounded-reads", "-0.1"},
+		{"-session-reads", "0.6", "-strong-reads", "0.6"},
 	} {
 		var b strings.Builder
 		if err := run(args, &b); err == nil {

@@ -325,6 +325,9 @@ func (e *engine) buildCluster(ctx context.Context, rng *rand.Rand) error {
 		return err
 	}
 	e.tracker = newTracker(&clusterSys{c: e.cluster, n: n})
+	if e.sc.Sessions {
+		e.tracker.oracle = newSessionOracle()
+	}
 	return nil
 }
 
@@ -356,6 +359,9 @@ func (e *engine) buildRouter(ctx context.Context, rng *rand.Rand) error {
 	}
 	e.router = r
 	e.tracker = newTracker(routerSys{r: r})
+	if e.sc.Sessions {
+		e.tracker.oracle = newSessionOracle()
+	}
 	return nil
 }
 
@@ -639,6 +645,9 @@ func (e *engine) finalChecks(ctx context.Context) {
 	e.quiesce(ctx, "final", true)
 	if e.sc.Admission != nil {
 		e.overloadChecks(endAcked, endAt)
+	}
+	if e.sc.Sessions {
+		e.sessionChecks()
 	}
 }
 

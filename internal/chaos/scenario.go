@@ -19,7 +19,10 @@
 //  3. convergence — Converged holds after fault-free settling, with all
 //     live store digests equal,
 //  4. demand ordering — the paper's property: high-demand replicas reach
-//     consistency before low-demand ones under identical fault pressure.
+//     consistency before low-demand ones under identical fault pressure,
+//  5. session guarantees — on session-armed scenarios (Scenario.Sessions)
+//     client sessions keep read-your-writes and monotonic reads through
+//     every fault, shedding visibly (not-fresh) rather than serving stale.
 //
 // # Seed reproducibility
 //
@@ -313,6 +316,17 @@ type Scenario struct {
 	// to a 256-worker all-write open-loop flood over the Load keyspace.
 	// Execution-only; EvBurst events require it.
 	Burst *workload.Config
+	// Sessions arms the session-guarantee oracle: every workload worker
+	// drives its traffic through a real client session at a mixed
+	// consistency-level read mix (Load's session fractions default to
+	// 25/10/5 percent session/bounded/strong when all are unset), and each
+	// successful session- or strong-level read is checked op-by-op for
+	// read-your-writes and monotonic reads against the session's floor. The
+	// final check then gates on zero violations (freshness sheds are not
+	// violations — they ARE the contract under faults). Session-armed
+	// schedules must not contain EvRestart: empty-state restarts
+	// deliberately lose acked session state. Execution-only, like Durable.
+	Sessions bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -362,6 +376,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Load.ValueBytes <= 0 {
 		s.Load.ValueBytes = 32
+	}
+	if s.Sessions && s.Load.SessionReads == 0 && s.Load.BoundedReads == 0 && s.Load.StrongReads == 0 {
+		s.Load.SessionReads, s.Load.BoundedReads, s.Load.StrongReads = 0.25, 0.10, 0.05
 	}
 	s.Load.Seed = s.Seed
 	if s.Burst != nil {
@@ -429,6 +446,9 @@ func (s Scenario) Validate() error {
 			}
 			if e.Kind == EvRestartDisk && !s.Durable {
 				return fmt.Errorf("chaos: event %d: %v needs a durable scenario", i, e.Kind)
+			}
+			if e.Kind == EvRestart && s.Sessions {
+				return fmt.Errorf("chaos: event %d: empty-state restart in a session-armed scenario (it deliberately loses acked session state)", i)
 			}
 		case EvSetLoss:
 			if e.Rate < 0 || e.Rate >= 1 {

@@ -68,6 +68,7 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 			Seed:        seed,
 			Nodes:       10,
 			Topology:    "ring",
+			Sessions:    true,
 			Events: []Event{
 				{At: at(300), Kind: EvPartition, Nodes: []NodeID{0, 1, 2, 3, 4}, Peers: []NodeID{5, 6, 7, 8, 9}},
 				{At: at(2000), Kind: EvHeal},
@@ -143,6 +144,7 @@ func Named(name string, seed int64, scale float64) (Scenario, error) {
 			Nodes:    9,
 			Topology: "ring",
 			Durable:  true,
+			Sessions: true,
 			Events: []Event{
 				{At: at(300), Kind: EvKill, Nodes: []NodeID{1}},
 				{At: at(1000), Kind: EvRestartDisk, Nodes: []NodeID{1}},
@@ -351,6 +353,7 @@ func overloadScenario(name string, seed int64, at func(ms int) time.Duration) (S
 			Nodes:     8,
 			Topology:  "ring",
 			Durable:   true,
+			Sessions:  true,
 			Admission: admission,
 			Burst:     flood,
 			Events: []Event{

@@ -1,0 +1,280 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// This file is the session-guarantee oracle: when Scenario.Sessions is set,
+// background workload workers drive mixed-consistency traffic through real
+// client sessions, and every successful session- or strong-level read is
+// checked op-by-op against the session's floor — the freshest version
+// (Lamport clock major, timestamp tiebreak: the store's LWW order) the
+// session has written or read per key. A read below the floor is a
+// monotonic-reads violation; a miss on a key the session wrote is a
+// read-your-writes violation. Freshness sheds (ErrNotFresh after the
+// deadline) and outage errors are NOT violations — refusing to serve stale
+// is exactly the freshness contract under faults — so the oracle stays
+// armed through partitions, crash/recover cycles, and floods.
+//
+// Scope mirrors the client surface's documented guarantees: floors reset
+// when a reshard moves key ownership (shard.Session carries tokens per
+// group), and empty-state restarts — which deliberately lose acked state —
+// are not scheduled in session-armed scenarios.
+
+// sessionFreshDeadline bounds every session read's freshness wait in chaos
+// runs: short enough that a partition-stranded read sheds and the worker
+// moves on, long enough that healthy replication always makes it.
+const sessionFreshDeadline = 400 * time.Millisecond
+
+// levelOf maps the workload's consistency levels onto the runtime's.
+func levelOf(lvl workload.Level) runtime.Level {
+	switch lvl {
+	case workload.LevelSession:
+		return runtime.LevelSession
+	case workload.LevelBounded:
+		return runtime.LevelBounded
+	case workload.LevelStrong:
+		return runtime.LevelStrong
+	}
+	return runtime.LevelEventual
+}
+
+// sysSession is one logical client session against the system under test:
+// leveled ops that also return the served version, so the oracle can place
+// each observation in LWW order.
+type sysSession interface {
+	write(key string, value []byte) (ackLoc, verKey, error)
+	read(key string, lvl workload.Level) ([]byte, verKey, bool, error)
+}
+
+// sessionSys is a sysTarget that can open client sessions.
+type sessionSys interface {
+	sysTarget
+	newSession() sysSession
+}
+
+// newSession opens a failover-capable cluster session: ops round-robin over
+// replicas like the plain clusterSys paths, retrying elsewhere when a
+// replica is down or cannot serve fresh — the session token makes any
+// replica a valid server for the same guarantees.
+func (s *clusterSys) newSession() sysSession {
+	sess := s.c.NewSession()
+	sess.Deadline = sessionFreshDeadline
+	return &clusterSession{sys: s, sess: sess}
+}
+
+type clusterSession struct {
+	sys  *clusterSys
+	sess *runtime.Session
+}
+
+func (s *clusterSession) write(key string, value []byte) (ackLoc, verKey, error) {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		id := NodeID(s.sys.next.Add(1) % uint64(s.sys.n))
+		rec, werr := s.sess.Write(id, key, value)
+		if werr == nil {
+			return ackLoc{node: id}, verKey{clock: rec.Clock, ts: rec.TS}, nil
+		}
+		err = werr
+	}
+	return ackLoc{}, verKey{}, err
+}
+
+func (s *clusterSession) read(key string, lvl workload.Level) ([]byte, verKey, bool, error) {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		id := NodeID(s.sys.next.Add(1) % uint64(s.sys.n))
+		v, ok, rerr := s.sess.ReadLevel(id, key, levelOf(lvl))
+		if rerr == nil {
+			return v.Value, verKey{clock: v.Clock, ts: v.TS}, ok, nil
+		}
+		err = rerr
+	}
+	return nil, verKey{}, false, err
+}
+
+// newSession opens a sharded session: the router's own token-aware routing
+// picks the serving replica, so no failover loop is needed here.
+func (s routerSys) newSession() sysSession {
+	sess := s.r.NewSession()
+	sess.Deadline = sessionFreshDeadline
+	return routerSession{sess: sess}
+}
+
+type routerSession struct{ sess *shard.Session }
+
+func (s routerSession) write(key string, value []byte) (ackLoc, verKey, error) {
+	rc, err := s.sess.Write(key, value)
+	if err != nil {
+		return ackLoc{}, verKey{}, err
+	}
+	return ackLoc{shard: rc.Shard, node: rc.Node}, verKey{clock: rc.Clock, ts: rc.TS}, nil
+}
+
+func (s routerSession) read(key string, lvl workload.Level) ([]byte, verKey, bool, error) {
+	v, ok, err := s.sess.ReadVersioned(key, levelOf(lvl))
+	if err != nil {
+		return nil, verKey{}, false, err
+	}
+	return v.Value, verKey{clock: v.Clock, ts: v.TS}, ok, nil
+}
+
+// sessionOracle aggregates verdict state across every checked session.
+type sessionOracle struct {
+	mu         sync.Mutex
+	sessions   int
+	reads      int // successful session/strong-level reads checked
+	violations int
+	samples    []string // first few violation details for the report
+}
+
+func newSessionOracle() *sessionOracle { return &sessionOracle{} }
+
+// open starts one checked session over a live system session.
+func (o *sessionOracle) open(t *tracker, sys sysSession) *oracleSession {
+	o.mu.Lock()
+	o.sessions++
+	id := o.sessions
+	o.mu.Unlock()
+	return &oracleSession{t: t, sys: sys, oracle: o, id: id, floors: make(map[string]*sessFloor)}
+}
+
+func (o *sessionOracle) read() {
+	o.mu.Lock()
+	o.reads++
+	o.mu.Unlock()
+}
+
+func (o *sessionOracle) violation(detail string) {
+	o.mu.Lock()
+	o.violations++
+	if len(o.samples) < 4 {
+		o.samples = append(o.samples, detail)
+	}
+	o.mu.Unlock()
+}
+
+func (o *sessionOracle) stats() (sessions, reads, violations int, samples []string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sessions, o.reads, o.violations, append([]string(nil), o.samples...)
+}
+
+// sessFloor is one session's reference state for one key.
+type sessFloor struct {
+	ver   verKey
+	wrote bool // the session wrote the key: session reads must find it
+}
+
+// oracleSession implements workload.Session: every op flows through the
+// tracker's gate (so Pause still drains all traffic) and acked writes join
+// the durability books exactly like plain writes; session/strong reads are
+// additionally checked against the session's floors.
+type oracleSession struct {
+	t      *tracker
+	sys    sysSession
+	oracle *sessionOracle
+	id     int
+	gen    int // reshard generation the floors were built under
+	floors map[string]*sessFloor
+}
+
+func (s *oracleSession) floor(key string) *sessFloor {
+	f := s.floors[key]
+	if f == nil {
+		f = &sessFloor{}
+		s.floors[key] = f
+	}
+	return f
+}
+
+// syncGen drops the floors when key ownership may have moved, returning
+// whether a reshard is in flight right now (checks are suspended while one
+// is — the handoff window is documented non-linearizable).
+func (s *oracleSession) syncGen() bool {
+	active, gen := s.t.reshardState()
+	if gen != s.gen {
+		s.gen = gen
+		s.floors = make(map[string]*sessFloor)
+	}
+	return active
+}
+
+func (s *oracleSession) Write(key string, value []byte) error {
+	s.t.gate.RLock()
+	defer s.t.gate.RUnlock()
+	loc, ver, err := s.sys.write(key, value)
+	if err != nil {
+		return err
+	}
+	s.t.recordAck(key, value, loc)
+	if s.syncGen() {
+		return nil // mid-reshard acks are at-risk; keep them off the floors
+	}
+	f := s.floor(key)
+	if f.ver.regressedFrom(ver) {
+		f.ver = ver
+	}
+	f.wrote = true
+	return nil
+}
+
+func (s *oracleSession) Read(key string, lvl workload.Level) ([]byte, bool, error) {
+	s.t.gate.RLock()
+	defer s.t.gate.RUnlock()
+	v, ver, ok, err := s.sys.read(key, lvl)
+	if err != nil {
+		// Sheds (not-fresh after the deadline) and outages are the
+		// workload's business; refusing to serve stale is the contract.
+		return nil, false, err
+	}
+	if lvl != workload.LevelSession && lvl != workload.LevelStrong {
+		return v, ok, nil // eventual/bounded reads carry no per-session floor
+	}
+	if s.syncGen() {
+		return v, ok, nil
+	}
+	f := s.floor(key)
+	s.oracle.read()
+	switch {
+	case !ok && f.wrote:
+		s.oracle.violation(fmt.Sprintf(
+			"session %d: %v read of %q missed the session's own write (floor clock %d) — read-your-writes violation",
+			s.id, lvl, key, f.ver.clock))
+	case ok && ver.regressedFrom(f.ver):
+		s.oracle.violation(fmt.Sprintf(
+			"session %d: %v read of %q served clock %d (%v) below floor clock %d (%v) — monotonic-reads violation",
+			s.id, lvl, key, ver.clock, ver.ts, f.ver.clock, f.ver.ts))
+	case ok && f.ver.regressedFrom(ver):
+		f.ver = ver
+	}
+	return v, ok, nil
+}
+
+// sessionChecks turns the oracle's verdict into the final gate: zero
+// violations, over a schedule that actually exercised sessioned reads.
+func (e *engine) sessionChecks() {
+	sessions, reads, violations, samples := e.tracker.oracle.stats()
+	res := CheckResult{
+		Name: "final/session-guarantees",
+		Pass: violations == 0 && reads > 0,
+		Obs:  fmt.Sprintf("%d sessioned reads over %d sessions, 0 violations", reads, sessions),
+	}
+	switch {
+	case violations > 0:
+		res.Obs = ""
+		res.Detail = fmt.Sprintf("%d session-guarantee violations (first %d: %v)",
+			violations, len(samples), samples)
+	case reads == 0:
+		res.Obs = ""
+		res.Detail = "session oracle armed but no session-level read ever succeeded"
+	}
+	e.rep.add(res)
+}

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+func TestSessionScenariosArmed(t *testing.T) {
+	armed := map[string]bool{"split-brain": true, "crash-recover-disk": true, "flash-crowd": true}
+	for _, name := range Names() {
+		sc, err := Named(name, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Sessions != armed[name] {
+			t.Errorf("%s: Sessions = %t, want %t", name, sc.Sessions, armed[name])
+		}
+		if sc.Sessions {
+			load := sc.withDefaults().Load
+			if load.SessionReads <= 0 {
+				t.Errorf("%s: session-armed scenario has no session read mix", name)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsSessionEmptyRestart(t *testing.T) {
+	sc := Scenario{
+		Nodes:    4,
+		Topology: "ring",
+		Sessions: true,
+		Events: []Event{
+			{At: 0, Kind: EvKill, Nodes: []NodeID{1}},
+			{At: time.Second, Kind: EvRestart, Nodes: []NodeID{1}},
+		},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("empty-state restart accepted in a session-armed scenario")
+	}
+	// The durable recovery path stays legal.
+	sc.Durable = true
+	sc.Events[1].Kind = EvRestartDisk
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("restart-disk rejected in a session-armed scenario: %v", err)
+	}
+}
+
+// scriptedSess is a sysSession whose reads replay a scripted version
+// sequence — the fixture proving the oracle actually catches violations.
+type scriptedSess struct {
+	clock uint64
+	reads []func() ([]byte, verKey, bool, error)
+}
+
+type scriptedSys struct{ sess *scriptedSess }
+
+func (s scriptedSys) write(string, []byte) (ackLoc, error) { return ackLoc{}, nil }
+func (s scriptedSys) read(string) ([]byte, bool, error)    { return nil, false, nil }
+func (s scriptedSys) newSession() sysSession               { return s.sess }
+
+func (s *scriptedSess) write(string, []byte) (ackLoc, verKey, error) {
+	s.clock++
+	return ackLoc{node: 0}, verKey{clock: s.clock, ts: vclock.Timestamp{Node: 0, Seq: s.clock}}, nil
+}
+
+func (s *scriptedSess) read(string, workload.Level) ([]byte, verKey, bool, error) {
+	next := s.reads[0]
+	s.reads = s.reads[1:]
+	return next()
+}
+
+func TestSessionOracleDetectsViolations(t *testing.T) {
+	served := func(clock uint64) func() ([]byte, verKey, bool, error) {
+		return func() ([]byte, verKey, bool, error) {
+			return []byte("v"), verKey{clock: clock, ts: vclock.Timestamp{Node: 1, Seq: clock}}, true, nil
+		}
+	}
+	miss := func() ([]byte, verKey, bool, error) { return nil, verKey{}, false, nil }
+
+	sess := &scriptedSess{reads: []func() ([]byte, verKey, bool, error){
+		served(1), // fresh: establishes the floor at the write's clock anyway
+		miss,      // read-your-writes violation: the session wrote the key
+		served(0), // monotonic-reads violation: below the floor
+		served(5), // recovery: at/above floor, ratchets it
+	}}
+	tr := newTracker(scriptedSys{sess: sess})
+	tr.oracle = newSessionOracle()
+
+	ws := tr.NewSession()
+	if ws == nil {
+		t.Fatal("armed tracker refused to open a session")
+	}
+	if err := ws.Write("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := ws.Read("k", workload.LevelSession); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, reads, violations, samples := tr.oracle.stats()
+	if reads != 4 {
+		t.Errorf("oracle checked %d reads, want 4", reads)
+	}
+	if violations != 2 {
+		t.Fatalf("oracle counted %d violations, want 2 (%v)", violations, samples)
+	}
+	if !strings.Contains(samples[0], "read-your-writes") || !strings.Contains(samples[1], "monotonic-reads") {
+		t.Errorf("violation details miss their guarantee names: %v", samples)
+	}
+}
+
+func TestSessionOracleIgnoresUncheckedLevels(t *testing.T) {
+	// Bounded and eventual reads may serve stale by contract: a regressed
+	// version at those levels must not count.
+	sess := &scriptedSess{reads: []func() ([]byte, verKey, bool, error){
+		func() ([]byte, verKey, bool, error) { return nil, verKey{}, false, nil },
+		func() ([]byte, verKey, bool, error) { return nil, verKey{}, false, nil },
+	}}
+	tr := newTracker(scriptedSys{sess: sess})
+	tr.oracle = newSessionOracle()
+	ws := tr.NewSession()
+	if err := ws.Write("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []workload.Level{workload.LevelEventual, workload.LevelBounded} {
+		if _, _, err := ws.Read("k", lvl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, reads, violations, _ := tr.oracle.stats(); reads != 0 || violations != 0 {
+		t.Errorf("unchecked levels entered the oracle: %d reads, %d violations", reads, violations)
+	}
+}
+
+func TestTrackerSessionsDisarmedByDefault(t *testing.T) {
+	// Without the oracle armed — and on systems that cannot open sessions —
+	// NewSession degrades to nil so the workload falls back to plain reads.
+	if s := newTracker(scriptedSys{sess: &scriptedSess{}}).NewSession(); s != nil {
+		t.Error("unarmed tracker opened a session")
+	}
+	tr := newTracker(&fakeSys{})
+	tr.oracle = newSessionOracle()
+	if s := tr.NewSession(); s != nil {
+		t.Error("sessionless system under test opened a session")
+	}
+}
+
+func TestRunSessionScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos runs in -short mode")
+	}
+	sc, err := Named("split-brain", 21, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("session-armed scenario failed:\n%s%s", rep.Verdict(), rep.Observations())
+	}
+	if !strings.Contains(rep.Verdict(), "final/session-guarantees") {
+		t.Errorf("verdict missing the session gate:\n%s", rep.Verdict())
+	}
+}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"hash/fnv"
 	"sync"
+
+	"repro/internal/workload"
 )
 
 // ackLoc identifies where a write was acknowledged: the shard group ("" in
@@ -55,11 +57,16 @@ type tracker struct {
 	gate sync.RWMutex
 	sys  sysTarget
 
-	mu      sync.Mutex
-	keys    map[string]*keyRec
-	reshard int // nesting count of in-flight reshards
-	acked   int
-	atRisk  int
+	// oracle, when non-nil, arms the session-guarantee oracle: NewSession
+	// opens checked client sessions (see sessions.go).
+	oracle *sessionOracle
+
+	mu         sync.Mutex
+	keys       map[string]*keyRec
+	reshard    int // nesting count of in-flight reshards
+	reshardGen int // total reshards ever begun: sessions reset floors on change
+	acked      int
+	atRisk     int
 }
 
 func newTracker(sys sysTarget) *tracker {
@@ -74,6 +81,13 @@ func (t *tracker) Write(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	t.recordAck(key, value, loc)
+	return nil
+}
+
+// recordAck books one acknowledged write for the durability invariant.
+// Callers hold the gate shared.
+func (t *tracker) recordAck(key string, value []byte, loc ackLoc) {
 	h := hashBytes(value)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -101,7 +115,6 @@ func (t *tracker) Write(key string, value []byte) error {
 		kr.pending = append(kr.pending, rec)
 	}
 	t.acked++
-	return nil
 }
 
 // Read implements workload.Target.
@@ -117,11 +130,34 @@ func (t *tracker) Pause() { t.gate.Lock() }
 // Resume lets traffic flow again.
 func (t *tracker) Resume() { t.gate.Unlock() }
 
+// NewSession implements workload.SessionTarget: when the scenario armed the
+// session oracle and the system under test can open client sessions, every
+// workload worker gets one checked session. Otherwise it returns nil and
+// the workload silently degrades its leveled read mix to eventual reads.
+func (t *tracker) NewSession() workload.Session {
+	ss, ok := t.sys.(sessionSys)
+	if !ok || t.oracle == nil {
+		return nil
+	}
+	return t.oracle.open(t, ss.newSession())
+}
+
 // beginReshard marks subsequent acks at-risk until endReshard.
 func (t *tracker) beginReshard() {
 	t.mu.Lock()
 	t.reshard++
+	t.reshardGen++
 	t.mu.Unlock()
+}
+
+// reshardState reports whether a reshard is in flight and how many have
+// ever begun — sessions drop their floors when the generation moves (key
+// ownership may have changed; the handoff window is documented
+// non-linearizable).
+func (t *tracker) reshardState() (active bool, gen int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reshard > 0, t.reshardGen
 }
 
 func (t *tracker) endReshard() {

@@ -60,6 +60,26 @@ type ClusterObs struct {
 	// commit plus the covering sync, the admission controller's
 	// congestion signal.
 	SojournSeconds *Histogram
+
+	// ReadsEventual counts leveled client reads served at the eventual
+	// level (plain Cluster.Read stays uncounted — it is the raw hot path).
+	ReadsEventual *Counter
+	// ReadsSession counts leveled client reads served with session
+	// guarantees (read-your-writes + monotonic reads).
+	ReadsSession *Counter
+	// ReadsBounded counts leveled client reads served under a bounded
+	// staleness gate.
+	ReadsBounded *Counter
+	// ReadsStrong counts leveled client reads served on the
+	// strong/converged path.
+	ReadsStrong *Counter
+	// FreshWaitSeconds observes how long leveled reads that missed the
+	// covered fast path parked waiting for the replica to catch up —
+	// successful waits only; deadline misses count in NotFresh instead.
+	FreshWaitSeconds *Histogram
+	// NotFresh counts leveled reads shed with ErrNotFresh because the
+	// replica could not reach the required coverage before the deadline.
+	NotFresh *Counter
 }
 
 // NewClusterObs registers a cluster's hot-path instruments on reg for a
@@ -95,11 +115,26 @@ func NewClusterObs(reg *Registry, n int, labels ...Label) *ClusterObs {
 			append(append([]Label(nil), labels...), L("reason", "deadline"))...),
 		SojournSeconds: reg.Histogram("repro_commit_queue_sojourn_seconds",
 			"Arrival-to-ack sojourn of each acked batch's oldest write.", LatencyBuckets, labels...),
+		ReadsEventual: reg.Counter("repro_client_reads_total", readsHelp,
+			append(append([]Label(nil), labels...), L("level", "eventual"))...),
+		ReadsSession: reg.Counter("repro_client_reads_total", readsHelp,
+			append(append([]Label(nil), labels...), L("level", "session"))...),
+		ReadsBounded: reg.Counter("repro_client_reads_total", readsHelp,
+			append(append([]Label(nil), labels...), L("level", "bounded"))...),
+		ReadsStrong: reg.Counter("repro_client_reads_total", readsHelp,
+			append(append([]Label(nil), labels...), L("level", "strong"))...),
+		FreshWaitSeconds: reg.Histogram("repro_read_freshness_wait_seconds",
+			"Time leveled reads parked waiting for replica coverage to reach their token (successful waits).", LatencyBuckets, labels...),
+		NotFresh: reg.Counter("repro_read_not_fresh_total",
+			"Leveled reads shed with ErrNotFresh: required coverage not reached before the deadline.", labels...),
 	}
 }
 
 // shedHelp is the shared help string of the shed-by-reason counter family.
 const shedHelp = "Client writes shed by the admission plane before reaching the node or WAL, by reason."
+
+// readsHelp is the shared help string of the by-level read counter family.
+const readsHelp = "Leveled client reads served, by consistency level."
 
 // With returns the base labels extended with extra — the helper the runtime
 // uses to derive per-replica label sets.

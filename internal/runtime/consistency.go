@@ -1,0 +1,750 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/wlog"
+)
+
+// This file implements the tunable consistency plane: per-op read levels
+// on top of the eventual protocol, keyed by session tokens that carry
+// summary-vector watermarks.
+//
+// A Token records, as a vclock.Summary, every write position the session
+// has acknowledged (its own writes) or observed (its reads). Any replica
+// can then serve the session's guarantees by waiting until its APPLIED
+// coverage dominates the token:
+//
+//   - LevelSession (read-your-writes + monotonic reads): the replica must
+//     cover the token exactly (lag 0); after the read, the replica's
+//     coverage is folded back into the token so later reads — at any
+//     replica — can never observe an older state.
+//   - LevelBounded: the replica may lag the token by at most MaxLag writes
+//     — the summary-distance staleness gate. Bounded reads do not fold
+//     coverage back, so the token keeps tracking only what the session
+//     actually acknowledged/observed.
+//   - LevelStrong: the read first pins the freshest version of the key
+//     across all live replicas (the LWW winner), waits until the serving
+//     replica covers it, then reads — a converged read of that key as of
+//     the call.
+//
+// Waits are deadline-bounded: a replica that cannot catch up in time sheds
+// the read with a typed *NotFreshError matching ErrNotFresh and carrying a
+// retry-after hint, the same structural shape as the admission plane's
+// OverloadError, so client retry loops handle both identically.
+//
+// The covered fast path takes no lock at all and allocates nothing: one
+// atomic store-pointer load, one atomic load of the replica's immutable
+// applied-watermark snapshot (a pointer compare against the token's cache
+// in the steady state, one summary pass plus token merge when coverage
+// advanced), and a striped store read. Wait queues park OFF this path
+// behind an atomic count, exactly like propagation watches, so plain
+// eventual reads are untouched.
+
+// Level selects the consistency guarantee of one leveled read.
+type Level int
+
+// The consistency levels a leveled read can request, weakest to
+// strongest; NumLevels sizes per-level arrays.
+const (
+	// LevelEventual serves whatever the replica has — the plain read path
+	// with a version receipt.
+	LevelEventual Level = iota
+	// LevelSession guarantees read-your-writes and monotonic reads with
+	// respect to the supplied session token, waiting for coverage if the
+	// replica lags it.
+	LevelSession
+	// LevelBounded serves the read only when the replica lags the token's
+	// known head by at most MaxLag writes (summary distance).
+	LevelBounded
+	// LevelStrong serves a converged read of the touched key: the freshest
+	// version acknowledged anywhere at call time is pinned, waited for,
+	// then read. A strong read carrying a session token additionally
+	// honors the token (strong subsumes session).
+	LevelStrong
+	// NumLevels is the number of consistency levels (for per-level arrays).
+	NumLevels = int(LevelStrong) + 1
+)
+
+// String names the level the way flags and metrics spell it.
+func (l Level) String() string {
+	switch l {
+	case LevelEventual:
+		return "eventual"
+	case LevelSession:
+		return "session"
+	case LevelBounded:
+		return "bounded"
+	case LevelStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel parses a level name as spelled by String (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "eventual":
+		return LevelEventual, nil
+	case "session":
+		return LevelSession, nil
+	case "bounded":
+		return LevelBounded, nil
+	case "strong":
+		return LevelStrong, nil
+	}
+	return 0, fmt.Errorf("runtime: unknown consistency level %q", s)
+}
+
+// Token is a session's freshness watermark: a summary vector recording
+// every write position the session has acknowledged or observed. The zero
+// value is an empty token (covered by every replica). Tokens are NOT safe
+// for concurrent use — a session is a single logical client; concurrent
+// clients each carry their own.
+type Token struct {
+	sum vclock.Summary
+	// covered caches the applied-watermark snapshot the token last merged
+	// to (token == snapshot exactly), so the steady-state probe of a
+	// session pinned to one replica is a single pointer compare. Snapshots
+	// are immutable and any token growth clears the cache, so a hit can
+	// never claim stale coverage.
+	covered *vclock.Summary
+}
+
+// ObserveWrite folds an acknowledged write's position into the token.
+func (t *Token) ObserveWrite(ts vclock.Timestamp) {
+	if t.sum.Covers(ts) {
+		return
+	}
+	t.covered = nil
+	t.sum.Advance(ts.Node, ts.Seq)
+}
+
+// Covers reports whether the token already records the write ts.
+func (t *Token) Covers(ts vclock.Timestamp) bool { return t.sum.Covers(ts) }
+
+// Positions returns a copy of the token's watermark vector.
+func (t *Token) Positions() *vclock.Summary { return t.sum.Clone() }
+
+// Reset empties the token in place.
+func (t *Token) Reset() { *t = Token{} }
+
+// Clone returns an independent copy of the token.
+func (t *Token) Clone() *Token {
+	c := &Token{}
+	c.sum.Merge(&t.sum)
+	return c
+}
+
+// Equal reports whether two tokens record identical watermarks.
+func (t *Token) Equal(other *Token) bool {
+	return t.sum.Compare(&other.sum) == vclock.Equal
+}
+
+// String renders the token's watermarks.
+func (t *Token) String() string { return t.sum.String() }
+
+// tokenVersion tags the token wire encoding. Encoding: the version byte,
+// a uvarint origin count, then per origin a uvarint (node, seq) pair in
+// strictly ascending node order with seq > 0 — the canonical form
+// UnmarshalBinary enforces, so encode/decode round-trips bit-exactly.
+const tokenVersion = 1
+
+// maxTokenOrigin bounds the node ids a decoded token may carry, so a
+// hostile encoding cannot make the dense watermark vector allocate
+// unboundedly.
+const maxTokenOrigin = 1 << 20
+
+// AppendBinary appends the token's wire encoding to dst and returns the
+// extended slice.
+func (t *Token) AppendBinary(dst []byte) []byte {
+	dst = append(dst, tokenVersion)
+	dst = binary.AppendUvarint(dst, uint64(t.sum.Len()))
+	t.sum.ForEach(func(node vclock.NodeID, seq uint64) {
+		dst = binary.AppendUvarint(dst, uint64(node))
+		dst = binary.AppendUvarint(dst, seq)
+	})
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Token) MarshalBinary() ([]byte, error) { return t.AppendBinary(nil), nil }
+
+// readUvarint decodes one minimally-encoded uvarint from data, rejecting
+// the redundant encodings binary.Uvarint accepts (so every token value has
+// exactly one wire form and encodings compare byte-wise).
+func readUvarint(data []byte) (v uint64, n int, err error) {
+	v, n = binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, errors.New("runtime: truncated token varint")
+	}
+	if n > 1 && data[n-1] == 0 {
+		return 0, 0, errors.New("runtime: non-minimal token varint")
+	}
+	return v, n, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// token's contents. It rejects anything but the canonical form AppendBinary
+// produces: unknown versions, truncated or trailing bytes, non-minimal
+// varints, out-of-order or duplicate origins, zero sequence numbers, and
+// origins past maxTokenOrigin.
+func (t *Token) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("runtime: empty token encoding")
+	}
+	if data[0] != tokenVersion {
+		return fmt.Errorf("runtime: unknown token version %d", data[0])
+	}
+	rest := data[1:]
+	count, n, err := readUvarint(rest)
+	if err != nil {
+		return err
+	}
+	rest = rest[n:]
+	if count > maxTokenOrigin {
+		return fmt.Errorf("runtime: token origin count %d too large", count)
+	}
+	var tok Token
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		node, n, err := readUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rest = rest[n:]
+		seq, n, err := readUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rest = rest[n:]
+		if node >= maxTokenOrigin {
+			return fmt.Errorf("runtime: token origin %d too large", node)
+		}
+		if int64(node) <= prev {
+			return fmt.Errorf("runtime: token origins out of order at %d", node)
+		}
+		if seq == 0 {
+			return fmt.Errorf("runtime: token origin %d has zero sequence", node)
+		}
+		prev = int64(node)
+		tok.sum.Advance(vclock.NodeID(node), seq)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("runtime: %d trailing bytes after token", len(rest))
+	}
+	*t = tok
+	return nil
+}
+
+// ErrNotFresh is the sentinel every freshness-deadline rejection matches:
+// errors.Is(err, ErrNotFresh) reports that the replica could not reach the
+// read's required coverage in time (worth retrying, possibly elsewhere) as
+// opposed to being down.
+var ErrNotFresh = errors.New("runtime: replica not fresh enough")
+
+// NotFreshError is the typed rejection a leveled read receives when its
+// freshness wait deadlines. It matches ErrNotFresh under errors.Is and
+// carries a retry-after hint derived from the anti-entropy cadence — the
+// same structural shape as the admission plane's OverloadError, so client
+// retry loops (workload.Run among them) handle both through one interface.
+type NotFreshError struct {
+	// Replica is the replica that could not serve the read.
+	Replica NodeID
+	// Level is the consistency level the read demanded.
+	Level Level
+	// Lag is how many writes the read's target covers that the replica had
+	// not applied when the deadline lapsed.
+	Lag uint64
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+// Error renders the rejection.
+func (e *NotFreshError) Error() string {
+	return fmt.Sprintf("runtime: replica %v not fresh enough for %v read (lag %d, retry after %v)",
+		e.Replica, e.Level, e.Lag, e.RetryAfter)
+}
+
+// Is matches ErrNotFresh, so errors.Is(err, ErrNotFresh) holds for every
+// freshness shed.
+func (e *NotFreshError) Is(target error) bool { return target == ErrNotFresh }
+
+// RetryAfterHint returns the server's backoff hint; the method (shared with
+// OverloadError) lets client packages detect retryable sheds through a
+// local one-method interface without importing this package.
+func (e *NotFreshError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// DefaultFreshWait bounds a leveled read's freshness wait when
+// LeveledRead.Deadline is zero. It is far past the propagation latency of
+// a healthy cluster; reads that hit it are stalled by a partition, an
+// overload, or a dead origin — exactly what ErrNotFresh reports.
+const DefaultFreshWait = 2 * time.Second
+
+// LeveledRead carries one read's consistency parameters. Reuse one value
+// across reads (it is plain data) to keep the covered fast path free of
+// per-call allocation.
+type LeveledRead struct {
+	// Level is the consistency guarantee to enforce.
+	Level Level
+	// Token is the session's watermark. nil degenerates session and
+	// bounded reads to eventual (there is nothing to be consistent with).
+	Token *Token
+	// MaxLag is LevelBounded's staleness bound: the maximum number of
+	// writes (summary distance) the replica may lag the token.
+	MaxLag uint64
+	// Deadline bounds the freshness wait; 0 selects DefaultFreshWait.
+	Deadline time.Duration
+}
+
+// WriteReceipt is an acknowledged write's full version: the timestamp that
+// names it in summary vectors and the Lamport clock the LWW resolution
+// orders by.
+type WriteReceipt struct {
+	// TS is the write's (origin, sequence) position.
+	TS vclock.Timestamp
+	// Clock is the write's Lamport clock.
+	Clock uint64
+}
+
+// WriteSession performs a client write and folds the acknowledged position
+// into the session token, so subsequent session reads anywhere observe it.
+// A nil token degrades to WriteReceipted.
+func (c *Cluster) WriteSession(id NodeID, key string, value []byte, tok *Token) (WriteReceipt, error) {
+	rec, err := c.WriteReceipted(id, key, value)
+	if err == nil && tok != nil {
+		tok.ObserveWrite(rec.TS)
+	}
+	return rec, err
+}
+
+// ReadLeveled serves a client read at replica id under the consistency
+// level opt selects, returning the versioned value so callers (session
+// caches, invariant oracles) can order what they observed. A nil opt is an
+// eventual read. Like Read it never takes any lock: the covered fast path
+// is atomic loads plus one pass over the applied-watermark snapshot, and
+// allocates nothing. Reads that must wait park on the
+// cluster's freshness queue until the replica catches up, the deadline
+// lapses (a typed *NotFreshError matching ErrNotFresh), or the replica
+// dies.
+func (c *Cluster) ReadLeveled(id NodeID, key string, opt *LeveledRead) (store.Versioned, bool, error) {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return store.Versioned{}, false, fmt.Errorf("runtime: no replica %v", id)
+	}
+	r := c.replicas[id]
+	st := r.store.Load()
+	if st == nil {
+		return store.Versioned{}, false, r.deadError()
+	}
+	if r.meter != nil {
+		r.meter.Record(time.Now())
+	}
+	lvl := LevelEventual
+	if opt != nil {
+		lvl = opt.Level
+	}
+	switch lvl {
+	case LevelSession, LevelBounded:
+		if opt.Token == nil {
+			break // nothing to be consistent with: eventual semantics
+		}
+		// Steady-state probe, inline so the covered read pays one atomic
+		// load and a pointer compare over the plain read path; the token
+		// cache misses only when the replica's coverage advanced.
+		if sum := r.applied.snap.Load(); sum == nil || opt.Token.covered != sum {
+			var maxLag uint64
+			if lvl == LevelBounded {
+				maxLag = opt.MaxLag
+			}
+			merge := lvl == LevelSession
+			if _, ok := r.applied.readCovered(opt.Token, maxLag, merge); !ok {
+				if err := c.waitFresh(r, &opt.Token.sum, vclock.Timestamp{}, maxLag, opt.Deadline, lvl); err != nil {
+					return store.Versioned{}, false, err
+				}
+				// Caught up (or a racing restart reset coverage — re-check).
+				if _, ok := r.applied.readCovered(opt.Token, maxLag, merge); !ok {
+					return store.Versioned{}, false, c.notFresh(r, lvl, &opt.Token.sum, maxLag)
+				}
+			}
+		}
+	case LevelStrong:
+		if opt.Token != nil {
+			// Strong subsumes session: a token-carrying strong read also
+			// honors the session floor. Without this, a dead replica holding
+			// the only copy of a session-observed version would let the
+			// freshest-live answer regress below the floor; instead the read
+			// sheds until the origin returns.
+			if _, ok := r.applied.readCovered(opt.Token, 0, true); !ok {
+				if err := c.waitFresh(r, &opt.Token.sum, vclock.Timestamp{}, 0, opt.Deadline, lvl); err != nil {
+					return store.Versioned{}, false, err
+				}
+				if _, ok := r.applied.readCovered(opt.Token, 0, true); !ok {
+					return store.Versioned{}, false, c.notFresh(r, lvl, &opt.Token.sum, 0)
+				}
+			}
+		}
+		want, found := c.freshestVersion(key)
+		if found && !r.applied.covers(want.TS) {
+			if err := c.waitFresh(r, nil, want.TS, 0, opt.Deadline, lvl); err != nil {
+				return store.Versioned{}, false, err
+			}
+			if !r.applied.covers(want.TS) {
+				return store.Versioned{}, false, c.notFresh(r, lvl, nil, 0)
+			}
+		}
+		st2 := r.store.Load()
+		if st2 == nil {
+			return store.Versioned{}, false, r.deadError()
+		}
+		c.countRead(lvl)
+		v, ok := st2.GetVersion(key)
+		if ok && opt.Token != nil {
+			// Strong reads join the session's monotonic floor.
+			opt.Token.ObserveWrite(v.TS)
+		}
+		return v, ok, nil
+	}
+	c.countRead(lvl)
+	v, ok := st.GetVersion(key)
+	return v, ok, nil
+}
+
+// notFresh builds the typed freshness rejection (re-probing the lag for
+// the error detail) and counts the shed.
+func (c *Cluster) notFresh(r *replica, lvl Level, want *vclock.Summary, maxLag uint64) error {
+	if r.store.Load() == nil {
+		return r.deadError()
+	}
+	var lag uint64 = 1
+	if want != nil {
+		lag = r.applied.lagBehind(want)
+		if lag <= maxLag {
+			lag = maxLag + 1 // raced back under the bound; still report a shed
+		}
+	}
+	if co := c.opts.obs; co != nil {
+		co.NotFresh.Inc()
+	}
+	return &NotFreshError{Replica: r.id, Level: lvl, Lag: lag, RetryAfter: c.freshRetryAfter()}
+}
+
+// freshRetryAfter derives the backoff hint for a freshness shed: half the
+// mean anti-entropy session interval — the expected time to the next
+// absorb — clamped to [1ms, 1s] like the admission plane's hint.
+func (c *Cluster) freshRetryAfter() time.Duration {
+	d := c.opts.sessionMean / 2
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// countRead bumps the per-level read counter when observability is on.
+func (c *Cluster) countRead(lvl Level) {
+	co := c.opts.obs
+	if co == nil {
+		return
+	}
+	switch lvl {
+	case LevelEventual:
+		co.ReadsEventual.Inc()
+	case LevelSession:
+		co.ReadsSession.Inc()
+	case LevelBounded:
+		co.ReadsBounded.Inc()
+	case LevelStrong:
+		co.ReadsStrong.Inc()
+	}
+}
+
+// freshestVersion pins the LWW-freshest version of key across all live
+// replicas — the strong read's convergence target. found is false when no
+// live replica holds the key.
+func (c *Cluster) freshestVersion(key string) (store.Versioned, bool) {
+	var want store.Versioned
+	found := false
+	for _, rp := range c.replicas {
+		stp := rp.store.Load()
+		if stp == nil {
+			continue
+		}
+		v, ok := stp.GetVersion(key)
+		if !ok {
+			continue
+		}
+		if !found || strongerVersion(v, want) {
+			want, found = v, true
+		}
+	}
+	return want, found
+}
+
+// strongerVersion mirrors the store's LWW order: higher Lamport clock
+// wins, ties broken by the timestamp total order.
+func strongerVersion(v, cur store.Versioned) bool {
+	if v.Clock != cur.Clock {
+		return v.Clock > cur.Clock
+	}
+	return v.TS.Compare(cur.TS) > 0
+}
+
+// TokenCovered reports whether replica id's applied coverage already
+// dominates tok — the shard router's routing probe, taken without any
+// lock (two atomic loads plus one summary pass). A nil token
+// is covered everywhere; a dead replica covers nothing.
+func (c *Cluster) TokenCovered(id NodeID, tok *Token) bool {
+	if int(id) < 0 || int(id) >= len(c.replicas) {
+		return false
+	}
+	r := c.replicas[id]
+	if r.store.Load() == nil {
+		return false
+	}
+	if tok == nil {
+		return true
+	}
+	return r.applied.lagBehind(&tok.sum) == 0
+}
+
+// Session binds a token to a cluster with per-session wait parameters — the
+// convenience surface over WriteSession/ReadLeveled. Not safe for
+// concurrent use; one session is one logical client.
+type Session struct {
+	c *Cluster
+	// MaxLag is the staleness bound LevelBounded reads enforce.
+	MaxLag uint64
+	// Deadline bounds every freshness wait; 0 selects DefaultFreshWait.
+	Deadline time.Duration
+
+	tok Token
+	opt LeveledRead
+}
+
+// NewSession starts an empty session against the cluster.
+func (c *Cluster) NewSession() *Session { return &Session{c: c} }
+
+// Token exposes the session's live token (e.g. to persist it across
+// processes via its binary encoding). The pointer stays valid for the
+// session's lifetime.
+func (s *Session) Token() *Token { return &s.tok }
+
+// Write performs a session write at replica id: the acknowledged position
+// joins the token.
+func (s *Session) Write(id NodeID, key string, value []byte) (WriteReceipt, error) {
+	return s.c.WriteSession(id, key, value, &s.tok)
+}
+
+// Read serves a session-level read at replica id (read-your-writes +
+// monotonic reads).
+func (s *Session) Read(id NodeID, key string) (store.Versioned, bool, error) {
+	return s.ReadLevel(id, key, LevelSession)
+}
+
+// ReadLevel serves a read at replica id under an explicit level, carrying
+// the session's token and wait parameters.
+func (s *Session) ReadLevel(id NodeID, key string, lvl Level) (store.Versioned, bool, error) {
+	s.opt = LeveledRead{Level: lvl, Token: &s.tok, MaxLag: s.MaxLag, Deadline: s.Deadline}
+	return s.c.ReadLeveled(id, key, &s.opt)
+}
+
+// appliedMark is a replica's applied-coverage watermark: the log summary
+// as of the last mutation whose store apply completed, maintained by the
+// runtime because the node advances the log summary BEFORE applying
+// entries to the store (probing the live log could show coverage whose
+// values the store lacks). publish/reset run under the replica lock at the
+// end of mutating critical sections and swap in a fresh immutable
+// snapshot; read-side probes are one atomic load plus a pass over the
+// snapshot — no lock at all on the covered session-read fast path, the
+// same shape as the lock-free store pointer. A nil snapshot (before the
+// first publish) reads as empty coverage.
+type appliedMark struct {
+	snap atomic.Pointer[vclock.Summary]
+}
+
+// publish folds the log's current summary into a widened copy of the
+// watermark and swaps it in (monotonic within an incarnation). Called
+// under the replica lock after every store apply completes, which
+// serializes it with reset; the clone-per-apply cost rides the write path,
+// keeping every read probe allocation-free.
+func (m *appliedMark) publish(lg *wlog.Log) {
+	next := m.snap.Load().Clone()
+	lg.MergeSummaryInto(next)
+	m.snap.Store(next)
+}
+
+// reset REPLACES the watermark with the log's current summary — the
+// restart path, where a new incarnation's coverage may be behind the old
+// one's and a stale watermark would overstate what the new store holds.
+func (m *appliedMark) reset(lg *wlog.Log) {
+	m.snap.Store(lg.Summary())
+}
+
+// readCovered is the session-read fast path probe. A token whose cache
+// pins the current snapshot is covered by one pointer compare; otherwise
+// one pass over the snapshot returns the watermark's lag behind the token
+// and whether it is within maxLag. When covered exactly (lag 0) and merge
+// is set, the snapshot is folded into the token (the monotonic-reads
+// update) and the cache re-pins, so a session parked on one replica pays
+// the pass only when the replica's coverage advances.
+func (m *appliedMark) readCovered(tok *Token, maxLag uint64, merge bool) (lag uint64, ok bool) {
+	sum := m.snap.Load()
+	if sum != nil && tok.covered == sum {
+		return 0, true
+	}
+	lag, gains := sum.LagDelta(&tok.sum)
+	ok = lag <= maxLag
+	if ok && merge {
+		if gains {
+			tok.sum.Merge(sum)
+		}
+		if lag == 0 {
+			tok.covered = sum
+		}
+	}
+	return lag, ok
+}
+
+// lagBehind returns how many writes want covers that the watermark does
+// not.
+func (m *appliedMark) lagBehind(want *vclock.Summary) uint64 {
+	return m.snap.Load().LagBehind(want)
+}
+
+// covers reports whether the watermark covers the single write ts.
+func (m *appliedMark) covers(ts vclock.Timestamp) bool {
+	return m.snap.Load().Covers(ts)
+}
+
+// freshWaiter is one leveled read parked until a replica's applied
+// coverage reaches its target: a summary watermark within maxLag
+// (session/bounded) or a single write (strong). ch closes when satisfied.
+// want is only dereferenced while the waiter is registered, during which
+// the owning reader is parked — so the token's summary is never read and
+// written concurrently.
+type freshWaiter struct {
+	id     NodeID
+	want   *vclock.Summary
+	ts     vclock.Timestamp
+	maxLag uint64
+	ch     chan struct{}
+}
+
+// satisfied probes the waiter's target against a replica's watermark.
+func (w *freshWaiter) satisfied(m *appliedMark) bool {
+	if w.want != nil {
+		return m.lagBehind(w.want) <= w.maxLag
+	}
+	return m.covers(w.ts)
+}
+
+// freshQueue is the cluster's set of parked leveled reads. count mirrors
+// len(waiters) so the per-advance signal is one atomic load when no read
+// is waiting — the same fast-path shape as propagation watches.
+type freshQueue struct {
+	mu      sync.Mutex
+	waiters []*freshWaiter
+	count   atomic.Int32
+}
+
+// signalFresh wakes every waiter on replica id whose target the replica's
+// applied coverage now satisfies. Called from every point that advances a
+// replica's coverage (via checkWatches) and from the restart paths.
+func (c *Cluster) signalFresh(id NodeID) {
+	q := &c.fresh
+	if q.count.Load() == 0 {
+		return
+	}
+	r := c.replicas[id]
+	q.mu.Lock()
+	n := 0
+	for _, w := range q.waiters {
+		if w.id == id && w.satisfied(&r.applied) {
+			close(w.ch)
+			q.count.Add(-1)
+			continue
+		}
+		q.waiters[n] = w
+		n++
+	}
+	for i := n; i < len(q.waiters); i++ {
+		q.waiters[i] = nil
+	}
+	q.waiters = q.waiters[:n]
+	q.mu.Unlock()
+}
+
+// remove unregisters w (deadline path), reporting false when a signal
+// already fired it.
+func (q *freshQueue) remove(w *freshWaiter) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, cw := range q.waiters {
+		if cw == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			q.count.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// waitFresh parks the calling read until replica r's applied coverage
+// satisfies the target (want within maxLag, or the single write ts when
+// want is nil), the deadline lapses, or the replica dies. Runs only on the
+// miss path — the covered fast path never calls it.
+func (c *Cluster) waitFresh(r *replica, want *vclock.Summary, ts vclock.Timestamp, maxLag uint64, deadline time.Duration, lvl Level) error {
+	if deadline <= 0 {
+		deadline = DefaultFreshWait
+	}
+	w := &freshWaiter{id: r.id, want: want, ts: ts, maxLag: maxLag, ch: make(chan struct{})}
+	q := &c.fresh
+	q.mu.Lock()
+	// Re-check under the queue lock: the covering advance may have landed
+	// (and signalled) between the fast-path probe and registration.
+	if w.satisfied(&r.applied) {
+		q.mu.Unlock()
+		return nil
+	}
+	q.waiters = append(q.waiters, w)
+	q.count.Add(1)
+	q.mu.Unlock()
+
+	var waitStart time.Time
+	co := c.opts.obs
+	if co != nil {
+		waitStart = time.Now()
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		if co != nil {
+			co.FreshWaitSeconds.Observe(time.Since(waitStart).Seconds())
+		}
+		return nil
+	case <-timer.C:
+		if !q.remove(w) {
+			// A signal fired between the timeout and the removal: the
+			// coverage arrived in time after all.
+			if co != nil {
+				co.FreshWaitSeconds.Observe(time.Since(waitStart).Seconds())
+			}
+			return nil
+		}
+		if r.store.Load() == nil {
+			return r.deadError()
+		}
+		return c.notFresh(r, lvl, want, maxLag)
+	}
+}

@@ -219,9 +219,15 @@ func (c *Cluster) RestartFromDisk(id NodeID) error {
 	r.wal = w
 	r.ep = c.net.Attach(id)
 	r.dead = false
+	// Re-seed the applied watermark from the recovered log before the
+	// store is published (see the replica.applied field doc).
+	r.applied.reset(r.node.Log())
 	r.store.Store(r.node.Store())
 	r.mu.Unlock()
 	r.spawn(ctx, &c.wg)
+	// Leveled reads parked on this replica may already be satisfied by the
+	// recovered coverage.
+	c.signalFresh(id)
 	return nil
 }
 

@@ -41,9 +41,12 @@ type writeReq struct {
 	arrival  int64
 	deadline int64
 
-	// Filled by the commit leader before signalling done.
-	ts  vclock.Timestamp
-	err error
+	// Filled by the commit leader before signalling done. clock is the
+	// entry's Lamport clock — the LWW order's major key — carried so
+	// WriteReceipted can hand session clients the full version receipt.
+	ts    vclock.Timestamp
+	clock uint64
+	err   error
 
 	// done is buffered so the leader never blocks completing a request.
 	done chan struct{}
@@ -213,7 +216,11 @@ func (r *replica) commitBatch(c *Cluster, batch []*writeReq) {
 	entries, out := r.node.ClientWriteBatch(c.now(), ops)
 	for i, req := range batch {
 		req.ts = entries[i].TS
+		req.clock = entries[i].Clock
 	}
+	// The batch is fully applied to the store; advance the applied
+	// watermark under the same lock so session reads can trust it.
+	r.applied.publish(r.node.Log())
 	// Drop the client value refs before stashing the scratch buffer.
 	for i := range ops {
 		ops[i].Value = nil

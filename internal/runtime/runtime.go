@@ -194,6 +194,12 @@ type Cluster struct {
 	// watchCount mirrors len(watches) so the per-write watch check is one
 	// atomic load on the (common) zero-watch fast path, never Cluster.mu.
 	watchCount atomic.Int32
+
+	// fresh parks leveled reads waiting for a replica's applied coverage
+	// to reach their session token (consistency.go). Like watches it has
+	// an atomic zero-waiter fast path, so clusters that never issue
+	// session reads pay one atomic load per signal point.
+	fresh freshQueue
 }
 
 // New assembles a cluster over the graph with the given demand field. Call
@@ -234,8 +240,11 @@ func New(g *topology.Graph, field demand.Field, opts ...Option) *Cluster {
 			Observer:  nodeObserver(&o, id),
 		})
 		// A durable replica recovers its on-disk state (cold start) before
-		// the store is published to the lock-free read path.
+		// the store is published to the lock-free read path. The applied
+		// watermark seeds from the recovered log for the same reason: a
+		// leveled read must never observe coverage the store lacks.
 		r.finishReplicaDurability(rec)
+		r.applied.reset(r.node.Log())
 		r.store.Store(r.node.Store())
 		c.replicas = append(c.replicas, r)
 	}
@@ -490,11 +499,18 @@ func (c *Cluster) restart(id NodeID, preserve bool) error {
 	r.dead = false
 	// A restarted incarnation starts with a clean bill of health.
 	r.failCause.Store(nil)
+	// Re-seed the applied watermark from the new incarnation's log before
+	// the store is published: the watermark must never overstate what this
+	// store holds (the old incarnation's coverage may exceed it).
+	r.applied.reset(r.node.Log())
 	// Re-publish the (possibly fresh) store to the lock-free read path only
 	// once the replica is consistent again.
 	r.store.Store(r.node.Store())
 	r.mu.Unlock()
 	r.spawn(ctx, &c.wg)
+	// Leveled reads parked on this replica may already be satisfied by the
+	// bootstrap coverage.
+	c.signalFresh(id)
 	return nil
 }
 
@@ -592,20 +608,29 @@ func (c *Cluster) now() float64 { return time.Since(c.start).Seconds() }
 // write reaches the node or the WAL, so it is visibly rejected and never
 // partially applied.
 func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, error) {
+	rec, err := c.WriteReceipted(id, key, value)
+	return rec.TS, err
+}
+
+// WriteReceipted is Write returning the full version receipt — timestamp
+// plus the Lamport clock the LWW resolution orders by. Session clients fold
+// the receipt into their token; invariant checkers (the chaos session
+// oracle) compare receipts against later reads.
+func (c *Cluster) WriteReceipted(id NodeID, key string, value []byte) (WriteReceipt, error) {
 	if int(id) < 0 || int(id) >= len(c.replicas) {
-		return vclock.Timestamp{}, fmt.Errorf("runtime: no replica %v", id)
+		return WriteReceipt{}, fmt.Errorf("runtime: no replica %v", id)
 	}
 	r := c.replicas[id]
 	now := time.Now()
 	if r.adm.shouldShed(now.UnixNano()) {
-		return vclock.Timestamp{}, r.shed(ShedSojourn)
+		return WriteReceipt{}, r.shed(ShedSojourn)
 	}
 	if r.meter != nil {
 		r.meter.Record(now)
 	}
 	req := writeReqPool.Get().(*writeReq)
 	req.key, req.value = key, value
-	req.ts, req.err = vclock.Timestamp{}, nil
+	req.ts, req.clock, req.err = vclock.Timestamp{}, 0, nil
 	req.arrival = now.UnixNano()
 	req.deadline = 0
 	if d := r.adm.cfg.WriteDeadline; d > 0 {
@@ -615,16 +640,16 @@ func (c *Cluster) Write(id NodeID, key string, value []byte) (vclock.Timestamp, 
 	if !ok {
 		req.key, req.value = "", nil
 		writeReqPool.Put(req)
-		return vclock.Timestamp{}, r.shed(ShedQueueFull)
+		return WriteReceipt{}, r.shed(ShedQueueFull)
 	}
 	if leader {
 		r.commitLoop(c)
 	}
 	<-req.done
-	ts, err := req.ts, req.err
+	rec, err := WriteReceipt{TS: req.ts, Clock: req.clock}, req.err
 	req.key, req.value = "", nil
 	writeReqPool.Put(req)
-	return ts, err
+	return rec, err
 }
 
 // Read serves a client read at a replica. Reads at a killed replica fail —
@@ -860,13 +885,16 @@ func (w *Watch) record(id NodeID) (complete bool) {
 	return false
 }
 
-// checkWatches records coverage of all active watches for replica id. The
-// zero-watch case — every client write, almost always — is one atomic load,
-// touching neither Cluster.mu nor the replica lock. When watches exist, the
-// replica lock is taken once for the whole set (not once per watch), and
-// completed watches are pruned eagerly so the active list never accumulates
-// finished entries.
+// checkWatches records coverage of all active watches for replica id, and
+// doubles as the freshness signal point for leveled reads parked on the
+// replica (every caller has just advanced the replica's applied coverage).
+// The zero-watch, zero-waiter case — every client write, almost always —
+// is two atomic loads, touching neither Cluster.mu nor the replica lock.
+// When watches exist, the replica lock is taken once for the whole set
+// (not once per watch), and completed watches are pruned eagerly so the
+// active list never accumulates finished entries.
 func (c *Cluster) checkWatches(id NodeID) {
+	c.signalFresh(id)
 	if c.watchCount.Load() == 0 {
 		return
 	}
@@ -930,6 +958,15 @@ type replica struct {
 	// concurrency-safe (hash-striped); the pointer indirection is only so
 	// Kill/Restart stay correct without Read taking mu.
 	store atomic.Pointer[store.Store]
+
+	// applied is the replica's applied-coverage watermark: the log summary
+	// as of the last mutation whose store apply completed. Leveled reads
+	// probe it instead of the live log because the node advances the log
+	// summary BEFORE applying entries to the store — probing the log
+	// directly would let a session read observe coverage whose values the
+	// store does not hold yet. Published under r.mu at the end of every
+	// mutating critical section, re-seeded on restart (see consistency.go).
+	applied appliedMark
 
 	// wq collects concurrent client writes for group commit; opsScratch is
 	// the leader's reusable staging buffer (only the leader touches it, and
@@ -1070,6 +1107,9 @@ func (r *replica) handle(env protocol.Envelope) {
 	r.mu.Lock()
 	out := r.node.HandleMessage(c.now(), env)
 	id := r.node.ID()
+	// Every store apply the message triggered has completed; advance the
+	// applied watermark before the lock drops so leveled reads can trust it.
+	r.applied.publish(r.node.Log())
 	var w *wal.Log
 	var rec uint64
 	if r.wal != nil && carriesEntries(out) {

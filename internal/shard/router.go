@@ -47,6 +47,9 @@ type Receipt struct {
 	Shard string
 	Node  NodeID
 	TS    vclock.Timestamp
+	// Clock is the write's Lamport clock within its group — its position in
+	// the store's LWW version order (clock major, TS tiebreak).
+	Clock uint64
 }
 
 // String renders the receipt.
@@ -242,7 +245,7 @@ func (r *Router) Write(key string, value []byte) (Receipt, error) {
 		return Receipt{}, err
 	}
 	id := g.pick(r.cfg.Routing)
-	ts, err := g.cluster.Write(id, key, value)
+	rec, err := g.cluster.WriteReceipted(id, key, value)
 	if err != nil {
 		if g.obsWriteErr != nil {
 			g.obsWriteErr.Inc()
@@ -252,7 +255,7 @@ func (r *Router) Write(key string, value []byte) (Receipt, error) {
 	if g.obsWrites != nil {
 		g.obsWrites.Inc()
 	}
-	return Receipt{Shard: g.name, Node: id, TS: ts}, nil
+	return Receipt{Shard: g.name, Node: id, TS: rec.TS, Clock: rec.Clock}, nil
 }
 
 // Read routes a client read to the owning group's serving replica. The

@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// This file is the sharded face of the consistency plane: a Session that
+// carries one freshness token per shard group (summary watermarks are only
+// comparable within a group — NodeIDs are dense per group), routes leveled
+// reads token-aware, and serialises to a compact binary form so a client
+// can carry its guarantees across processes.
+//
+// Guarantee scope: a session's watermark names positions in its group's
+// replica-id space. Resharding moves *content* between groups, not log
+// positions, so a key that changes owners mid-session re-enters that
+// session with a fresh (empty) floor for the new group — read-your-writes
+// and monotonic reads hold per key only while its owner is stable. The
+// same caveat as the reshard handoff itself (AddShard's non-linearizable
+// window) applies.
+
+// Session is a sharded client session: per-group freshness tokens plus the
+// wait parameters every leveled read uses. Obtain one from
+// Router.NewSession. Like runtime.Session it is one logical client and is
+// NOT safe for concurrent use; concurrent clients each carry their own.
+type Session struct {
+	r *Router
+	// MaxLag is the staleness bound runtime.LevelBounded reads enforce.
+	MaxLag uint64
+	// Deadline bounds every freshness wait; 0 selects
+	// runtime.DefaultFreshWait.
+	Deadline time.Duration
+
+	tokens map[string]*runtime.Token
+	opt    runtime.LeveledRead
+}
+
+// NewSession starts an empty session against the router.
+func (r *Router) NewSession() *Session {
+	return &Session{r: r, tokens: make(map[string]*runtime.Token)}
+}
+
+// token returns the session's token for one shard, creating it on first
+// touch.
+func (s *Session) token(shard string) *runtime.Token {
+	tok := s.tokens[shard]
+	if tok == nil {
+		tok = &runtime.Token{}
+		s.tokens[shard] = tok
+	}
+	return tok
+}
+
+// Write routes a session write: the acknowledged position joins the owning
+// shard's token, so later session reads of any key in that shard observe
+// it.
+func (s *Session) Write(key string, value []byte) (Receipt, error) {
+	g, err := s.r.route(key)
+	if err != nil {
+		return Receipt{}, err
+	}
+	id := g.pick(s.r.cfg.Routing)
+	rec, err := g.cluster.WriteSession(id, key, value, s.token(g.name))
+	if err != nil {
+		if g.obsWriteErr != nil {
+			g.obsWriteErr.Inc()
+		}
+		return Receipt{}, fmt.Errorf("shard: write to %s: %w", g.name, err)
+	}
+	if g.obsWrites != nil {
+		g.obsWrites.Inc()
+	}
+	return Receipt{Shard: g.name, Node: id, TS: rec.TS, Clock: rec.Clock}, nil
+}
+
+// Read serves a session-level read (read-your-writes + monotonic reads).
+func (s *Session) Read(key string) ([]byte, bool, error) {
+	v, ok, err := s.ReadVersioned(key, runtime.LevelSession)
+	return v.Value, ok, err
+}
+
+// ReadLevel serves a read at an explicit consistency level.
+func (s *Session) ReadLevel(key string, lvl runtime.Level) ([]byte, bool, error) {
+	v, ok, err := s.ReadVersioned(key, lvl)
+	return v.Value, ok, err
+}
+
+// ReadVersioned serves a leveled read returning the full version, routed
+// token-aware: among the owning group's healthy replicas, one already
+// covering the session's token is preferred, so session reads land where
+// they need no freshness wait whenever such a replica exists.
+func (s *Session) ReadVersioned(key string, lvl runtime.Level) (store.Versioned, bool, error) {
+	g, err := s.r.route(key)
+	if err != nil {
+		return store.Versioned{}, false, err
+	}
+	tok := s.token(g.name)
+	var id NodeID
+	if lvl == runtime.LevelEventual {
+		id = g.pick(s.r.cfg.Routing)
+	} else {
+		// Session, bounded and strong reads all gate on the token (strong
+		// subsumes session), so a covering replica is the cheaper server.
+		id = g.pickToken(s.r.cfg.Routing, tok)
+	}
+	s.opt = runtime.LeveledRead{Level: lvl, Token: tok, MaxLag: s.MaxLag, Deadline: s.Deadline}
+	v, ok, err := g.cluster.ReadLeveled(id, key, &s.opt)
+	switch {
+	case err != nil && g.obsReadErr != nil:
+		g.obsReadErr.Inc()
+	case err == nil && g.obsReads != nil:
+		g.obsReads.Inc()
+	}
+	return v, ok, err
+}
+
+// sessionCodecVersion tags the session wire encoding: the version byte, a
+// uvarint shard count, then per shard (sorted by name, so the encoding is
+// canonical) a length-prefixed name and a length-prefixed token encoding.
+const sessionCodecVersion = 1
+
+// maxSessionShards bounds the shard count a decoded session may carry, so
+// a hostile encoding cannot force unbounded allocation.
+const maxSessionShards = 1 << 16
+
+// Export serialises the session's tokens (wait parameters are client
+// config, not state, and are not carried). The encoding is canonical:
+// exporting an imported session reproduces it byte-for-byte.
+func (s *Session) Export() ([]byte, error) {
+	names := make([]string, 0, len(s.tokens))
+	for name, tok := range s.tokens {
+		if tok.Positions().Total() == 0 {
+			continue // empty tokens carry no guarantee; keep the form canonical
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := []byte{sessionCodecVersion}
+	out = binary.AppendUvarint(out, uint64(len(names)))
+	for _, name := range names {
+		out = binary.AppendUvarint(out, uint64(len(name)))
+		out = append(out, name...)
+		tb := s.tokens[name].AppendBinary(nil)
+		out = binary.AppendUvarint(out, uint64(len(tb)))
+		out = append(out, tb...)
+	}
+	return out, nil
+}
+
+// Import replaces the session's tokens with a previously Exported image.
+// Guarantees resume exactly where the exporting process left them.
+func (s *Session) Import(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("shard: empty session encoding")
+	}
+	if data[0] != sessionCodecVersion {
+		return fmt.Errorf("shard: unknown session version %d", data[0])
+	}
+	rest := data[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return errors.New("shard: truncated session shard count")
+	}
+	rest = rest[n:]
+	if count > maxSessionShards {
+		return fmt.Errorf("shard: session shard count %d too large", count)
+	}
+	tokens := make(map[string]*runtime.Token, count)
+	prev := ""
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < nameLen {
+			return errors.New("shard: truncated session shard name")
+		}
+		rest = rest[n:]
+		name := string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if i > 0 && name <= prev {
+			return fmt.Errorf("shard: session shards out of order at %q", name)
+		}
+		prev = name
+		tokLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < tokLen {
+			return errors.New("shard: truncated session token")
+		}
+		rest = rest[n:]
+		tok := &runtime.Token{}
+		if err := tok.UnmarshalBinary(rest[:tokLen]); err != nil {
+			return fmt.Errorf("shard: session token for %q: %w", name, err)
+		}
+		rest = rest[tokLen:]
+		tokens[name] = tok
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("shard: %d trailing bytes after session", len(rest))
+	}
+	s.tokens = tokens
+	return nil
+}
+
+// pickToken chooses the serving replica for a token-carrying read: among
+// serving, non-overloaded replicas those already covering the token are
+// preferred (their reads need no freshness wait), demand breaking ties
+// under the configured policy; when none covers, routing falls back to the
+// plain pick so the read parks at the normally-chosen replica.
+func (g *Group) pickToken(p RoutePolicy, tok *runtime.Token) NodeID {
+	n := g.cluster.N()
+	if n == 1 || tok == nil {
+		return g.pick(p)
+	}
+	highest := p == RouteHighestDemand
+	now := g.now()
+	started := g.started()
+	best := NodeID(-1)
+	bestD := 0.0
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if started && !g.cluster.Serving(id) {
+			continue
+		}
+		if g.cluster.Overloaded(id) {
+			continue
+		}
+		if !g.cluster.TokenCovered(id, tok) {
+			continue
+		}
+		d := g.field.At(id, now)
+		if best < 0 || (highest && d > bestD) || (!highest && d < bestD) {
+			best, bestD = id, d
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return g.pick(p)
+}

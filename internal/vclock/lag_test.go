@@ -1,0 +1,126 @@
+package vclock
+
+import "testing"
+
+func TestLagBehind(t *testing.T) {
+	a := NewSummary()
+	a.Advance(0, 5)
+	a.Advance(1, 3)
+
+	b := NewSummary()
+	b.Advance(0, 7) // a lags 2 here
+	b.Advance(2, 4) // a lags 4 here (unknown origin)
+
+	if got := a.LagBehind(b); got != 6 {
+		t.Errorf("a.LagBehind(b) = %d, want 6", got)
+	}
+	// b does not lag a on origins 0 and 2; it lags 3 on origin 1.
+	if got := b.LagBehind(a); got != 3 {
+		t.Errorf("b.LagBehind(a) = %d, want 3", got)
+	}
+	// Self-lag is always zero, and zero lag coincides with dominance.
+	if got := a.LagBehind(a); got != 0 {
+		t.Errorf("a.LagBehind(a) = %d, want 0", got)
+	}
+	m := a.Clone()
+	m.Merge(b)
+	if got := m.LagBehind(a); got != 0 {
+		t.Errorf("merged.LagBehind(a) = %d, want 0", got)
+	}
+	if got := m.LagBehind(b); got != 0 {
+		t.Errorf("merged.LagBehind(b) = %d, want 0", got)
+	}
+	if !m.Dominates(a) || !m.Dominates(b) {
+		t.Error("merged summary should dominate both inputs")
+	}
+}
+
+func TestLagBehindNilAndEmpty(t *testing.T) {
+	a := NewSummary()
+	a.Advance(0, 5)
+
+	if got := a.LagBehind(nil); got != 0 {
+		t.Errorf("lag behind nil = %d, want 0", got)
+	}
+	if got := a.LagBehind(NewSummary()); got != 0 {
+		t.Errorf("lag behind empty = %d, want 0", got)
+	}
+	var zero *Summary
+	if got := zero.LagBehind(a); got != 5 {
+		t.Errorf("nil receiver lag = %d, want 5", got)
+	}
+	var zv Summary
+	if got := zv.LagBehind(a); got != 5 {
+		t.Errorf("zero-value receiver lag = %d, want 5", got)
+	}
+}
+
+// TestLagDelta pins the fused covered-read probe: the lag half must agree
+// with LagBehind on every vector pair, and the gains half must be true
+// exactly when merging the receiver into the argument would advance it.
+func TestLagDelta(t *testing.T) {
+	a := NewSummary()
+	a.Advance(0, 5)
+	a.Advance(1, 3)
+
+	b := NewSummary()
+	b.Advance(0, 7)
+	b.Advance(2, 4)
+
+	cases := []struct {
+		name     string
+		s, other *Summary
+		lag      uint64
+		gains    bool
+	}{
+		{"concurrent", a, b, 6, true},
+		{"concurrent-flipped", b, a, 3, true},
+		{"self", a, a, 0, false},
+		{"vs-nil", a, nil, 0, true},
+		{"nil-receiver", nil, a, 8, false},
+		{"vs-empty", a, NewSummary(), 0, true},
+	}
+	m := a.Clone()
+	m.Merge(b)
+	cases = append(cases,
+		struct {
+			name     string
+			s, other *Summary
+			lag      uint64
+			gains    bool
+		}{"dominating", m, a, 0, true},
+		struct {
+			name     string
+			s, other *Summary
+			lag      uint64
+			gains    bool
+		}{"dominated", a, m, 6, false},
+	)
+	for _, tc := range cases {
+		lag, gains := tc.s.LagDelta(tc.other)
+		if lag != tc.lag || gains != tc.gains {
+			t.Errorf("%s: LagDelta = (%d, %v), want (%d, %v)", tc.name, lag, gains, tc.lag, tc.gains)
+		}
+		if want := tc.s.LagBehind(tc.other); lag != want {
+			t.Errorf("%s: LagDelta lag %d disagrees with LagBehind %d", tc.name, lag, want)
+		}
+	}
+	// Steady-state contract: once the token dominates the watermark, gains
+	// is false and the covered probe skips the merge entirely.
+	tok := m.Clone()
+	if _, gains := a.LagDelta(tok); gains {
+		t.Error("dominating token reported merge gains")
+	}
+}
+
+func TestLagBehindNoAlloc(t *testing.T) {
+	a := NewSummary()
+	b := NewSummary()
+	for i := 0; i < 32; i++ {
+		a.Advance(NodeID(i), uint64(i+1))
+		b.Advance(NodeID(i), uint64(2*i+1))
+	}
+	if avg := testing.AllocsPerRun(100, func() { _ = a.LagBehind(b) }); avg != 0 {
+		t.Errorf("LagBehind allocates %v per run, want 0", avg)
+	}
+}

@@ -262,6 +262,66 @@ func (s *Summary) Dominates(other *Summary) bool {
 	return ord == Equal || ord == After
 }
 
+// LagBehind returns the number of writes other covers that s does not:
+// the sum over every origin of max(0, other[origin] - s[origin]). Zero
+// means s dominates other. It allocates nothing — the consistency plane's
+// freshness probes call it on every covered session read.
+func (s *Summary) LagBehind(other *Summary) uint64 {
+	if other == nil || len(other.seq) == 0 {
+		return 0
+	}
+	var a []uint64
+	if s != nil {
+		a = s.seq
+	}
+	var lag uint64
+	for i, ov := range other.seq {
+		var av uint64
+		if i < len(a) {
+			av = a[i]
+		}
+		if ov > av {
+			lag += ov - av
+		}
+	}
+	return lag
+}
+
+// LagDelta returns, in one pass, the number of writes other covers that s
+// does not (the LagBehind count) and whether s covers any write other does
+// not — i.e. whether merging s into other would advance other. The
+// consistency plane's covered-read probe uses it to skip the token merge in
+// the steady state where the token already dominates the replica's
+// watermark.
+func (s *Summary) LagDelta(other *Summary) (lag uint64, gains bool) {
+	var a, b []uint64
+	if s != nil {
+		a = s.seq
+	}
+	if other != nil {
+		b = other.seq
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var av, bv uint64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if bv > av {
+			lag += bv - av
+		} else if av > bv {
+			gains = true
+		}
+	}
+	return lag, gains
+}
+
 // Clone returns an independent deep copy of s.
 func (s *Summary) Clone() *Summary {
 	c := NewSummary()

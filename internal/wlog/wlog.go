@@ -343,6 +343,49 @@ func (l *Log) Covers(ts vclock.Timestamp) bool {
 	return l.summary.Covers(ts)
 }
 
+// LagBehind returns how many writes want covers that the log has not yet
+// received, without cloning the vector. Zero means the log covers want.
+func (l *Log) LagBehind(want *vclock.Summary) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.LagBehind(want)
+}
+
+// CoversSummary reports whether the log has received every write want
+// covers, without cloning the vector.
+func (l *Log) CoversSummary(want *vclock.Summary) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.summary.LagBehind(want) == 0
+}
+
+// MergeSummaryInto folds the log's summary into dst (element-wise max)
+// without cloning the vector. dst must not be shared with other
+// goroutines; the log's own summary is only read.
+func (l *Log) MergeSummaryInto(dst *vclock.Summary) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	dst.Merge(&l.summary)
+}
+
+// ReadCovered is the session-read freshness probe, one lock round-trip on
+// the leveled read fast path. It returns the log's lag behind want (the
+// writes want covers that the log has not received) and whether that lag
+// is within maxLag. When it is and merge is set, the log's summary is
+// folded into want under the same read lock — the monotonic-reads token
+// update — so a covered session read costs a single lock acquisition and
+// zero allocations once want's vector has grown to the log's width.
+func (l *Log) ReadCovered(want *vclock.Summary, maxLag uint64, merge bool) (lag uint64, ok bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	lag = l.summary.LagBehind(want)
+	ok = lag <= maxLag
+	if ok && merge {
+		want.Merge(&l.summary)
+	}
+	return lag, ok
+}
+
 // Get returns the entry named by ts, if it is retained. The entry shares the
 // log's backing arrays (immutability contract).
 func (l *Log) Get(ts vclock.Timestamp) (Entry, bool) {

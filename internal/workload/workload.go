@@ -45,6 +45,58 @@ type Target interface {
 	Read(key string) ([]byte, bool, error)
 }
 
+// Level names the consistency level of one read, mirroring the runtime's
+// levels without importing them (the workload package stays structurally
+// decoupled from any particular target).
+type Level int
+
+const (
+	// LevelEventual is a plain read of whatever the replica has.
+	LevelEventual Level = iota
+	// LevelSession demands read-your-writes + monotonic reads.
+	LevelSession
+	// LevelBounded demands bounded staleness.
+	LevelBounded
+	// LevelStrong demands a converged read of the key.
+	LevelStrong
+	// NumLevels sizes per-level arrays.
+	NumLevels = int(LevelStrong) + 1
+)
+
+// String names the level the way flags and result tables spell it.
+func (l Level) String() string {
+	switch l {
+	case LevelEventual:
+		return "eventual"
+	case LevelSession:
+		return "session"
+	case LevelBounded:
+		return "bounded"
+	case LevelStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Session is one logical client's sessioned view of a target: writes feed
+// the session's freshness floor and reads enforce a consistency level
+// against it. Implementations are used by a single worker goroutine at a
+// time.
+type Session interface {
+	Write(key string, value []byte) error
+	Read(key string, level Level) ([]byte, bool, error)
+}
+
+// SessionTarget is a Target that can open per-client sessions. When the
+// config asks for a leveled read mix and the target implements this
+// (structurally — shard routers and cluster adapters do), every worker
+// drives its own session; otherwise leveled fractions silently degrade to
+// eventual reads.
+type SessionTarget interface {
+	Target
+	NewSession() Session
+}
+
 // KeyDist selects the key-popularity distribution.
 type KeyDist int
 
@@ -108,6 +160,12 @@ type Config struct {
 	// each with ±50% jitter, and the server's retry-after hint acts as a
 	// floor (default 2ms).
 	RetryBase time.Duration
+	// SessionReads, BoundedReads and StrongReads split the read mix by
+	// consistency level: each is the fraction of *reads* issued at that
+	// level, the remainder staying eventual. They only take effect against
+	// a SessionTarget; fractions summing past 1 are scaled down
+	// proportionally.
+	SessionReads, BoundedReads, StrongReads float64
 	// Progress, when non-nil, receives live op counts as workers complete
 	// operations — the hook periodic reporters read mid-run, when Result is
 	// not available yet.
@@ -118,12 +176,17 @@ type Config struct {
 // counts advance as workers complete operations. Readers use the atomic
 // fields directly; deltas between reads give interval rates.
 type Progress struct {
-	// Reads and Writes count completed (successful) ops.
+	// Reads and Writes count completed (successful) ops. Reads totals
+	// every level; ReadsByLevel carries the split.
 	Reads, Writes atomic.Int64
+	// ReadsByLevel counts completed reads per consistency level, indexed
+	// by Level. The sum always equals Reads.
+	ReadsByLevel [NumLevels]atomic.Int64
 	// Errors counts ops the target rejected.
 	Errors atomic.Int64
 	// Sheds counts rejections that carried a retry-after hint (the target
-	// shed the op under overload); every shed also counts as an error
+	// shed the op under overload — or, for leveled reads, could not reach
+	// the required freshness in time); every shed also counts as an error
 	// unless a retry later succeeded. Retries counts retry attempts issued.
 	Sheds, Retries atomic.Int64
 }
@@ -156,7 +219,41 @@ func (c Config) withDefaults() Config {
 	if c.RetryBase <= 0 {
 		c.RetryBase = 2 * time.Millisecond
 	}
+	if c.SessionReads < 0 {
+		c.SessionReads = 0
+	}
+	if c.BoundedReads < 0 {
+		c.BoundedReads = 0
+	}
+	if c.StrongReads < 0 {
+		c.StrongReads = 0
+	}
+	if sum := c.SessionReads + c.BoundedReads + c.StrongReads; sum > 1 {
+		c.SessionReads /= sum
+		c.BoundedReads /= sum
+		c.StrongReads /= sum
+	}
 	return c
+}
+
+// leveled reports whether the config asks for any non-eventual reads.
+func (c Config) leveled() bool {
+	return c.SessionReads > 0 || c.BoundedReads > 0 || c.StrongReads > 0
+}
+
+// pickLevel draws one read's consistency level from the configured mix.
+func (c Config) pickLevel(rng *rand.Rand) Level {
+	u := rng.Float64()
+	if u < c.SessionReads {
+		return LevelSession
+	}
+	if u < c.SessionReads+c.BoundedReads {
+		return LevelBounded
+	}
+	if u < c.SessionReads+c.BoundedReads+c.StrongReads {
+		return LevelStrong
+	}
+	return LevelEventual
 }
 
 // Result summarises one load run.
@@ -172,7 +269,22 @@ type Result struct {
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// ReadLatency and WriteLatency hold per-op latencies in milliseconds.
+	// ReadLatency aggregates every consistency level — comparable across
+	// runs only when the level mix is fixed; use ReadLatencyAt for the
+	// per-level view (a session read that waited for coverage is a
+	// different operation than an eventual read, and lumping them hides
+	// both tails).
 	ReadLatency, WriteLatency *metrics.Sample
+	// ReadLatencyByLevel splits read latency by consistency level, indexed
+	// by Level. Levels never issued hold empty samples.
+	ReadLatencyByLevel [NumLevels]*metrics.Sample
+	// ReadsByLevel counts completed reads per level; the sum equals Reads.
+	ReadsByLevel [NumLevels]int
+}
+
+// ReadLatencyAt returns the latency sample of one consistency level.
+func (r Result) ReadLatencyAt(lvl Level) *metrics.Sample {
+	return r.ReadLatencyByLevel[lvl]
 }
 
 // OpsPerSec returns completed-op throughput.
@@ -232,6 +344,9 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 		ReadLatency:  metrics.NewSample(cfg.Ops),
 		WriteLatency: metrics.NewSample(cfg.Ops),
 	}
+	for lvl := range out.ReadLatencyByLevel {
+		out.ReadLatencyByLevel[lvl] = metrics.NewSample(cfg.Ops)
+	}
 	for _, r := range results {
 		out.Reads += r.reads
 		out.Writes += r.writes
@@ -240,6 +355,12 @@ func Run(ctx context.Context, cfg Config, target Target) Result {
 		out.Retries += r.retries
 		out.ReadLatency.Merge(r.readLat)
 		out.WriteLatency.Merge(r.writeLat)
+		for lvl, s := range r.readLatLvl {
+			if s != nil {
+				out.ReadLatencyByLevel[lvl].Merge(s)
+			}
+			out.ReadsByLevel[lvl] += r.readsLvl[lvl]
+		}
 	}
 	out.Ops = out.Reads + out.Writes
 	return out
@@ -249,6 +370,8 @@ type workerResult struct {
 	reads, writes, errors int
 	sheds, retries        int
 	readLat, writeLat     *metrics.Sample
+	readLatLvl            [NumLevels]*metrics.Sample
+	readsLvl              [NumLevels]int
 }
 
 // retryHinter matches rejections whose source suggests when to retry —
@@ -269,14 +392,15 @@ func shedHint(err error) (time.Duration, bool) {
 	return 0, false
 }
 
-// writeRetrying issues one write, retrying shed rejections with jittered
+// opRetrying issues one op, retrying shed rejections (any error exposing a
+// RetryAfterHint — overload sheds and not-fresh reads alike) with jittered
 // exponential backoff floored at the server's hint, up to cfg.RetryBudget
 // attempts. It returns the final error and the shed/retry counts the
 // attempt sequence produced.
-func writeRetrying(ctx context.Context, cfg Config, target Target, rng *rand.Rand, key string, value []byte) (err error, sheds, retries int) {
+func opRetrying(ctx context.Context, cfg Config, rng *rand.Rand, op func() error) (err error, sheds, retries int) {
 	backoff := cfg.RetryBase
 	for attempt := 0; ; attempt++ {
-		err = target.Write(key, value)
+		err = op()
 		hint, shed := (time.Duration)(0), false
 		if err != nil {
 			hint, shed = shedHint(err)
@@ -326,6 +450,19 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 		readLat:  metrics.NewSample(cfg.Ops / cfg.Workers),
 		writeLat: metrics.NewSample(cfg.Ops / cfg.Workers),
 	}
+	// Each worker is one logical client: when the config asks for leveled
+	// reads and the target can open sessions, the worker's whole op stream
+	// (writes included — read-your-writes needs the writes on the token)
+	// flows through its own session.
+	var sess Session
+	if cfg.leveled() {
+		if st, ok := target.(SessionTarget); ok {
+			sess = st.NewSession()
+		}
+	}
+	for lvl := range res.readLatLvl {
+		res.readLatLvl[lvl] = metrics.NewSample(cfg.Ops / cfg.Workers)
+	}
 	for {
 		slot := issued.Add(1) - 1
 		if slot >= int64(cfg.Ops) {
@@ -358,20 +495,50 @@ func runWorker(ctx context.Context, cfg Config, target Target, id int64, keys []
 		}
 		key := keys[k]
 		if rng.Float64() < cfg.ReadFraction {
-			if _, _, err := target.Read(key); err != nil {
+			lvl := LevelEventual
+			if sess != nil {
+				lvl = cfg.pickLevel(rng)
+			}
+			read := func() error {
+				var err error
+				if sess != nil {
+					_, _, err = sess.Read(key, lvl)
+				} else {
+					_, _, err = target.Read(key)
+				}
+				return err
+			}
+			err, sheds, retries := opRetrying(ctx, cfg, rng, read)
+			res.sheds += sheds
+			res.retries += retries
+			if cfg.Progress != nil {
+				cfg.Progress.Sheds.Add(int64(sheds))
+				cfg.Progress.Retries.Add(int64(retries))
+			}
+			if err != nil {
 				res.errors++
 				if cfg.Progress != nil {
 					cfg.Progress.Errors.Add(1)
 				}
 				continue
 			}
-			res.readLat.Add(float64(time.Since(begin)) / float64(time.Millisecond))
+			ms := float64(time.Since(begin)) / float64(time.Millisecond)
+			res.readLat.Add(ms)
+			res.readLatLvl[lvl].Add(ms)
 			res.reads++
+			res.readsLvl[lvl]++
 			if cfg.Progress != nil {
 				cfg.Progress.Reads.Add(1)
+				cfg.Progress.ReadsByLevel[lvl].Add(1)
 			}
 		} else {
-			err, sheds, retries := writeRetrying(ctx, cfg, target, rng, key, value)
+			write := func() error {
+				if sess != nil {
+					return sess.Write(key, value)
+				}
+				return target.Write(key, value)
+			}
+			err, sheds, retries := opRetrying(ctx, cfg, rng, write)
 			res.sheds += sheds
 			res.retries += retries
 			if cfg.Progress != nil {

@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-SingleTrialFast50|ShardedThroughput4|ClientPlaneReadParallel|GroupCommitThroughput|DurableGroupCommit|TCPClientPlane|GoodputUnderOverload}"
+BENCH="${BENCH:-SingleTrialFast50|ShardedThroughput4|ClientPlaneReadParallel|SessionRead|GroupCommitThroughput|DurableGroupCommit|TCPClientPlane|GoodputUnderOverload}"
 OUTDIR="${OUTDIR:-bench-results}"
 CPU="${CPU:-}"
 
